@@ -1,0 +1,144 @@
+(* Benchmark harness.
+
+   Part 1 — bechamel micro-benchmarks: one Test.make per table/figure,
+   each timing the representative operation behind that result at a
+   small workload (so the wall-clock benchmark itself is quick).
+
+   Part 2 — regeneration: every table and figure of the paper is
+   rebuilt through the experiment registry in quick mode.  Full-size
+   regeneration is `dune exec bin/experiments.exe`. *)
+
+open Bechamel
+open Toolkit
+module V = Swgmx.Variant
+module E = Swgmx.Engine
+
+(* shared small workloads, prepared once *)
+let prep3k = lazy (Swbench.Common.prepare ~particles:3000 ())
+let prep6k = lazy (Swbench.Common.prepare ~particles:6000 ())
+
+let kernel_test name variant prep =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let p = Lazy.force prep in
+         ignore (Swbench.Common.kernel_outcome p variant)))
+
+let tests =
+  [
+    (* Table 1 / Figure 10: pricing one full MD step *)
+    Test.make ~name:"table1/fig10: Engine.measure V_ori"
+      (Staged.stage (fun () ->
+           ignore (E.measure ~version:E.V_ori ~total_atoms:3000 ~n_cg:1 ())));
+    Test.make ~name:"table1/fig10: Engine.measure V_other"
+      (Staged.stage (fun () ->
+           ignore (E.measure ~version:E.V_other ~total_atoms:3000 ~n_cg:4 ())));
+    (* Table 2: the DMA bandwidth model *)
+    Test.make ~name:"table2: Dma.bandwidth sweep"
+      (Staged.stage (fun () ->
+           for s = 1 to 4096 do
+             ignore (Swarch.Dma.bandwidth Swarch.Config.default s)
+           done));
+    (* Table 3/4 are static tables: benchmark their rendering *)
+    Test.make ~name:"table3+4: render"
+      (Staged.stage (fun () ->
+           Swbench.Exp_tables.table3 Format.str_formatter;
+           Swbench.Exp_tables.table4 Format.str_formatter;
+           ignore (Format.flush_str_formatter ())));
+    (* Figure 8: one kernel invocation per optimization stage *)
+    kernel_test "fig8: Ori kernel (3k)" V.Ori prep3k;
+    kernel_test "fig8: Pkg kernel (3k)" V.Pkg prep3k;
+    kernel_test "fig8: Cache kernel (3k)" V.Cache prep3k;
+    kernel_test "fig8: Vec kernel (3k)" V.Vec prep3k;
+    kernel_test "fig8: Mark kernel (3k)" V.Mark prep3k;
+    (* Figure 9: the baselines *)
+    kernel_test "fig9: RCA kernel (3k)" V.Rca prep3k;
+    kernel_test "fig9: USTC kernel (3k)" V.Ustc prep3k;
+    kernel_test "fig9: RMA kernel (3k)" V.Rma prep3k;
+    (* Figure 10 list stage: CPE pair-list generation *)
+    Test.make ~name:"fig10: Nsearch_cpe two-way (6k)"
+      (Staged.stage (fun () ->
+           let p = Lazy.force prep6k in
+           let cg = Swarch.Core_group.create Swbench.Common.cfg in
+           ignore
+             (Swgmx.Nsearch_cpe.run p.Swbench.Common.sys cg
+                ~kind:Swgmx.Nsearch_cpe.Two_way ~rlist:p.Swbench.Common.rcut)));
+    (* Figure 11: the TTF platform model *)
+    Test.make ~name:"fig11: TTF ratios"
+      (Staged.stage (fun () ->
+           ignore (Swarch.Platforms.ttf_ratio Swarch.Platforms.sw26010 Swarch.Platforms.knl);
+           ignore (Swarch.Platforms.ttf_ratio Swarch.Platforms.sw26010 Swarch.Platforms.p100)));
+    (* Figure 12: the scaling model sweep *)
+    Test.make ~name:"fig12: scaling curves"
+      (Staged.stage (fun () ->
+           let compute a = 3.6e-7 *. float_of_int a in
+           ignore
+             (Swcomm.Scaling.strong ~compute ~total_atoms:48000 ~rcut:1.0
+                ~box_edge:11.3 [ 4; 8; 16; 32; 64; 128; 256; 512 ]);
+           ignore
+             (Swcomm.Scaling.weak ~compute ~atoms_per_cg:10000 ~rcut:1.0
+                ~box_edge_per_cg:4.64 [ 4; 8; 16; 32; 64; 128; 256; 512 ])));
+    (* Figure 13: a few steps of mixed-precision dynamics *)
+    Test.make ~name:"fig13: Engine.simulate 5 steps"
+      (Staged.stage (fun () ->
+           ignore (E.simulate ~molecules:16 ~seed:5 ~steps:5 ~sample_every:5 ())));
+    (* Section 3.7: the two I/O paths *)
+    Test.make ~name:"io: fast formatter (1k floats)"
+      (Staged.stage (fun () ->
+           let w = Swio.Buffered_writer.create Swio.Buffered_writer.Discard in
+           for i = 1 to 1000 do
+             Swio.Buffered_writer.write_fixed w (float_of_int i *. 0.001) ~decimals:3
+           done));
+    Test.make ~name:"io: printf path (1k floats)"
+      (Staged.stage (fun () ->
+           let w = Swio.Buffered_writer.create Swio.Buffered_writer.Discard in
+           for i = 1 to 1000 do
+             Swio.Buffered_writer.write_string w
+               (Printf.sprintf "%.3f" (float_of_int i *. 0.001))
+           done));
+  ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~stabilize:false ()
+  in
+  let results = Hashtbl.create 16 in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let m = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+          Hashtbl.replace results (Test.Elt.name elt) m)
+        (Test.elements test))
+    tests;
+  let analyzed = Analyze.all ols Instance.monotonic_clock results in
+  Fmt.pr "%-45s %15s %10s@." "benchmark" "time/run" "r^2";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) analyzed [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let time =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | _ -> Float.nan
+      in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols_result) in
+      let pretty t =
+        if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+        else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+        else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+        else Printf.sprintf "%.0f ns" t
+      in
+      Fmt.pr "%-45s %15s %10.3f@." name (pretty time) r2)
+    (List.sort compare rows)
+
+let () =
+  Fmt.pr "=== bechamel micro-benchmarks (one per table/figure) ===@.";
+  run_benchmarks ();
+  Fmt.pr "@.=== regenerating all tables and figures (quick mode) ===@.";
+  List.iter
+    (fun (e : Swbench.Registry.experiment) ->
+      Fmt.pr "@.--- %s ---@." e.Swbench.Registry.title;
+      e.Swbench.Registry.run ~quick:true Fmt.stdout)
+    Swbench.Registry.all

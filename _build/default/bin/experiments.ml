@@ -1,0 +1,59 @@
+(* Experiment runner: regenerates the paper's tables and figures.
+
+   Usage:
+     experiments                 run everything (full sizes)
+     experiments --quick         run everything at reduced sizes
+     experiments fig8 table2     run selected experiments
+     experiments --list          list experiment ids *)
+
+let run_one ~quick (e : Swbench.Registry.experiment) =
+  Fmt.pr "@.=== %s ===@." e.title;
+  let t0 = Unix.gettimeofday () in
+  e.Swbench.Registry.run ~quick Fmt.stdout;
+  Fmt.pr "[%s finished in %.1f s wall]@." e.Swbench.Registry.id
+    (Unix.gettimeofday () -. t0)
+
+let main list_only quick ids =
+  if list_only then begin
+    List.iter print_endline (Swbench.Registry.ids ());
+    0
+  end
+  else begin
+    let selected =
+      match ids with
+      | [] -> Swbench.Registry.all
+      | ids ->
+          List.map
+            (fun id ->
+              match Swbench.Registry.find id with
+              | Some e -> e
+              | None ->
+                  Fmt.epr "unknown experiment %S; try --list@." id;
+                  exit 2)
+            ids
+    in
+    List.iter (run_one ~quick) selected;
+    0
+  end
+
+open Cmdliner
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
+
+let quick_flag =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Run shrunken workloads (8x smaller); shapes are preserved.")
+
+let ids_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids to run (default: all).")
+
+let cmd =
+  let doc = "regenerate the tables and figures of the SW_GROMACS paper" in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(const main $ list_flag $ quick_flag $ ids_arg)
+
+let () = exit (Cmd.eval' cmd)

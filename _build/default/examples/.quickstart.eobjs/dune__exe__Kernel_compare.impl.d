@@ -1,0 +1,1 @@
+examples/kernel_compare.ml: Array Float Fmt List Mdcore Swarch Swcache Swgmx Sys

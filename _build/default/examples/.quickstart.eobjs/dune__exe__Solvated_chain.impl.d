@@ -1,0 +1,1 @@
+examples/solvated_chain.ml: Array Fmt List Mdcore

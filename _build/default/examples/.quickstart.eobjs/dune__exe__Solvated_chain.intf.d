@@ -1,0 +1,1 @@
+examples/solvated_chain.mli:

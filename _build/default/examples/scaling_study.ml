@@ -1,0 +1,54 @@
+(* Scaling study: how a 48k-particle water run scales from one chip
+   (4 core groups) to 128 chips (512 CGs), and what switching the
+   halo/collective transport from plain MPI to RDMA buys — the
+   Section 3.6 + Figure 12 story.
+
+   Run with:  dune exec examples/scaling_study.exe *)
+
+module E = Swgmx.Engine
+
+let () =
+  (* anchor: one fully-simulated per-CG step at 12k atoms *)
+  let m = E.measure ~version:E.V_other ~total_atoms:12000 ~n_cg:1 () in
+  let per_atom = m.E.step_time /. 12000.0 in
+  let compute atoms = per_atom *. float_of_int atoms in
+  Fmt.pr "anchor: %.3f ms per step at 12k atoms/CG (%.1f ns/atom)@.@."
+    (m.E.step_time *. 1e3) (per_atom *. 1e9);
+  let cgs = [ 4; 8; 16; 32; 64; 128; 256; 512 ] in
+  let run transport =
+    Swcomm.Scaling.strong ~transport ~compute ~total_atoms:48000 ~rcut:1.0
+      ~box_edge:11.3 cgs
+  in
+  let rdma = run Swcomm.Network.Rdma and mpi = run Swcomm.Network.Mpi in
+  Fmt.pr "%5s %25s %25s@." "" "--- RDMA ---" "--- MPI ---";
+  Fmt.pr "%5s %12s %12s %12s %12s@." "CGs" "step" "efficiency" "step" "efficiency";
+  List.iter2
+    (fun (r : Swcomm.Scaling.point) (mp : Swcomm.Scaling.point) ->
+      Fmt.pr "%5d %9.3f ms %12.2f %9.3f ms %12.2f@." r.Swcomm.Scaling.cgs
+        (r.Swcomm.Scaling.step_time *. 1e3)
+        r.Swcomm.Scaling.efficiency
+        (mp.Swcomm.Scaling.step_time *. 1e3)
+        mp.Swcomm.Scaling.efficiency)
+    rdma mpi;
+  (* where does the time go at 512 CGs? *)
+  let comm transport =
+    Swcomm.Step_comm.compute
+      {
+        Swcomm.Step_comm.net = Swcomm.Network.default;
+        transport;
+        total_atoms = 48000;
+        ranks = 512;
+        rcut = 1.0;
+        box_edge = 11.3;
+        pme_grid = 96;
+        compute_time = compute (48000 / 512);
+      }
+  in
+  let show name (b : Swcomm.Step_comm.breakdown) =
+    Fmt.pr "@.%s at 512 CGs (us/step): halo %.1f, PME %.1f, energies %.1f, DD %.1f@."
+      name (b.Swcomm.Step_comm.halo *. 1e6) (b.Swcomm.Step_comm.pme *. 1e6)
+      (b.Swcomm.Step_comm.energies *. 1e6)
+      (b.Swcomm.Step_comm.domain_decomp *. 1e6)
+  in
+  show "MPI" (comm Swcomm.Network.Mpi);
+  show "RDMA" (comm Swcomm.Network.Rdma)

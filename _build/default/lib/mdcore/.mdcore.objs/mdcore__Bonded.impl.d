@@ -1,0 +1,1 @@
+lib/mdcore/bonded.ml: Array Box Float Topology Vec3

@@ -1,0 +1,1 @@
+lib/mdcore/box.ml: Float Fmt Vec3

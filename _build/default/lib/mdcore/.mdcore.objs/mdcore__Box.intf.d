@@ -1,0 +1,1 @@
+lib/mdcore/box.mli: Format Vec3

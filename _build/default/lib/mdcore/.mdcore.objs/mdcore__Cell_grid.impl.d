@@ -1,0 +1,1 @@
+lib/mdcore/cell_grid.ml: Array Box Float Hashtbl Vec3

@@ -1,0 +1,1 @@
+lib/mdcore/cell_grid.mli: Box Vec3

@@ -1,0 +1,1 @@
+lib/mdcore/cluster.ml: Array Box Cell_grid Float List Vec3

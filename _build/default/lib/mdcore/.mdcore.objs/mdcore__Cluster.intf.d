@@ -1,0 +1,1 @@
+lib/mdcore/cluster.mli: Box Vec3

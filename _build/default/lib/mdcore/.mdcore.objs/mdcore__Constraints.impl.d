@@ -1,0 +1,1 @@
+lib/mdcore/constraints.ml: Array Float Topology Vec3

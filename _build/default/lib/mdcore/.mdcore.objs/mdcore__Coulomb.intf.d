@@ -1,0 +1,1 @@
+lib/mdcore/coulomb.mli:

@@ -1,0 +1,1 @@
+lib/mdcore/energy.mli: Format

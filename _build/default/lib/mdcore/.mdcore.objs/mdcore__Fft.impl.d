@@ -1,0 +1,1 @@
+lib/mdcore/fft.ml: Array Float

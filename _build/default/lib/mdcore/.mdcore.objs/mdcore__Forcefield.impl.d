@@ -1,0 +1,1 @@
+lib/mdcore/forcefield.ml: Array Float

@@ -1,0 +1,1 @@
+lib/mdcore/integrator.ml: Array Box Md_state Topology Vec3

@@ -1,0 +1,1 @@
+lib/mdcore/integrator.mli: Md_state

@@ -1,0 +1,1 @@
+lib/mdcore/lincs.ml: Array Float Hashtbl List Topology Vec3

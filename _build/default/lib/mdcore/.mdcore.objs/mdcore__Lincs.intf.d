@@ -1,0 +1,1 @@
+lib/mdcore/lincs.mli: Topology

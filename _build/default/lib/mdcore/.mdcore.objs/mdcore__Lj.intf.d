@@ -1,0 +1,1 @@
+lib/mdcore/lj.mli:

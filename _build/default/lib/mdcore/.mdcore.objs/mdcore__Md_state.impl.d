@@ -1,0 +1,1 @@
+lib/mdcore/md_state.ml: Array Box Forcefield Rng Topology Vec3

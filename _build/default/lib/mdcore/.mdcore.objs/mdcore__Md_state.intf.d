@@ -1,0 +1,1 @@
+lib/mdcore/md_state.mli: Box Forcefield Rng Topology

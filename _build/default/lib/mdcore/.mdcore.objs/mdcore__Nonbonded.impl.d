@@ -1,0 +1,1 @@
+lib/mdcore/nonbonded.ml: Array Box Cluster Coulomb Energy Forcefield Lj Md_state Pair_list Topology Vec3

@@ -1,0 +1,1 @@
+lib/mdcore/pair_list.ml: Array Box Cell_grid Cluster List Vec3

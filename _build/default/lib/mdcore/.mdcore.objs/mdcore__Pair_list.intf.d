@@ -1,0 +1,1 @@
+lib/mdcore/pair_list.mli: Box Cluster

@@ -1,0 +1,1 @@
+lib/mdcore/pme.ml: Array Box Fft Float Forcefield Vec3

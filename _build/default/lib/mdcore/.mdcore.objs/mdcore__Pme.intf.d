@@ -1,0 +1,1 @@
+lib/mdcore/pme.mli: Box Fft

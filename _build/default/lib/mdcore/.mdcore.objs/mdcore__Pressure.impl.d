@@ -1,0 +1,1 @@
+lib/mdcore/pressure.ml: Box Energy Forcefield Md_state

@@ -1,0 +1,1 @@
+lib/mdcore/pressure.mli: Energy Md_state

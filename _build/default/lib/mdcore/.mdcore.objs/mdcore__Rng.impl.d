@@ -1,0 +1,1 @@
+lib/mdcore/rng.ml: Float Int64

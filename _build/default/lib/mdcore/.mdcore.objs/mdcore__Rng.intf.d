@@ -1,0 +1,1 @@
+lib/mdcore/rng.mli:

@@ -1,0 +1,1 @@
+lib/mdcore/table_potential.mli: Nonbonded

@@ -1,0 +1,1 @@
+lib/mdcore/thermostat.ml: Array Float Md_state Rng Topology

@@ -1,0 +1,1 @@
+lib/mdcore/thermostat.mli: Md_state Rng

@@ -1,0 +1,1 @@
+lib/mdcore/topology.ml: Array Forcefield List

@@ -1,0 +1,1 @@
+lib/mdcore/vec3.ml: Array Fmt

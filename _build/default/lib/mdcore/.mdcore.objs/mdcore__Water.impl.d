@@ -1,0 +1,1 @@
+lib/mdcore/water.ml: Box Float Forcefield Md_state Rng Topology Vec3

@@ -1,0 +1,1 @@
+lib/mdcore/water.mli: Md_state

@@ -1,0 +1,1 @@
+lib/mdcore/workflow.ml: Array Bonded Cluster Constraints Coulomb Energy Float Integrator Md_state Nonbonded Pair_list Pme Thermostat Topology

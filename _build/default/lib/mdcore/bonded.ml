@@ -1,0 +1,100 @@
+(** Bonded interactions: harmonic bonds and angles, periodic proper
+    dihedrals.
+
+    The water benchmark constrains its bonds rigidly, but GROMACS's
+    target systems (proteins, nucleic acids) are dominated by these
+    2-, 3- and 4-body terms, so the engine implements them and the
+    protein-like example exercises them. *)
+
+(** [bond_force box pos force b] adds the harmonic bond force
+    [V = 1/2 k (r - r0)^2] of [b] and returns its energy. *)
+let bond_force (box : Box.t) pos force (b : Topology.bond) =
+  let pi = Vec3.get pos b.Topology.i and pj = Vec3.get pos b.Topology.j in
+  let d = Box.displacement box pi pj in
+  let r = Vec3.norm d in
+  let dr = r -. b.Topology.r0 in
+  let e = 0.5 *. b.Topology.k *. dr *. dr in
+  if r > 0.0 then begin
+    let f_over_r = -.b.Topology.k *. dr /. r in
+    Vec3.axpy force b.Topology.i f_over_r d;
+    Vec3.axpy force b.Topology.j (-.f_over_r) d
+  end;
+  e
+
+(** [angle_force box pos force a] adds the harmonic angle force
+    [V = 1/2 k (theta - theta0)^2] of [a] and returns its energy. *)
+let angle_force (box : Box.t) pos force (a : Topology.angle) =
+  let pi_ = Vec3.get pos a.Topology.ai
+  and pj = Vec3.get pos a.Topology.aj
+  and pk = Vec3.get pos a.Topology.ak in
+  let rij = Box.displacement box pi_ pj and rkj = Box.displacement box pk pj in
+  let nij = Vec3.norm rij and nkj = Vec3.norm rkj in
+  let cos_t =
+    Float.max (-1.0) (Float.min 1.0 (Vec3.dot rij rkj /. (nij *. nkj)))
+  in
+  let theta = acos cos_t in
+  let dt = theta -. a.Topology.theta0 in
+  let e = 0.5 *. a.Topology.k_theta *. dt *. dt in
+  let sin_t = sqrt (Float.max 1e-12 (1.0 -. (cos_t *. cos_t))) in
+  (* F_i = -dV/dr_i = k dt / sin(theta) * dcos/dr_i *)
+  let coef = a.Topology.k_theta *. dt /. sin_t in
+  (* dcos/dri and dcos/drk *)
+  let fi =
+    Vec3.scale (coef /. nij)
+      (Vec3.sub (Vec3.scale (1.0 /. nkj) rkj) (Vec3.scale (cos_t /. nij) rij))
+  in
+  let fk =
+    Vec3.scale (coef /. nkj)
+      (Vec3.sub (Vec3.scale (1.0 /. nij) rij) (Vec3.scale (cos_t /. nkj) rkj))
+  in
+  Vec3.axpy force a.Topology.ai 1.0 fi;
+  Vec3.axpy force a.Topology.ak 1.0 fk;
+  Vec3.axpy force a.Topology.aj (-1.0) (Vec3.add fi fk);
+  e
+
+(** [dihedral_force box pos force d] adds the periodic proper-dihedral
+    force [V = k (1 + cos(n phi - phi0))] of [d] and returns its
+    energy. *)
+let dihedral_force (box : Box.t) pos force (d : Topology.dihedral) =
+  let p1 = Vec3.get pos d.Topology.di
+  and p2 = Vec3.get pos d.Topology.dj
+  and p3 = Vec3.get pos d.Topology.dk
+  and p4 = Vec3.get pos d.Topology.dl in
+  let b1 = Box.displacement box p2 p1
+  and b2 = Box.displacement box p3 p2
+  and b3 = Box.displacement box p4 p3 in
+  let n1 = Vec3.cross b1 b2 and n2 = Vec3.cross b2 b3 in
+  let n1n = Vec3.norm n1 and n2n = Vec3.norm n2 and b2n = Vec3.norm b2 in
+  if n1n < 1e-9 || n2n < 1e-9 then 0.0
+  else begin
+    let cos_phi =
+      Float.max (-1.0) (Float.min 1.0 (Vec3.dot n1 n2 /. (n1n *. n2n)))
+    in
+    let sign = if Vec3.dot (Vec3.cross n1 n2) b2 < 0.0 then -1.0 else 1.0 in
+    let phi = sign *. acos cos_phi in
+    let n = float_of_int d.Topology.mult in
+    let e = d.Topology.k_phi *. (1.0 +. cos ((n *. phi) -. d.Topology.phi0)) in
+    let dv_dphi = -.d.Topology.k_phi *. n *. sin ((n *. phi) -. d.Topology.phi0) in
+    (* standard analytic dihedral gradient *)
+    let f1 = Vec3.scale (dv_dphi *. b2n /. (n1n *. n1n)) n1 in
+    let f4 = Vec3.scale (-.dv_dphi *. b2n /. (n2n *. n2n)) n2 in
+    let tp = Vec3.scale (Vec3.dot b1 b2 /. (b2n *. b2n)) f1 in
+    let tq = Vec3.scale (Vec3.dot b3 b2 /. (b2n *. b2n)) f4 in
+    let svec = Vec3.sub tq tp in
+    let f2 = Vec3.sub svec f1 in
+    let f3 = Vec3.sub (Vec3.neg svec) f4 in
+    Vec3.axpy force d.Topology.di 1.0 f1;
+    Vec3.axpy force d.Topology.dj 1.0 f2;
+    Vec3.axpy force d.Topology.dk 1.0 f3;
+    Vec3.axpy force d.Topology.dl 1.0 f4;
+    e
+  end
+
+(** [compute box topo pos force] adds all bonded forces of [topo] and
+    returns the total bonded energy. *)
+let compute (box : Box.t) (topo : Topology.t) pos force =
+  let e = ref 0.0 in
+  Array.iter (fun b -> e := !e +. bond_force box pos force b) topo.Topology.bonds;
+  Array.iter (fun a -> e := !e +. angle_force box pos force a) topo.Topology.angles;
+  Array.iter (fun d -> e := !e +. dihedral_force box pos force d) topo.Topology.dihedrals;
+  !e

@@ -1,0 +1,48 @@
+(** Orthorhombic periodic simulation box.
+
+    GROMACS water benchmarks run in rectangular boxes; this module
+    provides wrapping and the minimum-image convention used by every
+    force kernel. *)
+
+type t = { lx : float; ly : float; lz : float }
+
+(** [make lx ly lz] is a box with the given edge lengths (nm). *)
+let make lx ly lz =
+  if lx <= 0.0 || ly <= 0.0 || lz <= 0.0 then
+    invalid_arg "Box.make: edges must be positive";
+  { lx; ly; lz }
+
+(** [cubic l] is a cube of edge [l]. *)
+let cubic l = make l l l
+
+(** [volume t] is the box volume (nm^3). *)
+let volume t = t.lx *. t.ly *. t.lz
+
+(** [min_edge t] is the shortest box edge. *)
+let min_edge t = Float.min t.lx (Float.min t.ly t.lz)
+
+let wrap1 x l =
+  let x = Float.rem x l in
+  if x < 0.0 then x +. l else x
+
+(** [wrap t v] maps a point into [[0, L)] in each dimension. *)
+let wrap t (v : Vec3.t) =
+  Vec3.make (wrap1 v.Vec3.x t.lx) (wrap1 v.Vec3.y t.ly) (wrap1 v.Vec3.z t.lz)
+
+let mi1 d l =
+  let d = d -. (l *. Float.round (d /. l)) in
+  d
+
+(** [min_image t d] is the minimum-image displacement equivalent to
+    [d]: each component folded into [[-L/2, L/2]]. *)
+let min_image t (d : Vec3.t) =
+  Vec3.make (mi1 d.Vec3.x t.lx) (mi1 d.Vec3.y t.ly) (mi1 d.Vec3.z t.lz)
+
+(** [displacement t a b] is the minimum-image vector from [b] to [a]. *)
+let displacement t a b = min_image t (Vec3.sub a b)
+
+(** [dist2 t a b] is the squared minimum-image distance. *)
+let dist2 t a b = Vec3.norm2 (displacement t a b)
+
+(** Pretty-printer: "lx x ly x lz nm". *)
+let pp ppf t = Fmt.pf ppf "%.3f x %.3f x %.3f nm" t.lx t.ly t.lz

@@ -1,0 +1,32 @@
+(** Orthorhombic periodic simulation box: wrapping and the
+    minimum-image convention used by every force kernel. *)
+
+type t = { lx : float; ly : float; lz : float }
+
+(** [make lx ly lz] is a box with the given edge lengths (nm). *)
+val make : float -> float -> float -> t
+
+(** [cubic l] is a cube of edge [l]. *)
+val cubic : float -> t
+
+(** [volume t] is the box volume (nm^3). *)
+val volume : t -> float
+
+(** [min_edge t] is the shortest box edge. *)
+val min_edge : t -> float
+
+(** [wrap t v] maps a point into [[0, L)] in each dimension. *)
+val wrap : t -> Vec3.t -> Vec3.t
+
+(** [min_image t d] folds each displacement component into
+    [[-L/2, L/2]]. *)
+val min_image : t -> Vec3.t -> Vec3.t
+
+(** [displacement t a b] is the minimum-image vector from [b] to [a]. *)
+val displacement : t -> Vec3.t -> Vec3.t -> Vec3.t
+
+(** [dist2 t a b] is the squared minimum-image distance. *)
+val dist2 : t -> Vec3.t -> Vec3.t -> float
+
+(** Pretty-printer: "lx x ly x lz nm". *)
+val pp : Format.formatter -> t -> unit

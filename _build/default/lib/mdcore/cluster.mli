@@ -1,0 +1,47 @@
+(** Spatial clustering of particles into groups of four (the GROMACS
+    SIMD cluster scheme, Páll & Hess 2013) — the structure behind both
+    the particle-package DMA layout (Fig 2) and the 4-lane
+    vectorization (Fig 6). *)
+
+(** Particles per cluster: fixed at 4 to match the SIMD width. *)
+val size : int
+
+type t = {
+  n_atoms : int;
+  n_clusters : int;
+  order : int array;  (** cluster-order slot -> original atom id *)
+  inv : int array;  (** original atom id -> cluster-order slot *)
+  centroids : float array;  (** [3 * n_clusters] *)
+  radii : float array;  (** per-cluster bounding-sphere radius *)
+}
+
+(** [n_clusters_for n] is the cluster count covering [n] atoms. *)
+val n_clusters_for : int -> int
+
+(** [build box pos n] clusters [n] atoms by sorting them along the
+    cell grid and chunking. *)
+val build : Box.t -> float array -> int -> t
+
+(** [members t c] is the list of original atom ids in cluster [c]. *)
+val members : t -> int -> int list
+
+(** [atom t c m] is the original id of member [m] of cluster [c], or
+    [-1] for a padding slot. *)
+val atom : t -> int -> int -> int
+
+(** [count t c] is the number of real atoms in cluster [c]. *)
+val count : t -> int -> int
+
+(** [centroid t c] is the cluster centre. *)
+val centroid : t -> int -> Vec3.t
+
+(** [radius t c] is the cluster bounding-sphere radius. *)
+val radius : t -> int -> float
+
+(** [gather t ~floats src dst] permutes a per-atom array into cluster
+    order; padding slots are zero-filled. *)
+val gather : t -> floats:int -> float array -> float array -> unit
+
+(** [scatter_add t ~floats src dst] adds a cluster-order array back
+    into the per-atom array. *)
+val scatter_add : t -> floats:int -> float array -> float array -> unit

@@ -1,0 +1,142 @@
+(** Radix-2 fast Fourier transforms.
+
+    PME parallelizes the Ewald reciprocal sum with 3D FFTs; GROMACS
+    links FFTPACK/FFTW, and this module is the equivalent substrate:
+    an iterative in-place Cooley-Tukey transform over split re/im
+    arrays, plus the 3D transform used by {!Pme}. *)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* bit-reversal permutation, in place *)
+let bit_reverse re im n =
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done
+
+(** [transform ~inverse re im] runs an in-place FFT over the length-n
+    split-complex signal ([n] a power of two).  [inverse] applies the
+    conjugate transform {e without} the 1/n normalization; use
+    {!inverse} for the normalized round-trip. *)
+let transform ~inverse re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft.transform: re/im length mismatch";
+  if not (is_pow2 n) then invalid_arg "Fft.transform: length must be a power of two";
+  if n > 1 then begin
+    bit_reverse re im n;
+    let sign = if inverse then 1.0 else -1.0 in
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let theta = sign *. 2.0 *. Float.pi /. float_of_int !len in
+      let wr = cos theta and wi = sin theta in
+      let i = ref 0 in
+      while !i < n do
+        let cr = ref 1.0 and ci = ref 0.0 in
+        for k = 0 to half - 1 do
+          let a = !i + k and b = !i + k + half in
+          let tr = (!cr *. re.(b)) -. (!ci *. im.(b)) in
+          let ti = (!cr *. im.(b)) +. (!ci *. re.(b)) in
+          re.(b) <- re.(a) -. tr;
+          im.(b) <- im.(a) -. ti;
+          re.(a) <- re.(a) +. tr;
+          im.(a) <- im.(a) +. ti;
+          let nr = (!cr *. wr) -. (!ci *. wi) in
+          ci := (!cr *. wi) +. (!ci *. wr);
+          cr := nr
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done
+  end
+
+(** [forward re im] is the unnormalized forward transform. *)
+let forward re im = transform ~inverse:false re im
+
+(** [inverse re im] is the inverse transform including the 1/n
+    normalization, so [inverse (forward x) = x]. *)
+let inverse re im =
+  transform ~inverse:true re im;
+  let n = Array.length re in
+  let s = 1.0 /. float_of_int n in
+  for i = 0 to n - 1 do
+    re.(i) <- re.(i) *. s;
+    im.(i) <- im.(i) *. s
+  done
+
+(** A 3D complex grid of dimensions [nx * ny * nz], stored row-major
+    ([x] fastest). *)
+type grid3 = { nx : int; ny : int; nz : int; re : float array; im : float array }
+
+(** [create_grid3 nx ny nz] is a zeroed complex grid (all dimensions
+    powers of two). *)
+let create_grid3 nx ny nz =
+  if not (is_pow2 nx && is_pow2 ny && is_pow2 nz) then
+    invalid_arg "Fft.create_grid3: dimensions must be powers of two";
+  let n = nx * ny * nz in
+  { nx; ny; nz; re = Array.make n 0.0; im = Array.make n 0.0 }
+
+(** [index g x y z] flattens grid coordinates. *)
+let index g x y z = (((z * g.ny) + y) * g.nx) + x
+
+(** [clear_grid3 g] zeroes the grid in place. *)
+let clear_grid3 g =
+  Array.fill g.re 0 (Array.length g.re) 0.0;
+  Array.fill g.im 0 (Array.length g.im) 0.0
+
+let transform_lines g ~inverse ~len ~count ~stride ~line_start =
+  let bre = Array.make len 0.0 and bim = Array.make len 0.0 in
+  for l = 0 to count - 1 do
+    let base = line_start l in
+    for k = 0 to len - 1 do
+      bre.(k) <- g.re.(base + (k * stride));
+      bim.(k) <- g.im.(base + (k * stride))
+    done;
+    transform ~inverse bre bim;
+    for k = 0 to len - 1 do
+      g.re.(base + (k * stride)) <- bre.(k);
+      g.im.(base + (k * stride)) <- bim.(k)
+    done
+  done
+
+(** [fft3 ~inverse g] transforms the grid along all three dimensions
+    in place (unnormalized in both directions; {!normalize3} divides
+    by the point count). *)
+let fft3 ~inverse g =
+  (* x lines *)
+  transform_lines g ~inverse ~len:g.nx ~count:(g.ny * g.nz) ~stride:1
+    ~line_start:(fun l -> l * g.nx);
+  (* y lines *)
+  transform_lines g ~inverse ~len:g.ny
+    ~count:(g.nx * g.nz)
+    ~stride:g.nx
+    ~line_start:(fun l ->
+      let z = l / g.nx and x = l mod g.nx in
+      index g x 0 z);
+  (* z lines *)
+  transform_lines g ~inverse ~len:g.nz
+    ~count:(g.nx * g.ny)
+    ~stride:(g.nx * g.ny)
+    ~line_start:(fun l -> l)
+
+(** [normalize3 g] divides every point by [nx*ny*nz]. *)
+let normalize3 g =
+  let s = 1.0 /. float_of_int (g.nx * g.ny * g.nz) in
+  for i = 0 to Array.length g.re - 1 do
+    g.re.(i) <- g.re.(i) *. s;
+    g.im.(i) <- g.im.(i) *. s
+  done

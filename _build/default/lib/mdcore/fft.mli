@@ -1,0 +1,44 @@
+(** Radix-2 fast Fourier transforms.
+
+    An iterative in-place Cooley-Tukey transform over split re/im
+    arrays, plus the 3D transform used by {!Pme} — the substrate
+    GROMACS takes from FFTPACK/FFTW. *)
+
+(** [transform ~inverse re im] runs an in-place FFT over the length-n
+    split-complex signal ([n] a power of two), unnormalized in both
+    directions. *)
+val transform : inverse:bool -> float array -> float array -> unit
+
+(** [forward re im] is the unnormalized forward transform. *)
+val forward : float array -> float array -> unit
+
+(** [inverse re im] is the inverse transform including the 1/n
+    normalization, so [inverse (forward x) = x]. *)
+val inverse : float array -> float array -> unit
+
+(** A 3D complex grid of dimensions [nx * ny * nz], stored row-major
+    ([x] fastest). *)
+type grid3 = {
+  nx : int;
+  ny : int;
+  nz : int;
+  re : float array;
+  im : float array;
+}
+
+(** [create_grid3 nx ny nz] is a zeroed complex grid (dimensions powers
+    of two). *)
+val create_grid3 : int -> int -> int -> grid3
+
+(** [index g x y z] flattens grid coordinates. *)
+val index : grid3 -> int -> int -> int -> int
+
+(** [clear_grid3 g] zeroes the grid in place. *)
+val clear_grid3 : grid3 -> unit
+
+(** [fft3 ~inverse g] transforms the grid along all three dimensions in
+    place (unnormalized). *)
+val fft3 : inverse:bool -> grid3 -> unit
+
+(** [normalize3 g] divides every point by [nx*ny*nz]. *)
+val normalize3 : grid3 -> unit

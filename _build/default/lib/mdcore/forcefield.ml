@@ -1,0 +1,78 @@
+(** Force-field parameters.
+
+    Lennard-Jones interactions are tabulated per pair of atom types in
+    the [C6]/[C12] form the paper's Equation 1 uses:
+    [V(r) = C12/r^12 - C6/r^6] with [C6 = 4 eps sigma^6] and
+    [C12 = 4 eps sigma^12].  Units follow GROMACS: nm, kJ/mol, amu,
+    elementary charges, ps. *)
+
+type atom_type = {
+  name : string;
+  mass : float;  (** amu *)
+  charge : float;  (** e *)
+  sigma : float;  (** nm *)
+  epsilon : float;  (** kJ/mol *)
+}
+
+type t = {
+  types : atom_type array;
+  c6 : float array;  (** [n*n] pair table *)
+  c12 : float array;  (** [n*n] pair table *)
+}
+
+(** Coulomb constant, kJ mol^-1 nm e^-2. *)
+let ke = 138.935458
+
+(** Boltzmann constant, kJ mol^-1 K^-1. *)
+let kb = 0.0083144621
+
+(** [make types] builds a force field with Lorentz-Berthelot
+    combination rules ([sigma] arithmetic mean, [epsilon] geometric). *)
+let make types =
+  let n = Array.length types in
+  if n = 0 then invalid_arg "Forcefield.make: no atom types";
+  let c6 = Array.make (n * n) 0.0 and c12 = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let sigma = 0.5 *. (types.(i).sigma +. types.(j).sigma) in
+      let eps = sqrt (types.(i).epsilon *. types.(j).epsilon) in
+      let s6 = sigma ** 6.0 in
+      c6.((i * n) + j) <- 4.0 *. eps *. s6;
+      c12.((i * n) + j) <- 4.0 *. eps *. s6 *. s6
+    done
+  done;
+  { types; c6; c12 }
+
+(** [n_types t] is the number of atom types. *)
+let n_types t = Array.length t.types
+
+(** [c6 t i j] is the attractive coefficient for the type pair. *)
+let c6 t i j = t.c6.((i * n_types t) + j)
+
+(** [c12 t i j] is the repulsive coefficient for the type pair. *)
+let c12 t i j = t.c12.((i * n_types t) + j)
+
+(** [atom_type t i] is the type record for type id [i]. *)
+let atom_type t i = t.types.(i)
+
+(* SPC/E water. *)
+
+(** SPC/E oxygen. *)
+let spce_o =
+  { name = "OW"; mass = 15.9994; charge = -0.8476; sigma = 0.3166; epsilon = 0.650 }
+
+(** SPC/E hydrogen (no LJ site). *)
+let spce_h = { name = "HW"; mass = 1.008; charge = 0.4238; sigma = 0.0; epsilon = 0.0 }
+
+(** The SPC/E water force field used by the water benchmark: type 0 is
+    oxygen, type 1 is hydrogen. *)
+let spce = make [| spce_o; spce_h |]
+
+(** SPC/E geometry: O-H bond length (nm). *)
+let spce_doh = 0.1
+
+(** SPC/E geometry: H-O-H angle (radians). *)
+let spce_angle = 109.47 *. Float.pi /. 180.0
+
+(** SPC/E geometry: H-H distance implied by the bond and angle. *)
+let spce_dhh = 2.0 *. spce_doh *. sin (spce_angle /. 2.0)

@@ -1,0 +1,57 @@
+(** Force-field parameters: per-pair Lennard-Jones [C6]/[C12] tables
+    (Equation 1) under Lorentz-Berthelot combination rules, plus the
+    SPC/E water model.  Units follow GROMACS: nm, kJ/mol, amu, e, ps. *)
+
+type atom_type = {
+  name : string;
+  mass : float;  (** amu *)
+  charge : float;  (** e *)
+  sigma : float;  (** nm *)
+  epsilon : float;  (** kJ/mol *)
+}
+
+type t = {
+  types : atom_type array;
+  c6 : float array;  (** [n*n] pair table *)
+  c12 : float array;  (** [n*n] pair table *)
+}
+
+(** Coulomb constant, kJ mol^-1 nm e^-2. *)
+val ke : float
+
+(** Boltzmann constant, kJ mol^-1 K^-1. *)
+val kb : float
+
+(** [make types] builds a force field with Lorentz-Berthelot
+    combination rules. *)
+val make : atom_type array -> t
+
+(** [n_types t] is the number of atom types. *)
+val n_types : t -> int
+
+(** [c6 t i j] is the attractive coefficient for the type pair. *)
+val c6 : t -> int -> int -> float
+
+(** [c12 t i j] is the repulsive coefficient for the type pair. *)
+val c12 : t -> int -> int -> float
+
+(** [atom_type t i] is the type record for type id [i]. *)
+val atom_type : t -> int -> atom_type
+
+(** SPC/E oxygen. *)
+val spce_o : atom_type
+
+(** SPC/E hydrogen (no LJ site). *)
+val spce_h : atom_type
+
+(** The SPC/E water force field: type 0 is oxygen, type 1 hydrogen. *)
+val spce : t
+
+(** SPC/E geometry: O-H bond length (nm). *)
+val spce_doh : float
+
+(** SPC/E geometry: H-O-H angle (radians). *)
+val spce_angle : float
+
+(** SPC/E geometry: H-H distance implied by the bond and angle. *)
+val spce_dhh : float

@@ -1,0 +1,59 @@
+(** Leapfrog integrator — GROMACS's default "md" integrator.
+
+    Velocities live at half steps: [v(t+dt/2) = v(t-dt/2) + dt f(t)/m],
+    [x(t+dt) = x(t) + dt v(t+dt/2)]. *)
+
+(** [step state ~dt] advances positions and velocities one leapfrog
+    step using the current forces. *)
+let step (state : Md_state.t) ~dt =
+  if dt <= 0.0 then invalid_arg "Integrator.step: dt must be positive";
+  let n = Md_state.n_atoms state in
+  let mass = state.Md_state.topo.Topology.mass in
+  for i = 0 to n - 1 do
+    let inv_m = dt /. mass.(i) in
+    for d = 0 to 2 do
+      let k = (3 * i) + d in
+      state.Md_state.vel.(k) <- state.Md_state.vel.(k) +. (state.Md_state.force.(k) *. inv_m);
+      state.Md_state.pos.(k) <- state.Md_state.pos.(k) +. (dt *. state.Md_state.vel.(k))
+    done
+  done
+
+(** [velocity_verlet_positions state ~dt] is the first half of a
+    velocity-Verlet step: [v += f dt/2m] then [x += v dt].  Call
+    {!velocity_verlet_velocities} after recomputing forces. *)
+let velocity_verlet_positions (state : Md_state.t) ~dt =
+  if dt <= 0.0 then invalid_arg "Integrator.velocity_verlet_positions: dt";
+  let n = Md_state.n_atoms state in
+  let mass = state.Md_state.topo.Topology.mass in
+  for i = 0 to n - 1 do
+    let half = 0.5 *. dt /. mass.(i) in
+    for d = 0 to 2 do
+      let k = (3 * i) + d in
+      state.Md_state.vel.(k) <- state.Md_state.vel.(k) +. (half *. state.Md_state.force.(k));
+      state.Md_state.pos.(k) <- state.Md_state.pos.(k) +. (dt *. state.Md_state.vel.(k))
+    done
+  done
+
+(** [velocity_verlet_velocities state ~dt] completes the step with the
+    forces at the new positions: [v += f dt/2m].  Velocities now live
+    at integer steps, unlike leapfrog's half steps. *)
+let velocity_verlet_velocities (state : Md_state.t) ~dt =
+  if dt <= 0.0 then invalid_arg "Integrator.velocity_verlet_velocities: dt";
+  let n = Md_state.n_atoms state in
+  let mass = state.Md_state.topo.Topology.mass in
+  for i = 0 to n - 1 do
+    let half = 0.5 *. dt /. mass.(i) in
+    for d = 0 to 2 do
+      let k = (3 * i) + d in
+      state.Md_state.vel.(k) <- state.Md_state.vel.(k) +. (half *. state.Md_state.force.(k))
+    done
+  done
+
+(** [wrap_positions state] folds all positions back into the box.
+    Called after position updates so kernels may assume wrapped
+    coordinates. *)
+let wrap_positions (state : Md_state.t) =
+  for i = 0 to Md_state.n_atoms state - 1 do
+    Vec3.set state.Md_state.pos i
+      (Box.wrap state.Md_state.box (Vec3.get state.Md_state.pos i))
+  done

@@ -1,0 +1,212 @@
+(** LINCS constraint solver (Hess et al. 1997) — GROMACS's default.
+
+    Where SHAKE iterates constraint-by-constraint, LINCS projects the
+    unconstrained move onto the constraint manifold in one shot: build
+    the coupling matrix [A_cc' = gamma * (B_c . B_c')] over constraint
+    direction rows [B], approximate [(I - A)^-1] with a truncated
+    series, apply, and run a short correction pass for the rotation
+    error.  For rigid water the coupling graph is three constraints per
+    molecule, so a low expansion order converges quickly. *)
+
+type t = {
+  topo : Topology.t;
+  order : int;  (** series expansion order (GROMACS lincs_order = 4) *)
+  iter : int;  (** rotation-correction iterations (lincs_iter) *)
+  (* scratch *)
+  dirs : float array;  (** [3*nc] constraint unit directions from ref *)
+  rhs : float array;  (** [nc] *)
+  sol : float array;  (** [nc] *)
+  tmp : float array;  (** [nc] *)
+  sdiag : float array;  (** [nc] 1/sqrt(1/mi + 1/mj) *)
+  coupled : (int * float) array array;
+      (** per constraint: (other constraint, coupling coefficient
+          before direction dot product) *)
+}
+
+(** [create ?order ?iter topo] prepares a LINCS solver for [topo]. *)
+let create ?(order = 4) ?(iter = 2) (topo : Topology.t) =
+  let cs = topo.Topology.constraints in
+  let nc = Array.length cs in
+  let inv_m i = 1.0 /. topo.Topology.mass.(i) in
+  let sdiag =
+    Array.map (fun (c : Topology.constraint_) ->
+        1.0 /. sqrt (inv_m c.Topology.ci +. inv_m c.Topology.cj))
+      cs
+  in
+  (* constraints sharing an atom are coupled *)
+  let by_atom = Hashtbl.create (2 * nc) in
+  Array.iteri
+    (fun k (c : Topology.constraint_) ->
+      Hashtbl.add by_atom c.Topology.ci k;
+      Hashtbl.add by_atom c.Topology.cj k)
+    cs;
+  let coupled =
+    Array.mapi
+      (fun k (c : Topology.constraint_) ->
+        let partners = ref [] in
+        List.iter
+          (fun atom ->
+            List.iter
+              (fun k' ->
+                if k' <> k then begin
+                  let c' = cs.(k') in
+                  (* sign: +1 if the shared atom sits on the same side
+                     of both constraints, -1 otherwise *)
+                  let sign =
+                    if atom = c.Topology.ci && atom = c'.Topology.ci then 1.0
+                    else if atom = c.Topology.cj && atom = c'.Topology.cj then 1.0
+                    else -1.0
+                  in
+                  (* off-diagonal of A = I - S G S: minus the Gram term *)
+                  let coeff =
+                    -.sign *. sdiag.(k) *. sdiag.(k') /. topo.Topology.mass.(atom)
+                  in
+                  partners := (k', coeff) :: !partners
+                end)
+              (Hashtbl.find_all by_atom atom))
+          [ c.Topology.ci; c.Topology.cj ];
+        Array.of_list !partners)
+      cs
+  in
+  {
+    topo;
+    order;
+    iter;
+    dirs = Array.make (3 * nc) 0.0;
+    rhs = Array.make nc 0.0;
+    sol = Array.make nc 0.0;
+    tmp = Array.make nc 0.0;
+    sdiag;
+    coupled;
+  }
+
+(** [n_constraints t] is the number of constraints solved. *)
+let n_constraints t = Array.length t.topo.Topology.constraints
+
+(* one matrix-free application of A: out = A * v *)
+let apply_coupling t dirs v out =
+  Array.iteri
+    (fun k partners ->
+      let acc = ref 0.0 in
+      Array.iter
+        (fun (k', coeff) ->
+          let dot =
+            (dirs.((3 * k) + 0) *. dirs.((3 * k') + 0))
+            +. (dirs.((3 * k) + 1) *. dirs.((3 * k') + 1))
+            +. (dirs.((3 * k) + 2) *. dirs.((3 * k') + 2))
+          in
+          acc := !acc +. (coeff *. dot *. v.(k')))
+        partners;
+      out.(k) <- !acc)
+    t.coupled
+
+(* solve (I - A) sol = rhs by the truncated Neumann series *)
+let solve_series t dirs =
+  let nc = Array.length t.rhs in
+  Array.blit t.rhs 0 t.sol 0 nc;
+  Array.blit t.rhs 0 t.tmp 0 nc;
+  for _ = 1 to t.order do
+    apply_coupling t dirs t.tmp t.rhs;
+    (* rhs now holds A * tmp; accumulate and iterate *)
+    Array.blit t.rhs 0 t.tmp 0 nc;
+    for k = 0 to nc - 1 do
+      t.sol.(k) <- t.sol.(k) +. t.tmp.(k)
+    done
+  done
+
+(* project positions given target lengths in [targets] *)
+let project t ~(pos : float array) ~targets =
+  let cs = t.topo.Topology.constraints in
+  let nc = Array.length cs in
+  (* rhs_c = sdiag_c * (B_c . (r_i - r_j) - d_c) *)
+  for k = 0 to nc - 1 do
+    let c = cs.(k) in
+    let d = Vec3.sub (Vec3.get pos c.Topology.ci) (Vec3.get pos c.Topology.cj) in
+    let b = Vec3.make t.dirs.(3 * k) t.dirs.((3 * k) + 1) t.dirs.((3 * k) + 2) in
+    t.rhs.(k) <- t.sdiag.(k) *. (Vec3.dot b d -. targets.(k))
+  done;
+  solve_series t t.dirs;
+  (* move atoms: r_i -= inv_m_i * B_c * sdiag_c * sol_c *)
+  for k = 0 to nc - 1 do
+    let c = cs.(k) in
+    let f = t.sdiag.(k) *. t.sol.(k) in
+    let b = Vec3.make t.dirs.(3 * k) t.dirs.((3 * k) + 1) t.dirs.((3 * k) + 2) in
+    Vec3.axpy pos c.Topology.ci (-.f /. t.topo.Topology.mass.(c.Topology.ci)) b;
+    Vec3.axpy pos c.Topology.cj (f /. t.topo.Topology.mass.(c.Topology.cj)) b
+  done
+
+(* one LINCS pass: directions from [dir_pos], projection + [iters]
+   rotation corrections on [pos] *)
+let apply_once t ~iters ~(dir_pos : float array) ~(pos : float array) =
+  let ref_pos = dir_pos in
+  let cs = t.topo.Topology.constraints in
+  let nc = Array.length cs in
+  if nc > 0 then begin
+    for k = 0 to nc - 1 do
+      let c = cs.(k) in
+      let d =
+        Vec3.sub (Vec3.get ref_pos c.Topology.ci) (Vec3.get ref_pos c.Topology.cj)
+      in
+      let n = Vec3.norm d in
+      let b = if n > 0.0 then Vec3.scale (1.0 /. n) d else Vec3.make 1.0 0.0 0.0 in
+      t.dirs.(3 * k) <- b.Vec3.x;
+      t.dirs.((3 * k) + 1) <- b.Vec3.y;
+      t.dirs.((3 * k) + 2) <- b.Vec3.z
+    done;
+    let targets = Array.map (fun (c : Topology.constraint_) -> c.Topology.dist) cs in
+    project t ~pos ~targets;
+    (* rotation correction (LINCS eq. 10): re-project with the length
+       target p = sqrt(2 d0^2 - d^2), which cancels the second-order
+       shortening the linear projection introduces *)
+    for _ = 1 to iters do
+      let corrected =
+        Array.map
+          (fun (c : Topology.constraint_) ->
+            let d =
+              Vec3.dist (Vec3.get pos c.Topology.ci) (Vec3.get pos c.Topology.cj)
+            in
+            let d0 = c.Topology.dist in
+            let p2 = (2.0 *. d0 *. d0) -. (d *. d) in
+            if p2 > 0.0 then sqrt p2 else d0)
+          cs
+      in
+      project t ~pos ~targets:corrected
+    done
+  end
+
+(** [apply t ~ref_pos ~pos] constrains [pos].  The first pass takes
+    constraint directions from [ref_pos] (the pre-update configuration)
+    and runs [iter] rotation corrections, as the LINCS paper
+    prescribes; if the displacement was too large for the linearization
+    (beyond a normal MD step), further passes re-linearize around the
+    current positions until the violation falls below [tol]. *)
+let apply ?(tol = 1e-4) t ~(ref_pos : float array) ~(pos : float array) =
+  apply_once t ~iters:t.iter ~dir_pos:ref_pos ~pos;
+  let rec refine rounds =
+    if rounds > 0 then begin
+      let worst =
+        Array.fold_left
+          (fun m (c : Topology.constraint_) ->
+            let d =
+              Vec3.dist (Vec3.get pos c.Topology.ci) (Vec3.get pos c.Topology.cj)
+            in
+            Float.max m (Float.abs (d -. c.Topology.dist) /. c.Topology.dist))
+          0.0 t.topo.Topology.constraints
+      in
+      if worst > tol then begin
+        (* re-linearize at the current point: directions are now exact,
+           so the rotation correction must be skipped *)
+        apply_once t ~iters:0 ~dir_pos:(Array.copy pos) ~pos;
+        refine (rounds - 1)
+      end
+    end
+  in
+  refine 4
+
+(** [max_violation t pos] is the largest relative constraint error. *)
+let max_violation t pos =
+  Array.fold_left
+    (fun m (c : Topology.constraint_) ->
+      let d = Vec3.dist (Vec3.get pos c.Topology.ci) (Vec3.get pos c.Topology.cj) in
+      Float.max m (Float.abs (d -. c.Topology.dist) /. c.Topology.dist))
+    0.0 t.topo.Topology.constraints

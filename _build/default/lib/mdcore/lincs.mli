@@ -1,0 +1,24 @@
+(** LINCS constraint solver (Hess et al. 1997) — GROMACS's default.
+
+    Projects the unconstrained move onto the constraint manifold in one
+    shot via a truncated series expansion of the inverse coupling
+    matrix, plus rotation-correction passes. *)
+
+type t
+
+(** [create ?order ?iter topo] prepares a LINCS solver for [topo]
+    (defaults match GROMACS: expansion order 4, 2 rotation
+    corrections). *)
+val create : ?order:int -> ?iter:int -> Topology.t -> t
+
+(** [n_constraints t] is the number of constraints solved. *)
+val n_constraints : t -> int
+
+(** [apply ?tol t ~ref_pos ~pos] constrains [pos].  The first pass
+    takes directions from [ref_pos]; if the displacement was too large
+    for the linearization, further passes re-linearize around the
+    current positions until the violation falls below [tol]. *)
+val apply : ?tol:float -> t -> ref_pos:float array -> pos:float array -> unit
+
+(** [max_violation t pos] is the largest relative constraint error. *)
+val max_violation : t -> float array -> float

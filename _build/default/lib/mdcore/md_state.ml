@@ -1,0 +1,80 @@
+(** Mutable state of one MD system: positions, velocities, forces and
+    topology in flat xyz-interleaved arrays. *)
+
+type t = {
+  topo : Topology.t;
+  ff : Forcefield.t;
+  box : Box.t;
+  pos : float array;  (** [3n], nm *)
+  vel : float array;  (** [3n], nm/ps *)
+  force : float array;  (** [3n], kJ mol^-1 nm^-1 *)
+}
+
+(** [create topo ff box] is a state with zeroed coordinates. *)
+let create topo ff box =
+  Topology.validate topo;
+  let n = topo.Topology.n_atoms in
+  {
+    topo;
+    ff;
+    box;
+    pos = Array.make (3 * n) 0.0;
+    vel = Array.make (3 * n) 0.0;
+    force = Array.make (3 * n) 0.0;
+  }
+
+(** [n_atoms t] is the number of atoms. *)
+let n_atoms t = t.topo.Topology.n_atoms
+
+(** [clear_forces t] zeroes the force array. *)
+let clear_forces t = Array.fill t.force 0 (Array.length t.force) 0.0
+
+(** [kinetic_energy t] is the total kinetic energy (kJ/mol). *)
+let kinetic_energy t =
+  let ke = ref 0.0 in
+  for i = 0 to n_atoms t - 1 do
+    let v = Vec3.get t.vel i in
+    ke := !ke +. (0.5 *. t.topo.Topology.mass.(i) *. Vec3.norm2 v)
+  done;
+  !ke
+
+(** [temperature t] is the instantaneous temperature (K) from the
+    kinetic energy and constrained degrees of freedom. *)
+let temperature t =
+  let dof = float_of_int (Topology.degrees_of_freedom t.topo) in
+  2.0 *. kinetic_energy t /. (dof *. Forcefield.kb)
+
+(** [thermalize t rng temp] draws Maxwell-Boltzmann velocities at
+    [temp] kelvin and removes the centre-of-mass drift. *)
+let thermalize t rng temp =
+  let n = n_atoms t in
+  for i = 0 to n - 1 do
+    let m = t.topo.Topology.mass.(i) in
+    let s = sqrt (Forcefield.kb *. temp /. m) in
+    t.vel.(3 * i) <- s *. Rng.gaussian rng;
+    t.vel.((3 * i) + 1) <- s *. Rng.gaussian rng;
+    t.vel.((3 * i) + 2) <- s *. Rng.gaussian rng
+  done;
+  (* remove centre-of-mass momentum *)
+  let px = ref 0.0 and py = ref 0.0 and pz = ref 0.0 and mtot = ref 0.0 in
+  for i = 0 to n - 1 do
+    let m = t.topo.Topology.mass.(i) in
+    px := !px +. (m *. t.vel.(3 * i));
+    py := !py +. (m *. t.vel.((3 * i) + 1));
+    pz := !pz +. (m *. t.vel.((3 * i) + 2));
+    mtot := !mtot +. m
+  done;
+  let vx = !px /. !mtot and vy = !py /. !mtot and vz = !pz /. !mtot in
+  for i = 0 to n - 1 do
+    t.vel.(3 * i) <- t.vel.(3 * i) -. vx;
+    t.vel.((3 * i) + 1) <- t.vel.((3 * i) + 1) -. vy;
+    t.vel.((3 * i) + 2) <- t.vel.((3 * i) + 2) -. vz
+  done;
+  (* rescale to the exact target temperature *)
+  let cur = temperature t in
+  if cur > 0.0 then begin
+    let s = sqrt (temp /. cur) in
+    for i = 0 to (3 * n) - 1 do
+      t.vel.(i) <- t.vel.(i) *. s
+    done
+  end

@@ -1,0 +1,31 @@
+(** Mutable state of one MD system: positions, velocities, forces and
+    topology in flat xyz-interleaved arrays. *)
+
+type t = {
+  topo : Topology.t;
+  ff : Forcefield.t;
+  box : Box.t;
+  pos : float array;  (** [3n], nm *)
+  vel : float array;  (** [3n], nm/ps *)
+  force : float array;  (** [3n], kJ mol^-1 nm^-1 *)
+}
+
+(** [create topo ff box] is a state with zeroed coordinates. *)
+val create : Topology.t -> Forcefield.t -> Box.t -> t
+
+(** [n_atoms t] is the number of atoms. *)
+val n_atoms : t -> int
+
+(** [clear_forces t] zeroes the force array. *)
+val clear_forces : t -> unit
+
+(** [kinetic_energy t] is the total kinetic energy (kJ/mol). *)
+val kinetic_energy : t -> float
+
+(** [temperature t] is the instantaneous temperature (K). *)
+val temperature : t -> float
+
+(** [thermalize t rng temp] draws Maxwell-Boltzmann velocities at
+    [temp] kelvin, removes centre-of-mass drift and rescales to the
+    exact target. *)
+val thermalize : t -> Rng.t -> float -> unit

@@ -1,0 +1,154 @@
+(** Reference short-range non-bonded kernel (Algorithm 1).
+
+    A plain double-precision, scalar implementation of the cluster
+    pair-list force loop: the golden result every optimized kernel in
+    {!Swgmx} must reproduce.  Interactions inside [rcut] get
+    Lennard-Jones plus the configured electrostatics; excluded pairs
+    are skipped (and, under Ewald, corrected). *)
+
+type electrostatics =
+  | Reaction_field  (** cut-off Coulomb with conducting reaction field *)
+  | Ewald_real of float  (** real-space Ewald with splitting beta *)
+
+type params = {
+  rcut : float;  (** interaction cut-off (Table 3: 1.0 nm) *)
+  elec : electrostatics;
+}
+
+(** [default_params] is the water benchmark setting: 1.0 nm cut-off
+    with real-space Ewald at GROMACS's default tolerance. *)
+let default_params =
+  { rcut = 1.0; elec = Ewald_real (Coulomb.ewald_beta ~rc:1.0 ~tolerance:1e-5) }
+
+(** [compute state cluster pairs params energy] evaluates all
+    short-range non-bonded forces through the half cluster pair list,
+    adding forces into [state.force] and energies into [energy].
+    Returns the number of particle pairs inside the cut-off. *)
+let compute (state : Md_state.t) (cl : Cluster.t) (pairs : Pair_list.t)
+    (params : params) (energy : Energy.t) =
+  let box = state.Md_state.box in
+  let topo = state.Md_state.topo in
+  let ff = state.Md_state.ff in
+  let pos = state.Md_state.pos and force = state.Md_state.force in
+  let rcut2 = params.rcut *. params.rcut in
+  let krf, crf =
+    match params.elec with
+    | Reaction_field -> Coulomb.rf_constants ~rc:params.rcut
+    | Ewald_real _ -> (0.0, 0.0)
+  in
+  let n_inside = ref 0 in
+  Pair_list.iter_pairs pairs (fun ci cj ->
+      let ni = Cluster.count cl ci and nj = Cluster.count cl cj in
+      for mi = 0 to ni - 1 do
+        let a = Cluster.atom cl ci mi in
+        let mj_start = if ci = cj then mi + 1 else 0 in
+        for mj = mj_start to nj - 1 do
+          let b = Cluster.atom cl cj mj in
+          if not (Topology.excluded topo a b) then begin
+            let d = Box.displacement box (Vec3.get pos a) (Vec3.get pos b) in
+            let r2 = Vec3.norm2 d in
+            if r2 <= rcut2 && r2 > 0.0 then begin
+              incr n_inside;
+              let ta = topo.Topology.type_of.(a)
+              and tb = topo.Topology.type_of.(b) in
+              let c6 = Forcefield.c6 ff ta tb and c12 = Forcefield.c12 ff ta tb in
+              let qq = topo.Topology.charge.(a) *. topo.Topology.charge.(b) in
+              let f_lj = Lj.force_over_r ~c6 ~c12 r2 in
+              energy.Energy.lj <- energy.Energy.lj +. Lj.energy ~c6 ~c12 r2;
+              let f_el, e_el =
+                match params.elec with
+                | Reaction_field ->
+                    ( Coulomb.rf_force_over_r ~krf ~qq r2,
+                      Coulomb.rf_energy ~krf ~crf ~qq r2 )
+                | Ewald_real beta ->
+                    ( Coulomb.ewald_real_force_over_r ~beta ~qq r2,
+                      Coulomb.ewald_real_energy ~beta ~qq r2 )
+              in
+              energy.Energy.coulomb_sr <- energy.Energy.coulomb_sr +. e_el;
+              let f_over_r = f_lj +. f_el in
+              energy.Energy.virial <- energy.Energy.virial +. (f_over_r *. r2);
+              Vec3.axpy force a f_over_r d;
+              Vec3.axpy force b (-.f_over_r) d
+            end
+          end
+        done
+      done);
+  !n_inside
+
+(** [excluded_corrections state params energy] applies the Ewald
+    correction for excluded intramolecular pairs (they are absent from
+    the short-range sum but present in the reciprocal sum and must be
+    cancelled).  No-op under reaction field. *)
+let excluded_corrections (state : Md_state.t) (params : params)
+    (energy : Energy.t) =
+  match params.elec with
+  | Reaction_field -> ()
+  | Ewald_real beta ->
+      let topo = state.Md_state.topo in
+      let box = state.Md_state.box in
+      let pos = state.Md_state.pos and force = state.Md_state.force in
+      for a = 0 to topo.Topology.n_atoms - 1 do
+        Array.iter
+          (fun b ->
+            if b > a then begin
+              let qq = topo.Topology.charge.(a) *. topo.Topology.charge.(b) in
+              let d = Box.displacement box (Vec3.get pos a) (Vec3.get pos b) in
+              let r2 = Vec3.norm2 d in
+              if r2 > 0.0 then begin
+                energy.Energy.coulomb_recip <-
+                  energy.Energy.coulomb_recip
+                  +. Coulomb.excluded_correction_energy ~beta ~qq r2;
+                let f = Coulomb.excluded_correction_force_over_r ~beta ~qq r2 in
+                Vec3.axpy force a f d;
+                Vec3.axpy force b (-.f) d
+              end
+            end)
+          topo.Topology.exclusions.(a)
+      done
+
+(** [brute_force state params energy] evaluates the same interactions
+    by direct O(n^2) enumeration — the oracle the pair-list path is
+    validated against in tests. *)
+let brute_force (state : Md_state.t) (params : params) (energy : Energy.t) =
+  let topo = state.Md_state.topo in
+  let box = state.Md_state.box in
+  let ff = state.Md_state.ff in
+  let pos = state.Md_state.pos and force = state.Md_state.force in
+  let rcut2 = params.rcut *. params.rcut in
+  let krf, crf =
+    match params.elec with
+    | Reaction_field -> Coulomb.rf_constants ~rc:params.rcut
+    | Ewald_real _ -> (0.0, 0.0)
+  in
+  let n = topo.Topology.n_atoms in
+  let count = ref 0 in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if not (Topology.excluded topo a b) then begin
+        let d = Box.displacement box (Vec3.get pos a) (Vec3.get pos b) in
+        let r2 = Vec3.norm2 d in
+        if r2 <= rcut2 && r2 > 0.0 then begin
+          incr count;
+          let ta = topo.Topology.type_of.(a) and tb = topo.Topology.type_of.(b) in
+          let c6 = Forcefield.c6 ff ta tb and c12 = Forcefield.c12 ff ta tb in
+          let qq = topo.Topology.charge.(a) *. topo.Topology.charge.(b) in
+          energy.Energy.lj <- energy.Energy.lj +. Lj.energy ~c6 ~c12 r2;
+          let f_el, e_el =
+            match params.elec with
+            | Reaction_field ->
+                ( Coulomb.rf_force_over_r ~krf ~qq r2,
+                  Coulomb.rf_energy ~krf ~crf ~qq r2 )
+            | Ewald_real beta ->
+                ( Coulomb.ewald_real_force_over_r ~beta ~qq r2,
+                  Coulomb.ewald_real_energy ~beta ~qq r2 )
+          in
+          energy.Energy.coulomb_sr <- energy.Energy.coulomb_sr +. e_el;
+          let f_over_r = Lj.force_over_r ~c6 ~c12 r2 +. f_el in
+          energy.Energy.virial <- energy.Energy.virial +. (f_over_r *. r2);
+          Vec3.axpy force a f_over_r d;
+          Vec3.axpy force b (-.f_over_r) d
+        end
+      end
+    done
+  done;
+  !count

@@ -1,0 +1,32 @@
+(** Cluster pair list (the GROMACS Verlet scheme): for every i-cluster,
+    the j-clusters ([>= i], half list) that may hold a partner within
+    [rlist].  Rebuilt every [nstlist] steps. *)
+
+type t = {
+  rlist : float;
+  n_clusters : int;
+  ranges : int array;  (** [n_clusters + 1]: slice bounds into [cj] *)
+  cj : int array;  (** concatenated j-cluster ids *)
+}
+
+(** [build box cluster ?pos ~rlist ()] enumerates candidate cluster
+    pairs by bounding spheres; when [pos] is supplied, candidates are
+    refined with the exact minimum member distance. *)
+val build : Box.t -> Cluster.t -> ?pos:float array -> rlist:float -> unit -> t
+
+(** [iter_pairs t f] applies [f ci cj] to every stored cluster pair. *)
+val iter_pairs : t -> (int -> int -> unit) -> unit
+
+(** [iter_ci t ci f] applies [f] to every j-cluster of [ci]. *)
+val iter_ci : t -> int -> (int -> unit) -> unit
+
+(** [n_pairs t] is the number of stored cluster pairs. *)
+val n_pairs : t -> int
+
+(** [avg_neighbours t] is the mean j-list length. *)
+val avg_neighbours : t -> float
+
+(** [to_full t] converts the half list into a full list in which every
+    cluster pair appears in both directions (the input of the
+    redundant-computation baseline, Algorithm 2). *)
+val to_full : t -> t

@@ -1,0 +1,26 @@
+(** Instantaneous pressure from the virial theorem.
+
+    [P = (2 E_kin + W) / (3 V)] with the pair virial
+    [W = sum over pairs of r_ij . F_ij]; reported in bar using the
+    GROMACS unit conversion (kJ mol^-1 nm^-3 -> bar). *)
+
+(** Conversion from kJ mol^-1 nm^-3 to bar. *)
+let bar_per_internal = 16.6054
+
+(** [instantaneous ~kinetic ~virial ~volume] is the pressure in bar. *)
+let instantaneous ~kinetic ~virial ~volume =
+  if volume <= 0.0 then invalid_arg "Pressure.instantaneous: volume";
+  ((2.0 *. kinetic) +. virial) /. (3.0 *. volume) *. bar_per_internal
+
+(** [of_state state energy] is the pressure of a simulation state whose
+    force evaluation accumulated the pair virial in [energy]. *)
+let of_state (state : Md_state.t) (energy : Energy.t) =
+  instantaneous
+    ~kinetic:(Md_state.kinetic_energy state)
+    ~virial:energy.Energy.virial
+    ~volume:(Box.volume state.Md_state.box)
+
+(** [ideal_gas ~n ~temp ~volume] is the ideal-gas reference pressure
+    (bar) for [n] particles — a sanity anchor used in tests. *)
+let ideal_gas ~n ~temp ~volume =
+  float_of_int n *. Forcefield.kb *. temp /. volume *. bar_per_internal

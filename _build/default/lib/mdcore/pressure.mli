@@ -1,0 +1,16 @@
+(** Instantaneous pressure from the virial theorem:
+    [P = (2 E_kin + W) / (3 V)], reported in bar. *)
+
+(** Conversion from kJ mol^-1 nm^-3 to bar. *)
+val bar_per_internal : float
+
+(** [instantaneous ~kinetic ~virial ~volume] is the pressure in bar. *)
+val instantaneous : kinetic:float -> virial:float -> volume:float -> float
+
+(** [of_state state energy] is the pressure of a simulation state whose
+    force evaluation accumulated the pair virial in [energy]. *)
+val of_state : Md_state.t -> Energy.t -> float
+
+(** [ideal_gas ~n ~temp ~volume] is the ideal-gas reference pressure
+    (bar) for [n] particles. *)
+val ideal_gas : n:int -> temp:float -> volume:float -> float

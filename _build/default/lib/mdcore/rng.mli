@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    All stochastic pieces of the engine draw from this generator so
+    that every experiment is exactly reproducible from its seed. *)
+
+type t
+
+(** [create seed] is a generator seeded with [seed]. *)
+val create : int -> t
+
+(** [next_int64 t] is the next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [float t] is uniform in [[0, 1)]. *)
+val float : t -> float
+
+(** [uniform t lo hi] is uniform in [[lo, hi)]. *)
+val uniform : t -> float -> float -> float
+
+(** [int t n] is uniform in [[0, n)]. *)
+val int : t -> int -> int
+
+(** [gaussian t] is a standard normal sample (Box-Muller). *)
+val gaussian : t -> float
+
+(** [split t] is an independently-seeded child generator. *)
+val split : t -> t

@@ -1,0 +1,80 @@
+(** Tabulated pair interactions.
+
+    GROMACS and most accelerator ports replace transcendental kernels
+    (erfc in particular) with interpolation tables indexed by [r^2],
+    trading memory for arithmetic — on SW26010 the table lives in LDM.
+    This module builds force/energy tables for any of the supported
+    electrostatics flavours and evaluates them by linear interpolation;
+    tests bound the interpolation error against the analytic kernels. *)
+
+type t = {
+  r2_max : float;
+  inv_dr2 : float;  (** 1 / bin width *)
+  f_over_r : float array;  (** per bin: force factor at bin centre *)
+  energy : float array;
+  n : int;
+}
+
+(** [build ~rcut ~bins ~f ~e] tabulates the functions [f] and [e] of
+    [r^2] on [(0, rcut^2]]. *)
+let build ~rcut ~bins ~f ~e =
+  if bins < 2 then invalid_arg "Table_potential.build: need at least 2 bins";
+  if rcut <= 0.0 then invalid_arg "Table_potential.build: rcut must be positive";
+  let r2_max = rcut *. rcut in
+  let dr2 = r2_max /. float_of_int bins in
+  (* bin i covers [i*dr2, (i+1)*dr2); store the value at the left edge,
+     skipping the singular r2 = 0 edge by evaluating at a tiny offset *)
+  let point i =
+    let r2 = float_of_int i *. dr2 in
+    Float.max (0.01 *. dr2) r2
+  in
+  {
+    r2_max;
+    inv_dr2 = 1.0 /. dr2;
+    f_over_r = Array.init (bins + 1) (fun i -> f (point i));
+    energy = Array.init (bins + 1) (fun i -> e (point i));
+    n = bins;
+  }
+
+(** [build_coulomb ~rcut ~bins elec] tabulates the configured
+    electrostatics for a unit charge product ([qq = 1]); scale the
+    results by [qq] at evaluation. *)
+let build_coulomb ~rcut ~bins (elec : Nonbonded.electrostatics) =
+  match elec with
+  | Nonbonded.Reaction_field ->
+      let krf, crf = Coulomb.rf_constants ~rc:rcut in
+      build ~rcut ~bins
+        ~f:(fun r2 -> Coulomb.rf_force_over_r ~krf ~qq:1.0 r2)
+        ~e:(fun r2 -> Coulomb.rf_energy ~krf ~crf ~qq:1.0 r2)
+  | Nonbonded.Ewald_real beta ->
+      build ~rcut ~bins
+        ~f:(fun r2 -> Coulomb.ewald_real_force_over_r ~beta ~qq:1.0 r2)
+        ~e:(fun r2 -> Coulomb.ewald_real_energy ~beta ~qq:1.0 r2)
+
+let lerp arr idx frac = arr.(idx) +. (frac *. (arr.(idx + 1) -. arr.(idx)))
+
+(** [lookup t r2] is [(f_over_r, energy)] at squared distance [r2]
+    (clamped to the table range). *)
+let lookup t r2 =
+  let x = Float.max 0.0 (Float.min t.r2_max r2) *. t.inv_dr2 in
+  let idx = min (t.n - 1) (int_of_float x) in
+  let frac = x -. float_of_int idx in
+  (lerp t.f_over_r idx frac, lerp t.energy idx frac)
+
+(** [bytes t] is the LDM footprint of the table in single precision. *)
+let bytes t = 2 * (t.n + 1) * 4
+
+(** [max_rel_error t ~f ~lo] is the largest relative force error of
+    the table against the analytic function on [[lo, r2_max]] (sampled
+    densely); used by tests and the accuracy ablation. *)
+let max_rel_error t ~f ~lo =
+  let samples = 4 * t.n in
+  let worst = ref 0.0 in
+  for i = 0 to samples do
+    let r2 = lo +. ((t.r2_max -. lo) *. float_of_int i /. float_of_int samples) in
+    let exact = f r2 in
+    let approx, _ = lookup t r2 in
+    if Float.abs exact > 1e-12 then
+      worst := Float.max !worst (Float.abs ((approx -. exact) /. exact))
+  done;
+  !worst

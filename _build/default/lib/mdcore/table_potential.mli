@@ -1,0 +1,31 @@
+(** Tabulated pair interactions: force/energy tables indexed by [r^2]
+    with linear interpolation, the accelerator-friendly replacement for
+    transcendental kernels (erfc in particular). *)
+
+type t = {
+  r2_max : float;
+  inv_dr2 : float;  (** 1 / bin width *)
+  f_over_r : float array;
+  energy : float array;
+  n : int;
+}
+
+(** [build ~rcut ~bins ~f ~e] tabulates the functions [f] and [e] of
+    [r^2] on [(0, rcut^2]]. *)
+val build :
+  rcut:float -> bins:int -> f:(float -> float) -> e:(float -> float) -> t
+
+(** [build_coulomb ~rcut ~bins elec] tabulates the configured
+    electrostatics for a unit charge product. *)
+val build_coulomb : rcut:float -> bins:int -> Nonbonded.electrostatics -> t
+
+(** [lookup t r2] is [(f_over_r, energy)] at squared distance [r2]
+    (clamped to the table range). *)
+val lookup : t -> float -> float * float
+
+(** [bytes t] is the LDM footprint of the table in single precision. *)
+val bytes : t -> int
+
+(** [max_rel_error t ~f ~lo] is the largest relative force error of the
+    table against the analytic function on [[lo, r2_max]]. *)
+val max_rel_error : t -> f:(float -> float) -> lo:float -> float

@@ -1,0 +1,1 @@
+lib/swarch/swarch.ml: Chip Config Core_group Cost Cpe Dma Ldm Mpe Platforms Simd

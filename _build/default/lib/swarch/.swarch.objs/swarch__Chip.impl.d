@@ -1,0 +1,1 @@
+lib/swarch/chip.ml: Array Config Core_group Float

@@ -1,0 +1,1 @@
+lib/swarch/chip.mli: Config Core_group

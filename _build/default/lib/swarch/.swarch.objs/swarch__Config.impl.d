@@ -1,0 +1,1 @@
+lib/swarch/config.ml: Array Fmt

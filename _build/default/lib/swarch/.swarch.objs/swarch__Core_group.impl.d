@@ -1,0 +1,1 @@
+lib/swarch/core_group.ml: Array Config Cost Cpe Float Fmt Mpe

@@ -1,0 +1,1 @@
+lib/swarch/core_group.mli: Config Cost Cpe Format Mpe

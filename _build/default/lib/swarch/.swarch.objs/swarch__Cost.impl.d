@@ -1,0 +1,1 @@
+lib/swarch/cost.ml: Config Fmt

@@ -1,0 +1,1 @@
+lib/swarch/cost.mli: Config Format

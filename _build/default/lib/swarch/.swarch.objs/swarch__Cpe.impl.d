@@ -1,0 +1,1 @@
+lib/swarch/cpe.ml: Config Cost Ldm

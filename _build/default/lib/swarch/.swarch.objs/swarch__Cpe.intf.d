@@ -1,0 +1,1 @@
+lib/swarch/cpe.mli: Config Cost Ldm

@@ -1,0 +1,1 @@
+lib/swarch/dma.ml: Array Config Cost List

@@ -1,0 +1,1 @@
+lib/swarch/dma.mli: Config Cost

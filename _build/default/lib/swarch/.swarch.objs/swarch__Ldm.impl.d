@@ -1,0 +1,1 @@
+lib/swarch/ldm.ml: Fun

@@ -1,0 +1,1 @@
+lib/swarch/mpe.ml: Cost

@@ -1,0 +1,1 @@
+lib/swarch/mpe.mli: Config Cost

@@ -1,0 +1,1 @@
+lib/swarch/platforms.ml: Float Fmt

@@ -1,0 +1,1 @@
+lib/swarch/simd.ml: Array Cost Float Int32 Printf

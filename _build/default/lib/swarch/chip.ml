@@ -1,0 +1,32 @@
+(** One SW26010 chip: four core groups on a network-on-chip.
+
+    TaihuLight assigns one MPI rank per core group, so multi-CG runs
+    are modelled by the communication library ({!Swcomm} in the
+    repository); the chip abstraction mainly provides topology facts
+    used by the scaling experiments. *)
+
+type t = { cfg : Config.t; groups : Core_group.t array }
+
+(** Number of core groups per chip. *)
+let groups_per_chip = 4
+
+(** [create cfg] is a chip with four fresh core groups. *)
+let create cfg =
+  { cfg; groups = Array.init groups_per_chip (fun _ -> Core_group.create cfg) }
+
+(** [group t i] is core group [i] (0-3). *)
+let group t i = t.groups.(i)
+
+(** [peak_flops cfg] is the single-precision peak of one chip in
+    flop/s: 4 CGs x (64 CPEs + 1 MPE) x 4 lanes x 2 (FMA) x clock.
+    With the default config this is the paper's 3.06 Tflops. *)
+let peak_flops (cfg : Config.t) =
+  float_of_int (groups_per_chip * (cfg.cpe_count + 1) * cfg.simd_lanes * 2)
+  *. cfg.cpe_freq_hz
+
+(** [reset t] clears all four core groups. *)
+let reset t = Array.iter Core_group.reset t.groups
+
+(** [elapsed t] is the slowest core group's elapsed time. *)
+let elapsed t =
+  Array.fold_left (fun m g -> Float.max m (Core_group.elapsed g)) 0.0 t.groups

@@ -1,0 +1,22 @@
+(** One SW26010 chip: four core groups on a network-on-chip. *)
+
+type t = { cfg : Config.t; groups : Core_group.t array }
+
+(** Number of core groups per chip. *)
+val groups_per_chip : int
+
+(** [create cfg] is a chip with four fresh core groups. *)
+val create : Config.t -> t
+
+(** [group t i] is core group [i] (0-3). *)
+val group : t -> int -> Core_group.t
+
+(** [peak_flops cfg] is the single-precision peak of one chip in
+    flop/s (~3.06 Tflops with the default configuration). *)
+val peak_flops : Config.t -> float
+
+(** [reset t] clears all four core groups. *)
+val reset : t -> unit
+
+(** [elapsed t] is the slowest core group's elapsed time. *)
+val elapsed : t -> float

@@ -1,0 +1,39 @@
+(** Architectural constants of the simulated SW26010 core group.
+
+    All free parameters of the performance model live here, in one
+    place, so that every experiment runs against the same machine
+    description.  The default values come from the paper itself
+    (1.45 GHz clock, 64 KB LDM, the Table-2 DMA bandwidth curve) and
+    from published SW26010 micro-benchmarks (gld/gst latency). *)
+
+type t = {
+  cpe_count : int;  (** computing processing elements per core group *)
+  cpe_freq_hz : float;  (** CPE clock (Hz) *)
+  mpe_freq_hz : float;  (** MPE clock (Hz) *)
+  ldm_bytes : int;  (** scratchpad (local device memory) per CPE *)
+  simd_lanes : int;  (** 256-bit vectors = 4 single-precision lanes *)
+  cpe_flops_per_cycle : float;
+      (** scalar floating-point issue width of one CPE *)
+  mpe_flops_per_cycle : float;
+      (** effective MPE issue width for the unvectorized legacy code *)
+  dma_points : (int * float) array;
+      (** measured (transfer size in bytes, bandwidth in B/s) curve;
+          Table 2 of the paper *)
+  gld_latency_s : float;  (** latency of one global load/store *)
+  mpe_mem_bw : float;  (** MPE-side memory bandwidth (B/s) *)
+  dma_channels : float;
+      (** effective DMA concurrency before the shared bus saturates *)
+}
+
+(** Default machine description used by all experiments. *)
+val default : t
+
+(** [peak_dma_bw t] is the plateau bandwidth of the DMA curve. *)
+val peak_dma_bw : t -> float
+
+(** [validate t] checks internal consistency of a machine description
+    and raises [Invalid_argument] if a field is nonsensical. *)
+val validate : t -> unit
+
+(** Pretty-printer for a machine description. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** One computing processing element (CPE).
+
+    A CPE is a simple in-order RISC core with a private 64 KB
+    scratchpad.  In the simulator a CPE is an identifier, a cost
+    accumulator and an LDM allocator; kernels execute their per-CPE
+    slice sequentially while charging this record. *)
+
+type t = {
+  id : int;  (** position in the 8x8 mesh, [0..63] *)
+  cost : Cost.t;  (** work charged to this CPE *)
+  ldm : Ldm.t;  (** scratchpad allocator *)
+}
+
+(** [create cfg id] is a fresh CPE with an empty scratchpad. *)
+let create (cfg : Config.t) id =
+  if id < 0 || id >= cfg.cpe_count then invalid_arg "Cpe.create: bad id";
+  { id; cost = Cost.create (); ldm = Ldm.create ~capacity:cfg.ldm_bytes }
+
+(** [row t] is the mesh row of this CPE (0-7). *)
+let row t = t.id / 8
+
+(** [col t] is the mesh column of this CPE (0-7). *)
+let col t = t.id mod 8
+
+(** [reset t] clears the cost counters and releases all LDM. *)
+let reset t =
+  Cost.reset t.cost;
+  Ldm.reset t.ldm
+
+(** [compute_time cfg t] is the simulated compute time of this CPE. *)
+let compute_time cfg t = Cost.cpe_compute_time cfg t.cost

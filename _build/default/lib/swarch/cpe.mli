@@ -1,0 +1,23 @@
+(** One computing processing element (CPE): an identifier, a cost
+    accumulator and a 64 KB scratchpad allocator. *)
+
+type t = {
+  id : int;  (** position in the 8x8 mesh, [0..63] *)
+  cost : Cost.t;  (** work charged to this CPE *)
+  ldm : Ldm.t;  (** scratchpad allocator *)
+}
+
+(** [create cfg id] is a fresh CPE with an empty scratchpad. *)
+val create : Config.t -> int -> t
+
+(** [row t] is the mesh row of this CPE (0-7). *)
+val row : t -> int
+
+(** [col t] is the mesh column of this CPE (0-7). *)
+val col : t -> int
+
+(** [reset t] clears the cost counters and releases all LDM. *)
+val reset : t -> unit
+
+(** [compute_time cfg t] is the simulated compute time of this CPE. *)
+val compute_time : Config.t -> t -> float

@@ -1,0 +1,32 @@
+(** DMA engine model.
+
+    CPEs reach main memory efficiently only through DMA, and the
+    achievable bandwidth depends strongly on the transfer size
+    (Table 2 of the paper).  The model interpolates the measured curve
+    piecewise-linearly in transfer size and charges the resulting bus
+    time to the issuing element's {!Cost.t}. *)
+
+(** [bandwidth cfg size] is the modelled DMA bandwidth in bytes/second
+    for a transfer of [size] bytes. *)
+val bandwidth : Config.t -> int -> float
+
+(** [transfer_time cfg size] is the bus time in seconds of one DMA
+    transfer of [size] bytes. *)
+val transfer_time : Config.t -> int -> float
+
+(** [get cfg cost ?aligned ~bytes] charges one DMA read of [bytes]
+    from main memory to [cost].  Transfers not 128-bit aligned pay a
+    head/tail fix-up transaction (Section 3.7). *)
+val get : ?aligned:bool -> Config.t -> Cost.t -> bytes:int -> unit
+
+(** [put cfg cost ?aligned ~bytes] charges one DMA write of [bytes] to
+    main memory to [cost].  Reads and writes share the bus model. *)
+val put : ?aligned:bool -> Config.t -> Cost.t -> bytes:int -> unit
+
+(** [effective_bandwidth cost] is the average bandwidth achieved by the
+    transfers recorded in [cost], or [0.] if none were issued. *)
+val effective_bandwidth : Cost.t -> float
+
+(** [table cfg sizes] tabulates the modelled bandwidth at each size;
+    used to regenerate Table 2. *)
+val table : Config.t -> int list -> (int * float) list

@@ -1,0 +1,51 @@
+(** Local device memory (scratchpad) allocator.
+
+    Each CPE owns 64 KB of LDM.  Kernels must explicitly budget every
+    buffer they keep on-chip; this module enforces the capacity limit so
+    that a kernel configuration that would not fit on real hardware
+    fails loudly in the simulator too. *)
+
+exception Out_of_ldm of { requested : int; available : int }
+
+type t = {
+  capacity : int;  (** total LDM bytes *)
+  mutable used : int;  (** bytes currently allocated *)
+  mutable high_water : int;  (** maximum [used] ever observed *)
+}
+
+(** [create ~capacity] is an empty scratchpad of [capacity] bytes. *)
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ldm.create: capacity must be positive";
+  { capacity; used = 0; high_water = 0 }
+
+(** [available t] is the number of unallocated bytes. *)
+let available t = t.capacity - t.used
+
+(** [used t] is the number of currently allocated bytes. *)
+let used t = t.used
+
+(** [high_water t] is the largest allocation footprint seen so far. *)
+let high_water t = t.high_water
+
+(** [alloc t bytes] reserves [bytes]; raises {!Out_of_ldm} when the
+    request exceeds the remaining capacity. *)
+let alloc t bytes =
+  if bytes < 0 then invalid_arg "Ldm.alloc: negative size";
+  if bytes > available t then
+    raise (Out_of_ldm { requested = bytes; available = available t });
+  t.used <- t.used + bytes;
+  if t.used > t.high_water then t.high_water <- t.used
+
+(** [free t bytes] releases [bytes] previously allocated. *)
+let free t bytes =
+  if bytes < 0 || bytes > t.used then invalid_arg "Ldm.free: bad size";
+  t.used <- t.used - bytes
+
+(** [with_alloc t bytes f] runs [f ()] with [bytes] reserved and always
+    releases them afterwards, even if [f] raises. *)
+let with_alloc t bytes f =
+  alloc t bytes;
+  Fun.protect ~finally:(fun () -> free t bytes) f
+
+(** [reset t] releases every allocation (the high-water mark is kept). *)
+let reset t = t.used <- 0

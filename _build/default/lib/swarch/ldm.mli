@@ -1,0 +1,36 @@
+(** Local device memory (scratchpad) allocator.
+
+    Each CPE owns 64 KB of LDM.  Kernels must explicitly budget every
+    buffer they keep on-chip; this module enforces the capacity limit
+    so that a kernel configuration that would not fit on real hardware
+    fails loudly in the simulator too. *)
+
+exception Out_of_ldm of { requested : int; available : int }
+
+type t
+
+(** [create ~capacity] is an empty scratchpad of [capacity] bytes. *)
+val create : capacity:int -> t
+
+(** [available t] is the number of unallocated bytes. *)
+val available : t -> int
+
+(** [used t] is the number of currently allocated bytes. *)
+val used : t -> int
+
+(** [high_water t] is the largest allocation footprint seen so far. *)
+val high_water : t -> int
+
+(** [alloc t bytes] reserves [bytes]; raises {!Out_of_ldm} when the
+    request exceeds the remaining capacity. *)
+val alloc : t -> int -> unit
+
+(** [free t bytes] releases [bytes] previously allocated. *)
+val free : t -> int -> unit
+
+(** [with_alloc t bytes f] runs [f ()] with [bytes] reserved and always
+    releases them afterwards, even if [f] raises. *)
+val with_alloc : t -> int -> (unit -> 'a) -> 'a
+
+(** [reset t] releases every allocation (the high-water mark is kept). *)
+val reset : t -> unit

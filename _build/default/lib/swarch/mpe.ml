@@ -1,0 +1,24 @@
+(** The management processing element (MPE).
+
+    The MPE is a conventional out-of-order core with real caches; it
+    owns main memory, runs the serial parts of the workflow and handles
+    communication.  Work executed here is charged as [mpe_flops] and
+    [mpe_mem_bytes] in its cost accumulator. *)
+
+type t = { cost : Cost.t }
+
+(** [create ()] is a fresh MPE. *)
+let create () = { cost = Cost.create () }
+
+(** [reset t] clears the accumulated cost. *)
+let reset t = Cost.reset t.cost
+
+(** [charge_flops t n] charges [n] floating-point operations of serial
+    MPE work. *)
+let charge_flops t n = Cost.mpe_flops t.cost n
+
+(** [charge_mem t bytes] charges [bytes] of MPE memory traffic. *)
+let charge_mem t bytes = Cost.mpe_mem t.cost bytes
+
+(** [time cfg t] is the simulated seconds of MPE execution. *)
+let time cfg t = Cost.mpe_time cfg t.cost

@@ -1,0 +1,20 @@
+(** The management processing element (MPE): the conventional core
+    that owns main memory and runs the serial parts of the workflow. *)
+
+type t = { cost : Cost.t }
+
+(** [create ()] is a fresh MPE. *)
+val create : unit -> t
+
+(** [reset t] clears the accumulated cost. *)
+val reset : t -> unit
+
+(** [charge_flops t n] charges [n] floating-point operations of serial
+    MPE work. *)
+val charge_flops : t -> float -> unit
+
+(** [charge_mem t bytes] charges [bytes] of MPE memory traffic. *)
+val charge_mem : t -> float -> unit
+
+(** [time cfg t] is the simulated seconds of MPE execution. *)
+val time : Config.t -> t -> float

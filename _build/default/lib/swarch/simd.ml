@@ -1,0 +1,151 @@
+(** Emulation of the SW26010 256-bit SIMD unit ([floatv4]).
+
+    A [floatv4] holds four single-precision lanes.  Arithmetic charges
+    exactly one vector instruction to the supplied {!Cost.t} regardless
+    of lane count, which is what makes vectorization pay off in the
+    performance model.  Lane values are rounded through IEEE single
+    precision on every operation so that the optimized kernels really
+    compute in mixed precision, as the paper's do. *)
+
+type v4 = { mutable a : float; mutable b : float; mutable c : float; mutable d : float }
+
+(** [round32 x] is [x] rounded to the nearest representable IEEE-754
+    single-precision value. *)
+let round32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+(** [splat x] is a vector with all four lanes equal to [round32 x].
+    Free of charge: register broadcasts are folded into the consuming
+    instruction on SW26010. *)
+let splat x =
+  let x = round32 x in
+  { a = x; b = x; c = x; d = x }
+
+(** [make a b c d] builds a vector from four lane values. *)
+let make a b c d =
+  { a = round32 a; b = round32 b; c = round32 c; d = round32 d }
+
+(** [zero ()] is the all-zero vector. *)
+let zero () = { a = 0.0; b = 0.0; c = 0.0; d = 0.0 }
+
+(** [copy v] is an independent copy of [v]. *)
+let copy v = { a = v.a; b = v.b; c = v.c; d = v.d }
+
+(** [lane v i] extracts lane [i] (0-3). *)
+let lane v = function
+  | 0 -> v.a
+  | 1 -> v.b
+  | 2 -> v.c
+  | 3 -> v.d
+  | i -> invalid_arg (Printf.sprintf "Simd.lane: %d not in 0..3" i)
+
+(** [set_lane v i x] stores [x] in lane [i]. *)
+let set_lane v i x =
+  let x = round32 x in
+  match i with
+  | 0 -> v.a <- x
+  | 1 -> v.b <- x
+  | 2 -> v.c <- x
+  | 3 -> v.d <- x
+  | _ -> invalid_arg "Simd.set_lane"
+
+(** [to_array v] is the four lanes as a float array. *)
+let to_array v = [| v.a; v.b; v.c; v.d |]
+
+(** [of_array arr off] loads four consecutive lanes from [arr] starting
+    at [off] (no cost: models a register load from LDM). *)
+let of_array arr off =
+  make arr.(off) arr.(off + 1) arr.(off + 2) arr.(off + 3)
+
+let lift2 cost f x y =
+  Cost.simd cost 1.0;
+  {
+    a = round32 (f x.a y.a);
+    b = round32 (f x.b y.b);
+    c = round32 (f x.c y.c);
+    d = round32 (f x.d y.d);
+  }
+
+(** [add cost x y] is the lane-wise sum; one vector instruction. *)
+let add cost x y = lift2 cost ( +. ) x y
+
+(** [sub cost x y] is the lane-wise difference; one vector instruction. *)
+let sub cost x y = lift2 cost ( -. ) x y
+
+(** [mul cost x y] is the lane-wise product; one vector instruction. *)
+let mul cost x y = lift2 cost ( *. ) x y
+
+(** [div cost x y] is the lane-wise quotient; one vector instruction. *)
+let div cost x y = lift2 cost ( /. ) x y
+
+(** [fma cost x y z] is [x*y + z]; one (fused) vector instruction. *)
+let fma cost x y z =
+  Cost.simd cost 1.0;
+  {
+    a = round32 ((x.a *. y.a) +. z.a);
+    b = round32 ((x.b *. y.b) +. z.b);
+    c = round32 ((x.c *. y.c) +. z.c);
+    d = round32 ((x.d *. y.d) +. z.d);
+  }
+
+(** [round cost x] is the lane-wise round-to-nearest; one vector
+    instruction (used by the periodic minimum-image fold). *)
+let round cost x =
+  Cost.simd cost 1.0;
+  { a = Float.round x.a; b = Float.round x.b; c = Float.round x.c; d = Float.round x.d }
+
+(** [rsqrt cost x] is the lane-wise reciprocal square root (charged as
+    one vector instruction, matching the hardware estimate+refine
+    sequence the paper's kernels use). *)
+let rsqrt cost x =
+  Cost.simd cost 1.0;
+  let r v = round32 (1.0 /. sqrt v) in
+  { a = r x.a; b = r x.b; c = r x.c; d = r x.d }
+
+(** [cmp_lt cost x y] is a lane mask: 1.0 where [x < y], else 0.0. *)
+let cmp_lt cost x y =
+  Cost.simd cost 1.0;
+  let m p q = if p < q then 1.0 else 0.0 in
+  { a = m x.a y.a; b = m x.b y.b; c = m x.c y.c; d = m x.d y.d }
+
+(** [select cost mask x y] is lane-wise [mask <> 0 ? x : y]. *)
+let select cost mask x y =
+  Cost.simd cost 1.0;
+  let s m p q = if m <> 0.0 then p else q in
+  {
+    a = s mask.a x.a y.a;
+    b = s mask.b x.b y.b;
+    c = s mask.c x.c y.c;
+    d = s mask.d x.d y.d;
+  }
+
+(** [hsum cost v] is the horizontal sum of the four lanes (charged as
+    two vector instructions: two shuffle-add steps). *)
+let hsum cost v =
+  Cost.simd cost 2.0;
+  round32 (round32 (v.a +. v.b) +. round32 (v.c +. v.d))
+
+(** [vshuff cost x y (i, j, k, l)] is the [simd_vshulff] instruction of
+    the paper: builds a new vector whose first two lanes are lanes [i]
+    and [j] of [x] and whose last two lanes are lanes [k] and [l] of
+    [y]; one vector instruction. *)
+let vshuff cost x y (i, j, k, l) =
+  Cost.simd cost 1.0;
+  { a = lane x i; b = lane x j; c = lane y k; d = lane y l }
+
+(** [transpose3x4 cost x y z] converts three vectors holding
+    [x1..x4], [y1..y4], [z1..z4] into four per-particle triples
+    [(xi, yi, zi)], using the six-shuffle sequence of Figure 7 in the
+    paper.  Returns the four triples. *)
+let transpose3x4 cost x y z =
+  (* First shuffle round: interleave pairs (Fig 7, "First Shuffle"). *)
+  let s1 = vshuff cost x y (0, 2, 0, 2) in  (* X1 X3 Y1 Y3 *)
+  let s2 = vshuff cost x z (1, 3, 0, 2) in  (* X2 X4 Z1 Z3 *)
+  let s3 = vshuff cost y z (1, 3, 1, 3) in  (* Y2 Y4 Z2 Z4 *)
+  (* Second shuffle round: gather per-particle triples. *)
+  let p1 = vshuff cost s1 s2 (0, 2, 2, 0) in (* X1 Y1 Z1 X2 *)
+  let p2 = vshuff cost s3 s1 (0, 2, 1, 3) in (* Y2 Z2 X3 Y3 *)
+  let p3 = vshuff cost s2 s3 (3, 1, 1, 3) in (* Z3 X4 Y4 Z4 *)
+  ( (p1.a, p1.b, p1.c),
+    (p1.d, p2.a, p2.b),
+    (p2.c, p2.d, p3.a),
+    (p3.b, p3.c, p3.d) )

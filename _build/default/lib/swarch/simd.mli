@@ -1,0 +1,94 @@
+(** Emulation of the SW26010 256-bit SIMD unit ([floatv4]).
+
+    A [floatv4] holds four single-precision lanes.  Arithmetic charges
+    exactly one vector instruction to the supplied {!Cost.t} regardless
+    of lane count, which is what makes vectorization pay off in the
+    performance model.  Lane values are rounded through IEEE single
+    precision on every operation so that the optimized kernels really
+    compute in mixed precision, as the paper's do. *)
+
+type v4 = {
+  mutable a : float;
+  mutable b : float;
+  mutable c : float;
+  mutable d : float;
+}
+
+(** [round32 x] is [x] rounded to the nearest representable IEEE-754
+    single-precision value. *)
+val round32 : float -> float
+
+(** [splat x] is a vector with all four lanes equal to [round32 x]. *)
+val splat : float -> v4
+
+(** [make a b c d] builds a vector from four lane values. *)
+val make : float -> float -> float -> float -> v4
+
+(** [zero ()] is the all-zero vector. *)
+val zero : unit -> v4
+
+(** [copy v] is an independent copy of [v]. *)
+val copy : v4 -> v4
+
+(** [lane v i] extracts lane [i] (0-3). *)
+val lane : v4 -> int -> float
+
+(** [set_lane v i x] stores [x] in lane [i]. *)
+val set_lane : v4 -> int -> float -> unit
+
+(** [to_array v] is the four lanes as a float array. *)
+val to_array : v4 -> float array
+
+(** [of_array arr off] loads four consecutive lanes from [arr] starting
+    at [off] (no cost: models a register load from LDM). *)
+val of_array : float array -> int -> v4
+
+(** [add cost x y] is the lane-wise sum; one vector instruction. *)
+val add : Cost.t -> v4 -> v4 -> v4
+
+(** [sub cost x y] is the lane-wise difference; one vector instruction. *)
+val sub : Cost.t -> v4 -> v4 -> v4
+
+(** [mul cost x y] is the lane-wise product; one vector instruction. *)
+val mul : Cost.t -> v4 -> v4 -> v4
+
+(** [div cost x y] is the lane-wise quotient; one vector instruction. *)
+val div : Cost.t -> v4 -> v4 -> v4
+
+(** [fma cost x y z] is [x*y + z]; one (fused) vector instruction. *)
+val fma : Cost.t -> v4 -> v4 -> v4 -> v4
+
+(** [round cost x] is the lane-wise round-to-nearest; one vector
+    instruction (used by the periodic minimum-image fold). *)
+val round : Cost.t -> v4 -> v4
+
+(** [rsqrt cost x] is the lane-wise reciprocal square root. *)
+val rsqrt : Cost.t -> v4 -> v4
+
+(** [cmp_lt cost x y] is a lane mask: 1.0 where [x < y], else 0.0. *)
+val cmp_lt : Cost.t -> v4 -> v4 -> v4
+
+(** [select cost mask x y] is lane-wise [mask <> 0 ? x : y]. *)
+val select : Cost.t -> v4 -> v4 -> v4 -> v4
+
+(** [hsum cost v] is the horizontal sum of the four lanes (two vector
+    instructions). *)
+val hsum : Cost.t -> v4 -> float
+
+(** [vshuff cost x y (i, j, k, l)] is the [simd_vshulff] instruction of
+    the paper: lanes [i], [j] of [x] followed by lanes [k], [l] of [y];
+    one vector instruction. *)
+val vshuff : Cost.t -> v4 -> v4 -> int * int * int * int -> v4
+
+(** [transpose3x4 cost x y z] converts three vectors holding
+    [x1..x4], [y1..y4], [z1..z4] into four per-particle triples using
+    the six-shuffle sequence of Figure 7. *)
+val transpose3x4 :
+  Cost.t ->
+  v4 ->
+  v4 ->
+  v4 ->
+  (float * float * float)
+  * (float * float * float)
+  * (float * float * float)
+  * (float * float * float)

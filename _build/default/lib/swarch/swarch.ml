@@ -1,0 +1,22 @@
+(** SW26010 architecture simulator.
+
+    This library models the Sunway TaihuLight node architecture that
+    the paper targets: core groups of one management element (MPE) and
+    64 compute elements (CPEs), each CPE with a 64 KB scratchpad (LDM),
+    a DMA engine whose bandwidth depends on transfer size, expensive
+    global load/store, and a 4-lane single-precision SIMD unit.
+
+    Kernels written against this library execute their real arithmetic
+    in OCaml (so results are checkable) while charging a cost model
+    that converts instruction and transfer counts into simulated time. *)
+
+module Config = Config
+module Cost = Cost
+module Dma = Dma
+module Ldm = Ldm
+module Simd = Simd
+module Cpe = Cpe
+module Mpe = Mpe
+module Core_group = Core_group
+module Chip = Chip
+module Platforms = Platforms

@@ -1,0 +1,1 @@
+lib/swbench/swbench.ml: Ablations Common Exp_fig10 Exp_fig11 Exp_fig12 Exp_fig13 Exp_fig8 Exp_fig9 Exp_tables Registry Table_render Workload

@@ -1,0 +1,1 @@
+lib/swbench/ablations.ml: Array Common Float Fmt List Mdcore Printf Swarch Swcache Swgmx Table_render

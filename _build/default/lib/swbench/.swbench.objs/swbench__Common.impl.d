@@ -1,0 +1,1 @@
+lib/swbench/common.ml: Float Hashtbl Mdcore Swarch Swgmx

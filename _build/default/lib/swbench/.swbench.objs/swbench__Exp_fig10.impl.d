@@ -1,0 +1,1 @@
+lib/swbench/exp_fig10.ml: Common Fmt List Printf String Swgmx Table_render Workload

@@ -1,0 +1,1 @@
+lib/swbench/exp_fig11.ml: Common Fmt List Printf Swarch Swcomm Swgmx Table_render Workload

@@ -1,0 +1,1 @@
+lib/swbench/exp_fig12.ml: Common Fmt List Printf Swcomm Swgmx Table_render Workload

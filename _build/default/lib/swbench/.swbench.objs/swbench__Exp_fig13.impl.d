@@ -1,0 +1,1 @@
+lib/swbench/exp_fig13.ml: Float Fmt List Mdcore Swgmx Table_render

@@ -1,0 +1,1 @@
+lib/swbench/exp_fig8.ml: Common Fmt List Printf Swgmx Table_render Workload

@@ -1,0 +1,1 @@
+lib/swbench/exp_fig9.ml: Common Fmt List Swgmx Table_render Workload

@@ -1,0 +1,1 @@
+lib/swbench/exp_tables.ml: Common Fmt List Printf Swarch Swgmx Table_render Workload

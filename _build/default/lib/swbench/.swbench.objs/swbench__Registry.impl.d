@@ -1,0 +1,1 @@
+lib/swbench/registry.ml: Ablations Exp_fig10 Exp_fig11 Exp_fig12 Exp_fig13 Exp_fig8 Exp_fig9 Exp_tables Format List

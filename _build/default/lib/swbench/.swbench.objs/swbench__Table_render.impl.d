@@ -1,0 +1,1 @@
+lib/swbench/table_render.ml: Array Float Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/swbench/workload.ml:

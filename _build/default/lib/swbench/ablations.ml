@@ -1,0 +1,168 @@
+(** Ablation studies (beyond the paper's figures).
+
+    The paper fixes several design parameters without sweeping them:
+    the ~800 B read-cache line (8 packages), the 32-line write cache,
+    the particle-package aggregation itself, and DMA over gld/gst.
+    These ablations vary each choice in the simulator and show why the
+    published configuration is the right one. *)
+
+module Md = Mdcore
+module K = Swgmx.Kernel_common
+module T = Table_render
+
+(* run the Mark kernel with custom cache geometry by temporarily
+   rebuilding the spec; geometry lives in Kernel_common, so this
+   ablation uses the lower-level cache machinery directly *)
+
+(** [read_line_sweep ~quick ()] sweeps the read-cache line length
+    (packages per line) at fixed total capacity and reports miss ratio
+    and DMA time for the force-kernel access stream. *)
+let read_line_sweep ~quick () =
+  let particles = if quick then 3000 else 12000 in
+  let p = Common.prepare ~particles () in
+  let sys = p.Common.sys in
+  let capacity = 512 (* packages *) in
+  List.map
+    (fun line_elts ->
+      let n_lines = capacity / line_elts in
+      let cost = Swarch.Cost.create () in
+      let rc =
+        Swcache.Read_cache.create Common.cfg cost ~backing:sys.K.pkg_aos
+          ~elt_floats:Swgmx.Package.floats ~line_elts ~n_lines ()
+      in
+      (* replay the kernel's j-stream through the cache *)
+      Md.Pair_list.iter_pairs p.Common.pairs (fun _ cj ->
+          ignore (Swcache.Read_cache.touch rc cj));
+      let stats = Swcache.Read_cache.stats rc in
+      (line_elts, Swcache.Stats.miss_ratio stats, cost.Swarch.Cost.dma_time_s))
+    [ 1; 2; 4; 8; 16; 32 ]
+
+(** [package_sweep ~quick ()] compares per-element fetching (the
+    original code: one 8 B DMA per field) against whole-package
+    fetches, reproducing the Section 3.1 motivation. *)
+let package_sweep ~quick () =
+  let particles = if quick then 3000 else 12000 in
+  let p = Common.prepare ~particles () in
+  let n_fetches = Md.Pair_list.n_pairs p.Common.pairs in
+  List.map
+    (fun (label, bytes, transfers_per_pkg) ->
+      let cost = Swarch.Cost.create () in
+      let total =
+        int_of_float
+          (Float.round (float_of_int n_fetches *. transfers_per_pkg))
+      in
+      for _ = 1 to total do
+        Swarch.Dma.get Common.cfg cost ~bytes
+      done;
+      (label, cost.Swarch.Cost.dma_time_s))
+    [
+      ("per-field (8 B x 20)", 8, 20.0);
+      ("per-particle (24 B x 4)", 24, 4.0);
+      ("particle package (96 B)", Swgmx.Package.bytes, 1.0);
+      (* one 768 B line fill serves eight package fetches *)
+      ("cache line (768 B / 8)", 8 * Swgmx.Package.bytes, 0.125);
+    ]
+
+(** [gld_vs_dma ~quick ()] prices the same package stream through
+    global load/store instead of DMA: the reason all traffic goes
+    through the DMA engine. *)
+let gld_vs_dma ~quick () =
+  let particles = if quick then 3000 else 12000 in
+  let p = Common.prepare ~particles () in
+  let n_fetches = Md.Pair_list.n_pairs p.Common.pairs in
+  let dma_cost = Swarch.Cost.create () in
+  for _ = 1 to n_fetches do
+    Swarch.Dma.get Common.cfg dma_cost ~bytes:Swgmx.Package.bytes
+  done;
+  let gld_cost = Swarch.Cost.create () in
+  (* one gld per 8-byte word of the package *)
+  Swarch.Cost.gld gld_cost (n_fetches * (Swgmx.Package.bytes / 8));
+  ( dma_cost.Swarch.Cost.dma_time_s,
+    Swarch.Cost.cpe_compute_time Common.cfg gld_cost )
+
+(** [write_cache_sweep ~quick ()] sweeps the number of write-cache
+    lines and reports the deferred-update miss ratio. *)
+let write_cache_sweep ~quick () =
+  let particles = if quick then 3000 else 12000 in
+  let p = Common.prepare ~particles () in
+  let sys = p.Common.sys in
+  List.map
+    (fun n_lines ->
+      let cost = Swarch.Cost.create () in
+      let copy = Array.make (sys.K.n_clusters * K.force_floats) 0.0 in
+      let wc =
+        Swcache.Write_cache.create Common.cfg cost ~with_marks:true ~copy
+          ~elt_floats:K.force_floats ~line_elts:K.write_line_elts ~n_lines ()
+      in
+      Md.Pair_list.iter_pairs p.Common.pairs (fun _ cj ->
+          Swcache.Write_cache.accumulate3 wc cj 1.0 1.0 1.0);
+      Swcache.Write_cache.flush wc;
+      let stats = Swcache.Write_cache.stats wc in
+      (n_lines, Swcache.Stats.miss_ratio stats, cost.Swarch.Cost.dma_time_s))
+    [ 8; 16; 32; 64 ]
+
+(** [alignment ~quick ()] compares the package stream with and without
+    128-bit alignment (Section 3.7's final optimization). *)
+let alignment ~quick () =
+  let particles = if quick then 3000 else 12000 in
+  let p = Common.prepare ~particles () in
+  let n_fetches = Md.Pair_list.n_pairs p.Common.pairs in
+  let run aligned =
+    let cost = Swarch.Cost.create () in
+    for _ = 1 to n_fetches do
+      Swarch.Dma.get ~aligned Common.cfg cost ~bytes:Swgmx.Package.bytes
+    done;
+    cost.Swarch.Cost.dma_time_s
+  in
+  (run true, run false)
+
+(** [pipeline_overlap ~quick ()] bounds the gain of double-buffering
+    DMA behind computation for the Mark kernel: (serial elapsed,
+    fully-overlapped elapsed). *)
+let pipeline_overlap ~quick () =
+  let particles = if quick then 3000 else 12000 in
+  let p = Common.prepare ~particles () in
+  let cg = Swarch.Core_group.create Common.cfg in
+  ignore (Swgmx.Kernel.run p.Common.sys p.Common.pairs cg Swgmx.Variant.Mark);
+  (Swarch.Core_group.elapsed cg, Swarch.Core_group.elapsed_overlapped cg)
+
+(** [run ~quick ppf] renders all ablations. *)
+let run ~quick ppf =
+  Fmt.pf ppf "Ablation 1: read-cache line length (fixed 512-package capacity)@.";
+  T.table ppf ~headers:[ "packages/line"; "miss ratio"; "DMA time" ]
+    (List.map
+       (fun (l, m, t) ->
+         [ string_of_int l; T.fmt_pct m; Printf.sprintf "%.3f ms" (t *. 1e3) ])
+       (read_line_sweep ~quick ()));
+  Fmt.pf ppf "Ablation 2: data aggregation granularity (Section 3.1)@.";
+  T.table ppf ~headers:[ "fetch granularity"; "DMA time" ]
+    (List.map
+       (fun (l, t) -> [ l; Printf.sprintf "%.3f ms" (t *. 1e3) ])
+       (package_sweep ~quick ()));
+  let dma_t, gld_t = gld_vs_dma ~quick () in
+  Fmt.pf ppf "Ablation 3: DMA vs global load/store@.";
+  T.table ppf ~headers:[ "path"; "time" ]
+    [
+      [ "DMA (96 B packages)"; Printf.sprintf "%.3f ms" (dma_t *. 1e3) ];
+      [ "gld (8 B words)"; Printf.sprintf "%.3f ms" (gld_t *. 1e3) ];
+    ];
+  Fmt.pf ppf "Ablation 4: write-cache size (deferred update, with marks)@.";
+  T.table ppf ~headers:[ "lines"; "miss ratio"; "DMA time" ]
+    (List.map
+       (fun (l, m, t) ->
+         [ string_of_int l; T.fmt_pct m; Printf.sprintf "%.3f ms" (t *. 1e3) ])
+       (write_cache_sweep ~quick ()));
+  let t_aligned, t_unaligned = alignment ~quick () in
+  Fmt.pf ppf "Ablation 5: 128-bit alignment (Section 3.7)@.";
+  T.table ppf ~headers:[ "layout"; "DMA time" ]
+    [
+      [ "128-bit aligned"; Printf.sprintf "%.3f ms" (t_aligned *. 1e3) ];
+      [ "unaligned"; Printf.sprintf "%.3f ms" (t_unaligned *. 1e3) ];
+    ];
+  let serial, overlapped = pipeline_overlap ~quick () in
+  Fmt.pf ppf "Ablation 6: DMA/compute overlap bound (Mark kernel)@.";
+  T.table ppf ~headers:[ "model"; "elapsed" ]
+    [
+      [ "synchronous DMA"; Printf.sprintf "%.3f ms" (serial *. 1e3) ];
+      [ "fully double-buffered"; Printf.sprintf "%.3f ms" (overlapped *. 1e3) ];
+    ]

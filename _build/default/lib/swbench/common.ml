@@ -1,0 +1,53 @@
+(** Shared helpers of the experiment harness. *)
+
+module Md = Mdcore
+module K = Swgmx.Kernel_common
+
+let cfg = Swarch.Config.default
+
+type prepared = {
+  st : Md.Md_state.t;
+  sys : K.system;
+  pairs : Md.Pair_list.t;
+  rcut : float;
+}
+
+(** [prepare ~particles ()] builds the standard water system snapshot
+    for kernel experiments: PME electrostatics at a 1.0 nm cut-off
+    (clamped for small boxes), exactly the Table 3 configuration. *)
+let prepare ?(seed = 2019) ~particles () =
+  let molecules = max 4 (particles / 3) in
+  let st = Md.Water.build ~molecules ~seed () in
+  let n = Md.Md_state.n_atoms st in
+  let box = st.Md.Md_state.box in
+  let rcut = Float.min 1.0 (0.45 *. Md.Box.min_edge box) in
+  let beta = Md.Coulomb.ewald_beta ~rc:rcut ~tolerance:1e-5 in
+  let params = { Md.Nonbonded.rcut; elec = Md.Nonbonded.Ewald_real beta } in
+  let cl = Md.Cluster.build box st.Md.Md_state.pos n in
+  let pairs = Md.Pair_list.build box cl ~pos:st.Md.Md_state.pos ~rlist:rcut () in
+  let sys =
+    K.make cfg ~box ~params ~cl ~topo:st.Md.Md_state.topo ~ff:st.Md.Md_state.ff
+      ~pos:st.Md.Md_state.pos
+  in
+  { st; sys; pairs; rcut }
+
+(** [kernel_outcome prepared variant] runs one force-kernel variant on
+    a fresh core group. *)
+let kernel_outcome p variant =
+  let cg = Swarch.Core_group.create cfg in
+  Swgmx.Kernel.run p.sys p.pairs cg variant
+
+(** Memoized [Engine.measure], keyed by (version, atoms, n_cg): the
+    same measurements feed Table 1 and Figure 10. *)
+let measure_cache :
+    (Swgmx.Engine.version * int * int, Swgmx.Engine.measurement) Hashtbl.t =
+  Hashtbl.create 16
+
+let measure ~version ~total_atoms ~n_cg =
+  let key = (version, total_atoms, n_cg) in
+  match Hashtbl.find_opt measure_cache key with
+  | Some m -> m
+  | None ->
+      let m = Swgmx.Engine.measure ~version ~total_atoms ~n_cg () in
+      Hashtbl.add measure_cache key m;
+      m

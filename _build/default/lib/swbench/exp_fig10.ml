@@ -1,0 +1,50 @@
+(** Figure 10: overall per-step speedup of the four optimization levels
+    on both benchmark cases. *)
+
+module E = Swgmx.Engine
+module T = Table_render
+
+type point = { version : E.version; case : Workload.case; speedup : float }
+
+(** [data ~quick ()] measures every (version, case) combination. *)
+let data ~quick () =
+  List.concat_map
+    (fun case ->
+      let case = Workload.shrink ~quick case in
+      let t v =
+        (Common.measure ~version:v ~total_atoms:case.Workload.particles
+           ~n_cg:case.Workload.n_cg)
+          .E.step_time
+      in
+      let t_ori = t E.V_ori in
+      List.map
+        (fun version -> { version; case; speedup = t_ori /. t version })
+        E.versions)
+    [ Workload.case1; Workload.case2 ]
+
+(** [run ~quick ppf] renders the figure. *)
+let run ~quick ppf =
+  Fmt.pf ppf "Figure 10: overall speedup by optimization level@.";
+  Fmt.pf ppf "  paper: case 1 -> 1 / 20 / 30 / 32; case 2 -> 1 / 6 / 8 / 18@.";
+  let pts = data ~quick () in
+  let headers = [ "Version"; "case 1"; "case 2" ] in
+  let rows =
+    List.map
+      (fun v ->
+        E.version_name v
+        :: List.map
+             (fun case_name ->
+               match
+                 List.find_opt
+                   (fun p ->
+                     p.version = v
+                     && String.length p.case.Workload.name >= 6
+                     && String.sub p.case.Workload.name 0 6 = case_name)
+                   pts
+               with
+               | Some p -> Printf.sprintf "%.1fx" p.speedup
+               | None -> "-")
+             [ "case 1"; "case 2" ])
+      E.versions
+  in
+  T.table ppf ~headers rows

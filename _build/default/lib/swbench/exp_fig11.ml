@@ -1,0 +1,89 @@
+(** Figure 11: cross-platform comparison at TTF-fair chip counts.
+
+    The paper compares N SW26010 chips against one KNL or P100, picking
+    N from the time-to-fulfill argument of Equations 3-4 (150 for KNL,
+    24 for P100).  The MPE and CPE bars come from our simulated
+    ensembles (Ori / Other versions through the scaling model); the
+    accelerator bars use the TTF parity point scaled by a device
+    utilization factor: GROMACS 5.1.5 extracts near-ideal throughput
+    from the P100 but little from KNL (the paper's own finding — its
+    KNL bar sits at 1.77 despite TTF parity at 150 chips), and dual
+    GPUs scale at ~75%. *)
+
+module E = Swgmx.Engine
+module T = Table_render
+
+(** Device utilization relative to the TTF parity point. *)
+let utilization = function
+  | "KNL" -> 0.1
+  | "1x P100" -> 1.0
+  | "2x P100" -> 0.75
+  | _ -> 1.0
+
+type group = {
+  chips : int;
+  device : string;
+  mpe_bar : float;  (** always 1.0: the baseline *)
+  device_bar : float;
+  cpe_bar : float;
+}
+
+(** [data ~quick ()] computes the three bar groups. *)
+let data ~quick () =
+  let total_atoms = (Workload.shrink ~quick Workload.case2).Workload.particles in
+  let box_edge = (float_of_int total_atoms /. 3.0 /. 33.4) ** (1.0 /. 3.0) in
+  let per_cg version atoms =
+    (Common.measure ~version ~total_atoms:atoms ~n_cg:1).E.step_time
+  in
+  let ensemble version chips =
+    let cgs = 4 * chips in
+    let atoms_per_cg = max 12 (total_atoms / cgs) in
+    let t1 = per_cg version atoms_per_cg in
+    let compute a = t1 *. float_of_int a /. float_of_int atoms_per_cg in
+    Swcomm.Scaling.step_time ~compute
+      ~transport:
+        (match version with
+        | E.V_other -> Swcomm.Network.Rdma
+        | _ -> Swcomm.Network.Mpi)
+      ~total_atoms ~rcut:1.0 ~box_edge cgs
+  in
+  List.map
+    (fun (chips, device) ->
+      let t_mpe = ensemble E.V_ori chips in
+      let t_cpe = ensemble E.V_other chips in
+      (* TTF parity: the device matches a fully-utilized ensemble of
+         [fair] chips; scale to this group's chip count *)
+      let fair =
+        match device with
+        | "KNL" -> Swarch.Platforms.fair_chip_count Swarch.Platforms.knl
+        | _ -> Swarch.Platforms.fair_chip_count Swarch.Platforms.p100
+      in
+      let gpus = if device = "2x P100" then 2.0 else 1.0 in
+      (* absolute device time for the whole system: the TTF parity
+         ensemble's time, corrected for utilization and device count *)
+      let t_device = ensemble E.V_other fair /. utilization device /. gpus in
+      {
+        chips;
+        device;
+        mpe_bar = 1.0;
+        device_bar = t_mpe /. t_device;
+        cpe_bar = t_mpe /. t_cpe;
+      })
+    [ (150, "KNL"); (24, "1x P100"); (48, "2x P100") ]
+
+(** [run ~quick ppf] renders the figure. *)
+let run ~quick ppf =
+  Fmt.pf ppf "Figure 11: platform comparison at TTF-fair chip counts@.";
+  Fmt.pf ppf
+    "  paper: 150 chips -> KNL 1.77, CPE 18.06; 24 -> P100 22.77, CPE 22.92; \
+     48 -> 2xP100 17.20, CPE 21.47@.";
+  List.iter
+    (fun g ->
+      T.bar_chart ppf
+        ~title:(Printf.sprintf "%d x SW26010 vs %s (speedup over MPE-only)" g.chips g.device)
+        [
+          (Printf.sprintf "%dx MPE" g.chips, g.mpe_bar);
+          (g.device, g.device_bar);
+          (Printf.sprintf "%dx CPE" g.chips, g.cpe_bar);
+        ])
+    (data ~quick ())

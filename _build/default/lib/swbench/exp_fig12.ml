@@ -1,0 +1,55 @@
+(** Figure 12: weak and strong scalability from 4 to 512 core groups. *)
+
+module E = Swgmx.Engine
+module T = Table_render
+
+let cgs_list = [ 4; 8; 16; 32; 64; 128; 256; 512 ]
+
+type curves = {
+  strong : Swcomm.Scaling.point list;
+  weak : Swcomm.Scaling.point list;
+}
+
+(** [data ~quick ()] evaluates both curves.  The on-chip compute time
+    is anchored by one full kernel simulation at the reference per-CG
+    size and scaled linearly in particle count (the force kernel
+    dominates and is linear at fixed density). *)
+let data ~quick () =
+  let ref_atoms = if quick then 3000 else 12000 in
+  let m = Common.measure ~version:E.V_other ~total_atoms:ref_atoms ~n_cg:1 in
+  let per_atom = m.E.step_time /. float_of_int ref_atoms in
+  let compute atoms = per_atom *. float_of_int atoms in
+  (* the curves themselves are cheap model evaluations, so quick mode
+     only shrinks the anchor measurement, not the modelled system *)
+  let strong_atoms = Workload.case1.Workload.particles in
+  let strong_edge = (float_of_int strong_atoms /. 3.0 /. 33.4) ** (1.0 /. 3.0) in
+  let weak_atoms = 10_000 in
+  let weak_edge = (float_of_int weak_atoms /. 3.0 /. 33.4) ** (1.0 /. 3.0) in
+  {
+    strong =
+      Swcomm.Scaling.strong ~compute ~total_atoms:strong_atoms ~rcut:1.0
+        ~box_edge:strong_edge cgs_list;
+    weak =
+      Swcomm.Scaling.weak ~compute ~atoms_per_cg:weak_atoms ~rcut:1.0
+        ~box_edge_per_cg:weak_edge cgs_list;
+  }
+
+(** [run ~quick ppf] renders both curves. *)
+let run ~quick ppf =
+  Fmt.pf ppf "Figure 12: weak & strong scalability (4 -> 512 CGs)@.";
+  Fmt.pf ppf
+    "  paper strong eff: 1.00 0.97 0.94 0.92 0.90 0.78 0.63 0.47; weak: 1.00 \
+     0.99 0.90 0.90 0.89 0.89 0.87@.";
+  let c = data ~quick () in
+  let row kind (p : Swcomm.Scaling.point) =
+    [
+      kind;
+      string_of_int p.Swcomm.Scaling.cgs;
+      Printf.sprintf "%.3f ms" (p.Swcomm.Scaling.step_time *. 1e3);
+      T.fmt_float p.Swcomm.Scaling.speedup;
+      T.fmt_float p.Swcomm.Scaling.efficiency;
+    ]
+  in
+  T.table ppf
+    ~headers:[ "Curve"; "CGs"; "step time"; "speedup"; "efficiency" ]
+    (List.map (row "strong") c.strong @ List.map (row "weak") c.weak)

@@ -1,0 +1,59 @@
+(** Figure 8: short-range kernel speedup of each optimization stage
+    (Ori / Pkg / Cache / Vec / Mark) at four per-CG particle counts. *)
+
+module V = Swgmx.Variant
+module T = Table_render
+
+type cell = { variant : V.t; particles : int; elapsed : float; speedup : float }
+
+(** [data ~quick ()] runs every (variant, size) combination and returns
+    the grid of simulated times and speedups vs [Ori]. *)
+let data ~quick () =
+  let sizes =
+    List.sort_uniq compare
+      (List.map (Workload.shrink_size ~quick) Workload.fig8_sizes)
+  in
+  List.concat_map
+    (fun particles ->
+      let p = Common.prepare ~particles () in
+      let t_ori = (Common.kernel_outcome p V.Ori).Swgmx.Kernel.elapsed in
+      List.map
+        (fun variant ->
+          let elapsed = (Common.kernel_outcome p variant).Swgmx.Kernel.elapsed in
+          { variant; particles; elapsed; speedup = t_ori /. elapsed })
+        V.fig8)
+    sizes
+
+(** [run ~quick ppf] renders the figure as a table plus bar chart. *)
+let run ~quick ppf =
+  Fmt.pf ppf "Figure 8: short-range kernel speedup by optimization stage@.";
+  Fmt.pf ppf "  paper (48k): Ori 1 / Pkg 3 / Cache 23 / Vec 40 / Mark 62@.";
+  let cells = data ~quick () in
+  let sizes = List.sort_uniq compare (List.map (fun c -> c.particles) cells) in
+  let headers =
+    "Variant"
+    :: List.map (fun s -> Printf.sprintf "%dK particles" (s / 1000)) sizes
+  in
+  let rows =
+    List.map
+      (fun v ->
+        V.name v
+        :: List.map
+             (fun s ->
+               match
+                 List.find_opt (fun c -> c.variant = v && c.particles = s) cells
+               with
+               | Some c -> Printf.sprintf "%.1fx" c.speedup
+               | None -> "-")
+             sizes)
+      V.fig8
+  in
+  T.table ppf ~headers rows;
+  (match sizes with
+  | s :: _ ->
+      T.bar_chart ppf
+        ~title:(Printf.sprintf "speedup at %dK particles" (s / 1000))
+        (List.filter_map
+           (fun c -> if c.particles = s then Some (V.name c.variant, c.speedup) else None)
+           cells)
+  | [] -> ())

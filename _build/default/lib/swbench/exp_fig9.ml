@@ -1,0 +1,29 @@
+(** Figure 9: write-conflict strategy comparison — USTC pipeline, RCA
+    (redundant computation), RMA (redundant memory) and the paper's
+    update-mark strategy, all on case 1. *)
+
+module V = Swgmx.Variant
+module T = Table_render
+
+type bar = { variant : V.t; speedup : float }
+
+(** [data ~quick ()] is the four speedups vs the MPE baseline. *)
+let data ~quick () =
+  let particles =
+    (Workload.shrink ~quick Workload.case1).Workload.particles
+  in
+  let p = Common.prepare ~particles () in
+  let t_ori = (Common.kernel_outcome p V.Ori).Swgmx.Kernel.elapsed in
+  List.map
+    (fun variant ->
+      let t = (Common.kernel_outcome p variant).Swgmx.Kernel.elapsed in
+      { variant; speedup = t_ori /. t })
+    V.fig9
+
+(** [run ~quick ppf] renders the figure. *)
+let run ~quick ppf =
+  Fmt.pf ppf "Figure 9: write-conflict strategies on case 1@.";
+  Fmt.pf ppf "  paper: USTC 16 / RCA (SW_LAMMPS) 16.4 / RMA 40 / MARK 63@.";
+  let bars = data ~quick () in
+  T.bar_chart ppf ~title:"speedup over the MPE baseline"
+    (List.map (fun b -> (V.name b.variant, b.speedup)) bars)

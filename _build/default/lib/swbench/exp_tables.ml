@@ -1,0 +1,60 @@
+(** Tables 1-4 of the paper. *)
+
+module E = Swgmx.Engine
+module T = Table_render
+
+(** Table 1: time share of each workflow kernel for the two benchmark
+    cases (the unoptimized profile the paper starts from). *)
+let table1 ~quick ppf =
+  let c1 = Workload.shrink ~quick Workload.case1 in
+  let c2 = Workload.shrink ~quick Workload.case2 in
+  let m1 = Common.measure ~version:E.V_ori ~total_atoms:c1.Workload.particles ~n_cg:c1.Workload.n_cg in
+  let m2 = Common.measure ~version:E.V_ori ~total_atoms:c2.Workload.particles ~n_cg:c2.Workload.n_cg in
+  let pct m t = if t <= 0.0 then "NULL" else T.fmt_pct (t /. E.total m.E.times) in
+  let rows =
+    List.map2
+      (fun (name, t1) (_, t2) -> [ name; pct m1 t1; pct m2 t2 ])
+      (E.rows m1.E.times) (E.rows m2.E.times)
+  in
+  Fmt.pf ppf "Table 1: kernel time shares (Ori version)@.";
+  Fmt.pf ppf "  paper: Force 95.5%% / 74.8%%, NS 2.5%% / 2.3%%, Comm.energies - / 18.7%%@.";
+  T.table ppf ~headers:[ "Kernel"; c1.Workload.name; c2.Workload.name ] rows
+
+(** Table 2: the DMA bandwidth curve (the model passes exactly through
+    the measured points of the paper). *)
+let table2 ppf =
+  Fmt.pf ppf "Table 2: DMA bandwidth by transfer size@.";
+  let sizes = [ 8; 32; 128; 256; 512; 1024; 2048; 4096 ] in
+  let rows =
+    List.map
+      (fun s ->
+        [
+          Printf.sprintf "%d B" s;
+          Printf.sprintf "%.2f GB/s" (Swarch.Dma.bandwidth Common.cfg s /. 1e9);
+        ])
+      sizes
+  in
+  T.table ppf ~headers:[ "Access size"; "Bandwidth" ] rows;
+  Fmt.pf ppf "  paper points: 8B 0.99, 128B 15.77, 256B 28.88, 512B 28.98, 2048B 30.48 GB/s@."
+
+(** Table 3: benchmark input parameters. *)
+let table3 ppf =
+  Fmt.pf ppf "Table 3: water benchmark parameters@.";
+  T.table ppf ~headers:[ "Key variable"; "Value" ]
+    (List.map (fun (k, v) -> [ k; v ]) Workload.table3)
+
+(** Table 4: platform comparison facts. *)
+let table4 ppf =
+  Fmt.pf ppf "Table 4: platform information@.";
+  let rows =
+    List.map
+      (fun (p : Swarch.Platforms.t) ->
+        [
+          p.Swarch.Platforms.name;
+          Printf.sprintf "%.0f T" (p.Swarch.Platforms.peak_flops /. 1e12);
+          Printf.sprintf "%.0f G/s" (p.Swarch.Platforms.mem_bw /. 1e9);
+          p.Swarch.Platforms.cache_desc;
+        ])
+      Swarch.Platforms.all
+  in
+  T.table ppf ~headers:[ "Platform"; "Flops"; "Bandwidth"; "Cache" ] rows

@@ -1,0 +1,1 @@
+lib/swcache/swcache.ml: Assoc_cache Bitmap Read_cache Stats Write_cache

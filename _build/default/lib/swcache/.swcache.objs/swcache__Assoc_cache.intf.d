@@ -1,0 +1,1 @@
+lib/swcache/assoc_cache.mli: Stats Swarch

@@ -1,0 +1,1 @@
+lib/swcache/bitmap.ml: Array Sys

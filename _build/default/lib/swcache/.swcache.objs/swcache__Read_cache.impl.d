@@ -1,0 +1,1 @@
+lib/swcache/read_cache.ml: Array Stats Swarch

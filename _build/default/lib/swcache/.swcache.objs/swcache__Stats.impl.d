@@ -1,0 +1,1 @@
+lib/swcache/stats.ml: Fmt

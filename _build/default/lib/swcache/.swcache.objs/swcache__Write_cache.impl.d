@@ -1,0 +1,1 @@
+lib/swcache/write_cache.ml: Array Bitmap Stats Swarch

@@ -1,0 +1,1 @@
+lib/swcache/write_cache.mli: Bitmap Stats Swarch

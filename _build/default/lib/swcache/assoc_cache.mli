@@ -1,0 +1,44 @@
+(** Two-way set-associative software read cache (Section 3.5).
+
+    During pair-list generation the access pattern alternates between
+    two spatial streams, which thrashes a direct-mapped cache (the
+    paper reports >85% misses); two-way associativity with LRU brings
+    the miss ratio back to ~10%.  The interface mirrors
+    {!Read_cache}. *)
+
+type t
+
+(** [footprint_bytes ~elt_floats ~line_elts ~n_sets] is the LDM cost of
+    such a cache. *)
+val footprint_bytes : elt_floats:int -> line_elts:int -> n_sets:int -> int
+
+(** [create cfg cost ~backing ~elt_floats ~line_elts ~n_sets ()] builds
+    an empty two-way cache in front of [backing]. *)
+val create :
+  Swarch.Config.t ->
+  Swarch.Cost.t ->
+  backing:float array ->
+  elt_floats:int ->
+  line_elts:int ->
+  n_sets:int ->
+  unit ->
+  t
+
+(** [stats t] is the cache's hit/miss record. *)
+val stats : t -> Stats.t
+
+(** [n_elements t] is the number of elements in the backing store. *)
+val n_elements : t -> int
+
+(** [touch t i] ensures element [i] is resident (LRU fill on miss) and
+    returns its float offset inside the cache data. *)
+val touch : t -> int -> int
+
+(** [get t i j] is float [j] of element [i], through the cache. *)
+val get : t -> int -> int -> float
+
+(** [get_element t i dst] copies element [i]'s floats into [dst]. *)
+val get_element : t -> int -> float array -> unit
+
+(** [invalidate t] drops every line. *)
+val invalidate : t -> unit

@@ -1,0 +1,62 @@
+(** Direct-mapped software read cache (Figure 3 of the paper).
+
+    CPEs have no hardware cache; instead the kernel keeps a small
+    direct-mapped cache of main-memory "elements" (particle packages)
+    in LDM.  An element index is decomposed into tag / line / offset by
+    bit operations; on a tag mismatch the whole line is fetched from
+    main memory by one DMA transfer. *)
+
+type t = {
+  cfg : Swarch.Config.t;
+  cost : Swarch.Cost.t;
+  backing : float array;  (** main-memory array (read-only here) *)
+  elt_floats : int;  (** floats per element *)
+  line_elts : int;  (** elements per cache line; power of two *)
+  n_lines : int;  (** number of lines; power of two *)
+  tags : int array;  (** per-line tag, [-1] = invalid *)
+  data : float array;  (** cached lines *)
+  stats : Stats.t;
+  line_bytes : int;  (** DMA transfer size of one line fill *)
+  ldm : Swarch.Ldm.t option;
+}
+
+(** [footprint_bytes ~elt_floats ~line_elts ~n_lines] is the LDM cost
+    of such a cache. *)
+val footprint_bytes : elt_floats:int -> line_elts:int -> n_lines:int -> int
+
+(** [create cfg cost ?ldm ~backing ~elt_floats ~line_elts ~n_lines ()]
+    builds an empty cache in front of [backing].  When [ldm] is given,
+    the footprint is allocated from it (failing loudly past 64 KB). *)
+val create :
+  Swarch.Config.t ->
+  Swarch.Cost.t ->
+  ?ldm:Swarch.Ldm.t ->
+  backing:float array ->
+  elt_floats:int ->
+  line_elts:int ->
+  n_lines:int ->
+  unit ->
+  t
+
+(** [release t] returns the cache's LDM allocation, if any. *)
+val release : t -> unit
+
+(** [stats t] is the cache's hit/miss record. *)
+val stats : t -> Stats.t
+
+(** [n_elements t] is the number of elements in the backing store. *)
+val n_elements : t -> int
+
+(** [touch t i] ensures element [i] is resident, charging tag
+    arithmetic and, on a miss, one line-sized DMA fetch.  Returns the
+    float offset of the element inside [data]. *)
+val touch : t -> int -> int
+
+(** [get t i j] is float [j] of element [i], through the cache. *)
+val get : t -> int -> int -> float
+
+(** [get_element t i dst] copies element [i]'s floats into [dst]. *)
+val get_element : t -> int -> float array -> unit
+
+(** [invalidate t] drops every line (no traffic: lines are clean). *)
+val invalidate : t -> unit

@@ -1,0 +1,1 @@
+lib/swcomm/swcomm.ml: Decomp Network Scaling Step_comm

@@ -1,0 +1,1 @@
+lib/swcomm/decomp.mli: Format

@@ -1,0 +1,1 @@
+lib/swcomm/network.ml: Float

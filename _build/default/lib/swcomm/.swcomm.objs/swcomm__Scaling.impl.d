@@ -1,0 +1,1 @@
+lib/swcomm/scaling.ml: Float List Network Step_comm

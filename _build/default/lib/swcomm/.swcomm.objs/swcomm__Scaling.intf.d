@@ -1,0 +1,1 @@
+lib/swcomm/scaling.mli: Network

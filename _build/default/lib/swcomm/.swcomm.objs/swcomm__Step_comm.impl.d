@@ -1,0 +1,1 @@
+lib/swcomm/step_comm.ml: Decomp Float Network

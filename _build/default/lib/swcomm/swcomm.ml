@@ -1,0 +1,11 @@
+(** Communication substrate (Sections 3.6, 4.6).
+
+    Analytic models of TaihuLight's interconnect (fat-tree, MPI's
+    four-copy path vs. RDMA's zero-copy path), GROMACS's domain
+    decomposition, the per-step communication volume, and the
+    strong/weak scaling assembly of Figure 12. *)
+
+module Network = Network
+module Decomp = Decomp
+module Step_comm = Step_comm
+module Scaling = Scaling

@@ -1,0 +1,1 @@
+lib/swgmx/swgmx.ml: Engine Kernel Kernel_common Kernel_cpe Kernel_ori Nsearch_cpe Package Pme_model Reduction Variant

@@ -1,0 +1,1 @@
+lib/swgmx/engine.ml: Array Float Kernel Kernel_common Kernel_cpe List Mdcore Nsearch_cpe Pme_model Swarch Swcache Swcomm Swio Variant

@@ -1,0 +1,1 @@
+lib/swgmx/kernel.ml: Kernel_common Kernel_cpe Kernel_ori Mdcore Swarch Variant

@@ -1,0 +1,1 @@
+lib/swgmx/kernel.mli: Kernel_common Kernel_cpe Mdcore Swarch Variant

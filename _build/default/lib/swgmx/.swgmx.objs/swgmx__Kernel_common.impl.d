@@ -1,0 +1,1 @@
+lib/swgmx/kernel_common.ml: Array Hashtbl Mdcore Option Package Swarch

@@ -1,0 +1,1 @@
+lib/swgmx/kernel_cpe.ml: Array Float Kernel_common Mdcore Option Package Reduction Swarch Swcache Variant

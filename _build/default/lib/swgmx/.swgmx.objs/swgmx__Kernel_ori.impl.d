@@ -1,0 +1,1 @@
+lib/swgmx/kernel_ori.ml: Array Float Kernel_common Mdcore Package Swarch

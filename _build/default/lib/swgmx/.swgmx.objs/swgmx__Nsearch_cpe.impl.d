@@ -1,0 +1,1 @@
+lib/swgmx/nsearch_cpe.ml: Array Kernel_common List Mdcore Package Swarch Swcache

@@ -1,0 +1,1 @@
+lib/swgmx/package.ml: Array Mdcore

@@ -1,0 +1,1 @@
+lib/swgmx/pme_model.ml: Float Swarch

@@ -1,0 +1,1 @@
+lib/swgmx/reduction.ml: Array Kernel_common Swarch Swcache

@@ -1,0 +1,1 @@
+lib/swgmx/variant.mli:

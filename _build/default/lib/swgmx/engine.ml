@@ -1,0 +1,350 @@
+(** Full-workflow engine: the complete MD step on the simulated
+    machine, with per-kernel simulated-time accounting.
+
+    Two distinct services:
+
+    - {!measure}: price one MD step for a given optimization level
+      (the four bars of Figure 10) and report the Table 1 kernel
+      breakdown, combining real kernel simulation on one core group
+      with the {!Swcomm} communication model for multi-CG runs;
+    - {!simulate}: actually integrate the equations of motion using
+      the optimized (mixed-precision) short-range kernel, producing
+      the trajectory data behind the accuracy experiment (Figure 13). *)
+
+module K = Kernel_common
+module Md = Mdcore
+
+(** The four optimization levels of Figure 10. *)
+type version =
+  | V_ori  (** unported baseline: everything on the MPE, plain MPI *)
+  | V_cal  (** + optimized short-range calculation (Mark kernel, CPE PME) *)
+  | V_list  (** + pair-list generation on the CPEs *)
+  | V_other  (** + CPE update/constraints, fast I/O, RDMA *)
+
+(** All versions, in Figure 10 order. *)
+let versions = [ V_ori; V_cal; V_list; V_other ]
+
+(** [version_name v] is the Figure 10 label. *)
+let version_name = function
+  | V_ori -> "Ori"
+  | V_cal -> "Cal"
+  | V_list -> "List"
+  | V_other -> "Other"
+
+type features = {
+  force : Variant.t;
+  pme_on_cpe : bool;
+  nsearch_cpe : bool;
+  fast_update : bool;
+  fast_io : bool;
+  transport : Swcomm.Network.transport;
+}
+
+(** [features_of_version v] expands a Figure 10 level into concrete
+    choices. *)
+let features_of_version = function
+  | V_ori ->
+      {
+        force = Variant.Ori;
+        pme_on_cpe = false;
+        nsearch_cpe = false;
+        fast_update = false;
+        fast_io = false;
+        transport = Swcomm.Network.Mpi;
+      }
+  | V_cal ->
+      {
+        force = Variant.Mark;
+        pme_on_cpe = true;
+        nsearch_cpe = false;
+        fast_update = false;
+        fast_io = false;
+        transport = Swcomm.Network.Mpi;
+      }
+  | V_list ->
+      {
+        force = Variant.Mark;
+        pme_on_cpe = true;
+        nsearch_cpe = true;
+        fast_update = false;
+        fast_io = false;
+        transport = Swcomm.Network.Mpi;
+      }
+  | V_other ->
+      {
+        force = Variant.Mark;
+        pme_on_cpe = true;
+        nsearch_cpe = true;
+        fast_update = true;
+        fast_io = true;
+        transport = Swcomm.Network.Rdma;
+      }
+
+(** Per-step simulated seconds, one field per Table 1 row. *)
+type kernel_times = {
+  mutable domain_decomp : float;
+  mutable nsearch : float;
+  mutable force : float;  (** short-range kernel + PME mesh work *)
+  mutable wait_comm_f : float;
+  mutable buffer_ops : float;
+  mutable update : float;
+  mutable constraints : float;
+  mutable comm_energies : float;
+  mutable write_traj : float;
+  mutable rest : float;
+}
+
+let zero_times () =
+  {
+    domain_decomp = 0.0;
+    nsearch = 0.0;
+    force = 0.0;
+    wait_comm_f = 0.0;
+    buffer_ops = 0.0;
+    update = 0.0;
+    constraints = 0.0;
+    comm_energies = 0.0;
+    write_traj = 0.0;
+    rest = 0.0;
+  }
+
+(** [total t] is the summed per-step time. *)
+let total t =
+  t.domain_decomp +. t.nsearch +. t.force +. t.wait_comm_f +. t.buffer_ops
+  +. t.update +. t.constraints +. t.comm_energies +. t.write_traj +. t.rest
+
+(** [rows t] lists (Table 1 row label, seconds). *)
+let rows t =
+  [
+    ("Domain decomp.", t.domain_decomp);
+    ("Neighbor search", t.nsearch);
+    ("Force", t.force);
+    ("Wait + comm. F", t.wait_comm_f);
+    ("NB X/F buffer ops", t.buffer_ops);
+    ("Update", t.update);
+    ("Constraints", t.constraints);
+    ("Comm. energies", t.comm_energies);
+    ("Write traj.", t.write_traj);
+    ("Rest", t.rest);
+  ]
+
+type measurement = {
+  times : kernel_times;
+  step_time : float;
+  atoms_per_cg : int;
+  read_miss : float;  (** force-kernel read-cache miss ratio, if cached *)
+  nsearch_miss : float;  (** pair-list cache miss ratio of the level's path *)
+}
+
+(* serial per-atom work on the MPE (original code paths) *)
+let mpe_per_atom_time (cfg : Swarch.Config.t) ~flops ~bytes n =
+  (float_of_int n *. flops /. cfg.Swarch.Config.mpe_flops_per_cycle
+  /. cfg.Swarch.Config.mpe_freq_hz)
+  +. (float_of_int n *. bytes /. cfg.Swarch.Config.mpe_mem_bw)
+
+(* the same work striped over the CPEs with DMA streaming *)
+let cpe_per_atom_time (cfg : Swarch.Config.t) ~flops ~bytes n =
+  let cpes = float_of_int cfg.Swarch.Config.cpe_count in
+  (float_of_int n *. flops /. cpes /. cfg.Swarch.Config.cpe_freq_hz)
+  +. (float_of_int n *. bytes /. Swarch.Config.peak_dma_bw cfg)
+
+(** [measure ?cfg ?steps_per_frame ~version ~total_atoms ~n_cg ()]
+    prices one MD step of the water benchmark at the given
+    optimization level: [total_atoms] split over [n_cg] core groups
+    (the per-CG slice is simulated in full; communication is modelled
+    analytically).  [steps_per_frame] is the trajectory-output
+    interval (Table 1 measures runs that write output). *)
+let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
+    ?(nstlist = 10) ~version ~total_atoms ~n_cg () =
+  if n_cg < 1 then invalid_arg "Engine.measure: n_cg must be positive";
+  let f = features_of_version version in
+  let atoms_per_cg = max 12 (total_atoms / n_cg) in
+  let molecules = max 4 (atoms_per_cg / 3) in
+  let st = Md.Water.build ~molecules ~seed:2019 () in
+  let n = Md.Md_state.n_atoms st in
+  let box = st.Md.Md_state.box in
+  let rcut = Float.min 1.0 (0.45 *. Md.Box.min_edge box) in
+  let beta = Md.Coulomb.ewald_beta ~rc:rcut ~tolerance:1e-5 in
+  let params = { Md.Nonbonded.rcut; elec = Md.Nonbonded.Ewald_real beta } in
+  let cl = Md.Cluster.build box st.Md.Md_state.pos n in
+  let sys = K.make cfg ~box ~params ~cl ~topo:st.Md.Md_state.topo
+      ~ff:st.Md.Md_state.ff ~pos:st.Md.Md_state.pos in
+  let times = zero_times () in
+  (* --- neighbour search (amortized over nstlist steps) --- *)
+  let cg = Swarch.Core_group.create cfg in
+  Swarch.Core_group.reset cg;
+  let pairs, ns_stats =
+    Nsearch_cpe.run sys cg ~kind:Nsearch_cpe.Two_way ~rlist:rcut
+  in
+  let t_ns_cpe = Swarch.Core_group.elapsed cg in
+  let t_ns_mpe =
+    (* the original list builder runs serially on the MPE: candidate
+       sweep plus exact refinement of sphere-passing pairs *)
+    mpe_per_atom_time cfg ~flops:40.0 ~bytes:80.0 ns_stats.Nsearch_cpe.candidates
+    +. mpe_per_atom_time cfg ~flops:160.0 ~bytes:32.0 ns_stats.Nsearch_cpe.accepted
+  in
+  times.nsearch <-
+    (if f.nsearch_cpe then t_ns_cpe else t_ns_mpe) /. float_of_int nstlist;
+  (* --- short-range force + PME mesh --- *)
+  let outcome = Kernel.run sys pairs cg f.force in
+  let pme_grid = Pme_model.grid_for ~box_edge:box.Md.Box.lx in
+  let t_pme =
+    if f.pme_on_cpe then Pme_model.cpe_time cfg ~n_atoms:n ~grid:pme_grid
+    else Pme_model.mpe_time cfg ~n_atoms:n ~grid:pme_grid
+  in
+  times.force <- outcome.Kernel.elapsed +. t_pme;
+  let read_miss =
+    match outcome.Kernel.stats with
+    | Some { Kernel_cpe.read_stats = Some s; _ } -> Swcache.Stats.miss_ratio s
+    | _ -> 0.0
+  in
+  (* --- buffer ops: gather/scatter between atom and cluster order --- *)
+  times.buffer_ops <-
+    (if f.force = Variant.Ori then mpe_per_atom_time cfg ~flops:2.0 ~bytes:24.0 n
+     else cpe_per_atom_time cfg ~flops:2.0 ~bytes:24.0 n);
+  (* --- update + constraints --- *)
+  let upd_path = if f.fast_update then cpe_per_atom_time else mpe_per_atom_time in
+  times.update <- upd_path cfg ~flops:9.0 ~bytes:72.0 n;
+  times.constraints <- upd_path cfg ~flops:100.0 ~bytes:60.0 n;
+  (* --- trajectory output, amortized over the output interval --- *)
+  let io_path = if f.fast_io then Swio.Io_model.Fast else Swio.Io_model.Standard in
+  times.write_traj <-
+    Swio.Io_model.frame_time ~path:io_path ~n_atoms:n
+    /. float_of_int steps_per_frame;
+  (* --- communication (multi-CG runs only) --- *)
+  if n_cg > 1 then begin
+    let global_edge = box.Md.Box.lx *. (float_of_int n_cg ** (1.0 /. 3.0)) in
+    let on_chip =
+      times.nsearch +. times.force +. times.buffer_ops +. times.update
+      +. times.constraints
+    in
+    let comm =
+      Swcomm.Step_comm.compute
+        {
+          Swcomm.Step_comm.net = Swcomm.Network.default;
+          transport = f.transport;
+          total_atoms;
+          ranks = n_cg;
+          rcut;
+          box_edge = global_edge;
+          pme_grid = Pme_model.grid_for ~box_edge:global_edge;
+          compute_time = on_chip;
+        }
+    in
+    times.domain_decomp <- comm.Swcomm.Step_comm.domain_decomp;
+    times.wait_comm_f <-
+      comm.Swcomm.Step_comm.halo +. comm.Swcomm.Step_comm.pme;
+    times.comm_energies <- comm.Swcomm.Step_comm.energies
+  end;
+  (* --- everything else: bookkeeping, energy summation, logging --- *)
+  times.rest <- mpe_per_atom_time cfg ~flops:1.0 ~bytes:8.0 n;
+  {
+    times;
+    step_time = total times;
+    atoms_per_cg = n;
+    read_miss;
+    nsearch_miss = ns_stats.Nsearch_cpe.miss_ratio;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Real dynamics with the optimized kernel (Figure 13). *)
+
+type sample = { step : int; total_energy : float; temperature : float }
+
+(** [simulate ?cfg ?variant ~molecules ~seed ~steps ~sample_every ()]
+    runs real water dynamics where the short-range forces come from
+    the optimized mixed-precision kernel (default [Mark]) while PME,
+    constraints and integration follow the reference path — exactly
+    the split of the paper's port.  Returns energy/temperature samples
+    for comparison against the double-precision {!Mdcore.Workflow}. *)
+let simulate ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
+    ?(dt = 0.001) ?(temp = 300.0) ?(equil_steps = 0) ~molecules ~seed ~steps
+    ~sample_every () =
+  let st = Md.Water.build ~molecules ~seed () in
+  let box = st.Md.Md_state.box in
+  let rcut = Float.min 0.9 (0.45 *. Md.Box.min_edge box) in
+  let beta = Md.Coulomb.ewald_beta ~rc:rcut ~tolerance:1e-5 in
+  let params = { Md.Nonbonded.rcut; elec = Md.Nonbonded.Ewald_real beta } in
+  let config =
+    {
+      Md.Workflow.dt;
+      nstlist = 10;
+      rlist = rcut;
+      nb = params;
+      pme_grid = Some 32;
+      thermostat = Some (Md.Thermostat.create ~t_ref:temp ~tau:0.5 ());
+    }
+  in
+  let w = Md.Workflow.create ~config st in
+  ignore (Md.Workflow.minimize ~steps:60 w);
+  Md.Md_state.thermalize st (Md.Rng.create (seed + 1)) temp;
+  (* equilibration: tight coupling drains the remaining lattice strain
+     before the measured trajectory starts *)
+  if equil_steps > 0 then begin
+    let strong =
+      {
+        config with
+        Md.Workflow.thermostat = Some (Md.Thermostat.create ~t_ref:temp ~tau:0.02 ());
+      }
+    in
+    let we = Md.Workflow.create ~config:strong st in
+    Md.Workflow.run we equil_steps
+  end;
+  let cg = Swarch.Core_group.create cfg in
+  let samples = ref [] in
+  let n = Md.Md_state.n_atoms st in
+  for step = 1 to steps do
+    if (step - 1) mod config.Md.Workflow.nstlist = 0 then
+      Md.Workflow.neighbour_search w;
+    (* forces: short-range from the optimized kernel, the rest from the
+       reference path *)
+    Md.Md_state.clear_forces st;
+    let kin = w.Md.Workflow.energy.Md.Energy.kinetic in
+    Md.Energy.reset w.Md.Workflow.energy;
+    w.Md.Workflow.energy.Md.Energy.kinetic <- kin;
+    let sys =
+      K.make cfg ~box ~params ~cl:w.Md.Workflow.cluster
+        ~topo:st.Md.Md_state.topo ~ff:st.Md.Md_state.ff ~pos:st.Md.Md_state.pos
+    in
+    let outcome = Kernel.run sys w.Md.Workflow.pairs cg variant in
+    K.scatter_forces sys outcome.Kernel.result st.Md.Md_state.force;
+    w.Md.Workflow.energy.Md.Energy.lj <- outcome.Kernel.result.K.e_lj;
+    w.Md.Workflow.energy.Md.Energy.coulomb_sr <- outcome.Kernel.result.K.e_coul;
+    Md.Nonbonded.excluded_corrections st params w.Md.Workflow.energy;
+    (match w.Md.Workflow.pme with
+    | Some pme ->
+        Md.Pme.spread pme ~pos:st.Md.Md_state.pos
+          ~charge:st.Md.Md_state.topo.Md.Topology.charge ~n;
+        let e_recip = Md.Pme.solve pme in
+        Md.Pme.gather_forces pme ~pos:st.Md.Md_state.pos
+          ~charge:st.Md.Md_state.topo.Md.Topology.charge ~n
+          ~force:st.Md.Md_state.force;
+        w.Md.Workflow.energy.Md.Energy.coulomb_recip <-
+          w.Md.Workflow.energy.Md.Energy.coulomb_recip +. e_recip
+          +. Md.Coulomb.self_energy ~beta st.Md.Md_state.topo.Md.Topology.charge
+    | None -> ());
+    (* configuration update: leapfrog + SHAKE + thermostat *)
+    Array.blit st.Md.Md_state.pos 0 w.Md.Workflow.ref_pos 0 (3 * n);
+    Md.Integrator.step st ~dt;
+    ignore
+      (Md.Constraints.apply w.Md.Workflow.shake ~ref_pos:w.Md.Workflow.ref_pos
+         ~pos:st.Md.Md_state.pos);
+    let inv_dt = 1.0 /. dt in
+    for k = 0 to (3 * n) - 1 do
+      st.Md.Md_state.vel.(k) <-
+        (st.Md.Md_state.pos.(k) -. w.Md.Workflow.ref_pos.(k)) *. inv_dt
+    done;
+    (match config.Md.Workflow.thermostat with
+    | Some th -> Md.Thermostat.apply th st ~dt
+    | None -> ());
+    w.Md.Workflow.energy.Md.Energy.kinetic <- Md.Md_state.kinetic_energy st;
+    if step mod sample_every = 0 then
+      samples :=
+        {
+          step;
+          total_energy = Md.Energy.total w.Md.Workflow.energy;
+          temperature = Md.Md_state.temperature st;
+        }
+        :: !samples
+  done;
+  List.rev !samples

@@ -1,0 +1,32 @@
+(** Kernel dispatch: run any {!Variant} on a core group.
+
+    All variants consume the same {!Kernel_common.system} snapshot and
+    half pair list ([Rca] converts it to the full list internally, as
+    Algorithm 2 requires) and produce a {!Kernel_common.result} whose
+    physics agrees with {!Mdcore.Nonbonded} within mixed-precision
+    tolerance; only the charged cost differs. *)
+
+type outcome = {
+  result : Kernel_common.result;
+  elapsed : float;  (** simulated seconds of the kernel on the group *)
+  stats : Kernel_cpe.stats option;  (** cache statistics, CPE variants *)
+}
+
+(** [run sys pairs cg variant] resets the group, executes the chosen
+    kernel variant and reports physics + simulated time. *)
+let run sys (pairs : Mdcore.Pair_list.t) (cg : Swarch.Core_group.t) variant =
+  Swarch.Core_group.reset cg;
+  match variant with
+  | Variant.Ori ->
+      let result = Kernel_ori.run sys pairs cg in
+      { result; elapsed = Swarch.Core_group.elapsed cg; stats = None }
+  | Variant.Pkg | Variant.Cache | Variant.Vec | Variant.Mark | Variant.Rma
+  | Variant.Ustc ->
+      let spec = Kernel_cpe.spec_of_variant variant in
+      let result, stats = Kernel_cpe.run sys pairs cg spec in
+      { result; elapsed = Swarch.Core_group.elapsed cg; stats = Some stats }
+  | Variant.Rca ->
+      let spec = Kernel_cpe.spec_of_variant variant in
+      let full = Mdcore.Pair_list.to_full pairs in
+      let result, stats = Kernel_cpe.run sys full cg spec in
+      { result; elapsed = Swarch.Core_group.elapsed cg; stats = Some stats }

@@ -1,0 +1,21 @@
+(** Kernel dispatch: run any {!Variant} on a core group.
+
+    All variants consume the same {!Kernel_common.system} snapshot and
+    half pair list ([Rca] converts it to the full list internally) and
+    produce a result whose physics agrees with {!Mdcore.Nonbonded}
+    within mixed-precision tolerance; only the charged cost differs. *)
+
+type outcome = {
+  result : Kernel_common.result;
+  elapsed : float;  (** simulated seconds of the kernel on the group *)
+  stats : Kernel_cpe.stats option;  (** cache statistics, CPE variants *)
+}
+
+(** [run sys pairs cg variant] resets the group, executes the chosen
+    kernel variant and reports physics + simulated time. *)
+val run :
+  Kernel_common.system ->
+  Mdcore.Pair_list.t ->
+  Swarch.Core_group.t ->
+  Variant.t ->
+  outcome

@@ -1,0 +1,205 @@
+(** Shared infrastructure of the short-range force kernels.
+
+    A {!system} snapshot pins the cluster-ordered main-memory arrays
+    (particle packages, force storage) that every kernel variant works
+    on, together with precomputed interaction constants and exclusion
+    masks.  Each kernel produces a {!result}; tests require all
+    variants to agree with the {!Mdcore.Nonbonded} reference within
+    single-precision tolerance. *)
+
+module Cluster = Mdcore.Cluster
+module Topology = Mdcore.Topology
+module Box = Mdcore.Box
+module Nonbonded = Mdcore.Nonbonded
+
+(** Number of floats of force storage per cluster (4 particles x 3). *)
+let force_floats = Cluster.size * 3
+
+(** Bytes of one cluster's force block. *)
+let force_bytes = force_floats * 4
+
+(** Read-cache geometry (Figure 3): 64 lines of 8 packages (~48 KB,
+    sized to fill the LDM left over by the write cache). *)
+let read_lines = 64
+
+let read_line_elts = 8
+
+(** Write-cache geometry (Figure 4): 32 lines of 8 force blocks. *)
+let write_lines = 32
+
+let write_line_elts = 8
+
+(** Bytes of one write-cache line (8 force blocks). *)
+let write_line_bytes = write_line_elts * force_bytes
+
+type system = {
+  cfg : Swarch.Config.t;
+  box : Box.t;
+  params : Nonbonded.params;
+  cl : Cluster.t;
+  topo : Topology.t;
+  ff : Mdcore.Forcefield.t;
+  n_clusters : int;
+  pkg_aos : float array;  (** main memory: AoS packages (Fig 2) *)
+  pkg_soa : float array;  (** main memory: SoA packages (Fig 6) *)
+  excl : (int, int) Hashtbl.t;
+      (** cluster-pair key -> 16-bit exclusion mask (bit [4*mi+mj]) *)
+  krf : float;
+  crf : float;
+  beta : float;  (** 0 when reaction field is active *)
+}
+
+let pair_key ci cj = (ci * 0x40000) + cj
+
+(** [make cfg ~box ~params ~cl ~topo ~ff ~pos] snapshots a system for
+    kernel execution: gathers positions/charges/types into both
+    package layouts and precomputes exclusion masks per cluster pair. *)
+let make (cfg : Swarch.Config.t) ~box ~params ~cl ~topo ~ff ~pos =
+  let charge = topo.Topology.charge and type_of = topo.Topology.type_of in
+  let excl = Hashtbl.create 256 in
+  Array.iteri
+    (fun a partners ->
+      Array.iter
+        (fun b ->
+          let sa = cl.Cluster.inv.(a) and sb = cl.Cluster.inv.(b) in
+          let ca = sa / Cluster.size and cb = sb / Cluster.size in
+          let ma = sa mod Cluster.size and mb = sb mod Cluster.size in
+          let key, bit =
+            if ca <= cb then (pair_key ca cb, (4 * ma) + mb)
+            else (pair_key cb ca, (4 * mb) + ma)
+          in
+          let cur = Option.value ~default:0 (Hashtbl.find_opt excl key) in
+          Hashtbl.replace excl key (cur lor (1 lsl bit)))
+        partners)
+    topo.Topology.exclusions;
+  let krf, crf =
+    match params.Nonbonded.elec with
+    | Nonbonded.Reaction_field -> Mdcore.Coulomb.rf_constants ~rc:params.Nonbonded.rcut
+    | Nonbonded.Ewald_real _ -> (0.0, 0.0)
+  in
+  let beta =
+    match params.Nonbonded.elec with
+    | Nonbonded.Ewald_real b -> b
+    | Nonbonded.Reaction_field -> 0.0
+  in
+  {
+    cfg;
+    box;
+    params;
+    cl;
+    topo;
+    ff;
+    n_clusters = cl.Cluster.n_clusters;
+    pkg_aos = Package.pack ~layout:Package.Aos cl ~pos ~charge ~type_of;
+    pkg_soa = Package.pack ~layout:Package.Soa cl ~pos ~charge ~type_of;
+    excl;
+    krf;
+    crf;
+    beta;
+  }
+
+(** [excl_mask sys ci cj] is the 16-bit mask of member pairs (bit
+    [4*mi + mj]) that must be skipped for cluster pair [(ci, cj)],
+    [ci <= cj]. *)
+let excl_mask sys ci cj =
+  Option.value ~default:0 (Hashtbl.find_opt sys.excl (pair_key ci cj))
+
+type result = {
+  force : float array;  (** cluster-ordered forces, [3] floats per slot *)
+  mutable e_lj : float;
+  mutable e_coul : float;
+  mutable pairs_in_cutoff : int;
+}
+
+(** [empty_result sys] allocates a zeroed result for [sys]. *)
+let empty_result sys =
+  {
+    force = Array.make (sys.n_clusters * force_floats) 0.0;
+    e_lj = 0.0;
+    e_coul = 0.0;
+    pairs_in_cutoff = 0;
+  }
+
+(** [scatter_forces sys result dst] adds the cluster-ordered kernel
+    forces back onto the per-atom array [dst] (length [3 *
+    n_atoms]). *)
+let scatter_forces sys result dst =
+  for slot = 0 to sys.topo.Topology.n_atoms - 1 do
+    let atom = sys.cl.Cluster.order.(slot) in
+    for d = 0 to 2 do
+      dst.((3 * atom) + d) <- dst.((3 * atom) + d) +. result.force.((3 * slot) + d)
+    done
+  done
+
+let r32 = Swarch.Simd.round32
+
+(** Flops charged for the minimum-image distance computation and
+    cut-off test of one particle pair. *)
+let flops_distance = 12.0
+
+(** [flops_interaction sys] is the flops charged for the interaction
+    math of one in-range pair (inverse square root, LJ polynomial,
+    Coulomb term, force scaling and accumulation); the Ewald kernel
+    pays extra for the erfc polynomial. *)
+let flops_interaction sys =
+  match sys.params.Nonbonded.elec with
+  | Nonbonded.Reaction_field -> 45.0
+  | Nonbonded.Ewald_real _ -> 60.0
+
+(** [pair_interaction sys ~dx ~dy ~dz ~r2 ~qq ~ti ~tj] is
+    [(f_over_r, e_lj, e_coul)] of one in-range pair, computed through
+    single-precision rounding (the optimized kernels run in GROMACS
+    "mixed" precision). *)
+let pair_interaction sys ~r2 ~qq ~ti ~tj =
+  let c6 = Mdcore.Forcefield.c6 sys.ff ti tj
+  and c12 = Mdcore.Forcefield.c12 sys.ff ti tj in
+  let r2 = r32 r2 in
+  let inv_r2 = r32 (1.0 /. r2) in
+  let inv_r6 = r32 (inv_r2 *. inv_r2 *. inv_r2) in
+  let e_lj = r32 ((c12 *. inv_r6 *. inv_r6) -. (c6 *. inv_r6)) in
+  let f_lj =
+    r32 (((12.0 *. c12 *. inv_r6 *. inv_r6) -. (6.0 *. c6 *. inv_r6)) *. inv_r2)
+  in
+  let f_el, e_el =
+    match sys.params.Nonbonded.elec with
+    | Nonbonded.Reaction_field ->
+        let r = r32 (sqrt r2) in
+        ( r32 (Mdcore.Forcefield.ke *. qq *. ((1.0 /. (r2 *. r)) -. (2.0 *. sys.krf))),
+          r32 (Mdcore.Forcefield.ke *. qq *. ((1.0 /. r) +. (sys.krf *. r2) -. sys.crf)) )
+    | Nonbonded.Ewald_real beta ->
+        ( r32 (Mdcore.Coulomb.ewald_real_force_over_r ~beta ~qq r2),
+          r32 (Mdcore.Coulomb.ewald_real_energy ~beta ~qq r2) )
+  in
+  (r32 (f_lj +. f_el), e_lj, e_el)
+
+(** [partition n_clusters n_cpes cpe] is the contiguous [lo, hi) block
+    of i-clusters assigned to CPE [cpe] — the outer-loop partitioning
+    of Algorithm 1 across the mesh. *)
+let partition n_clusters n_cpes cpe =
+  let per = (n_clusters + n_cpes - 1) / n_cpes in
+  let lo = min n_clusters (cpe * per) in
+  let hi = min n_clusters (lo + per) in
+  (lo, hi)
+
+(** [window pairs ~lo ~hi ~n_clusters] is the smallest {e line-aligned}
+    cluster interval [wlo, whi) containing every j-cluster reachable
+    from i-clusters [lo, hi) — the span of the per-CPE force copy.
+    Alignment to {!write_line_elts} keeps copy lines congruent with
+    global reduction lines. *)
+let window (pairs : Mdcore.Pair_list.t) ~lo ~hi ~n_clusters =
+  if lo >= hi then (0, 0)
+  else begin
+    let wlo = ref lo and whi = ref hi in
+    for ci = lo to hi - 1 do
+      Mdcore.Pair_list.iter_ci pairs ci (fun cj ->
+          if cj < !wlo then wlo := cj;
+          if cj + 1 > !whi then whi := cj + 1)
+    done;
+    let wlo = !wlo / write_line_elts * write_line_elts in
+    let whi =
+      min
+        ((n_clusters + write_line_elts - 1) / write_line_elts * write_line_elts)
+        ((!whi + write_line_elts - 1) / write_line_elts * write_line_elts)
+    in
+    (wlo, whi)
+  end

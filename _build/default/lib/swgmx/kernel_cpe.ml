@@ -1,0 +1,505 @@
+(** The CPE short-range force engine.
+
+    One parameterized driver implements every CPE kernel variant as a
+    combination of three strategies:
+
+    - {b read path}: direct DMA per package, or through the
+      direct-mapped read cache (Figure 3);
+    - {b write path}: direct read-modify-write of the CPE's force copy
+      (Pkg), the deferred-update write cache (Figure 4) with or without
+      update marks (Figure 5), owner-only direct writes over a full
+      pair list (the RCA baseline, Algorithm 2), or shipping every
+      update to the MPE (the USTC baseline);
+    - {b compute}: scalar, or 4-lane SIMD over the i-cluster with the
+      Figure 7 shuffle transpose in the post-treatment.
+
+    The driver executes each CPE's slice sequentially but charges costs
+    as parallel hardware would incur them; forces and energies are real
+    results checked against the {!Mdcore.Nonbonded} reference. *)
+
+module K = Kernel_common
+module Cluster = Mdcore.Cluster
+module Pair_list = Mdcore.Pair_list
+module Cost = Swarch.Cost
+module Dma = Swarch.Dma
+module Simd = Swarch.Simd
+
+type write_path =
+  | Rmw_direct  (** Pkg: read-modify-write the copy per cluster pair *)
+  | Deferred of { marks : bool }  (** Cache/Vec/Rma (no marks) and Mark *)
+  | Owner_only  (** RCA: full list, each CPE writes only its i-clusters *)
+  | Mpe_collect  (** USTC: the MPE applies every update *)
+
+type spec = {
+  cached_read : bool;
+  write : write_path;
+  vector : bool;
+}
+
+(** [spec_of_variant v] maps a CPE variant to its strategies; raises
+    for [Ori], which runs on the MPE (see {!Kernel_ori}). *)
+let spec_of_variant = function
+  | Variant.Pkg -> { cached_read = false; write = Rmw_direct; vector = false }
+  | Variant.Cache -> { cached_read = true; write = Deferred { marks = false }; vector = false }
+  | Variant.Vec -> { cached_read = true; write = Deferred { marks = false }; vector = true }
+  | Variant.Mark -> { cached_read = true; write = Deferred { marks = true }; vector = true }
+  | Variant.Rma -> { cached_read = true; write = Deferred { marks = false }; vector = true }
+  | Variant.Rca -> { cached_read = true; write = Owner_only; vector = false }
+  | Variant.Ustc -> { cached_read = true; write = Mpe_collect; vector = false }
+  | Variant.Ori -> invalid_arg "Kernel_cpe: Ori runs on the MPE"
+
+(** [needs_full_list spec] is [true] for the redundant-computation
+    baseline, whose pair list must contain both directions. *)
+let needs_full_list spec = spec.write = Owner_only
+
+type stats = {
+  read_stats : Swcache.Stats.t option;  (** aggregated read-cache stats *)
+  write_stats : Swcache.Stats.t option;  (** aggregated write-cache stats *)
+  mutable marked_lines : int;  (** marked copy lines across all CPEs *)
+  mutable total_lines : int;  (** total copy lines across all CPEs *)
+}
+
+(* --- inner pair loops -------------------------------------------------- *)
+
+(* Minimum-image fold of one displacement component (scalar). *)
+let mi d l = d -. (l *. Float.round (d /. l))
+
+(* The scalar member-pair loop of one cluster pair.  [apply_b] receives
+   (mj, fx, fy, fz) increments for the j side; FA accumulates in [fa].
+   [scale] weights energies (0.5 for duplicated RCA directions). *)
+let scalar_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
+    ~joff ~layout ~fa ~apply_b ~scale =
+  let cost = cpe.Swarch.Cpe.cost in
+  let box = sys.K.box in
+  let rcut2 = sys.K.params.K.Nonbonded.rcut *. sys.K.params.K.Nonbonded.rcut in
+  let ni = Cluster.count sys.K.cl ci and nj = Cluster.count sys.K.cl cj in
+  let mask = K.excl_mask sys (min ci cj) (max ci cj) in
+  for mi_ = 0 to ni - 1 do
+    let mj_start = if ci = cj then mi_ + 1 else 0 in
+    for mj = mj_start to nj - 1 do
+      let bit = if ci <= cj then (4 * mi_) + mj else (4 * mj) + mi_ in
+      if mask land (1 lsl bit) = 0 then begin
+        Cost.flops cost K.flops_distance;
+        let dx = mi (Package.x ~layout ibuf 0 mi_ -. Package.x ~layout jbuf joff mj) box.K.Box.lx
+        and dy = mi (Package.y ~layout ibuf 0 mi_ -. Package.y ~layout jbuf joff mj) box.K.Box.ly
+        and dz = mi (Package.z ~layout ibuf 0 mi_ -. Package.z ~layout jbuf joff mj) box.K.Box.lz in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        if r2 <= rcut2 && r2 > 0.0 then begin
+          Cost.flops cost (K.flops_interaction sys);
+          let qq =
+            Package.charge ~layout ibuf 0 mi_ *. Package.charge ~layout jbuf joff mj
+          in
+          let ti = Package.ptype ~layout ibuf 0 mi_
+          and tj = Package.ptype ~layout jbuf joff mj in
+          let f, e_lj, e_coul = K.pair_interaction sys ~r2 ~qq ~ti ~tj in
+          res.K.e_lj <- res.K.e_lj +. (scale *. e_lj);
+          res.K.e_coul <- res.K.e_coul +. (scale *. e_coul);
+          res.K.pairs_in_cutoff <- res.K.pairs_in_cutoff + 1;
+          let fx = f *. dx and fy = f *. dy and fz = f *. dz in
+          fa.((3 * mi_) + 0) <- fa.((3 * mi_) + 0) +. fx;
+          fa.((3 * mi_) + 1) <- fa.((3 * mi_) + 1) +. fy;
+          fa.((3 * mi_) + 2) <- fa.((3 * mi_) + 2) +. fz;
+          apply_b mj (-.fx) (-.fy) (-.fz)
+        end
+      end
+    done
+  done
+
+(* Vectorized member-pair loop: lanes are the four i-members (Fig 6);
+   the inner iteration runs over j-members.  Exclusion, padding, self
+   and cut-off handling all fold into one lane mask. *)
+let vector_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
+    ~joff ~fa_x ~fa_y ~fa_z ~apply_b ~scale =
+  let cost = cpe.Swarch.Cpe.cost in
+  let box = sys.K.box in
+  let rcut2 =
+    Simd.splat (sys.K.params.K.Nonbonded.rcut *. sys.K.params.K.Nonbonded.rcut)
+  in
+  let ni = Cluster.count sys.K.cl ci and nj = Cluster.count sys.K.cl cj in
+  let mask_bits = K.excl_mask sys (min ci cj) (max ci cj) in
+  let soa = Package.Soa in
+  let xi = Simd.of_array ibuf 0
+  and yi = Simd.of_array ibuf 4
+  and zi = Simd.of_array ibuf 8
+  and qi = Simd.of_array ibuf 12 in
+  let lx = Simd.splat box.K.Box.lx
+  and ly = Simd.splat box.K.Box.ly
+  and lz = Simd.splat box.K.Box.lz in
+  let inv_lx = Simd.splat (1.0 /. box.K.Box.lx)
+  and inv_ly = Simd.splat (1.0 /. box.K.Box.ly)
+  and inv_lz = Simd.splat (1.0 /. box.K.Box.lz) in
+  let mi_v d l inv_l =
+    let n = Simd.round cost (Simd.mul cost d inv_l) in
+    Simd.sub cost d (Simd.mul cost n l)
+  in
+  for mj = 0 to nj - 1 do
+    let lane_valid lane =
+      if lane >= ni then 0.0
+      else if ci = cj && mj <= lane then 0.0
+      else
+        let bit = if ci <= cj then (4 * lane) + mj else (4 * mj) + lane in
+        if mask_bits land (1 lsl bit) <> 0 then 0.0 else 1.0
+    in
+    let vmask = Simd.make (lane_valid 0) (lane_valid 1) (lane_valid 2) (lane_valid 3) in
+    Cost.int_ops cost 2.0;
+    let xj = Simd.splat (Package.x ~layout:soa jbuf joff mj)
+    and yj = Simd.splat (Package.y ~layout:soa jbuf joff mj)
+    and zj = Simd.splat (Package.z ~layout:soa jbuf joff mj)
+    and qj = Simd.splat (Package.charge ~layout:soa jbuf joff mj) in
+    let dx = mi_v (Simd.sub cost xi xj) lx inv_lx in
+    let dy = mi_v (Simd.sub cost yi yj) ly inv_ly in
+    let dz = mi_v (Simd.sub cost zi zj) lz inv_lz in
+    let r2 = Simd.fma cost dz dz (Simd.fma cost dy dy (Simd.mul cost dx dx)) in
+    let in_range = Simd.cmp_lt cost r2 rcut2 in
+    let active = Simd.mul cost in_range vmask in
+    if Simd.hsum cost active > 0.0 then begin
+      let tj = Package.ptype ~layout:soa jbuf joff mj in
+      (* per-lane LJ parameters: a scalar table gather on real hardware *)
+      Cost.int_ops cost 4.0;
+      let ti lane = Package.ptype ~layout:soa ibuf 0 lane in
+      let c6 =
+        Simd.make
+          (Mdcore.Forcefield.c6 sys.K.ff (ti 0) tj)
+          (Mdcore.Forcefield.c6 sys.K.ff (ti 1) tj)
+          (Mdcore.Forcefield.c6 sys.K.ff (ti 2) tj)
+          (Mdcore.Forcefield.c6 sys.K.ff (ti 3) tj)
+      and c12 =
+        Simd.make
+          (Mdcore.Forcefield.c12 sys.K.ff (ti 0) tj)
+          (Mdcore.Forcefield.c12 sys.K.ff (ti 1) tj)
+          (Mdcore.Forcefield.c12 sys.K.ff (ti 2) tj)
+          (Mdcore.Forcefield.c12 sys.K.ff (ti 3) tj)
+      in
+      (* guard against r2 = 0 in masked-out lanes (padding at origin) *)
+      let r2_safe = Simd.select cost active r2 (Simd.splat 1.0) in
+      let inv_r = Simd.rsqrt cost r2_safe in
+      let inv_r2 = Simd.mul cost inv_r inv_r in
+      let inv_r6 = Simd.mul cost inv_r2 (Simd.mul cost inv_r2 inv_r2) in
+      let inv_r12 = Simd.mul cost inv_r6 inv_r6 in
+      let e_lj_v = Simd.sub cost (Simd.mul cost c12 inv_r12) (Simd.mul cost c6 inv_r6) in
+      let f_lj_v =
+        Simd.mul cost
+          (Simd.sub cost
+             (Simd.mul cost (Simd.splat 12.0) (Simd.mul cost c12 inv_r12))
+             (Simd.mul cost (Simd.splat 6.0) (Simd.mul cost c6 inv_r6)))
+          inv_r2
+      in
+      let keqq = Simd.mul cost (Simd.mul cost qi qj) (Simd.splat Mdcore.Forcefield.ke) in
+      let f_el_v, e_el_v =
+        match sys.K.params.K.Nonbonded.elec with
+        | K.Nonbonded.Reaction_field ->
+            let inv_r3 = Simd.mul cost inv_r2 inv_r in
+            ( Simd.mul cost keqq (Simd.sub cost inv_r3 (Simd.splat (2.0 *. sys.K.krf))),
+              Simd.mul cost keqq
+                (Simd.sub cost
+                   (Simd.fma cost (Simd.splat sys.K.krf) r2_safe inv_r)
+                   (Simd.splat sys.K.crf)) )
+        | K.Nonbonded.Ewald_real beta ->
+            (* erfc evaluated per lane: a vectorized polynomial on the
+               hardware; charged as a fixed block of vector ops *)
+            Cost.simd cost 8.0;
+            let per_lane f =
+              Simd.make
+                (f (Simd.lane r2_safe 0) (Simd.lane keqq 0))
+                (f (Simd.lane r2_safe 1) (Simd.lane keqq 1))
+                (f (Simd.lane r2_safe 2) (Simd.lane keqq 2))
+                (f (Simd.lane r2_safe 3) (Simd.lane keqq 3))
+            in
+            ( per_lane (fun r2 kq ->
+                  Mdcore.Coulomb.ewald_real_force_over_r ~beta
+                    ~qq:(kq /. Mdcore.Forcefield.ke) r2),
+              per_lane (fun r2 kq ->
+                  Mdcore.Coulomb.ewald_real_energy ~beta
+                    ~qq:(kq /. Mdcore.Forcefield.ke) r2) )
+      in
+      let f_v = Simd.mul cost (Simd.add cost f_lj_v f_el_v) active in
+      res.K.e_lj <-
+        res.K.e_lj +. (scale *. Simd.hsum cost (Simd.mul cost e_lj_v active));
+      res.K.e_coul <-
+        res.K.e_coul +. (scale *. Simd.hsum cost (Simd.mul cost e_el_v active));
+      res.K.pairs_in_cutoff <-
+        res.K.pairs_in_cutoff + int_of_float (Simd.hsum cost active);
+      let fx = Simd.mul cost f_v dx
+      and fy = Simd.mul cost f_v dy
+      and fz = Simd.mul cost f_v dz in
+      fa_x := Simd.add cost !fa_x fx;
+      fa_y := Simd.add cost !fa_y fy;
+      fa_z := Simd.add cost !fa_z fz;
+      apply_b mj (-.Simd.hsum cost fx) (-.Simd.hsum cost fy) (-.Simd.hsum cost fz)
+    end
+  done
+
+(* --- driver ------------------------------------------------------------ *)
+
+(** [run sys pairs cg spec] executes the short-range kernel on the core
+    group and returns the physics result plus cache statistics.  For
+    [Owner_only] (RCA), [pairs] must be the full pair list
+    ({!Mdcore.Pair_list.to_full}). *)
+let run sys (pairs : Pair_list.t) (cg : Swarch.Core_group.t) spec =
+  if spec.write = Owner_only && spec.vector then
+    invalid_arg "Kernel_cpe.run: the RCA baseline is scalar";
+  let cfg = sys.K.cfg in
+  let res = K.empty_result sys in
+  let n_cpes = Array.length cg.Swarch.Core_group.cpes in
+  let layout = if spec.vector then Package.Soa else Package.Aos in
+  let backing = if spec.vector then sys.K.pkg_soa else sys.K.pkg_aos in
+  let stats =
+    {
+      read_stats = (if spec.cached_read then Some (Swcache.Stats.create ()) else None);
+      write_stats =
+        (match spec.write with
+        | Deferred _ -> Some (Swcache.Stats.create ())
+        | Rmw_direct | Owner_only | Mpe_collect -> None);
+      marked_lines = 0;
+      total_lines = 0;
+    }
+  in
+  let copies = Array.make n_cpes (None : Reduction.copy option) in
+  Swarch.Core_group.iter_cpes cg (fun cpe ->
+      let cost = cpe.Swarch.Cpe.cost in
+      let lo, hi = K.partition sys.K.n_clusters n_cpes cpe.Swarch.Cpe.id in
+      if lo < hi then begin
+        (* each CPE keeps a full-length force copy, as the RMA scheme
+           prescribes ("an interaction array for every particle") --
+           its initialization and reduction cost is precisely what the
+           update-mark strategy attacks *)
+        let wlo = 0 in
+        let wlen =
+          (sys.K.n_clusters + K.write_line_elts - 1)
+          / K.write_line_elts * K.write_line_elts
+        in
+        let ldm = cpe.Swarch.Cpe.ldm in
+        (* LDM: i-package buffer + FA block + j buffer when uncached *)
+        Swarch.Ldm.alloc ldm (Package.bytes + K.force_bytes);
+        let ibuf = Array.make Package.floats 0.0 in
+        let jbuf = Array.make Package.floats 0.0 in
+        let read_cache =
+          if spec.cached_read then
+            Some
+              (Swcache.Read_cache.create cfg cost ~ldm ~backing
+                 ~elt_floats:Package.floats ~line_elts:K.read_line_elts
+                 ~n_lines:K.read_lines ())
+          else begin
+            Swarch.Ldm.alloc ldm Package.bytes;
+            None
+          end
+        in
+        let copy_arr, write_cache =
+          match spec.write with
+          | Rmw_direct | Deferred _ ->
+              let arr = Array.make (max 1 (wlen * K.force_floats)) 0.0 in
+              let wc =
+                match spec.write with
+                | Deferred { marks } ->
+                    Some
+                      (Swcache.Write_cache.create cfg cost ~ldm ~with_marks:marks
+                         ~copy:arr ~elt_floats:K.force_floats
+                         ~line_elts:K.write_line_elts ~n_lines:K.write_lines ())
+                | Rmw_direct | Owner_only | Mpe_collect -> None
+              in
+              (Some arr, wc)
+          | Owner_only | Mpe_collect -> (None, None)
+        in
+        (* initialization step: unmarked copies must be zeroed by DMA *)
+        (match spec.write with
+        | Rmw_direct | Deferred { marks = false } ->
+            let bytes = wlen * K.force_bytes in
+            let blocks = (bytes + 2047) / 2048 in
+            for _ = 1 to blocks do
+              Dma.put cfg cost ~bytes:2048
+            done
+        | Deferred { marks = true } | Owner_only | Mpe_collect -> ());
+        let fetch_j cj =
+          match read_cache with
+          | Some rc -> (Swcache.Read_cache.touch rc cj, rc.Swcache.Read_cache.data)
+          | None ->
+              Array.blit backing (cj * Package.floats) jbuf 0 Package.floats;
+              Dma.get cfg cost ~bytes:Package.bytes;
+              (0, jbuf)
+        in
+        let send_to_mpe block_base fb =
+          Dma.put cfg cost ~bytes:K.force_bytes;
+          Swarch.Mpe.charge_mem cg.Swarch.Core_group.mpe
+            (float_of_int (2 * K.force_bytes));
+          Swarch.Mpe.charge_flops cg.Swarch.Core_group.mpe
+            (float_of_int K.force_floats);
+          for k = 0 to K.force_floats - 1 do
+            res.K.force.(block_base + k) <- res.K.force.(block_base + k) +. fb.(k)
+          done
+        in
+        (* per-cj write-back machinery: accumulate member increments in
+           an LDM block, then apply through the variant's write path *)
+        let fb = Array.make K.force_floats 0.0 in
+        let fb_used = ref false in
+        let accumulate_fb mj fx fy fz =
+          fb.((3 * mj) + 0) <- fb.((3 * mj) + 0) +. fx;
+          fb.((3 * mj) + 1) <- fb.((3 * mj) + 1) +. fy;
+          fb.((3 * mj) + 2) <- fb.((3 * mj) + 2) +. fz;
+          fb_used := true
+        in
+        let clear_fb () =
+          Array.fill fb 0 K.force_floats 0.0;
+          fb_used := false
+        in
+        (* Pkg has no deferred update: Algorithm 1 line 9 applies every
+           pair's FB increment to main memory immediately (12 B RMW),
+           which is exactly the traffic the write cache eliminates *)
+        let rmw_pair cj mj fx fy fz =
+          let arr = Option.get copy_arr in
+          Dma.get cfg cost ~bytes:12;
+          let base = ((cj - wlo) * K.force_floats) + (3 * mj) in
+          arr.(base) <- arr.(base) +. fx;
+          arr.(base + 1) <- arr.(base + 1) +. fy;
+          arr.(base + 2) <- arr.(base + 2) +. fz;
+          Cost.flops cost 3.0;
+          Dma.put cfg cost ~bytes:12
+        in
+        let flush_fb cj =
+          if !fb_used then begin
+            (match spec.write with
+            | Rmw_direct -> assert false (* Rmw_direct applies per pair *)
+            | Deferred _ ->
+                let wc = Option.get write_cache in
+                for m = 0 to Cluster.size - 1 do
+                  let b = 3 * m in
+                  if fb.(b) <> 0.0 || fb.(b + 1) <> 0.0 || fb.(b + 2) <> 0.0 then
+                    Swcache.Write_cache.accumulate_at wc (cj - wlo) b fb.(b)
+                      fb.(b + 1) fb.(b + 2)
+                done
+            | Owner_only -> ()
+            | Mpe_collect -> send_to_mpe (cj * K.force_floats) fb);
+            clear_fb ()
+          end
+        in
+        let apply_a ci fa =
+          match spec.write with
+          | Deferred _ ->
+              let wc = Option.get write_cache in
+              for m = 0 to Cluster.size - 1 do
+                let b = 3 * m in
+                Swcache.Write_cache.accumulate_at wc (ci - wlo) b fa.(b)
+                  fa.(b + 1) fa.(b + 2)
+              done
+          | Rmw_direct ->
+              let arr = Option.get copy_arr in
+              Dma.get cfg cost ~bytes:K.force_bytes;
+              let base = (ci - wlo) * K.force_floats in
+              for k = 0 to K.force_floats - 1 do
+                arr.(base + k) <- arr.(base + k) +. fa.(k)
+              done;
+              Cost.flops cost (float_of_int K.force_floats);
+              Dma.put cfg cost ~bytes:K.force_bytes
+          | Owner_only ->
+              Dma.put cfg cost ~bytes:K.force_bytes;
+              let base = ci * K.force_floats in
+              for k = 0 to K.force_floats - 1 do
+                res.K.force.(base + k) <- res.K.force.(base + k) +. fa.(k)
+              done
+          | Mpe_collect -> send_to_mpe (ci * K.force_floats) fa
+        in
+        for ci = lo to hi - 1 do
+          (* the fixed outer-loop package: one direct DMA *)
+          Array.blit backing (ci * Package.floats) ibuf 0 Package.floats;
+          Dma.get cfg cost ~bytes:Package.bytes;
+          if spec.vector then begin
+            let fa_x = ref (Simd.zero ())
+            and fa_y = ref (Simd.zero ())
+            and fa_z = ref (Simd.zero ()) in
+            Pair_list.iter_ci pairs ci (fun cj ->
+                let joff, jdata = fetch_j cj in
+                let apply_b =
+                  match spec.write with
+                  | Rmw_direct -> rmw_pair cj
+                  | _ -> accumulate_fb
+                in
+                vector_pairs sys cpe res ~ci ~cj ~ibuf ~jbuf:jdata ~joff ~fa_x
+                  ~fa_y ~fa_z ~apply_b ~scale:1.0;
+                flush_fb cj);
+            (* post-treatment: Figure 7 transpose, then apply FA *)
+            let (x1, y1, z1), (x2, y2, z2), (x3, y3, z3), (x4, y4, z4) =
+              Simd.transpose3x4 cost !fa_x !fa_y !fa_z
+            in
+            apply_a ci [| x1; y1; z1; x2; y2; z2; x3; y3; z3; x4; y4; z4 |]
+          end
+          else begin
+            let fa = Array.make K.force_floats 0.0 in
+            Pair_list.iter_ci pairs ci (fun cj ->
+                let joff, jdata = fetch_j cj in
+                let scale =
+                  if spec.write = Owner_only && ci <> cj then 0.5 else 1.0
+                in
+                let apply_b =
+                  match spec.write with
+                  | Owner_only ->
+                      (* RCA: the j side is someone else's i side, except
+                         intra-cluster pairs, which land in FA directly *)
+                      if cj = ci then fun mj fx fy fz ->
+                        fa.((3 * mj) + 0) <- fa.((3 * mj) + 0) +. fx;
+                        fa.((3 * mj) + 1) <- fa.((3 * mj) + 1) +. fy;
+                        fa.((3 * mj) + 2) <- fa.((3 * mj) + 2) +. fz
+                      else fun _ _ _ _ -> ()
+                  | Rmw_direct -> rmw_pair cj
+                  | Deferred _ | Mpe_collect -> accumulate_fb
+                in
+                scalar_pairs sys cpe res ~ci ~cj ~ibuf ~jbuf:jdata ~joff ~layout
+                  ~fa ~apply_b ~scale;
+                flush_fb cj);
+            apply_a ci fa
+          end
+        done;
+        (* wind down: flush caches, harvest stats, register the copy *)
+        (match write_cache with
+        | Some wc ->
+            Swcache.Write_cache.flush wc;
+            let s = Swcache.Write_cache.stats wc in
+            (match stats.write_stats with
+            | Some agg ->
+                agg.Swcache.Stats.hits <- agg.Swcache.Stats.hits + s.Swcache.Stats.hits;
+                agg.Swcache.Stats.misses <-
+                  agg.Swcache.Stats.misses + s.Swcache.Stats.misses;
+                agg.Swcache.Stats.writebacks <-
+                  agg.Swcache.Stats.writebacks + s.Swcache.Stats.writebacks
+            | None -> ());
+            let marks = Swcache.Write_cache.marks wc in
+            (match marks with
+            | Some m ->
+                stats.marked_lines <- stats.marked_lines + Swcache.Bitmap.count m;
+                stats.total_lines <- stats.total_lines + Swcache.Bitmap.length m
+            | None ->
+                stats.total_lines <-
+                  stats.total_lines
+                  + Swcache.Write_cache.n_mem_lines ~n_elements:wlen
+                      ~line_elts:K.write_line_elts);
+            (match copy_arr with
+            | Some arr ->
+                copies.(cpe.Swarch.Cpe.id) <-
+                  Some { Reduction.wlo; data = arr; marks }
+            | None -> ());
+            Swcache.Write_cache.release wc
+        | None -> (
+            match (spec.write, copy_arr) with
+            | Rmw_direct, Some arr ->
+                stats.total_lines <-
+                  stats.total_lines
+                  + Swcache.Write_cache.n_mem_lines ~n_elements:wlen
+                      ~line_elts:K.write_line_elts;
+                copies.(cpe.Swarch.Cpe.id) <-
+                  Some { Reduction.wlo; data = arr; marks = None }
+            | _ -> ()));
+        (match read_cache with
+        | Some rc ->
+            let s = Swcache.Read_cache.stats rc in
+            (match stats.read_stats with
+            | Some agg ->
+                agg.Swcache.Stats.hits <- agg.Swcache.Stats.hits + s.Swcache.Stats.hits;
+                agg.Swcache.Stats.misses <- agg.Swcache.Stats.misses + s.Swcache.Stats.misses
+            | None -> ());
+            Swcache.Read_cache.release rc
+        | None -> ());
+        Swarch.Ldm.reset ldm
+      end);
+  (* reduction step: fold the per-CPE copies into the final forces *)
+  (match spec.write with
+  | Rmw_direct | Deferred _ -> Reduction.run sys cg ~copies res
+  | Owner_only | Mpe_collect -> ());
+  (res, stats)

@@ -1,0 +1,67 @@
+(** The reduction step (Algorithm 4).
+
+    After the parallel force loop, every CPE holds a redundant force
+    copy; the copies must be summed into the final force array.  The
+    work is parallelized across the mesh by line ownership (reducing
+    CPE = line index mod 64).  With update marks, only lines whose mark
+    bit is set are fetched — the unmarked "meaningless copies" cost
+    nothing, which together with the deserted initialization step is
+    where the Mark variant's final 1.5-2x comes from. *)
+
+module K = Kernel_common
+module Cost = Swarch.Cost
+module Dma = Swarch.Dma
+
+(** One CPE's contribution: window start (cluster index, line-aligned),
+    the window-sized copy, and its update marks if the write cache ran
+    in marked mode. *)
+type copy = { wlo : int; data : float array; marks : Swcache.Bitmap.t option }
+
+(** [run sys cg ~copies res] folds every copy into [res.force],
+    charging the reducing CPEs for mark tests, line fetches, adds and
+    the final line store. *)
+let run sys (cg : Swarch.Core_group.t) ~(copies : copy option array)
+    (res : K.result) =
+  let cfg = sys.K.cfg in
+  let line_elts = K.write_line_elts in
+  let n_lines = (sys.K.n_clusters + line_elts - 1) / line_elts in
+  let n_cpes = Array.length cg.Swarch.Core_group.cpes in
+  for line = 0 to n_lines - 1 do
+    let owner = cg.Swarch.Core_group.cpes.(line mod n_cpes) in
+    let cost = owner.Swarch.Cpe.cost in
+    let lo_elt = line * line_elts in
+    let hi_elt = min sys.K.n_clusters (lo_elt + line_elts) in
+    let touched = ref false in
+    Array.iter
+      (function
+        | None -> ()
+        | Some { wlo; data; marks } ->
+            let wlen = Array.length data / K.force_floats in
+            let whi = wlo + wlen in
+            if wlo <= lo_elt && hi_elt <= whi then begin
+              let local_line = (lo_elt - wlo) / line_elts in
+              let fetch =
+                match marks with
+                | Some m ->
+                    (* Alg 4 line 4: test the mark by bit operations *)
+                    Cost.int_ops cost 2.0;
+                    local_line < Swcache.Bitmap.length m
+                    && Swcache.Bitmap.is_marked m local_line
+                | None -> true (* meaningless copies are fetched anyway *)
+              in
+              if fetch then begin
+                Dma.get cfg cost ~bytes:K.write_line_bytes;
+                Cost.flops cost (float_of_int ((hi_elt - lo_elt) * K.force_floats));
+                for e = lo_elt to hi_elt - 1 do
+                  let src = (e - wlo) * K.force_floats
+                  and dst = e * K.force_floats in
+                  for k = 0 to K.force_floats - 1 do
+                    res.K.force.(dst + k) <- res.K.force.(dst + k) +. data.(src + k)
+                  done
+                done;
+                touched := true
+              end
+            end)
+      copies;
+    if !touched then Dma.put cfg cost ~bytes:K.write_line_bytes
+  done

@@ -1,0 +1,19 @@
+(** SW_GROMACS core: the paper's optimized short-range kernels.
+
+    Implements the paper's contribution on the {!Swarch} simulator:
+    particle packages (Fig 2), software read/write caches with deferred
+    update (Figs 3-4), the update-mark bitmap (Fig 5, Algs 3-4), 4-lane
+    vectorization with the shuffle transpose (Figs 6-7), CPE pair-list
+    generation (Section 3.5), and the baselines the paper compares
+    against (RMA, RCA, USTC). *)
+
+module Package = Package
+module Variant = Variant
+module Kernel_common = Kernel_common
+module Kernel_cpe = Kernel_cpe
+module Kernel_ori = Kernel_ori
+module Kernel = Kernel
+module Reduction = Reduction
+module Nsearch_cpe = Nsearch_cpe
+module Pme_model = Pme_model
+module Engine = Engine

@@ -1,0 +1,47 @@
+(** Kernel variants of the evaluation.
+
+    The five bars of Figure 8 (the paper's optimization stages) plus
+    the three write-conflict baselines of Figure 9. *)
+
+type t =
+  | Ori  (** original GROMACS, MPE only *)
+  | Pkg  (** CPEs + particle-package data aggregation (Fig 2) *)
+  | Cache  (** + read & deferred-update write caches (Figs 3-4) *)
+  | Vec  (** + 4-lane SIMD with the shuffle transpose (Figs 6-7) *)
+  | Mark  (** + update-mark bitmap (Fig 5, Algs 3-4) — the paper's final kernel *)
+  | Rma  (** baseline: redundant memory approach = Vec without marks *)
+  | Rca  (** baseline: redundant computation (Alg 2, full list, 2x work) *)
+  | Ustc  (** baseline: MPE collects and applies all force updates *)
+
+(** All variants, in presentation order. *)
+let all = [ Ori; Pkg; Cache; Vec; Mark; Rma; Rca; Ustc ]
+
+(** Figure 8's progression. *)
+let fig8 = [ Ori; Pkg; Cache; Vec; Mark ]
+
+(** Figure 9's strategy comparison. *)
+let fig9 = [ Ustc; Rca; Rma; Mark ]
+
+(** [name v] is the label used in tables and charts. *)
+let name = function
+  | Ori -> "Ori"
+  | Pkg -> "Pkg"
+  | Cache -> "Cache"
+  | Vec -> "Vec"
+  | Mark -> "Mark"
+  | Rma -> "RMA"
+  | Rca -> "RCA"
+  | Ustc -> "USTC"
+
+(** [of_string s] parses a variant name (case-insensitive). *)
+let of_string s =
+  match String.lowercase_ascii s with
+  | "ori" -> Some Ori
+  | "pkg" -> Some Pkg
+  | "cache" -> Some Cache
+  | "vec" -> Some Vec
+  | "mark" -> Some Mark
+  | "rma" -> Some Rma
+  | "rca" -> Some Rca
+  | "ustc" -> Some Ustc
+  | _ -> None

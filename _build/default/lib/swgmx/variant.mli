@@ -1,0 +1,28 @@
+(** Kernel variants of the evaluation: the five bars of Figure 8 (the
+    paper's optimization stages) plus the three write-conflict
+    baselines of Figure 9. *)
+
+type t =
+  | Ori  (** original GROMACS, MPE only *)
+  | Pkg  (** CPEs + particle-package data aggregation (Fig 2) *)
+  | Cache  (** + read & deferred-update write caches (Figs 3-4) *)
+  | Vec  (** + 4-lane SIMD with the shuffle transpose (Figs 6-7) *)
+  | Mark  (** + update-mark bitmap — the paper's final kernel *)
+  | Rma  (** baseline: redundant memory approach = Vec without marks *)
+  | Rca  (** baseline: redundant computation (Alg 2, full list) *)
+  | Ustc  (** baseline: MPE collects and applies all force updates *)
+
+(** All variants, in presentation order. *)
+val all : t list
+
+(** Figure 8's progression. *)
+val fig8 : t list
+
+(** Figure 9's strategy comparison. *)
+val fig9 : t list
+
+(** [name v] is the label used in tables and charts. *)
+val name : t -> string
+
+(** [of_string s] parses a variant name (case-insensitive). *)
+val of_string : string -> t option

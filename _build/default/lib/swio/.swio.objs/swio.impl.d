@@ -1,0 +1,1 @@
+lib/swio/swio.ml: Buffered_writer Checkpoint Fast_format Io_model Trajectory Xtc

@@ -1,0 +1,1 @@
+lib/swio/buffered_writer.ml: Buffer Bytes Fast_format String

@@ -1,0 +1,1 @@
+lib/swio/buffered_writer.mli: Buffer Bytes

@@ -1,0 +1,1 @@
+lib/swio/checkpoint.ml: Array Buffer List Printf String

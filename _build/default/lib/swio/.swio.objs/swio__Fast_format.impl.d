@@ -1,0 +1,1 @@
+lib/swio/fast_format.ml: Array Bytes Char Float Int64

@@ -1,0 +1,1 @@
+lib/swio/fast_format.mli: Bytes

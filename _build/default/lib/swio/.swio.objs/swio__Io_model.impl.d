@@ -1,0 +1,1 @@
+lib/swio/io_model.ml: Buffered_writer

@@ -1,0 +1,1 @@
+lib/swio/trajectory.ml: Array Buffered_writer Printf

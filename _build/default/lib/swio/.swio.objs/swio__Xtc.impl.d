@@ -1,0 +1,1 @@
+lib/swio/xtc.ml: Array Buffered_writer Bytes Char Float List

@@ -1,0 +1,87 @@
+(** Fast fixed-point number formatting (Section 3.7).
+
+    GROMACS spends a surprising share of large-run time converting
+    coordinates to text with [fprintf]-family formatting.  The paper
+    replaces the C library formatter with a specialized float-to-chars
+    routine that skips locale handling, error cases and general format
+    parsing.  This module is that routine: fixed-point formatting of
+    finite floats into a caller-supplied byte buffer, no allocation on
+    the hot path. *)
+
+(** Powers of ten up to the largest decimals count supported. *)
+let pow10 = [| 1.0; 10.0; 100.0; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+
+(** Maximum supported decimal places. *)
+let max_decimals = Array.length pow10 - 1
+
+(** [write_int buf pos v] writes the decimal representation of [v]
+    (which may be negative) at [pos]; returns the next free position. *)
+let write_int (buf : Bytes.t) pos v =
+  if v = 0 then begin
+    Bytes.set buf pos '0';
+    pos + 1
+  end
+  else begin
+    let v, pos =
+      if v < 0 then begin
+        Bytes.set buf pos '-';
+        (-v, pos + 1)
+      end
+      else (v, pos)
+    in
+    (* digits are produced backwards into a small scratch *)
+    let scratch = Bytes.create 20 in
+    let rec go v k =
+      if v = 0 then k
+      else begin
+        Bytes.set scratch k (Char.chr (Char.code '0' + (v mod 10)));
+        go (v / 10) (k + 1)
+      end
+    in
+    let k = go v 0 in
+    for i = 0 to k - 1 do
+      Bytes.set buf (pos + i) (Bytes.get scratch (k - 1 - i))
+    done;
+    pos + k
+  end
+
+(** [write_fixed buf pos x ~decimals] writes [x] in fixed-point form
+    with [decimals] fractional digits (round-half-away) at [pos] in
+    [buf]; returns the next free position.  Only finite values are
+    supported — the specialization the paper trades for speed. *)
+let write_fixed (buf : Bytes.t) pos x ~decimals =
+  if decimals < 0 || decimals > max_decimals then
+    invalid_arg "Fast_format.write_fixed: unsupported decimals";
+  if not (Float.is_finite x) then
+    invalid_arg "Fast_format.write_fixed: non-finite value";
+  let neg = x < 0.0 || (x = 0.0 && 1.0 /. x < 0.0) in
+  let ax = Float.abs x in
+  let scaled = Float.round (ax *. pow10.(decimals)) in
+  if scaled >= 9.007199254740992e15 then
+    invalid_arg "Fast_format.write_fixed: value too large";
+  let units = Int64.to_int (Int64.of_float scaled) in
+  let int_part = units / int_of_float pow10.(decimals) in
+  let frac_part = units mod int_of_float pow10.(decimals) in
+  let pos = if neg then begin Bytes.set buf pos '-'; pos + 1 end else pos in
+  let pos = write_int buf pos int_part in
+  if decimals = 0 then pos
+  else begin
+    Bytes.set buf pos '.';
+    let pos = pos + 1 in
+    (* zero-padded fraction *)
+    let rec pad p div =
+      if div = 0 then p
+      else begin
+        Bytes.set buf p (Char.chr (Char.code '0' + (frac_part / div mod 10)));
+        pad (p + 1) (div / 10)
+      end
+    in
+    pad pos (int_of_float pow10.(decimals - 1))
+  end
+
+(** [float_to_string x ~decimals] is a convenience wrapper returning a
+    fresh string (used in tests; hot paths use {!write_fixed}). *)
+let float_to_string x ~decimals =
+  let buf = Bytes.create 32 in
+  let n = write_fixed buf 0 x ~decimals in
+  Bytes.sub_string buf 0 n

@@ -1,0 +1,24 @@
+(** Fast fixed-point number formatting (Section 3.7).
+
+    The paper replaces the C library formatter with a specialized
+    float-to-chars routine that skips locale handling, error cases and
+    general format parsing.  This module is that routine: fixed-point
+    formatting of finite floats into a caller-supplied byte buffer, no
+    allocation on the hot path. *)
+
+(** Maximum supported decimal places. *)
+val max_decimals : int
+
+(** [write_int buf pos v] writes the decimal representation of [v]
+    (possibly negative) at [pos]; returns the next free position. *)
+val write_int : Bytes.t -> int -> int -> int
+
+(** [write_fixed buf pos x ~decimals] writes [x] in fixed-point form
+    with [decimals] fractional digits (round-half-away) at [pos];
+    returns the next free position.  Only finite values are supported —
+    the specialization the paper trades for speed. *)
+val write_fixed : Bytes.t -> int -> float -> decimals:int -> int
+
+(** [float_to_string x ~decimals] is a convenience wrapper returning a
+    fresh string. *)
+val float_to_string : float -> decimals:int -> string

@@ -1,0 +1,81 @@
+(** Compressed binary trajectory (XTC-style fixed-point coding).
+
+    GROMACS's .xtc format stores coordinates as fixed-point integers at
+    a configurable precision (default 1000 = 3 decimals), cutting
+    trajectory size by ~3x against raw floats before entropy coding.
+    This module implements the fixed-point layer: frames encode to a
+    compact byte string and decode back within 1/(2 precision). *)
+
+type frame = {
+  step : int;
+  n_atoms : int;
+  precision : float;  (** coordinates stored as round(x * precision) *)
+  payload : Bytes.t;
+}
+
+let put_i32 buf off v =
+  Bytes.set buf off (Char.chr (v land 0xff));
+  Bytes.set buf (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set buf (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set buf (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_i32 buf off =
+  let b i = Char.code (Bytes.get buf (off + i)) in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  (* sign-extend from 32 bits *)
+  if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+(** [encode ~step ~precision pos ~n] packs [n] xyz-interleaved
+    positions into a frame.  Coordinates must satisfy
+    [|x * precision| < 2^31]. *)
+let encode ~step ~precision pos ~n =
+  if precision <= 0.0 then invalid_arg "Xtc.encode: precision must be positive";
+  let payload = Bytes.create (12 * n) in
+  for k = 0 to (3 * n) - 1 do
+    let v = Float.round (pos.(k) *. precision) in
+    if Float.abs v >= 2147483647.0 then invalid_arg "Xtc.encode: coordinate overflow";
+    put_i32 payload (4 * k) (int_of_float v)
+  done;
+  { step; n_atoms = n; precision; payload }
+
+(** [decode frame] recovers the coordinates (flat array of [3 *
+    n_atoms] floats), exact to within [1/(2 precision)]. *)
+let decode frame =
+  let out = Array.make (3 * frame.n_atoms) 0.0 in
+  for k = 0 to (3 * frame.n_atoms) - 1 do
+    out.(k) <- float_of_int (get_i32 frame.payload (4 * k)) /. frame.precision
+  done;
+  out
+
+(** [bytes frame] is the encoded size including the 16-byte header. *)
+let bytes frame = 16 + Bytes.length frame.payload
+
+(** [write w frame] appends the frame (header + payload) to a buffered
+    writer. *)
+let write (w : Buffered_writer.t) frame =
+  let header = Bytes.create 16 in
+  put_i32 header 0 frame.step;
+  put_i32 header 4 frame.n_atoms;
+  put_i32 header 8 (int_of_float frame.precision);
+  put_i32 header 12 (Bytes.length frame.payload);
+  Buffered_writer.write_bytes w header 16;
+  Buffered_writer.write_bytes w frame.payload (Bytes.length frame.payload)
+
+(** [read_all data] parses a byte string of concatenated frames. *)
+let read_all (data : string) =
+  let b = Bytes.of_string data in
+  let len = Bytes.length b in
+  let rec go off acc =
+    if off >= len then List.rev acc
+    else begin
+      if off + 16 > len then invalid_arg "Xtc.read_all: truncated header";
+      let step = get_i32 b off in
+      let n_atoms = get_i32 b (off + 4) in
+      let precision = float_of_int (get_i32 b (off + 8)) in
+      let plen = get_i32 b (off + 12) in
+      if off + 16 + plen > len then invalid_arg "Xtc.read_all: truncated payload";
+      let payload = Bytes.sub b (off + 16) plen in
+      go (off + 16 + plen) ({ step; n_atoms; precision; payload } :: acc)
+    end
+  in
+  go 0 []

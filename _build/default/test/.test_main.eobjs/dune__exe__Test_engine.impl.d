@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Engine Float Kernel_common List Mdcore Nsearch_cpe Pme_model Printf Swarch Swgmx

@@ -1,0 +1,1 @@
+test/test_swarch.ml: Alcotest Array Chip Config Core_group Cost Cpe Dma Float Ldm List Mpe Platforms Printf QCheck QCheck_alcotest Simd Swarch

@@ -1,0 +1,1 @@
+test/test_swbench.ml: Ablations Alcotest Buffer Exp_fig11 Exp_fig12 Exp_fig9 Format List Registry String Swbench Swcomm Swgmx Table_render Workload

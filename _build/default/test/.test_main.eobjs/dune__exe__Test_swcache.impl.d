@@ -1,0 +1,1 @@
+test/test_swcache.ml: Alcotest Array Assoc_cache Bitmap Float List QCheck QCheck_alcotest Read_cache Stats Swarch Swcache Write_cache

@@ -1,0 +1,1 @@
+test/test_swcomm.ml: Alcotest Decomp Float List Network Printf QCheck QCheck_alcotest Scaling Step_comm Swcomm

@@ -1,0 +1,1 @@
+test/test_swgmx.ml: Alcotest Array Float Kernel Kernel_common Kernel_cpe List Mdcore Package Printf QCheck QCheck_alcotest Swarch Swcache Swgmx Variant

@@ -1,0 +1,1 @@
+test/test_swio.ml: Alcotest Array Buffer Buffered_writer Fast_format Float Io_model List Mdcore Printf QCheck QCheck_alcotest String Swio Trajectory

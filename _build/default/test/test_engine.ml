@@ -1,0 +1,176 @@
+(* Tests for CPE pair-list generation and the full-step engine. *)
+
+open Swgmx
+module Md = Mdcore
+module K = Kernel_common
+
+let cfg = Swarch.Config.default
+
+let setup ?(molecules = 120) ?(seed = 3) () =
+  let st = Md.Water.build ~molecules ~seed () in
+  let n = Md.Md_state.n_atoms st in
+  let box = st.Md.Md_state.box in
+  let rcut = Float.min 0.9 (0.45 *. Md.Box.min_edge box) in
+  let params = { Md.Nonbonded.rcut; elec = Md.Nonbonded.Reaction_field } in
+  let cl = Md.Cluster.build box st.Md.Md_state.pos n in
+  let sys =
+    K.make cfg ~box ~params ~cl ~topo:st.Md.Md_state.topo ~ff:st.Md.Md_state.ff
+      ~pos:st.Md.Md_state.pos
+  in
+  (st, sys, rcut)
+
+(* ------------------------------------------------------------------ *)
+(* Nsearch_cpe *)
+
+let test_nsearch_matches_reference () =
+  let st, sys, rcut = setup () in
+  let reference =
+    Md.Pair_list.build st.Md.Md_state.box sys.K.cl ~pos:st.Md.Md_state.pos
+      ~rlist:rcut ()
+  in
+  let cg = Swarch.Core_group.create cfg in
+  let pl, _ = Nsearch_cpe.run sys cg ~kind:Nsearch_cpe.Two_way ~rlist:rcut in
+  Alcotest.(check int) "same pair count" (Md.Pair_list.n_pairs reference)
+    (Md.Pair_list.n_pairs pl);
+  Alcotest.(check bool) "same ranges" true (reference.Md.Pair_list.ranges = pl.Md.Pair_list.ranges);
+  Alcotest.(check bool) "same neighbours" true (reference.Md.Pair_list.cj = pl.Md.Pair_list.cj)
+
+let test_nsearch_direct_also_correct () =
+  let st, sys, rcut = setup ~seed:11 () in
+  let reference =
+    Md.Pair_list.build st.Md.Md_state.box sys.K.cl ~pos:st.Md.Md_state.pos
+      ~rlist:rcut ()
+  in
+  let cg = Swarch.Core_group.create cfg in
+  let pl, _ = Nsearch_cpe.run sys cg ~kind:Nsearch_cpe.Direct_mapped ~rlist:rcut in
+  Alcotest.(check bool) "identical list" true (reference.Md.Pair_list.cj = pl.Md.Pair_list.cj)
+
+let test_nsearch_two_way_fixes_thrashing () =
+  (* Section 3.5: direct-mapped thrashes (>85% misses in the paper),
+     two-way associativity brings the miss ratio down to ~10% *)
+  let _, sys, rcut = setup ~molecules:400 ~seed:13 () in
+  let cg1 = Swarch.Core_group.create cfg in
+  let _, s_direct = Nsearch_cpe.run sys cg1 ~kind:Nsearch_cpe.Direct_mapped ~rlist:rcut in
+  let cg2 = Swarch.Core_group.create cfg in
+  let _, s_two = Nsearch_cpe.run sys cg2 ~kind:Nsearch_cpe.Two_way ~rlist:rcut in
+  Alcotest.(check bool)
+    (Printf.sprintf "direct %.0f%% >> two-way %.0f%%"
+       (100.0 *. s_direct.Nsearch_cpe.miss_ratio)
+       (100.0 *. s_two.Nsearch_cpe.miss_ratio))
+    true
+    (s_direct.Nsearch_cpe.miss_ratio > 2.0 *. s_two.Nsearch_cpe.miss_ratio);
+  Alcotest.(check bool) "two-way reasonably low" true
+    (s_two.Nsearch_cpe.miss_ratio < 0.4)
+
+let test_nsearch_two_way_faster () =
+  let _, sys, rcut = setup ~molecules:400 ~seed:17 () in
+  let cg1 = Swarch.Core_group.create cfg in
+  ignore (Nsearch_cpe.run sys cg1 ~kind:Nsearch_cpe.Direct_mapped ~rlist:rcut);
+  let t_direct = Swarch.Core_group.elapsed cg1 in
+  let cg2 = Swarch.Core_group.create cfg in
+  ignore (Nsearch_cpe.run sys cg2 ~kind:Nsearch_cpe.Two_way ~rlist:rcut);
+  let t_two = Swarch.Core_group.elapsed cg2 in
+  Alcotest.(check bool) "two-way faster" true (t_two < t_direct)
+
+(* ------------------------------------------------------------------ *)
+(* Pme_model *)
+
+let test_pme_model_scales () =
+  let t1 = Pme_model.mpe_time cfg ~n_atoms:1000 ~grid:32 in
+  let t2 = Pme_model.mpe_time cfg ~n_atoms:10000 ~grid:32 in
+  Alcotest.(check bool) "more atoms, more time" true (t2 > t1);
+  let c1 = Pme_model.cpe_time cfg ~n_atoms:10000 ~grid:32 in
+  Alcotest.(check bool) "CPE port much faster" true (t2 /. c1 > 10.0)
+
+let test_pme_grid_for_spacing () =
+  Alcotest.(check bool) "5nm box ~ 42+ points" true (Pme_model.grid_for ~box_edge:5.0 >= 40)
+
+(* ------------------------------------------------------------------ *)
+(* Engine.measure *)
+
+let test_fig10_case1_ordering () =
+  let t v =
+    (Engine.measure ~version:v ~total_atoms:6000 ~n_cg:1 ()).Engine.step_time
+  in
+  let ori = t Engine.V_ori
+  and cal = t Engine.V_cal
+  and lst = t Engine.V_list
+  and oth = t Engine.V_other in
+  Alcotest.(check bool) "Cal improves" true (cal < ori /. 4.0);
+  Alcotest.(check bool) "List improves" true (lst < cal);
+  Alcotest.(check bool) "Other improves" true (oth < lst)
+
+let test_fig10_case2_comm_matters () =
+  (* multi-CG: communication appears and RDMA in V_other removes most *)
+  let m_list = Engine.measure ~version:Engine.V_list ~total_atoms:96000 ~n_cg:16 () in
+  let m_other = Engine.measure ~version:Engine.V_other ~total_atoms:96000 ~n_cg:16 () in
+  Alcotest.(check bool) "comm energies present under MPI" true
+    (m_list.Engine.times.Engine.comm_energies > 0.0);
+  Alcotest.(check bool) "RDMA shrinks comm energies" true
+    (m_other.Engine.times.Engine.comm_energies < m_list.Engine.times.Engine.comm_energies)
+
+let test_table1_force_dominates_ori () =
+  let m = Engine.measure ~version:Engine.V_ori ~total_atoms:6000 ~n_cg:1 () in
+  let share = m.Engine.times.Engine.force /. Engine.total m.Engine.times in
+  Alcotest.(check bool)
+    (Printf.sprintf "force share %.0f%% > 85%%" (100.0 *. share))
+    true (share > 0.85)
+
+let test_measurement_total_consistent () =
+  let m = Engine.measure ~version:Engine.V_cal ~total_atoms:6000 ~n_cg:4 () in
+  let s = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 (Engine.rows m.Engine.times) in
+  Alcotest.(check bool) "rows sum to total" true
+    (Float.abs (s -. m.Engine.step_time) < 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Engine.simulate (the Fig 13 machinery, shortened) *)
+
+let test_simulate_tracks_reference () =
+  (* a short run: optimized-kernel dynamics must stay close to the
+     double-precision workflow in energy and temperature *)
+  let molecules = 24 and steps = 40 in
+  let samples =
+    Engine.simulate ~molecules ~seed:42 ~steps ~sample_every:10 ()
+  in
+  Alcotest.(check int) "sample count" 4 (List.length samples);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "energy finite" true (Float.is_finite s.Engine.total_energy);
+      Alcotest.(check bool)
+        (Printf.sprintf "temperature %g sane" s.Engine.temperature)
+        true
+        (s.Engine.temperature > 50.0 && s.Engine.temperature < 1000.0))
+    samples
+
+let test_simulate_deterministic () =
+  let run () = Engine.simulate ~molecules:16 ~seed:9 ~steps:10 ~sample_every:5 () in
+  let a = run () and b = run () in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check (float 0.0)) "same energy" x.Engine.total_energy y.Engine.total_energy)
+    a b
+
+let suites =
+  [
+    ( "swgmx.nsearch",
+      [
+        Alcotest.test_case "two-way matches reference list" `Quick test_nsearch_matches_reference;
+        Alcotest.test_case "direct-mapped also correct" `Quick test_nsearch_direct_also_correct;
+        Alcotest.test_case "two-way fixes thrashing" `Slow test_nsearch_two_way_fixes_thrashing;
+        Alcotest.test_case "two-way faster" `Slow test_nsearch_two_way_faster;
+      ] );
+    ( "swgmx.pme_model",
+      [
+        Alcotest.test_case "scales with atoms" `Quick test_pme_model_scales;
+        Alcotest.test_case "grid from spacing" `Quick test_pme_grid_for_spacing;
+      ] );
+    ( "swgmx.engine",
+      [
+        Alcotest.test_case "Fig 10 ordering (case 1)" `Slow test_fig10_case1_ordering;
+        Alcotest.test_case "Fig 10 comm effects (case 2)" `Slow test_fig10_case2_comm_matters;
+        Alcotest.test_case "Table 1: force dominates Ori" `Quick test_table1_force_dominates_ori;
+        Alcotest.test_case "rows sum to step time" `Quick test_measurement_total_consistent;
+        Alcotest.test_case "simulate stays physical" `Slow test_simulate_tracks_reference;
+        Alcotest.test_case "simulate deterministic" `Quick test_simulate_deterministic;
+      ] );
+  ]

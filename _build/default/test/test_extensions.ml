@@ -1,0 +1,470 @@
+(* Tests for the extended substrate: pressure/virial, LINCS, V-rescale,
+   velocity Verlet, tabulated potentials, XTC compression, checkpoints. *)
+
+open Mdcore
+
+let feq ?(eps = 1e-9) a b =
+  Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let check_float ?eps msg a b =
+  if not (feq ?eps a b) then Alcotest.failf "%s: expected %g, got %g" msg a b
+
+(* ------------------------------------------------------------------ *)
+(* Pressure / virial *)
+
+let test_ideal_gas_pressure () =
+  (* non-interacting particles: virial = 0, P = n kT / V *)
+  let topo =
+    {
+      (Topology.water 1) with
+      Topology.n_atoms = 2;
+      type_of = [| 1; 1 |];
+      charge = [| 0.0; 0.0 |];
+      mass = [| 10.0; 10.0 |];
+      molecule = [| 0; 1 |];
+      constraints = [||];
+      exclusions = [| [||]; [||] |];
+    }
+  in
+  let st = Md_state.create topo Forcefield.spce (Box.cubic 5.0) in
+  Md_state.thermalize st (Rng.create 3) 300.0;
+  let e = Energy.create () in
+  e.Energy.kinetic <- Md_state.kinetic_energy st;
+  let p = Pressure.of_state st e in
+  (* thermalize removes COM drift, so T is exact on the remaining dof *)
+  let expect =
+    Pressure.instantaneous ~kinetic:(Md_state.kinetic_energy st) ~virial:0.0
+      ~volume:125.0
+  in
+  check_float "matches the formula" expect p;
+  Alcotest.(check bool) "positive" true (p > 0.0)
+
+let test_virial_sign_repulsive () =
+  (* two LJ particles well inside r_min push apart: positive virial *)
+  let topo =
+    {
+      (Topology.water 1) with
+      Topology.n_atoms = 2;
+      type_of = [| 0; 0 |];
+      charge = [| 0.0; 0.0 |];
+      mass = [| 16.0; 16.0 |];
+      molecule = [| 0; 1 |];
+      constraints = [||];
+      exclusions = [| [||]; [||] |];
+    }
+  in
+  let st = Md_state.create topo Forcefield.spce (Box.cubic 4.0) in
+  Vec3.set st.Md_state.pos 0 (Vec3.make 1.0 1.0 1.0);
+  Vec3.set st.Md_state.pos 1 (Vec3.make 1.28 1.0 1.0);
+  let e = Energy.create () in
+  ignore
+    (Nonbonded.brute_force st { Nonbonded.rcut = 1.0; elec = Nonbonded.Reaction_field } e);
+  Alcotest.(check bool) "repulsive pair has positive virial" true (e.Energy.virial > 0.0);
+  (* and just outside r_min: attractive, negative *)
+  Vec3.set st.Md_state.pos 1 (Vec3.make 1.5 1.0 1.0);
+  let e2 = Energy.create () in
+  Md_state.clear_forces st;
+  ignore
+    (Nonbonded.brute_force st { Nonbonded.rcut = 1.0; elec = Nonbonded.Reaction_field } e2);
+  Alcotest.(check bool) "attractive pair has negative virial" true (e2.Energy.virial < 0.0)
+
+let test_virial_consistent_between_paths () =
+  let st = Water.build ~molecules:32 ~seed:5 () in
+  let params =
+    { Nonbonded.rcut = 0.45 *. Box.min_edge st.Md_state.box; elec = Nonbonded.Reaction_field }
+  in
+  let n = Md_state.n_atoms st in
+  let cl = Cluster.build st.Md_state.box st.Md_state.pos n in
+  let pl = Pair_list.build st.Md_state.box cl ~pos:st.Md_state.pos ~rlist:params.Nonbonded.rcut () in
+  let e1 = Energy.create () and e2 = Energy.create () in
+  Md_state.clear_forces st;
+  ignore (Nonbonded.compute st cl pl params e1);
+  Md_state.clear_forces st;
+  ignore (Nonbonded.brute_force st params e2);
+  check_float ~eps:1e-9 "same virial" e2.Energy.virial e1.Energy.virial
+
+(* ------------------------------------------------------------------ *)
+(* LINCS *)
+
+let perturbed_water molecules seed =
+  let st = Water.build ~molecules ~seed () in
+  let ref_pos = Array.copy st.Md_state.pos in
+  let rng = Rng.create (seed + 100) in
+  for i = 0 to Array.length st.Md_state.pos - 1 do
+    st.Md_state.pos.(i) <- st.Md_state.pos.(i) +. Rng.uniform rng (-0.008) 0.008
+  done;
+  (st, ref_pos)
+
+let test_lincs_restores_constraints () =
+  let st, ref_pos = perturbed_water 12 7 in
+  let lincs = Lincs.create st.Md_state.topo in
+  Alcotest.(check int) "3 constraints per molecule" 36 (Lincs.n_constraints lincs);
+  Alcotest.(check bool) "violated before" true
+    (Lincs.max_violation lincs st.Md_state.pos > 1e-3);
+  Lincs.apply lincs ~ref_pos ~pos:st.Md_state.pos;
+  Alcotest.(check bool)
+    (Printf.sprintf "satisfied after (%.2e)" (Lincs.max_violation lincs st.Md_state.pos))
+    true
+    (Lincs.max_violation lincs st.Md_state.pos < 5e-3)
+
+let test_lincs_agrees_with_shake () =
+  let st, ref_pos = perturbed_water 8 11 in
+  let pos_lincs = Array.copy st.Md_state.pos in
+  let pos_shake = Array.copy st.Md_state.pos in
+  let lincs = Lincs.create ~order:8 ~iter:4 st.Md_state.topo in
+  Lincs.apply lincs ~ref_pos ~pos:pos_lincs;
+  let shake = Constraints.create st.Md_state.topo in
+  ignore (Constraints.apply shake ~ref_pos ~pos:pos_shake);
+  (* both project onto the same manifold from the same point: the
+     results agree to the projection tolerance *)
+  Array.iteri
+    (fun i a -> check_float ~eps:5e-3 (Printf.sprintf "coord %d" i) a pos_lincs.(i))
+    pos_shake
+
+let test_lincs_preserves_com () =
+  (* internal constraint forces must not move the centre of mass *)
+  let st, ref_pos = perturbed_water 6 13 in
+  let mass = st.Md_state.topo.Topology.mass in
+  let com pos =
+    let acc = ref Vec3.zero and m = ref 0.0 in
+    for i = 0 to Md_state.n_atoms st - 1 do
+      acc := Vec3.add !acc (Vec3.scale mass.(i) (Vec3.get pos i));
+      m := !m +. mass.(i)
+    done;
+    Vec3.scale (1.0 /. !m) !acc
+  in
+  let before = com st.Md_state.pos in
+  let lincs = Lincs.create st.Md_state.topo in
+  Lincs.apply lincs ~ref_pos ~pos:st.Md_state.pos;
+  let after = com st.Md_state.pos in
+  check_float ~eps:1e-9 "com x" before.Vec3.x after.Vec3.x;
+  check_float ~eps:1e-9 "com y" before.Vec3.y after.Vec3.y;
+  check_float ~eps:1e-9 "com z" before.Vec3.z after.Vec3.z
+
+(* ------------------------------------------------------------------ *)
+(* V-rescale thermostat *)
+
+let test_vrescale_mean_temperature () =
+  (* repeated coupling of a hot system must settle near t_ref on average *)
+  let st = Water.build ~molecules:64 ~seed:17 ~temp:500.0 () in
+  let th =
+    Thermostat.create ~algo:(Thermostat.V_rescale (Rng.create 23)) ~t_ref:300.0
+      ~tau:0.05 ()
+  in
+  for _ = 1 to 400 do
+    Thermostat.apply th st ~dt:0.002
+  done;
+  (* sample the controlled temperature *)
+  let sum = ref 0.0 in
+  let n = 200 in
+  for _ = 1 to n do
+    Thermostat.apply th st ~dt:0.002;
+    sum := !sum +. Md_state.temperature st
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean T %.1f within 10%% of 300" mean)
+    true
+    (Float.abs (mean -. 300.0) < 30.0)
+
+let test_vrescale_fluctuates () =
+  (* unlike Berendsen, v-rescale keeps fluctuating at the target *)
+  let st = Water.build ~molecules:32 ~seed:19 () in
+  let th =
+    Thermostat.create ~algo:(Thermostat.V_rescale (Rng.create 29)) ~t_ref:300.0
+      ~tau:0.05 ()
+  in
+  let temps = Array.init 200 (fun _ ->
+      Thermostat.apply th st ~dt:0.002;
+      Md_state.temperature st)
+  in
+  let distinct = Array.to_list temps |> List.sort_uniq compare |> List.length in
+  Alcotest.(check bool) "temperatures keep moving" true (distinct > 100)
+
+let test_berendsen_is_deterministic_contraction () =
+  let st = Water.build ~molecules:16 ~seed:23 ~temp:400.0 () in
+  let th = Thermostat.create ~t_ref:300.0 ~tau:0.1 () in
+  let t0 = Md_state.temperature st in
+  Thermostat.apply th st ~dt:0.002;
+  let t1 = Md_state.temperature st in
+  Alcotest.(check bool) "moves towards target" true (t1 < t0 && t1 > 300.0)
+
+(* ------------------------------------------------------------------ *)
+(* Velocity Verlet *)
+
+let test_velocity_verlet_conserves_energy () =
+  (* stiff bond dimer, no thermostat: VV must conserve energy and,
+     unlike leapfrog, report KE at integer steps *)
+  let topo =
+    {
+      (Topology.water 1) with
+      Topology.bonds = [| { Topology.i = 0; j = 1; r0 = 0.2; k = 5000.0 } |];
+      constraints = [||];
+    }
+  in
+  let st = Md_state.create topo Forcefield.spce (Box.cubic 10.0) in
+  Vec3.set st.Md_state.pos 0 (Vec3.make 5.0 5.0 5.0);
+  Vec3.set st.Md_state.pos 1 (Vec3.make 5.24 5.0 5.0);
+  Vec3.set st.Md_state.pos 2 (Vec3.make 1.0 1.0 1.0);
+  let dt = 0.0005 in
+  let force () =
+    Md_state.clear_forces st;
+    Bonded.compute st.Md_state.box topo st.Md_state.pos st.Md_state.force
+  in
+  ignore (force ());
+  let energy () =
+    let pe = Bonded.compute st.Md_state.box topo st.Md_state.pos (Array.make 9 0.0) in
+    pe +. Md_state.kinetic_energy st
+  in
+  let e0 = energy () in
+  for _ = 1 to 2000 do
+    Integrator.velocity_verlet_positions st ~dt;
+    ignore (force ());
+    Integrator.velocity_verlet_velocities st ~dt
+  done;
+  (* VV samples KE at integer steps: tighter conservation than the
+     leapfrog test's mixed-phase estimate *)
+  check_float ~eps:5e-3 "energy conserved" e0 (energy ())
+
+let test_velocity_verlet_matches_leapfrog_positions () =
+  (* for the same start, VV and leapfrog positions agree to O(dt^2) *)
+  let build () =
+    let topo =
+      {
+        (Topology.water 1) with
+        Topology.bonds = [| { Topology.i = 0; j = 1; r0 = 0.2; k = 1000.0 } |];
+        constraints = [||];
+      }
+    in
+    let st = Md_state.create topo Forcefield.spce (Box.cubic 10.0) in
+    Vec3.set st.Md_state.pos 0 (Vec3.make 5.0 5.0 5.0);
+    Vec3.set st.Md_state.pos 1 (Vec3.make 5.23 5.0 5.0);
+    Vec3.set st.Md_state.pos 2 (Vec3.make 1.0 1.0 1.0);
+    st
+  in
+  let dt = 0.0002 in
+  let force st =
+    Md_state.clear_forces st;
+    ignore (Bonded.compute st.Md_state.box st.Md_state.topo st.Md_state.pos st.Md_state.force)
+  in
+  let vv = build () in
+  force vv;
+  for _ = 1 to 100 do
+    Integrator.velocity_verlet_positions vv ~dt;
+    force vv;
+    Integrator.velocity_verlet_velocities vv ~dt
+  done;
+  let lf = build () in
+  (* leapfrog needs v at -dt/2: start from rest, same as VV *)
+  for _ = 1 to 100 do
+    force lf;
+    Integrator.step lf ~dt
+  done;
+  Array.iteri
+    (fun i x -> check_float ~eps:1e-3 (Printf.sprintf "pos %d" i) x vv.Md_state.pos.(i))
+    lf.Md_state.pos
+
+(* ------------------------------------------------------------------ *)
+(* Table_potential *)
+
+let test_table_accuracy_rf () =
+  let rcut = 1.0 in
+  let tbl = Table_potential.build_coulomb ~rcut ~bins:4096 Nonbonded.Reaction_field in
+  let krf, _ = Coulomb.rf_constants ~rc:rcut in
+  let err =
+    Table_potential.max_rel_error tbl
+      ~f:(fun r2 -> Coulomb.rf_force_over_r ~krf ~qq:1.0 r2)
+      ~lo:0.04
+  in
+  Alcotest.(check bool) (Printf.sprintf "rel err %.2e < 1e-3" err) true (err < 1e-3)
+
+let test_table_accuracy_ewald () =
+  let rcut = 1.0 in
+  let beta = Coulomb.ewald_beta ~rc:rcut ~tolerance:1e-5 in
+  let tbl = Table_potential.build_coulomb ~rcut ~bins:4096 (Nonbonded.Ewald_real beta) in
+  let err =
+    Table_potential.max_rel_error tbl
+      ~f:(fun r2 -> Coulomb.ewald_real_force_over_r ~beta ~qq:1.0 r2)
+      ~lo:0.04
+  in
+  Alcotest.(check bool) (Printf.sprintf "rel err %.2e < 2e-3" err) true (err < 2e-3)
+
+let test_table_fits_ldm () =
+  let tbl = Table_potential.build_coulomb ~rcut:1.0 ~bins:2048 Nonbonded.Reaction_field in
+  Alcotest.(check bool) "table below 20 KB" true (Table_potential.bytes tbl < 20480)
+
+let prop_table_lookup_within_bins =
+  QCheck.Test.make ~name:"table: lookup bounded by neighbouring exact values" ~count:200
+    QCheck.(float_range 0.05 0.99)
+    (fun r ->
+      let rcut = 1.0 in
+      let krf, _ = Coulomb.rf_constants ~rc:rcut in
+      let f r2 = Coulomb.rf_force_over_r ~krf ~qq:1.0 r2 in
+      let tbl =
+        Table_potential.build ~rcut ~bins:1024 ~f ~e:(fun _ -> 0.0)
+      in
+      let approx, _ = Table_potential.lookup tbl (r *. r) in
+      (* linear interpolation of a convex function stays within the
+         bracketing bin edges *)
+      let dr2 = 1.0 /. tbl.Table_potential.inv_dr2 in
+      let lo = Float.max 1e-6 ((r *. r) -. dr2) and hi = (r *. r) +. dr2 in
+      approx <= f lo +. 1e-9 && approx >= f hi -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Xtc *)
+
+let test_xtc_roundtrip () =
+  let rng = Rng.create 31 in
+  let n = 100 in
+  let pos = Array.init (3 * n) (fun _ -> Rng.uniform rng (-10.0) 10.0) in
+  let f = Swio.Xtc.encode ~step:42 ~precision:1000.0 pos ~n in
+  let back = Swio.Xtc.decode f in
+  Array.iteri
+    (fun i x ->
+      if Float.abs (x -. pos.(i)) > 0.0005 +. 1e-12 then
+        Alcotest.failf "coord %d off by %g" i (Float.abs (x -. pos.(i))))
+    back
+
+let test_xtc_size_saving () =
+  let n = 1000 in
+  let pos = Array.make (3 * n) 1.234 in
+  let f = Swio.Xtc.encode ~step:0 ~precision:1000.0 pos ~n in
+  (* 12 bytes/atom vs 24 bytes/atom for raw doubles *)
+  Alcotest.(check int) "12 bytes per atom + header" (16 + (12 * n)) (Swio.Xtc.bytes f)
+
+let test_xtc_stream_roundtrip () =
+  let rng = Rng.create 37 in
+  let n = 50 in
+  let mk step = Swio.Xtc.encode ~step ~precision:1000.0
+      (Array.init (3 * n) (fun _ -> Rng.uniform rng (-5.0) 5.0)) ~n in
+  let frames = [ mk 0; mk 10; mk 20 ] in
+  let sink = Buffer.create 4096 in
+  let w = Swio.Buffered_writer.create (Swio.Buffered_writer.To_buffer sink) in
+  List.iter (Swio.Xtc.write w) frames;
+  Swio.Buffered_writer.flush w;
+  let parsed = Swio.Xtc.read_all (Buffer.contents sink) in
+  Alcotest.(check int) "three frames" 3 (List.length parsed);
+  List.iter2
+    (fun (a : Swio.Xtc.frame) (b : Swio.Xtc.frame) ->
+      Alcotest.(check int) "step" a.Swio.Xtc.step b.Swio.Xtc.step;
+      Alcotest.(check bool) "payload" true (a.Swio.Xtc.payload = b.Swio.Xtc.payload))
+    frames parsed
+
+let test_xtc_truncated_rejected () =
+  Alcotest.(check bool) "truncated stream rejected" true
+    (try ignore (Swio.Xtc.read_all "short"); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint *)
+
+let test_checkpoint_roundtrip_bitexact () =
+  let st = Water.build ~molecules:20 ~seed:41 () in
+  let n = Md_state.n_atoms st in
+  let cp =
+    Swio.Checkpoint.capture ~step:123 ~pos:st.Md_state.pos ~vel:st.Md_state.vel
+      ~n_atoms:n
+  in
+  let s = Swio.Checkpoint.to_string cp in
+  let cp2 = Swio.Checkpoint.of_string s in
+  let pos = Array.make (3 * n) 0.0 and vel = Array.make (3 * n) 0.0 in
+  let step = Swio.Checkpoint.restore cp2 ~pos ~vel in
+  Alcotest.(check int) "step" 123 step;
+  Array.iteri
+    (fun i x ->
+      if x <> st.Md_state.pos.(i) then Alcotest.failf "pos %d not bit-exact" i)
+    pos;
+  Array.iteri
+    (fun i v ->
+      if v <> st.Md_state.vel.(i) then Alcotest.failf "vel %d not bit-exact" i)
+    vel
+
+let test_checkpoint_restart_reproduces_run () =
+  (* run 20 steps; checkpoint at 10; restart must match the original *)
+  let mk () = Water.build ~molecules:12 ~seed:43 () in
+  let config st =
+    {
+      Workflow.dt = 0.001;
+      nstlist = 5;
+      rlist = 0.45 *. Box.min_edge st.Md_state.box;
+      nb =
+        { Nonbonded.rcut = 0.45 *. Box.min_edge st.Md_state.box;
+          elec = Nonbonded.Reaction_field };
+      pme_grid = None;
+      thermostat = None;
+    }
+  in
+  let st1 = mk () in
+  let w1 = Workflow.create ~config:(config st1) st1 in
+  Workflow.run w1 10;
+  let cp =
+    Swio.Checkpoint.capture ~step:10 ~pos:st1.Md_state.pos ~vel:st1.Md_state.vel
+      ~n_atoms:(Md_state.n_atoms st1)
+  in
+  Workflow.run w1 10;
+  (* restart from the serialized checkpoint *)
+  let st2 = mk () in
+  let w2 = Workflow.create ~config:(config st2) st2 in
+  let cp2 = Swio.Checkpoint.of_string (Swio.Checkpoint.to_string cp) in
+  ignore (Swio.Checkpoint.restore cp2 ~pos:st2.Md_state.pos ~vel:st2.Md_state.vel);
+  Workflow.run w2 10;
+  Array.iteri
+    (fun i x -> check_float ~eps:1e-12 (Printf.sprintf "pos %d" i) x st2.Md_state.pos.(i))
+    st1.Md_state.pos
+
+let test_checkpoint_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "rejected" true
+        (try ignore (Swio.Checkpoint.of_string s); false
+         with Invalid_argument _ -> true))
+    [ ""; "wrong magic\n1 1\n"; "swgmx-checkpoint 1\n5\n"; "swgmx-checkpoint 1\n1 2\n0.0\n" ]
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_table_lookup_within_bins ]
+
+let suites =
+  [
+    ( "ext.pressure",
+      [
+        Alcotest.test_case "ideal gas" `Quick test_ideal_gas_pressure;
+        Alcotest.test_case "virial signs" `Quick test_virial_sign_repulsive;
+        Alcotest.test_case "virial path-independent" `Quick test_virial_consistent_between_paths;
+      ] );
+    ( "ext.lincs",
+      [
+        Alcotest.test_case "restores constraints" `Quick test_lincs_restores_constraints;
+        Alcotest.test_case "agrees with SHAKE" `Quick test_lincs_agrees_with_shake;
+        Alcotest.test_case "preserves centre of mass" `Quick test_lincs_preserves_com;
+      ] );
+    ( "ext.thermostat",
+      [
+        Alcotest.test_case "v-rescale mean temperature" `Quick test_vrescale_mean_temperature;
+        Alcotest.test_case "v-rescale fluctuates" `Quick test_vrescale_fluctuates;
+        Alcotest.test_case "Berendsen contraction" `Quick test_berendsen_is_deterministic_contraction;
+      ] );
+    ( "ext.velocity_verlet",
+      [
+        Alcotest.test_case "conserves energy" `Quick test_velocity_verlet_conserves_energy;
+        Alcotest.test_case "matches leapfrog" `Quick test_velocity_verlet_matches_leapfrog_positions;
+      ] );
+    ( "ext.table_potential",
+      [
+        Alcotest.test_case "RF accuracy" `Quick test_table_accuracy_rf;
+        Alcotest.test_case "Ewald accuracy" `Quick test_table_accuracy_ewald;
+        Alcotest.test_case "fits in LDM" `Quick test_table_fits_ldm;
+      ] );
+    ( "ext.xtc",
+      [
+        Alcotest.test_case "roundtrip within precision" `Quick test_xtc_roundtrip;
+        Alcotest.test_case "size saving" `Quick test_xtc_size_saving;
+        Alcotest.test_case "stream roundtrip" `Quick test_xtc_stream_roundtrip;
+        Alcotest.test_case "truncated rejected" `Quick test_xtc_truncated_rejected;
+      ] );
+    ( "ext.checkpoint",
+      [
+        Alcotest.test_case "bit-exact roundtrip" `Quick test_checkpoint_roundtrip_bitexact;
+        Alcotest.test_case "restart reproduces run" `Quick test_checkpoint_restart_reproduces_run;
+        Alcotest.test_case "rejects garbage" `Quick test_checkpoint_rejects_garbage;
+      ] );
+    ("ext.properties", qsuite);
+  ]

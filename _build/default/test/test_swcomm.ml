@@ -1,0 +1,207 @@
+(* Tests for the communication substrate. *)
+
+open Swcomm
+
+let net = Network.default
+
+let check_pos msg v = Alcotest.(check bool) msg true (v > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Network *)
+
+let test_rdma_beats_mpi () =
+  (* the whole point of Section 3.6 *)
+  List.iter
+    (fun bytes ->
+      let m = Network.message net Network.Mpi ~bytes ~cross_supernode:false in
+      let r = Network.message net Network.Rdma ~bytes ~cross_supernode:false in
+      Alcotest.(check bool) (Printf.sprintf "rdma faster at %dB" bytes) true (r < m))
+    [ 8; 1024; 65536; 1048576 ]
+
+let test_mpi_copy_overhead () =
+  (* for large messages the 4-copy overhead dominates the latency gap *)
+  let bytes = 4 * 1024 * 1024 in
+  let m = Network.message net Network.Mpi ~bytes ~cross_supernode:false in
+  let r = Network.message net Network.Rdma ~bytes ~cross_supernode:false in
+  let copy_time = 4.0 *. float_of_int bytes /. net.Network.copy_bw in
+  Alcotest.(check bool) "gap ~ copy time" true
+    (Float.abs (m -. r -. copy_time -. (net.Network.mpi_latency -. net.Network.rdma_latency))
+     < 1e-9)
+
+let test_cross_supernode_penalty () =
+  let near = Network.message net Network.Rdma ~bytes:100000 ~cross_supernode:false in
+  let far = Network.message net Network.Rdma ~bytes:100000 ~cross_supernode:true in
+  Alcotest.(check bool) "uplink penalty" true (far > near)
+
+let test_allreduce_log_scaling () =
+  let t ranks = Network.allreduce net Network.Rdma ~ranks ~bytes:64 in
+  Alcotest.(check bool) "grows with ranks" true (t 64 > t 8);
+  (* recursive doubling: 512 ranks is 9 rounds, 8 ranks is 3 *)
+  Alcotest.(check bool) "log growth" true (t 512 < 4.0 *. t 8)
+
+let test_allreduce_single_rank_free () =
+  Alcotest.(check (float 0.0)) "1 rank" 0.0
+    (Network.allreduce net Network.Rdma ~ranks:1 ~bytes:64)
+
+(* ------------------------------------------------------------------ *)
+(* Decomp *)
+
+let test_factor3_cubic () =
+  let a, b, c = Decomp.factor3 512 in
+  Alcotest.(check int) "product" 512 (a * b * c);
+  Alcotest.(check (list int)) "8x8x8" [ 8; 8; 8 ] (List.sort compare [ a; b; c ])
+
+let test_factor3_awkward () =
+  let a, b, c = Decomp.factor3 12 in
+  Alcotest.(check int) "product" 12 (a * b * c);
+  Alcotest.(check bool) "near-cubic" true (max a (max b c) <= 4)
+
+let test_halo_partners_by_dim () =
+  Alcotest.(check int) "1 rank" 0 (Decomp.halo_partners (Decomp.create 1));
+  Alcotest.(check int) "2 ranks: 1D" 2 (Decomp.halo_partners (Decomp.create 2));
+  Alcotest.(check int) "4 ranks: 2D" 8 (Decomp.halo_partners (Decomp.create 4));
+  Alcotest.(check int) "64 ranks: 3D" 26 (Decomp.halo_partners (Decomp.create 64))
+
+let test_halo_atoms_slab () =
+  let h = Decomp.halo_atoms ~atoms_per_rank:1000 ~rcut:1.0 ~domain_edge:4.0 in
+  Alcotest.(check int) "quarter slab" 250 h;
+  let h2 = Decomp.halo_atoms ~atoms_per_rank:1000 ~rcut:5.0 ~domain_edge:4.0 in
+  Alcotest.(check int) "clamped to all" 1000 h2
+
+(* ------------------------------------------------------------------ *)
+(* Step_comm / Scaling *)
+
+let params ?(transport = Network.Rdma) ?(ranks = 64) () =
+  {
+    Step_comm.net;
+    transport;
+    total_atoms = 640_000;
+    ranks;
+    rcut = 1.0;
+    box_edge = 26.7;
+    pme_grid = 224;
+    compute_time = 1e-3;
+  }
+
+let test_step_comm_single_rank_zero () =
+  let b = Step_comm.compute (params ~ranks:1 ()) in
+  Alcotest.(check (float 0.0)) "no comm alone" 0.0 (Step_comm.total b)
+
+let test_step_comm_positive () =
+  let b = Step_comm.compute (params ()) in
+  check_pos "halo" b.Step_comm.halo;
+  check_pos "pme" b.Step_comm.pme;
+  check_pos "energies" b.Step_comm.energies;
+  check_pos "dd" b.Step_comm.domain_decomp
+
+let test_step_comm_rdma_cheaper () =
+  let m = Step_comm.total (Step_comm.compute (params ~transport:Network.Mpi ())) in
+  let r = Step_comm.total (Step_comm.compute (params ~transport:Network.Rdma ())) in
+  Alcotest.(check bool) "rdma cheaper per step" true (r < m)
+
+let linear_compute per_atom atoms = per_atom *. float_of_int atoms
+
+let test_strong_scaling_monotone_decline () =
+  let compute = linear_compute 3.6e-7 in
+  let pts =
+    Scaling.strong ~compute ~total_atoms:48000 ~rcut:1.0 ~box_edge:11.3
+      [ 4; 8; 16; 32; 64; 128; 256; 512 ]
+  in
+  let effs = List.map (fun p -> p.Scaling.efficiency) pts in
+  (* efficiency starts at 1 and declines (weakly) *)
+  Alcotest.(check (float 1e-9)) "baseline 1.0" 1.0 (List.hd effs);
+  List.iteri
+    (fun i e ->
+      if i > 0 then
+        Alcotest.(check bool) "declining" true (e <= List.nth effs (i - 1) +. 0.02))
+    effs;
+  (* paper endpoint: ~0.47 at 512 CGs *)
+  let last = List.nth effs (List.length effs - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "512-CG efficiency ~0.47 (got %.2f)" last)
+    true
+    (last > 0.30 && last < 0.60)
+
+let test_strong_scaling_speedup_grows () =
+  let compute = linear_compute 3.6e-7 in
+  let pts =
+    Scaling.strong ~compute ~total_atoms:48000 ~rcut:1.0 ~box_edge:11.3
+      [ 4; 64; 512 ]
+  in
+  let sps = List.map (fun p -> p.Scaling.speedup) pts in
+  Alcotest.(check bool) "speedup grows" true
+    (List.nth sps 2 > List.nth sps 1 && List.nth sps 1 > List.hd sps)
+
+let test_weak_scaling_high_efficiency () =
+  let compute = linear_compute 3.6e-7 in
+  let pts =
+    Scaling.weak ~compute ~atoms_per_cg:10000 ~rcut:1.0 ~box_edge_per_cg:4.64
+      [ 4; 8; 16; 32; 64; 128; 256; 512 ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "weak eff at %d CGs in [0.8, 1.01]" p.Scaling.cgs)
+        true
+        (p.Scaling.efficiency > 0.8 && p.Scaling.efficiency <= 1.01))
+    pts;
+  (* weak efficiency stays above strong at the far end *)
+  let weak512 = (List.nth pts 7).Scaling.efficiency in
+  Alcotest.(check bool) "weak 512 ~0.87-0.95" true (weak512 > 0.8 && weak512 < 0.99)
+
+let prop_comm_grows_with_ranks =
+  QCheck.Test.make ~name:"comm: more ranks never cheaper (same system, >=8)" ~count:50
+    QCheck.(pair (int_range 3 8) (int_range 100000 2000000))
+    (fun (log_r, atoms) ->
+      let r1 = 1 lsl log_r and r2 = 1 lsl (log_r + 1) in
+      let t r =
+        Step_comm.total
+          (Step_comm.compute
+             {
+               Step_comm.net;
+               transport = Network.Rdma;
+               total_atoms = atoms;
+               ranks = r;
+               rcut = 1.0;
+               box_edge = 20.0;
+               pme_grid = 128;
+               compute_time = 0.0;
+             })
+      in
+      (* halo per rank shrinks but collectives grow; the total
+         communication across fixed work should not drop sharply *)
+      t r2 > 0.5 *. t r1)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_comm_grows_with_ranks ]
+
+let suites =
+  [
+    ( "swcomm.network",
+      [
+        Alcotest.test_case "RDMA beats MPI" `Quick test_rdma_beats_mpi;
+        Alcotest.test_case "MPI pays 4 copies" `Quick test_mpi_copy_overhead;
+        Alcotest.test_case "supernode crossing penalty" `Quick test_cross_supernode_penalty;
+        Alcotest.test_case "allreduce log scaling" `Quick test_allreduce_log_scaling;
+        Alcotest.test_case "allreduce trivial at 1 rank" `Quick test_allreduce_single_rank_free;
+      ] );
+    ( "swcomm.decomp",
+      [
+        Alcotest.test_case "factor3 512 = 8x8x8" `Quick test_factor3_cubic;
+        Alcotest.test_case "factor3 awkward" `Quick test_factor3_awkward;
+        Alcotest.test_case "halo partners by dimensionality" `Quick test_halo_partners_by_dim;
+        Alcotest.test_case "halo slab estimate" `Quick test_halo_atoms_slab;
+      ] );
+    ( "swcomm.step",
+      [
+        Alcotest.test_case "single rank free" `Quick test_step_comm_single_rank_zero;
+        Alcotest.test_case "all components positive" `Quick test_step_comm_positive;
+        Alcotest.test_case "RDMA cheaper per step" `Quick test_step_comm_rdma_cheaper;
+      ] );
+    ( "swcomm.scaling",
+      [
+        Alcotest.test_case "strong: monotone decline to ~0.47" `Quick test_strong_scaling_monotone_decline;
+        Alcotest.test_case "strong: speedup grows" `Quick test_strong_scaling_speedup_grows;
+        Alcotest.test_case "weak: stays high" `Quick test_weak_scaling_high_efficiency;
+      ] );
+    ("swcomm.properties", qsuite);
+  ]

@@ -1,0 +1,146 @@
+(* Tests for the I/O substrate. *)
+
+open Swio
+
+(* ------------------------------------------------------------------ *)
+(* Fast_format *)
+
+let test_format_integers () =
+  Alcotest.(check string) "zero" "0" (Fast_format.float_to_string 0.0 ~decimals:0);
+  Alcotest.(check string) "positive" "42" (Fast_format.float_to_string 42.0 ~decimals:0);
+  Alcotest.(check string) "negative" "-7" (Fast_format.float_to_string (-7.0) ~decimals:0)
+
+let test_format_decimals () =
+  Alcotest.(check string) "3 decimals" "1.500" (Fast_format.float_to_string 1.5 ~decimals:3);
+  Alcotest.(check string) "padding" "0.001" (Fast_format.float_to_string 0.001 ~decimals:3);
+  Alcotest.(check string) "negative frac" "-0.250" (Fast_format.float_to_string (-0.25) ~decimals:3);
+  Alcotest.(check string) "rounding" "0.667" (Fast_format.float_to_string (2.0 /. 3.0) ~decimals:3)
+
+let test_format_rejects_nan () =
+  Alcotest.(check bool) "nan rejected" true
+    (try ignore (Fast_format.float_to_string Float.nan ~decimals:3); false
+     with Invalid_argument _ -> true)
+
+let test_format_rejects_too_many_decimals () =
+  Alcotest.(check bool) "decimals cap" true
+    (try ignore (Fast_format.float_to_string 1.0 ~decimals:15); false
+     with Invalid_argument _ -> true)
+
+let prop_format_matches_printf =
+  (* the specialized formatter must agree with printf %.*f *)
+  QCheck.Test.make ~name:"fast_format: agrees with printf" ~count:500
+    QCheck.(pair (float_range (-99999.0) 99999.0) (int_range 0 6))
+    (fun (x, d) ->
+      let fast = Fast_format.float_to_string x ~decimals:d in
+      let slow = Printf.sprintf "%.*f" d x in
+      (* printf uses round-half-even, ours rounds half away: accept
+         either by comparing as numbers *)
+      Float.abs (float_of_string fast -. float_of_string slow)
+      <= 0.51 /. (10.0 ** float_of_int d))
+
+let prop_format_roundtrip =
+  QCheck.Test.make ~name:"fast_format: parse-back within half ulp" ~count:500
+    QCheck.(float_range (-1e6) 1e6)
+    (fun x ->
+      let s = Fast_format.float_to_string x ~decimals:4 in
+      Float.abs (float_of_string s -. x) <= 0.5 /. 1e4 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Buffered_writer *)
+
+let test_writer_accumulates () =
+  let sink = Buffer.create 64 in
+  let w = Buffered_writer.create ~capacity:16 (Buffered_writer.To_buffer sink) in
+  Buffered_writer.write_string w "hello ";
+  Buffered_writer.write_string w "world";
+  Buffered_writer.flush w;
+  Alcotest.(check string) "content" "hello world" (Buffer.contents sink)
+
+let test_writer_few_flushes () =
+  (* a large buffer means few "write calls" for many small writes *)
+  let w = Buffered_writer.create ~capacity:65536 Buffered_writer.Discard in
+  for _ = 1 to 10000 do
+    Buffered_writer.write_string w "0.123 "
+  done;
+  Buffered_writer.flush w;
+  Alcotest.(check bool) "about one flush" true (Buffered_writer.flushes w <= 2);
+  Alcotest.(check int) "payload counted" 60000 (Buffered_writer.bytes_written w)
+
+let test_writer_small_buffer_many_flushes () =
+  let w = Buffered_writer.create ~capacity:64 Buffered_writer.Discard in
+  for _ = 1 to 1000 do
+    Buffered_writer.write_string w "0.123 "
+  done;
+  Buffered_writer.flush w;
+  Alcotest.(check bool) "many flushes" true (Buffered_writer.flushes w > 50)
+
+let test_writer_write_fixed () =
+  let sink = Buffer.create 64 in
+  let w = Buffered_writer.create ~capacity:256 (Buffered_writer.To_buffer sink) in
+  Buffered_writer.write_fixed w 3.14159 ~decimals:2;
+  Buffered_writer.flush w;
+  Alcotest.(check string) "fixed" "3.14" (Buffer.contents sink)
+
+(* ------------------------------------------------------------------ *)
+(* Trajectory *)
+
+let test_trajectory_paths_agree () =
+  (* both output paths must produce numerically identical frames *)
+  let n = 50 in
+  let rng = Mdcore.Rng.create 5 in
+  let pos = Array.init (3 * n) (fun _ -> Mdcore.Rng.uniform rng (-5.0) 5.0) in
+  let render path =
+    let sink = Buffer.create 4096 in
+    let w = Buffered_writer.create ~capacity:65536 (Buffered_writer.To_buffer sink) in
+    ignore (Trajectory.write_frame ~path w ~step:7 ~pos ~n);
+    Buffered_writer.flush w;
+    Buffer.contents sink
+  in
+  let std = render Trajectory.Standard and fast = render Trajectory.Fast in
+  (* parse all numbers from both and compare *)
+  let numbers s =
+    String.split_on_char '\n' s
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.filter_map (fun tok -> float_of_string_opt (String.trim tok))
+  in
+  let a = numbers std and b = numbers fast in
+  Alcotest.(check int) "same count" (List.length a) (List.length b);
+  List.iter2
+    (fun x y ->
+      Alcotest.(check bool) "same value" true (Float.abs (x -. y) <= 0.0011))
+    a b
+
+let test_io_model_fast_wins () =
+  let slow = Io_model.frame_time ~path:Io_model.Standard ~n_atoms:100000 in
+  let fast = Io_model.frame_time ~path:Io_model.Fast ~n_atoms:100000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "fast path >5x faster (%.1fx)" (slow /. fast))
+    true
+    (slow /. fast > 5.0)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_format_matches_printf; prop_format_roundtrip ]
+
+let suites =
+  [
+    ( "swio.fast_format",
+      [
+        Alcotest.test_case "integers" `Quick test_format_integers;
+        Alcotest.test_case "decimals" `Quick test_format_decimals;
+        Alcotest.test_case "rejects nan" `Quick test_format_rejects_nan;
+        Alcotest.test_case "decimals cap" `Quick test_format_rejects_too_many_decimals;
+      ] );
+    ( "swio.buffered_writer",
+      [
+        Alcotest.test_case "accumulates" `Quick test_writer_accumulates;
+        Alcotest.test_case "few flushes with big buffer" `Quick test_writer_few_flushes;
+        Alcotest.test_case "many flushes with small buffer" `Quick test_writer_small_buffer_many_flushes;
+        Alcotest.test_case "write_fixed" `Quick test_writer_write_fixed;
+      ] );
+    ( "swio.trajectory",
+      [
+        Alcotest.test_case "fast = standard output" `Quick test_trajectory_paths_agree;
+        Alcotest.test_case "cost model favours fast path" `Quick test_io_model_fast_wins;
+      ] );
+    ("swio.properties", qsuite);
+  ]
