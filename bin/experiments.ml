@@ -4,21 +4,24 @@
      experiments                 run everything (full sizes)
      experiments --quick         run everything at reduced sizes
      experiments fig8 table2     run selected experiments
-     experiments --list          list experiment ids *)
+     experiments --list          list experiment ids
+     experiments --trace FILE    also record a swtrace timeline *)
 
 let run_one ~quick (e : Swbench.Registry.experiment) =
   Fmt.pr "@.=== %s ===@." e.title;
   let t0 = Unix.gettimeofday () in
-  e.Swbench.Registry.run ~quick Fmt.stdout;
+  Swbench.Registry.run e ~quick Fmt.stdout;
   Fmt.pr "[%s finished in %.1f s wall]@." e.Swbench.Registry.id
     (Unix.gettimeofday () -. t0)
 
-let main list_only quick ids =
+let main list_only quick trace_file trace_summary ids =
   if list_only then begin
     List.iter print_endline (Swbench.Registry.ids ());
     0
   end
   else begin
+    let tracing = trace_file <> None || trace_summary in
+    if tracing then Swtrace.Trace.enable ();
     let selected =
       match ids with
       | [] -> Swbench.Registry.all
@@ -33,6 +36,20 @@ let main list_only quick ids =
             ids
     in
     List.iter (run_one ~quick) selected;
+    if tracing then begin
+      let events = Swtrace.Trace.events () in
+      (match trace_file with
+      | Some path -> (
+          try
+            Swtrace.Chrome.write_file path events;
+            Fmt.pr "@.trace: %d events -> %s@." (List.length events) path
+          with Sys_error msg ->
+            Fmt.epr "experiments: cannot write trace: %s@." msg;
+            exit 1)
+      | None -> ());
+      if trace_summary then Swtrace.Summary.print Fmt.stdout events;
+      Swtrace.Trace.disable ()
+    end;
     0
   end
 
@@ -47,6 +64,19 @@ let quick_flag =
     & info [ "quick" ]
         ~doc:"Run shrunken workloads (8x smaller); shapes are preserved.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record the runs and export a Chrome trace_event JSON file.")
+
+let trace_summary =
+  Arg.(
+    value & flag
+    & info [ "trace-summary" ]
+        ~doc:"Record the runs and print the swtrace summary tables.")
+
 let ids_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids to run (default: all).")
 
@@ -54,6 +84,8 @@ let cmd =
   let doc = "regenerate the tables and figures of the SW_GROMACS paper" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const main $ list_flag $ quick_flag $ ids_arg)
+    Term.(
+      const main $ list_flag $ quick_flag $ trace_file $ trace_summary
+      $ ids_arg)
 
 let () = exit (Cmd.eval' cmd)

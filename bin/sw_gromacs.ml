@@ -2,9 +2,21 @@
 
    Mirrors a minimal `mdrun`: builds a water box, minimizes, runs
    dynamics with the selected short-range kernel variant, and prints
-   an energy log plus the simulated-machine cost summary. *)
+   an energy log plus the simulated-machine cost summary.
 
-let main particles steps variant_name dt temp seed write_traj =
+   With --trace FILE the run records the swtrace timeline (MPE phases,
+   per-CPE kernel lanes, DMA transfers, network communication) and
+   exports it as Chrome trace_event JSON, loadable in Perfetto;
+   --trace-summary prints the phase/utilization/DMA/roofline tables
+   instead of (or in addition to) the file. *)
+
+let peak_flops (cfg : Swarch.Config.t) =
+  float_of_int cfg.Swarch.Config.cpe_count
+  *. float_of_int cfg.Swarch.Config.simd_lanes
+  *. cfg.Swarch.Config.cpe_freq_hz
+
+let main particles steps variant_name dt temp seed write_traj trace_file
+    trace_summary =
   let variant =
     match Swgmx.Variant.of_string variant_name with
     | Some v -> v
@@ -13,12 +25,14 @@ let main particles steps variant_name dt temp seed write_traj =
           variant_name;
         exit 2
   in
+  let tracing = trace_file <> None || trace_summary in
+  if tracing then Swtrace.Trace.enable ();
   let molecules = max 4 (particles / 3) in
   Fmt.pr "sw_gromacs: %d water molecules (%d atoms), %d steps, kernel %s@."
     molecules (3 * molecules) steps (Swgmx.Variant.name variant);
   let t0 = Unix.gettimeofday () in
-  let samples =
-    Swgmx.Engine.simulate ~variant ~dt ~temp ~molecules ~seed ~steps
+  let samples, st =
+    Swgmx.Engine.simulate_state ~variant ~dt ~temp ~molecules ~seed ~steps
       ~sample_every:(max 1 (steps / 10)) ()
   in
   Fmt.pr "@.%6s %16s %12s@." "step" "total E (kJ/mol)" "T (K)";
@@ -27,8 +41,14 @@ let main particles steps variant_name dt temp seed write_traj =
       Fmt.pr "%6d %16.2f %12.1f@." s.Swgmx.Engine.step s.Swgmx.Engine.total_energy
         s.Swgmx.Engine.temperature)
     samples;
+  (* the full-workflow step timeline (MPE phases + network track) comes
+     from the analytic engine: price the same system decomposed over a
+     few core groups so communication shows up on the trace *)
+  if tracing then
+    ignore
+      (Swgmx.Engine.trace_steps ~version:Swgmx.Engine.V_other
+         ~total_atoms:(3 * molecules) ~n_cg:8 ~steps ());
   (if write_traj then begin
-     let st = Mdcore.Water.build ~molecules ~seed () in
      let sink = Buffer.create 4096 in
      let w =
        Swio.Buffered_writer.create (Swio.Buffered_writer.To_buffer sink)
@@ -41,6 +61,27 @@ let main particles steps variant_name dt temp seed write_traj =
      Fmt.pr "@.trajectory frame: %d bytes in %d write call(s)@." bytes
        (Swio.Buffered_writer.flushes w)
    end);
+  if tracing then begin
+    let events = Swtrace.Trace.events () in
+    (match trace_file with
+    | Some path -> (
+        try
+          Swtrace.Chrome.write_file path events;
+          Fmt.pr "@.trace: %d events -> %s" (List.length events) path;
+          let dropped = Swtrace.Trace.dropped () in
+          if dropped > 0 then Fmt.pr " (%d oldest events dropped)" dropped;
+          Fmt.pr "@."
+        with Sys_error msg ->
+          Fmt.epr "sw_gromacs: cannot write trace: %s@." msg;
+          exit 1)
+    | None -> ());
+    if trace_summary then
+      Swtrace.Summary.print
+        ~peak_flops:(peak_flops Swarch.Config.default)
+        ~peak_bw:(Swarch.Config.peak_dma_bw Swarch.Config.default)
+        Fmt.stdout events;
+    Swtrace.Trace.disable ()
+  end;
   Fmt.pr "@.wall time: %.1f s@." (Unix.gettimeofday () -. t0);
   0
 
@@ -63,10 +104,25 @@ let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 let traj =
   Arg.(value & flag & info [ "traj" ] ~doc:"Write one trajectory frame at the end.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record the run and export a Chrome trace_event JSON file.")
+
+let trace_summary =
+  Arg.(
+    value & flag
+    & info [ "trace-summary" ]
+        ~doc:"Record the run and print phase/utilization/DMA/roofline tables.")
+
 let cmd =
   let doc = "molecular dynamics on the simulated Sunway SW26010" in
   Cmd.v
     (Cmd.info "sw_gromacs" ~doc)
-    Term.(const main $ particles $ steps $ variant $ dt $ temp $ seed $ traj)
+    Term.(
+      const main $ particles $ steps $ variant $ dt $ temp $ seed $ traj
+      $ trace_file $ trace_summary)
 
 let () = exit (Cmd.eval' cmd)

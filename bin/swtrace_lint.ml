@@ -1,0 +1,92 @@
+(* swtrace_lint: validate a Chrome trace_event JSON file produced by
+   the swtrace exporter.
+
+   Checks, in order:
+   - the file parses as JSON and has a "traceEvents" array;
+   - every event carries the required fields (name, ph, pid, tid, ts);
+   - thread_name metadata declares the MPE, at least one CPE lane and
+     the network track (the >= 3 track types the tracing subsystem
+     promises);
+   - at least one "step" span and one "phase" span are present.
+
+   Exits 0 when the trace is well-formed, 1 otherwise — used by the
+   @smoke alias to gate `dune runtest` on a real end-to-end trace. *)
+
+let fail fmt = Fmt.kstr (fun m -> Fmt.epr "swtrace_lint: %s@." m; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        Fmt.epr "usage: swtrace_lint TRACE.json@.";
+        exit 2
+  in
+  let json =
+    match Swtrace.Json.of_string (read_file path) with
+    | Ok j -> j
+    | Error msg -> fail "%s: not valid JSON: %s" path msg
+  in
+  let events =
+    match Swtrace.Json.member "traceEvents" json with
+    | Some (Swtrace.Json.Arr evs) -> evs
+    | Some _ -> fail "%s: traceEvents is not an array" path
+    | None -> fail "%s: missing traceEvents" path
+  in
+  if events = [] then fail "%s: traceEvents is empty" path;
+  let str_field ev key =
+    match Swtrace.Json.member key ev with
+    | Some (Swtrace.Json.Str s) -> Some s
+    | _ -> None
+  in
+  List.iteri
+    (fun i ev ->
+      (* metadata events (ph:"M") carry no timestamp, and process-scoped
+         metadata has no tid; everything else needs the full set *)
+      let required =
+        if str_field ev "ph" = Some "M" then [ "name"; "ph"; "pid" ]
+        else [ "name"; "ph"; "pid"; "tid"; "ts" ]
+      in
+      List.iter
+        (fun key ->
+          if Swtrace.Json.member key ev = None then
+            fail "%s: event %d lacks required field %S" path i key)
+        required)
+    events;
+  let thread_names =
+    List.filter_map
+      (fun ev ->
+        if str_field ev "name" = Some "thread_name" then
+          match Swtrace.Json.member "args" ev with
+          | Some args -> str_field args "name"
+          | None -> None
+        else None)
+      events
+  in
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  if not (List.mem "MPE" thread_names) then
+    fail "%s: no thread_name metadata for the MPE track" path;
+  if not (List.exists (has_prefix "CPE") thread_names) then
+    fail "%s: no thread_name metadata for any CPE track" path;
+  if not (List.mem "network" thread_names) then
+    fail "%s: no thread_name metadata for the network track" path;
+  let spans_with_cat c =
+    List.length
+      (List.filter
+         (fun ev -> str_field ev "ph" = Some "X" && str_field ev "cat" = Some c)
+         events)
+  in
+  let steps = spans_with_cat "step" in
+  if steps = 0 then fail "%s: no step spans recorded" path;
+  let phases = spans_with_cat "phase" in
+  if phases = 0 then fail "%s: no phase spans recorded" path;
+  Fmt.pr "swtrace_lint: %s OK (%d events, %d tracks, %d step spans, %d phase spans)@."
+    path (List.length events) (List.length thread_names) steps phases

@@ -36,8 +36,18 @@ let cpe t i = t.cpes.(i)
 
 (** [iter_cpes t f] runs [f] on every CPE in mesh order.  This is the
     simulator's stand-in for [athread_spawn]: the per-CPE work executes
-    sequentially but is costed as parallel. *)
-let iter_cpes t f = Array.iter f t.cpes
+    sequentially but is costed as parallel.  While [f] runs, the
+    tracing subsystem's ambient track points at the CPE whose slice is
+    executing, so scratchpad and DMA events land on the right lane. *)
+let iter_cpes t f =
+  if Swtrace.Trace.enabled () then
+    Array.iter
+      (fun c ->
+        Swtrace.Trace.with_track
+          (Swtrace.Track.Cpe (c.Cpe.id mod Swtrace.Track.cpe_tracks))
+          (fun () -> f c))
+      t.cpes
+  else Array.iter f t.cpes
 
 (** [total_cost t] is the sum of all CPE costs (MPE excluded). *)
 let total_cost t =

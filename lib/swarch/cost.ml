@@ -75,10 +75,16 @@ let simd t n = t.simd_ops <- t.simd_ops +. n
 let int_ops t n = t.int_ops <- t.int_ops +. n
 
 (** [gld t n] charges [n] global (main-memory) loads. *)
-let gld t n = t.gld_count <- t.gld_count + n
+let gld t n =
+  t.gld_count <- t.gld_count + n;
+  if Swtrace.Trace.enabled () then
+    Swtrace.Trace.counter_here ~cat:"mem" "gld" (float_of_int t.gld_count)
 
 (** [gst t n] charges [n] global (main-memory) stores. *)
-let gst t n = t.gst_count <- t.gst_count + n
+let gst t n =
+  t.gst_count <- t.gst_count + n;
+  if Swtrace.Trace.enabled () then
+    Swtrace.Trace.counter_here ~cat:"mem" "gst" (float_of_int t.gst_count)
 
 (** [mpe_flops t n] charges [n] operations executed on the MPE. *)
 let mpe_flops t n = t.mpe_flops <- t.mpe_flops +. n

@@ -47,7 +47,8 @@ let get ?(aligned = true) cfg (cost : Cost.t) ~bytes =
     let t = if aligned then t else t +. transfer_time cfg (min bytes 64) in
     cost.dma_time_s <- cost.dma_time_s +. t;
     cost.dma_bytes <- cost.dma_bytes +. float_of_int bytes;
-    cost.dma_transactions <- cost.dma_transactions + 1
+    cost.dma_transactions <- cost.dma_transactions + 1;
+    if Swtrace.Trace.enabled () then Swtrace.Trace.dma_transfer ~bytes ~time:t
   end
 
 (** [put cfg cost ?aligned ~bytes] charges one DMA write of [bytes] to

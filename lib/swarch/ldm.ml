@@ -34,12 +34,16 @@ let alloc t bytes =
   if bytes > available t then
     raise (Out_of_ldm { requested = bytes; available = available t });
   t.used <- t.used + bytes;
-  if t.used > t.high_water then t.high_water <- t.used
+  if t.used > t.high_water then t.high_water <- t.used;
+  if Swtrace.Trace.enabled () then
+    Swtrace.Trace.counter_here ~cat:"ldm" "ldm_used" (float_of_int t.used)
 
 (** [free t bytes] releases [bytes] previously allocated. *)
 let free t bytes =
   if bytes < 0 || bytes > t.used then invalid_arg "Ldm.free: bad size";
-  t.used <- t.used - bytes
+  t.used <- t.used - bytes;
+  if Swtrace.Trace.enabled () then
+    Swtrace.Trace.counter_here ~cat:"ldm" "ldm_used" (float_of_int t.used)
 
 (** [with_alloc t bytes f] runs [f ()] with [bytes] reserved and always
     releases them afterwards, even if [f] raises. *)

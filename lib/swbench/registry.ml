@@ -72,3 +72,13 @@ let find id = List.find_opt (fun e -> e.id = id) all
 
 (** [ids ()] lists all experiment ids. *)
 let ids () = List.map (fun e -> e.id) all
+
+(** [run e ~quick ppf] executes [e].  When the {!Swtrace} recorder is
+    enabled the whole experiment is wrapped in an ["exp:<id>"] span on
+    the MPE track, so a traced `experiments` run shows one phase per
+    regenerated table or figure. *)
+let run (e : experiment) ~quick ppf =
+  if Swtrace.Trace.enabled () then
+    Swtrace.Trace.with_span ~cat:"exp" Swtrace.Track.Mpe ("exp:" ^ e.id)
+      (fun () -> e.run ~quick ppf)
+  else e.run ~quick ppf

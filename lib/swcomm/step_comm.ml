@@ -82,5 +82,17 @@ let compute p =
     let domain_decomp =
       Network.allreduce p.net p.transport ~ranks:p.ranks ~bytes:migrate_bytes /. 10.0
     in
+    if Swtrace.Trace.enabled () then begin
+      (* lay the step's communication down on the network track, in
+         wire order, starting at the track's current cursor *)
+      let net = Swtrace.Track.Net in
+      let lane name dur =
+        if dur > 0.0 then Swtrace.Trace.span_here ~cat:"comm" net name ~dur
+      in
+      lane "halo" halo;
+      lane "pme-transpose" pme;
+      lane "comm-energies" energies;
+      lane "domain-decomp" domain_decomp
+    end;
     { halo; pme; energies; domain_decomp }
   end

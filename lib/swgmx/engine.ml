@@ -157,6 +157,9 @@ let cpe_per_atom_time (cfg : Swarch.Config.t) ~flops ~bytes n =
 let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
     ?(nstlist = 10) ~version ~total_atoms ~n_cg () =
   if n_cg < 1 then invalid_arg "Engine.measure: n_cg must be positive";
+  let module T = Swtrace.Trace in
+  let traced = T.enabled () in
+  let step_t0 = T.now Swtrace.Track.Mpe in
   let f = features_of_version version in
   let atoms_per_cg = max 12 (total_atoms / n_cg) in
   let molecules = max 4 (atoms_per_cg / 3) in
@@ -186,12 +189,20 @@ let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
   times.nsearch <-
     (if f.nsearch_cpe then t_ns_cpe else t_ns_mpe) /. float_of_int nstlist;
   (* --- short-range force + PME mesh --- *)
+  (* park the MPE clock where the force phase will sit in the step
+     timeline, so the kernel's own span (and its CPE lanes) land
+     inside the "force" phase span emitted below *)
+  if traced then T.set_now Swtrace.Track.Mpe (step_t0 +. times.nsearch);
   let outcome = Kernel.run sys pairs cg f.force in
   let pme_grid = Pme_model.grid_for ~box_edge:box.Md.Box.lx in
   let t_pme =
     if f.pme_on_cpe then Pme_model.cpe_time cfg ~n_atoms:n ~grid:pme_grid
     else Pme_model.mpe_time cfg ~n_atoms:n ~grid:pme_grid
   in
+  if traced then
+    T.span_here ~cat:"phase-detail" Swtrace.Track.Mpe
+      (if f.pme_on_cpe then "pme:cpe" else "pme:mpe")
+      ~dur:t_pme;
   times.force <- outcome.Kernel.elapsed +. t_pme;
   let read_miss =
     match outcome.Kernel.stats with
@@ -218,6 +229,8 @@ let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
       times.nsearch +. times.force +. times.buffer_ops +. times.update
       +. times.constraints
     in
+    (* network-track events start where the wait phase begins *)
+    if traced then T.set_now Swtrace.Track.Net (step_t0 +. on_chip);
     let comm =
       Swcomm.Step_comm.compute
         {
@@ -238,6 +251,30 @@ let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
   end;
   (* --- everything else: bookkeeping, energy summation, logging --- *)
   times.rest <- mpe_per_atom_time cfg ~flops:1.0 ~bytes:8.0 n;
+  (* --- trace timeline: tile the step with its phase spans --- *)
+  if traced then begin
+    let t = ref step_t0 in
+    let phase name dur =
+      if dur > 0.0 then T.span ~cat:"phase" Swtrace.Track.Mpe name ~t:!t ~dur;
+      t := !t +. dur
+    in
+    phase "nsearch" times.nsearch;
+    phase "force" times.force;
+    phase "buffer-ops" times.buffer_ops;
+    phase "update" times.update;
+    phase "constraints" times.constraints;
+    phase "wait-comm-f" times.wait_comm_f;
+    phase "comm-energies" times.comm_energies;
+    phase "domain-decomp" times.domain_decomp;
+    phase "write-traj" times.write_traj;
+    phase "rest" times.rest;
+    T.span ~cat:"step" Swtrace.Track.Mpe
+      ("step:" ^ version_name version)
+      ~t:step_t0 ~dur:(total times)
+      ~args:[ ("atoms", float_of_int n); ("ranks", float_of_int n_cg) ];
+    T.set_now Swtrace.Track.Mpe !t;
+    T.set_now Swtrace.Track.Net !t
+  end;
   {
     times;
     step_time = total times;
@@ -246,18 +283,35 @@ let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
     nsearch_miss = ns_stats.Nsearch_cpe.miss_ratio;
   }
 
+(** [trace_steps ?cfg ?steps_per_frame ?nstlist ~version ~total_atoms
+    ~n_cg ~steps ()] prices [steps] consecutive MD steps with the
+    recorder running, laying one step timeline after another on the
+    trace clock (phases on the MPE track, kernel detail on the CPE
+    tracks, communication on the network track).  Returns the last
+    step's measurement; call {!Swtrace.Trace.enable} first or the run
+    degenerates to plain repeated {!measure}. *)
+let trace_steps ?cfg ?steps_per_frame ?nstlist ~version ~total_atoms ~n_cg
+    ~steps () =
+  if steps < 1 then invalid_arg "Engine.trace_steps: steps must be positive";
+  let last = ref None in
+  for _ = 1 to steps do
+    last := Some (measure ?cfg ?steps_per_frame ?nstlist ~version ~total_atoms ~n_cg ())
+  done;
+  Option.get !last
+
 (* ------------------------------------------------------------------ *)
 (* Real dynamics with the optimized kernel (Figure 13). *)
 
 type sample = { step : int; total_energy : float; temperature : float }
 
-(** [simulate ?cfg ?variant ~molecules ~seed ~steps ~sample_every ()]
+(** [simulate_state ?cfg ?variant ~molecules ~seed ~steps ~sample_every ()]
     runs real water dynamics where the short-range forces come from
     the optimized mixed-precision kernel (default [Mark]) while PME,
     constraints and integration follow the reference path — exactly
     the split of the paper's port.  Returns energy/temperature samples
-    for comparison against the double-precision {!Mdcore.Workflow}. *)
-let simulate ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
+    for comparison against the double-precision {!Mdcore.Workflow},
+    plus the final particle state (for trajectory output). *)
+let simulate_state ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
     ?(dt = 0.001) ?(temp = 300.0) ?(equil_steps = 0) ~molecules ~seed ~steps
     ~sample_every () =
   let st = Md.Water.build ~molecules ~seed () in
@@ -294,6 +348,7 @@ let simulate ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
   let samples = ref [] in
   let n = Md.Md_state.n_atoms st in
   for step = 1 to steps do
+    Swtrace.Trace.push ~cat:"step" Swtrace.Track.Mpe "step:md";
     if (step - 1) mod config.Md.Workflow.nstlist = 0 then
       Md.Workflow.neighbour_search w;
     (* forces: short-range from the optimized kernel, the rest from the
@@ -345,6 +400,14 @@ let simulate ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
           total_energy = Md.Energy.total w.Md.Workflow.energy;
           temperature = Md.Md_state.temperature st;
         }
-        :: !samples
+        :: !samples;
+    Swtrace.Trace.pop Swtrace.Track.Mpe
   done;
-  List.rev !samples
+  (List.rev !samples, st)
+
+(** [simulate ...] is {!simulate_state} without the final state. *)
+let simulate ?cfg ?variant ?dt ?temp ?equil_steps ~molecules ~seed ~steps
+    ~sample_every () =
+  fst
+    (simulate_state ?cfg ?variant ?dt ?temp ?equil_steps ~molecules ~seed
+       ~steps ~sample_every ())

@@ -4,7 +4,12 @@
     half pair list ([Rca] converts it to the full list internally, as
     Algorithm 2 requires) and produce a {!Kernel_common.result} whose
     physics agrees with {!Mdcore.Nonbonded} within mixed-precision
-    tolerance; only the charged cost differs. *)
+    tolerance; only the charged cost differs.
+
+    When tracing is enabled, every run leaves a ["kernel:<variant>"]
+    span on the MPE track carrying the {!Swarch.Cost} aggregates (the
+    roofline payload) and per-CPE compute/DMA spans on the CPE tracks,
+    then advances the MPE clock past the kernel. *)
 
 type outcome = {
   result : Kernel_common.result;
@@ -12,10 +17,7 @@ type outcome = {
   stats : Kernel_cpe.stats option;  (** cache statistics, CPE variants *)
 }
 
-(** [run sys pairs cg variant] resets the group, executes the chosen
-    kernel variant and reports physics + simulated time. *)
-let run sys (pairs : Mdcore.Pair_list.t) (cg : Swarch.Core_group.t) variant =
-  Swarch.Core_group.reset cg;
+let dispatch sys pairs cg variant =
   match variant with
   | Variant.Ori ->
       let result = Kernel_ori.run sys pairs cg in
@@ -30,3 +32,50 @@ let run sys (pairs : Mdcore.Pair_list.t) (cg : Swarch.Core_group.t) variant =
       let full = Mdcore.Pair_list.to_full pairs in
       let result, stats = Kernel_cpe.run sys full cg spec in
       { result; elapsed = Swarch.Core_group.elapsed cg; stats = Some stats }
+
+(* Trace the finished run: the group's cost accumulators are still
+   loaded, so the span payload is exactly the Cost.t aggregate. *)
+let trace_outcome (cg : Swarch.Core_group.t) variant outcome =
+  let module T = Swtrace.Trace in
+  let cfg = cg.Swarch.Core_group.cfg in
+  let t0 = T.now Swtrace.Track.Mpe in
+  Array.iter
+    (fun (c : Swarch.Cpe.t) ->
+      let tr = Swtrace.Track.Cpe (c.Swarch.Cpe.id mod Swtrace.Track.cpe_tracks) in
+      T.set_now tr t0;
+      let compute = Swarch.Cpe.compute_time cfg c in
+      if compute > 0.0 then T.span_here ~cat:"cpe" tr "compute" ~dur:compute;
+      let dma =
+        c.Swarch.Cpe.cost.Swarch.Cost.dma_time_s /. cfg.Swarch.Config.dma_channels
+      in
+      if dma > 0.0 then T.span_here ~cat:"cpe-dma" tr "dma" ~dur:dma)
+    cg.Swarch.Core_group.cpes;
+  let total = Swarch.Core_group.total_cost cg in
+  let mpe_cost = cg.Swarch.Core_group.mpe.Swarch.Mpe.cost in
+  let flops =
+    total.Swarch.Cost.scalar_flops
+    +. (float_of_int cfg.Swarch.Config.simd_lanes *. total.Swarch.Cost.simd_ops)
+    +. mpe_cost.Swarch.Cost.mpe_flops
+  in
+  T.span_here ~cat:"kernel" Swtrace.Track.Mpe
+    ("kernel:" ^ Variant.name variant)
+    ~dur:outcome.elapsed
+    ~args:
+      [
+        ("flops", flops);
+        ("simd_ops", total.Swarch.Cost.simd_ops);
+        ("dma_bytes", total.Swarch.Cost.dma_bytes);
+        ("dma_time", total.Swarch.Cost.dma_time_s);
+        ( "gld",
+          float_of_int (total.Swarch.Cost.gld_count + total.Swarch.Cost.gst_count)
+        );
+        ("pairs", float_of_int outcome.result.Kernel_common.pairs_in_cutoff);
+      ]
+
+(** [run sys pairs cg variant] resets the group, executes the chosen
+    kernel variant and reports physics + simulated time. *)
+let run sys (pairs : Mdcore.Pair_list.t) (cg : Swarch.Core_group.t) variant =
+  Swarch.Core_group.reset cg;
+  let outcome = dispatch sys pairs cg variant in
+  if Swtrace.Trace.enabled () then trace_outcome cg variant outcome;
+  outcome

@@ -82,6 +82,16 @@ let make (cfg : Swarch.Config.t) ~box ~params ~cl ~topo ~ff ~pos =
     | Nonbonded.Ewald_real b -> b
     | Nonbonded.Reaction_field -> 0.0
   in
+  let pkg_aos = Package.pack ~layout:Package.Aos cl ~pos ~charge ~type_of in
+  let pkg_soa = Package.pack ~layout:Package.Soa cl ~pos ~charge ~type_of in
+  if Swtrace.Trace.enabled () then
+    Swtrace.Trace.instant ~cat:"phase-detail" Swtrace.Track.Mpe "package"
+      ~args:
+        [
+          ("clusters", float_of_int cl.Cluster.n_clusters);
+          ( "bytes",
+            float_of_int (2 * cl.Cluster.n_clusters * Package.bytes) );
+        ];
   {
     cfg;
     box;
@@ -90,8 +100,8 @@ let make (cfg : Swarch.Config.t) ~box ~params ~cl ~topo ~ff ~pos =
     topo;
     ff;
     n_clusters = cl.Cluster.n_clusters;
-    pkg_aos = Package.pack ~layout:Package.Aos cl ~pos ~charge ~type_of;
-    pkg_soa = Package.pack ~layout:Package.Soa cl ~pos ~charge ~type_of;
+    pkg_aos;
+    pkg_soa;
     excl;
     krf;
     crf;

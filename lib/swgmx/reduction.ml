@@ -26,6 +26,7 @@ let run sys (cg : Swarch.Core_group.t) ~(copies : copy option array)
   let line_elts = K.write_line_elts in
   let n_lines = (sys.K.n_clusters + line_elts - 1) / line_elts in
   let n_cpes = Array.length cg.Swarch.Core_group.cpes in
+  let fetched = ref 0 in
   for line = 0 to n_lines - 1 do
     let owner = cg.Swarch.Core_group.cpes.(line mod n_cpes) in
     let cost = owner.Swarch.Cpe.cost in
@@ -50,6 +51,7 @@ let run sys (cg : Swarch.Core_group.t) ~(copies : copy option array)
                 | None -> true (* meaningless copies are fetched anyway *)
               in
               if fetch then begin
+                incr fetched;
                 Dma.get cfg cost ~bytes:K.write_line_bytes;
                 Cost.flops cost (float_of_int ((hi_elt - lo_elt) * K.force_floats));
                 for e = lo_elt to hi_elt - 1 do
@@ -64,4 +66,11 @@ let run sys (cg : Swarch.Core_group.t) ~(copies : copy option array)
             end)
       copies;
     if !touched then Dma.put cfg cost ~bytes:K.write_line_bytes
-  done
+  done;
+  if Swtrace.Trace.enabled () then
+    Swtrace.Trace.instant ~cat:"phase-detail" Swtrace.Track.Mpe "reduction"
+      ~args:
+        [
+          ("lines", float_of_int n_lines);
+          ("lines_fetched", float_of_int !fetched);
+        ]

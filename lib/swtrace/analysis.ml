@@ -1,0 +1,192 @@
+(** Analysis passes over a recorded trace.
+
+    These turn the raw event stream into the three reports the paper's
+    methodology leans on: where each CPE spent its time (utilization /
+    load balance), whether the run's DMA transfers sat on the good part
+    of the Table 2 bandwidth curve, and how far each kernel sits from
+    the machine's roofline (flops vs. bytes moved). *)
+
+(* --- time window ----------------------------------------------------- *)
+
+(** [window events] is the [(t_min, t_max)] hull of the trace. *)
+let window events =
+  List.fold_left
+    (fun (lo, hi) (e : Event.t) ->
+      (Float.min lo e.Event.t, Float.max hi (Event.end_time e)))
+    (infinity, neg_infinity) events
+
+(* --- per-CPE utilization --------------------------------------------- *)
+
+type cpe_util = {
+  cpe : int;
+  busy : float;  (** seconds of span time on this CPE's track *)
+  fraction : float;  (** busy / trace window *)
+}
+
+(** [utilization events] sums span durations on each CPE track and
+    reports them as a fraction of the whole trace window.  CPEs with no
+    events are included at zero so imbalance is visible. *)
+let utilization events =
+  let lo, hi = window events in
+  let span = if hi > lo then hi -. lo else 0.0 in
+  let busy = Array.make Track.cpe_tracks 0.0 in
+  List.iter
+    (fun (e : Event.t) ->
+      match (e.Event.kind, e.Event.track) with
+      | Event.Span, Track.Cpe i -> busy.(i) <- busy.(i) +. e.Event.dur
+      | _ -> ())
+    events;
+  Array.to_list
+    (Array.mapi
+       (fun cpe b ->
+         { cpe; busy = b; fraction = (if span > 0.0 then b /. span else 0.0) })
+       busy)
+
+(* --- DMA bandwidth histogram ----------------------------------------- *)
+
+type dma_bucket = {
+  lo : int;  (** smallest transfer size in the bucket, bytes (incl.) *)
+  hi : int;  (** largest transfer size, bytes (inclusive) *)
+  transfers : int;
+  bytes : float;
+  time : float;  (** summed bus seconds *)
+}
+
+(** [bucket_bw b] is the achieved bandwidth of a bucket, B/s. *)
+let bucket_bw b = if b.time > 0.0 then b.bytes /. b.time else 0.0
+
+(** Default power-of-two size boundaries, spanning the Table 2 range. *)
+let default_bounds = [ 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ]
+
+(** [dma_histogram ?bounds events] buckets every recorded DMA transfer
+    by size.  Bucket [i] holds sizes in [(bounds[i-1], bounds[i]]]; a
+    final open bucket catches larger transfers.  Only non-empty buckets
+    are returned. *)
+let dma_histogram ?(bounds = default_bounds) events =
+  let bounds = List.sort_uniq compare bounds in
+  let edges = Array.of_list bounds in
+  let n = Array.length edges in
+  let buckets =
+    Array.init (n + 1) (fun i ->
+        let lo = if i = 0 then 1 else edges.(i - 1) + 1 in
+        let hi = if i < n then edges.(i) else max_int in
+        { lo; hi; transfers = 0; bytes = 0.0; time = 0.0 })
+  in
+  let find size =
+    let rec go i = if i >= n || size <= edges.(i) then i else go (i + 1) in
+    go 0
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.Event.cat = "dma" then begin
+        let size = int_of_float (Event.arg e "bytes") in
+        if size > 0 then begin
+          let i = find size in
+          let b = buckets.(i) in
+          buckets.(i) <-
+            {
+              b with
+              transfers = b.transfers + 1;
+              bytes = b.bytes +. float_of_int size;
+              time = b.time +. Event.arg e "dur";
+            }
+        end
+      end)
+    events;
+  List.filter (fun b -> b.transfers > 0) (Array.to_list buckets)
+
+(* --- roofline -------------------------------------------------------- *)
+
+type kernel_stats = {
+  name : string;
+  calls : int;
+  time : float;  (** summed simulated seconds *)
+  flops : float;  (** total floating-point work (SIMD lanes expanded) *)
+  dma_bytes : float;
+  dma_time : float;
+  gld : float;  (** global loads+stores issued *)
+}
+
+(** [intensity k] is the operational intensity, flop/byte ([infinity]
+    for kernels that moved no DMA bytes). *)
+let intensity k =
+  if k.dma_bytes > 0.0 then k.flops /. k.dma_bytes else infinity
+
+(** [attained_flops k] is the achieved flop rate, flop/s. *)
+let attained_flops k = if k.time > 0.0 then k.flops /. k.time else 0.0
+
+(** [roofline events] aggregates spans of category ["kernel"] by name.
+    The payload args are the {!Swarch.Cost} aggregates the kernel
+    driver attached ([flops], [dma_bytes], [dma_time], [gld]). *)
+let roofline events =
+  let tbl : (string, kernel_stats) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.Event.kind = Event.Span && e.Event.cat = "kernel" then begin
+        let prev =
+          match Hashtbl.find_opt tbl e.Event.name with
+          | Some k -> k
+          | None ->
+              order := e.Event.name :: !order;
+              {
+                name = e.Event.name;
+                calls = 0;
+                time = 0.0;
+                flops = 0.0;
+                dma_bytes = 0.0;
+                dma_time = 0.0;
+                gld = 0.0;
+              }
+        in
+        Hashtbl.replace tbl e.Event.name
+          {
+            prev with
+            calls = prev.calls + 1;
+            time = prev.time +. e.Event.dur;
+            flops = prev.flops +. Event.arg e "flops";
+            dma_bytes = prev.dma_bytes +. Event.arg e "dma_bytes";
+            dma_time = prev.dma_time +. Event.arg e "dma_time";
+            gld = prev.gld +. Event.arg e "gld";
+          }
+      end)
+    events;
+  List.rev_map (fun name -> Hashtbl.find tbl name) !order
+
+(* --- phase aggregation ------------------------------------------------ *)
+
+type phase_stats = {
+  phase : string;
+  count : int;
+  total : float;
+  mean : float;
+}
+
+(** [phases ?cat events] aggregates spans of category [cat] (default
+    ["phase"]) by name, preserving first-appearance order. *)
+let phases ?(cat = "phase") events =
+  let tbl : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.Event.kind = Event.Span && e.Event.cat = cat then begin
+        let n, tot =
+          match Hashtbl.find_opt tbl e.Event.name with
+          | Some x -> x
+          | None ->
+              order := e.Event.name :: !order;
+              (0, 0.0)
+        in
+        Hashtbl.replace tbl e.Event.name (n + 1, tot +. e.Event.dur)
+      end)
+    events;
+  List.rev_map
+    (fun name ->
+      let count, total = Hashtbl.find tbl name in
+      {
+        phase = name;
+        count;
+        total;
+        mean = (if count > 0 then total /. float_of_int count else 0.0);
+      })
+    !order

@@ -1,0 +1,49 @@
+(** Bounded ring buffer for trace events.
+
+    Each track owns one ring so a long run cannot grow memory without
+    bound: once full, the oldest events are overwritten and counted as
+    dropped.  All storage is allocated up front at {!create} so pushes
+    never allocate. *)
+
+type 'a t = {
+  data : 'a array;
+  capacity : int;
+  mutable start : int;  (** index of the oldest element *)
+  mutable len : int;  (** live elements *)
+  mutable dropped : int;  (** overwritten elements since creation *)
+}
+
+(** [create ~capacity ~dummy] is an empty ring; [dummy] pre-fills the
+    backing array. *)
+let create ~capacity ~dummy =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { data = Array.make capacity dummy; capacity; start = 0; len = 0; dropped = 0 }
+
+let length t = t.len
+let dropped t = t.dropped
+
+(** [push t x] appends [x], evicting the oldest element when full. *)
+let push t x =
+  if t.len < t.capacity then begin
+    t.data.((t.start + t.len) mod t.capacity) <- x;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.data.(t.start) <- x;
+    t.start <- (t.start + 1) mod t.capacity;
+    t.dropped <- t.dropped + 1
+  end
+
+(** [iter t f] visits live elements oldest-first. *)
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.data.((t.start + i) mod t.capacity)
+  done
+
+(** [to_list t] is the live contents oldest-first. *)
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := t.data.((t.start + i) mod t.capacity) :: !acc
+  done;
+  !acc

@@ -1,0 +1,21 @@
+(** Structured tracing and metrics for the simulated SW26010 stack.
+
+    The simulator's cost model says {e how much} a run cost; this
+    library records {e when and where} the cost was incurred: spans and
+    counters with simulated-time stamps on per-track ring buffers (MPE,
+    each CPE, the network), exported as Chrome trace_event JSON (load
+    the file in Perfetto or [chrome://tracing]) or as a terminal
+    summary with per-CPE utilization, the DMA bandwidth-vs-size
+    histogram and a per-kernel roofline report.
+
+    Tracing is off by default; every instrumentation point in the
+    simulator costs one branch when disabled.  See [docs/TRACING.md]. *)
+
+module Track = Track
+module Event = Event
+module Ring = Ring
+module Trace = Trace
+module Json = Json
+module Chrome = Chrome
+module Analysis = Analysis
+module Summary = Summary

@@ -1,0 +1,221 @@
+(** The global trace recorder.
+
+    One process-wide recorder keeps a per-track ring buffer, a
+    per-track simulated-time cursor and a per-track span stack.  Every
+    recording entry point first tests the global enable flag, so when
+    tracing is off the whole subsystem costs one load-and-branch per
+    call site and allocates nothing — instrumentation can stay in hot
+    simulator paths permanently.
+
+    Timestamps are simulated seconds.  The cursor of a track is "now"
+    for that lane; [span_here] advances it, so sequential phases laid
+    down with [span_here] tile the timeline without the caller doing
+    clock arithmetic. *)
+
+type state = {
+  mutable enabled : bool;
+  mutable rings : Event.t Ring.t array;  (** one per track when enabled *)
+  cursors : float array;  (** per-track simulated time, seconds *)
+  stacks : (string * string * float) list array;
+      (** open spans per track: (name, cat, start) *)
+  mutable current : int;  (** ambient track index (see {!with_track}) *)
+}
+
+let st =
+  {
+    enabled = false;
+    rings = [||];
+    cursors = Array.make Track.count 0.0;
+    stacks = Array.make Track.count [];
+    current = 0;
+  }
+
+(** [enabled ()] is the one branch paid on the disabled path. *)
+let enabled () = st.enabled
+
+(** Default per-track ring capacity (events). *)
+let default_capacity = 65536
+
+let reset_state () =
+  Array.fill st.cursors 0 Track.count 0.0;
+  Array.fill st.stacks 0 Track.count [];
+  st.current <- 0
+
+(** [enable ?capacity ()] clears any previous trace and starts
+    recording, with at most [capacity] events retained per track. *)
+let enable ?(capacity = default_capacity) () =
+  st.rings <-
+    Array.init Track.count (fun _ -> Ring.create ~capacity ~dummy:Event.null);
+  reset_state ();
+  st.enabled <- true
+
+(** [disable ()] stops recording; already-recorded events remain
+    readable through {!events}. *)
+let disable () = st.enabled <- false
+
+(** [clear ()] drops all recorded events and resets clocks. *)
+let clear () =
+  Array.iter
+    (fun (r : Event.t Ring.t) ->
+      r.Ring.start <- 0;
+      r.Ring.len <- 0;
+      r.Ring.dropped <- 0)
+    st.rings;
+  reset_state ()
+
+(* --- clocks and ambient track -------------------------------------- *)
+
+(** [now tr] is the cursor of [tr] (0. when tracing never ran). *)
+let now tr = st.cursors.(Track.index tr)
+
+(** [set_now tr t] moves the cursor of [tr] to [t]. *)
+let set_now tr t = if st.enabled then st.cursors.(Track.index tr) <- t
+
+(** [advance tr dt] moves the cursor of [tr] forward by [dt]. *)
+let advance tr dt =
+  if st.enabled then begin
+    let i = Track.index tr in
+    st.cursors.(i) <- st.cursors.(i) +. dt
+  end
+
+(** [current_track ()] is the ambient track charged by context-free
+    emitters ({!Dma}-style instrumentation deep in the simulator). *)
+let current_track () = Track.of_index st.current
+
+(** [with_track tr f] runs [f] with [tr] as the ambient track.  The
+    core-group scheduler uses this to attribute scratchpad and DMA
+    events to the CPE whose slice is executing. *)
+let with_track tr f =
+  if not st.enabled then f ()
+  else begin
+    let saved = st.current in
+    st.current <- Track.index tr;
+    Fun.protect ~finally:(fun () -> st.current <- saved) f
+  end
+
+(* --- recording ------------------------------------------------------ *)
+
+let record ev = Ring.push st.rings.(Track.index ev.Event.track) ev
+
+(** [span ?cat ?args tr name ~t ~dur] records a completed interval at
+    an explicit position; cursors are untouched. *)
+let span ?(cat = "") ?(args = []) tr name ~t ~dur =
+  if st.enabled then
+    record
+      { Event.kind = Span; track = tr; name; cat; t; dur; value = 0.0; args }
+
+(** [span_here ?cat ?args tr name ~dur] records an interval starting at
+    the track cursor and advances the cursor past it. *)
+let span_here ?cat ?args tr name ~dur =
+  if st.enabled then begin
+    let i = Track.index tr in
+    let t = st.cursors.(i) in
+    span ?cat ?args tr name ~t ~dur;
+    st.cursors.(i) <- t +. dur
+  end
+
+(** [instant ?cat ?args tr name] records a point event at the cursor. *)
+let instant ?(cat = "") ?(args = []) tr name =
+  if st.enabled then
+    record
+      {
+        Event.kind = Instant;
+        track = tr;
+        name;
+        cat;
+        t = st.cursors.(Track.index tr);
+        dur = 0.0;
+        value = 0.0;
+        args;
+      }
+
+(** [counter ?cat tr name v] samples a counter value at the cursor. *)
+let counter ?(cat = "counter") tr name v =
+  if st.enabled then
+    record
+      {
+        Event.kind = Counter;
+        track = tr;
+        name;
+        cat;
+        t = st.cursors.(Track.index tr);
+        dur = 0.0;
+        value = v;
+        args = [];
+      }
+
+(** [counter_here ?cat name v] samples a counter on the ambient track. *)
+let counter_here ?cat name v =
+  if st.enabled then counter ?cat (Track.of_index st.current) name v
+
+(** [dma_transfer ~bytes ~time] records one DMA transfer on the ambient
+    track; the size/duration payload feeds the bandwidth histogram
+    ({!Analysis.dma_histogram}). *)
+let dma_transfer ~bytes ~time =
+  if st.enabled then
+    record
+      {
+        Event.kind = Instant;
+        track = Track.of_index st.current;
+        name = "dma";
+        cat = "dma";
+        t = st.cursors.(st.current);
+        dur = 0.0;
+        value = 0.0;
+        args = [ ("bytes", float_of_int bytes); ("dur", time) ];
+      }
+
+(* --- nested spans ---------------------------------------------------- *)
+
+(** [push ?cat tr name] opens a span at the track cursor. *)
+let push ?(cat = "") tr name =
+  if st.enabled then begin
+    let i = Track.index tr in
+    st.stacks.(i) <- (name, cat, st.cursors.(i)) :: st.stacks.(i)
+  end
+
+(** [pop ?args tr] closes the innermost open span of [tr] at the track
+    cursor; a [pop] with no matching [push] is ignored. *)
+let pop ?args tr =
+  if st.enabled then begin
+    let i = Track.index tr in
+    match st.stacks.(i) with
+    | [] -> ()
+    | (name, cat, t0) :: rest ->
+        st.stacks.(i) <- rest;
+        span ~cat ?args tr name ~t:t0 ~dur:(st.cursors.(i) -. t0)
+  end
+
+(** [with_span ?cat tr name f] runs [f] inside a [push]/[pop] pair;
+    the span closes even if [f] raises. *)
+let with_span ?cat tr name f =
+  if not st.enabled then f ()
+  else begin
+    push ?cat tr name;
+    Fun.protect ~finally:(fun () -> pop tr) f
+  end
+
+(** [depth tr] is the number of open spans on [tr] (testing hook). *)
+let depth tr = List.length st.stacks.(Track.index tr)
+
+(* --- reading back ---------------------------------------------------- *)
+
+(** [events ()] is every retained event, time-sorted (stable within a
+    timestamp, so nesting order is preserved). *)
+let events () =
+  if Array.length st.rings = 0 then []
+  else begin
+    let all = ref [] in
+    for i = Array.length st.rings - 1 downto 0 do
+      all := List.rev_append (List.rev (Ring.to_list st.rings.(i))) !all
+    done;
+    List.stable_sort (fun a b -> Float.compare a.Event.t b.Event.t) !all
+  end
+
+(** [dropped ()] is the number of events lost to ring overflow. *)
+let dropped () =
+  Array.fold_left (fun acc r -> acc + Ring.dropped r) 0 st.rings
+
+(** [event_count ()] is the number of retained events. *)
+let event_count () =
+  Array.fold_left (fun acc r -> acc + Ring.length r) 0 st.rings

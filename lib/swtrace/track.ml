@@ -1,0 +1,43 @@
+(** Timeline tracks of the simulated SW26010 stack.
+
+    A track is one horizontal lane of the trace: the management core,
+    one of the 64 compute elements, or the interconnect.  Tracks map
+    one-to-one onto Chrome trace_event thread ids, so a trace loaded in
+    Perfetto shows the MPE, every CPE and the network as separate
+    rows. *)
+
+type t =
+  | Mpe  (** the management processing element *)
+  | Cpe of int  (** compute element [0..63] of the core group *)
+  | Net  (** the interconnect: halo, PME transpose, collectives *)
+
+(** Number of CPE tracks; matches the SW26010 core-group geometry. *)
+let cpe_tracks = 64
+
+(** Total number of tracks. *)
+let count = cpe_tracks + 2
+
+(** [index t] is the dense track index, also used as the trace tid:
+    MPE first, then the CPE mesh, the network last. *)
+let index = function
+  | Mpe -> 0
+  | Cpe i ->
+      if i < 0 || i >= cpe_tracks then
+        invalid_arg "Track.index: CPE id out of range";
+      1 + i
+  | Net -> cpe_tracks + 1
+
+(** [of_index i] inverts {!index}. *)
+let of_index = function
+  | 0 -> Mpe
+  | i when i >= 1 && i <= cpe_tracks -> Cpe (i - 1)
+  | i when i = cpe_tracks + 1 -> Net
+  | _ -> invalid_arg "Track.of_index"
+
+(** [name t] is the human-readable lane label shown by trace viewers. *)
+let name = function
+  | Mpe -> "MPE"
+  | Cpe i -> Printf.sprintf "CPE %02d" i
+  | Net -> "network"
+
+let pp ppf t = Fmt.string ppf (name t)

@@ -2,4 +2,5 @@ let () =
   Alcotest.run "sw_gromacs"
     (Test_swarch.suites @ Test_swcache.suites @ Test_mdcore.suites
     @ Test_swgmx.suites @ Test_swcomm.suites @ Test_swio.suites
-    @ Test_engine.suites @ Test_swbench.suites @ Test_extensions.suites)
+    @ Test_engine.suites @ Test_swbench.suites @ Test_extensions.suites
+    @ Test_swtrace.suites)

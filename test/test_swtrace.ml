@@ -1,0 +1,327 @@
+(* Tests for the swtrace tracing & metrics subsystem. *)
+
+module T = Swtrace.Trace
+module Track = Swtrace.Track
+module Event = Swtrace.Event
+module Json = Swtrace.Json
+
+let cfg = Swarch.Config.default
+
+(* Every test that records must start from a clean recorder and leave
+   it off, or state leaks across the suite. *)
+let with_trace f =
+  T.enable ();
+  Fun.protect ~finally:(fun () -> T.disable ()) f
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting *)
+
+let test_span_nesting () =
+  with_trace (fun () ->
+      T.push ~cat:"outer" Track.Mpe "outer";
+      T.advance Track.Mpe 1.0;
+      T.push ~cat:"inner" Track.Mpe "inner";
+      Alcotest.(check int) "two open spans" 2 (T.depth Track.Mpe);
+      T.advance Track.Mpe 2.0;
+      T.pop Track.Mpe;
+      T.advance Track.Mpe 1.0;
+      T.pop Track.Mpe;
+      Alcotest.(check int) "all spans closed" 0 (T.depth Track.Mpe);
+      let spans =
+        List.filter (fun e -> e.Event.kind = Event.Span) (T.events ())
+      in
+      let find name = List.find (fun e -> e.Event.name = name) spans in
+      let outer = find "outer" and inner = find "inner" in
+      Alcotest.(check (float 1e-12)) "inner start" 1.0 inner.Event.t;
+      Alcotest.(check (float 1e-12)) "inner duration" 2.0 inner.Event.dur;
+      Alcotest.(check (float 1e-12)) "outer start" 0.0 outer.Event.t;
+      Alcotest.(check (float 1e-12)) "outer duration" 4.0 outer.Event.dur;
+      (* nesting: inner lies strictly within outer *)
+      Alcotest.(check bool) "inner within outer" true
+        (inner.Event.t >= outer.Event.t
+        && Event.end_time inner <= Event.end_time outer))
+
+let test_unmatched_pop_ignored () =
+  with_trace (fun () ->
+      T.pop Track.Mpe;
+      Alcotest.(check int) "no events" 0 (T.event_count ()))
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let test_counter_accumulation () =
+  with_trace (fun () ->
+      let cost = Swarch.Cost.create () in
+      Swarch.Cost.gld cost 1;
+      Swarch.Cost.gld cost 2;
+      Swarch.Cost.gld cost 3;
+      let samples =
+        List.filter_map
+          (fun e ->
+            if e.Event.kind = Event.Counter && e.Event.name = "gld" then
+              Some e.Event.value
+            else None)
+          (T.events ())
+      in
+      (* each charge samples the running total: 1, 1+2, 1+2+3 *)
+      Alcotest.(check (list (float 1e-12))) "cumulative samples"
+        [ 1.0; 3.0; 6.0 ] samples)
+
+(* ------------------------------------------------------------------ *)
+(* JSON export parse-back *)
+
+let test_json_roundtrip () =
+  with_trace (fun () ->
+      T.span ~cat:"kernel" ~args:[ ("flops", 12.5) ] Track.Mpe "k" ~t:1e-3
+        ~dur:2e-3;
+      T.counter Track.(Cpe 7) "ldm" 4096.0;
+      let doc =
+        match Json.of_string (Swtrace.Chrome.to_string (T.events ())) with
+        | Ok j -> j
+        | Error msg -> Alcotest.failf "exported trace does not parse: %s" msg
+      in
+      let events =
+        match Json.member "traceEvents" doc with
+        | Some (Json.Arr evs) -> evs
+        | _ -> Alcotest.fail "missing traceEvents array"
+      in
+      let str ev key =
+        match Json.member key ev with Some (Json.Str s) -> Some s | _ -> None
+      in
+      let num ev key =
+        match Json.member key ev with
+        | Some (Json.Num n) -> n
+        | _ -> Alcotest.failf "missing numeric field %s" key
+      in
+      let span =
+        List.find (fun ev -> str ev "name" = Some "k") events
+      in
+      Alcotest.(check (option string)) "complete event" (Some "X")
+        (str span "ph");
+      (* microseconds of simulated time *)
+      Alcotest.(check (float 1e-9)) "ts in us" 1000.0 (num span "ts");
+      Alcotest.(check (float 1e-9)) "dur in us" 2000.0 (num span "dur");
+      (match Json.member "args" span with
+      | Some args ->
+          Alcotest.(check (float 1e-12)) "args survive" 12.5 (num args "flops")
+      | None -> Alcotest.fail "span lost its args");
+      let counter =
+        List.find (fun ev -> str ev "name" = Some "ldm") events
+      in
+      Alcotest.(check (option string)) "counter event" (Some "C")
+        (str counter "ph");
+      Alcotest.(check (float 1e-12)) "counter tid" 8.0 (num counter "tid"))
+
+let test_json_parser_rejects_garbage () =
+  (match Json.of_string "{\"a\": [1, 2" with
+  | Ok _ -> Alcotest.fail "truncated JSON accepted"
+  | Error _ -> ());
+  match Json.of_string "" with
+  | Ok _ -> Alcotest.fail "empty input accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Disabled mode *)
+
+let test_disabled_no_output () =
+  with_trace (fun () -> ());
+  (* recorder is now off, with empty rings from the enable above *)
+  T.clear ();
+  T.span Track.Mpe "s" ~t:0.0 ~dur:1.0;
+  T.span_here Track.Mpe "sh" ~dur:1.0;
+  T.instant Track.Mpe "i";
+  T.counter Track.Mpe "c" 1.0;
+  T.dma_transfer ~bytes:256 ~time:1e-8;
+  T.push Track.Mpe "p";
+  T.pop Track.Mpe;
+  Alcotest.(check int) "nothing recorded" 0 (T.event_count ());
+  Alcotest.(check (float 0.0)) "clock untouched" 0.0 (T.now Track.Mpe)
+
+let test_disabled_zero_allocation () =
+  T.disable ();
+  (* warm up so any one-time allocation is done *)
+  T.span_here Track.Mpe "noop" ~dur:1e-9;
+  T.counter Track.Mpe "c" 0.0;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    T.span_here Track.Mpe "noop" ~dur:1e-9;
+    T.instant Track.Mpe "i";
+    T.counter Track.Mpe "c" 0.0;
+    T.dma_transfer ~bytes:64 ~time:1e-9;
+    T.push Track.Mpe "p";
+    T.pop Track.Mpe
+  done;
+  let allocated = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "no allocation when disabled (%.0f words)" allocated)
+    true (allocated <= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* DMA histogram *)
+
+let test_dma_histogram_bucketing () =
+  with_trace (fun () ->
+      let emit bytes = T.dma_transfer ~bytes ~time:1e-8 in
+      emit 8;
+      emit 128;
+      (* boundary: 128 belongs to the (64, 128] bucket *)
+      emit 129;
+      emit 300;
+      emit 300;
+      emit 5000;
+      (* a non-dma instant must not pollute the histogram *)
+      T.instant ~cat:"phase-detail" Track.Mpe "reduction";
+      let buckets = Swtrace.Analysis.dma_histogram (T.events ()) in
+      let total = List.fold_left (fun a b -> a + b.Swtrace.Analysis.transfers) 0 buckets in
+      Alcotest.(check int) "all transfers bucketed" 6 total;
+      let find lo =
+        List.find (fun b -> b.Swtrace.Analysis.lo = lo) buckets
+      in
+      Alcotest.(check int) "128 lands in (64,128]" 1 (find 65).Swtrace.Analysis.transfers;
+      Alcotest.(check int) "129 lands in (128,256]" 1 (find 129).Swtrace.Analysis.transfers;
+      Alcotest.(check int) "300s land in (256,512]" 2 (find 257).Swtrace.Analysis.transfers;
+      Alcotest.(check int) "oversize lands in open bucket" 1
+        (find 4097).Swtrace.Analysis.transfers;
+      Alcotest.(check (float 1e-6)) "bucket bytes summed" 600.0
+        (find 257).Swtrace.Analysis.bytes)
+
+let test_dma_histogram_matches_bandwidth_curve () =
+  with_trace (fun () ->
+      (* charge one real transfer through the simulator and check the
+         histogram reproduces the Table 2 bandwidth point *)
+      let cost = Swarch.Cost.create () in
+      Swarch.Dma.get cfg cost ~bytes:512;
+      match Swtrace.Analysis.dma_histogram (T.events ()) with
+      | [ b ] ->
+          Alcotest.(check int) "one transfer" 1 b.Swtrace.Analysis.transfers;
+          let expected = Swarch.Dma.bandwidth cfg 512 in
+          let got = Swtrace.Analysis.bucket_bw b in
+          Alcotest.(check (float 1e-3)) "achieved = modelled bandwidth" 1.0
+            (got /. expected)
+      | bs -> Alcotest.failf "expected one bucket, got %d" (List.length bs))
+
+(* ------------------------------------------------------------------ *)
+(* Observer effect: tracing must not change simulated results *)
+
+let test_tracing_does_not_change_measurement () =
+  let run () =
+    Swgmx.Engine.measure ~version:Swgmx.Engine.V_other ~total_atoms:6000
+      ~n_cg:4 ()
+  in
+  let plain = run () in
+  let traced = with_trace (fun () -> run ()) in
+  Alcotest.(check bool) "traced events exist" true (T.event_count () > 0);
+  Alcotest.(check bool) "bit-identical step time" true
+    (plain.Swgmx.Engine.step_time = traced.Swgmx.Engine.step_time);
+  Alcotest.(check bool) "bit-identical breakdown" true
+    (plain.Swgmx.Engine.times = traced.Swgmx.Engine.times)
+
+let test_tracing_does_not_change_kernel_result () =
+  let run () =
+    let st = Mdcore.Water.build ~molecules:60 ~seed:5 () in
+    let n = Mdcore.Md_state.n_atoms st in
+    let box = st.Mdcore.Md_state.box in
+    let rcut = Float.min 0.9 (0.45 *. Mdcore.Box.min_edge box) in
+    let params =
+      { Mdcore.Nonbonded.rcut; elec = Mdcore.Nonbonded.Reaction_field }
+    in
+    let cl = Mdcore.Cluster.build box st.Mdcore.Md_state.pos n in
+    let sys =
+      Swgmx.Kernel_common.make cfg ~box ~params ~cl ~topo:st.Mdcore.Md_state.topo
+        ~ff:st.Mdcore.Md_state.ff ~pos:st.Mdcore.Md_state.pos
+    in
+    let pairs =
+      Mdcore.Pair_list.build box cl ~pos:st.Mdcore.Md_state.pos ~rlist:rcut ()
+    in
+    let cg = Swarch.Core_group.create cfg in
+    let outcome = Swgmx.Kernel.run sys pairs cg Swgmx.Variant.Mark in
+    ( outcome.Swgmx.Kernel.elapsed,
+      outcome.Swgmx.Kernel.result.Swgmx.Kernel_common.e_lj,
+      outcome.Swgmx.Kernel.result.Swgmx.Kernel_common.e_coul )
+  in
+  let plain = run () in
+  let traced = with_trace (fun () -> run ()) in
+  Alcotest.(check bool) "bit-identical kernel outcome" true (plain = traced)
+
+(* ------------------------------------------------------------------ *)
+(* Roofline consistency with the cost model *)
+
+let test_roofline_matches_cost () =
+  with_trace (fun () ->
+      let st = Mdcore.Water.build ~molecules:60 ~seed:7 () in
+      let n = Mdcore.Md_state.n_atoms st in
+      let box = st.Mdcore.Md_state.box in
+      let rcut = Float.min 0.9 (0.45 *. Mdcore.Box.min_edge box) in
+      let params =
+        { Mdcore.Nonbonded.rcut; elec = Mdcore.Nonbonded.Reaction_field }
+      in
+      let cl = Mdcore.Cluster.build box st.Mdcore.Md_state.pos n in
+      let sys =
+        Swgmx.Kernel_common.make cfg ~box ~params ~cl
+          ~topo:st.Mdcore.Md_state.topo ~ff:st.Mdcore.Md_state.ff
+          ~pos:st.Mdcore.Md_state.pos
+      in
+      let pairs =
+        Mdcore.Pair_list.build box cl ~pos:st.Mdcore.Md_state.pos ~rlist:rcut ()
+      in
+      let cg = Swarch.Core_group.create cfg in
+      let outcome = Swgmx.Kernel.run sys pairs cg Swgmx.Variant.Mark in
+      let total = Swarch.Core_group.total_cost cg in
+      match Swtrace.Analysis.roofline (T.events ()) with
+      | [ k ] ->
+          Alcotest.(check string) "kernel name" "kernel:Mark"
+            k.Swtrace.Analysis.name;
+          Alcotest.(check (float 1e-9)) "span time = elapsed"
+            outcome.Swgmx.Kernel.elapsed k.Swtrace.Analysis.time;
+          Alcotest.(check (float 1e-6)) "dma bytes = Cost.dma_bytes"
+            total.Swarch.Cost.dma_bytes k.Swtrace.Analysis.dma_bytes;
+          Alcotest.(check (float 1e-12)) "dma time = Cost.dma_time"
+            total.Swarch.Cost.dma_time_s k.Swtrace.Analysis.dma_time
+      | ks -> Alcotest.failf "expected one kernel, got %d" (List.length ks))
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer overflow *)
+
+let test_ring_overflow_drops_oldest () =
+  T.enable ~capacity:4 ();
+  Fun.protect
+    ~finally:(fun () -> T.disable ())
+    (fun () ->
+      for i = 1 to 10 do
+        T.span Track.Mpe (string_of_int i) ~t:(float_of_int i) ~dur:0.5
+      done;
+      Alcotest.(check int) "capacity respected" 4 (T.event_count ());
+      Alcotest.(check int) "drops counted" 6 (T.dropped ());
+      let names = List.map (fun e -> e.Event.name) (T.events ()) in
+      Alcotest.(check (list string)) "newest survive" [ "7"; "8"; "9"; "10" ]
+        names)
+
+let suites =
+  [
+    ( "swtrace",
+      [
+        Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "unmatched pop ignored" `Quick
+          test_unmatched_pop_ignored;
+        Alcotest.test_case "counter accumulation" `Quick
+          test_counter_accumulation;
+        Alcotest.test_case "chrome JSON round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "JSON parser rejects garbage" `Quick
+          test_json_parser_rejects_garbage;
+        Alcotest.test_case "disabled: no output" `Quick test_disabled_no_output;
+        Alcotest.test_case "disabled: zero allocation" `Quick
+          test_disabled_zero_allocation;
+        Alcotest.test_case "DMA histogram bucketing" `Quick
+          test_dma_histogram_bucketing;
+        Alcotest.test_case "DMA histogram matches Table 2" `Quick
+          test_dma_histogram_matches_bandwidth_curve;
+        Alcotest.test_case "observer effect: measure" `Quick
+          test_tracing_does_not_change_measurement;
+        Alcotest.test_case "observer effect: kernel" `Quick
+          test_tracing_does_not_change_kernel_result;
+        Alcotest.test_case "roofline matches cost model" `Quick
+          test_roofline_matches_cost;
+        Alcotest.test_case "ring overflow drops oldest" `Quick
+          test_ring_overflow_drops_oldest;
+      ] );
+  ]
