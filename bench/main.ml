@@ -6,7 +6,12 @@
 
    Part 2 — regeneration: every table and figure of the paper is
    rebuilt through the experiment registry in quick mode.  Full-size
-   regeneration is `dune exec bin/experiments.exe`. *)
+   regeneration is `dune exec bin/experiments.exe`.
+
+   `--json FILE` additionally writes the results machine-readably:
+   every benchmark's ns/run and r^2, plus the key simulated-time
+   figures of the Table-1 Mark workload (serial, swsched-scheduled and
+   ideal-overlap elapsed, DMA bytes). *)
 
 open Bechamel
 open Toolkit
@@ -97,6 +102,7 @@ let tests =
            done));
   ]
 
+(* returns (name, ns_per_run, r_square) rows, sorted by name *)
 let run_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -114,16 +120,25 @@ let run_benchmarks () =
         (Test.elements test))
     tests;
   let analyzed = Analyze.all ols Instance.monotonic_clock results in
-  Fmt.pr "%-45s %15s %10s@." "benchmark" "time/run" "r^2";
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) analyzed [] in
+  List.sort compare
+    (List.map
+       (fun (name, ols_result) ->
+         let time =
+           match Analyze.OLS.estimates ols_result with
+           | Some (t :: _) -> t
+           | _ -> Float.nan
+         in
+         let r2 =
+           Option.value ~default:Float.nan (Analyze.OLS.r_square ols_result)
+         in
+         (name, time, r2))
+       rows)
+
+let print_benchmarks rows =
+  Fmt.pr "%-45s %15s %10s@." "benchmark" "time/run" "r^2";
   List.iter
-    (fun (name, ols_result) ->
-      let time =
-        match Analyze.OLS.estimates ols_result with
-        | Some (t :: _) -> t
-        | _ -> Float.nan
-      in
-      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols_result) in
+    (fun (name, time, r2) ->
       let pretty t =
         if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
         else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
@@ -131,11 +146,80 @@ let run_benchmarks () =
         else Printf.sprintf "%.0f ns" t
       in
       Fmt.pr "%-45s %15s %10.3f@." name (pretty time) r2)
-    (List.sort compare rows)
+    rows
+
+(* the key simulated-time figures: the Table-1 Mark workload priced
+   serially, through the swsched replay, and at the ideal-overlap
+   bound (all from one recorded run) *)
+let simulated_figures () =
+  let p = Lazy.force prep3k in
+  let cfg = Swbench.Common.cfg in
+  let cg = Swarch.Core_group.create cfg in
+  Swarch.Core_group.reset cg;
+  let recorder = Swsched.Recorder.create cfg in
+  let spec = Swgmx.Kernel_cpe.spec_of_variant V.Mark in
+  ignore
+    (Swgmx.Kernel_cpe.run ~sched:recorder p.Swbench.Common.sys
+       p.Swbench.Common.pairs cg spec);
+  let mpe = Swarch.Mpe.time cfg cg.Swarch.Core_group.mpe in
+  let s = Swsched.Schedule.run cfg recorder in
+  let total = Swarch.Core_group.total_cost cg in
+  [
+    ("mark3k_serial_s", Swarch.Core_group.elapsed cg);
+    ("mark3k_scheduled_s", s.Swsched.Schedule.elapsed +. mpe);
+    ("mark3k_overlapped_s", Swarch.Core_group.elapsed_overlapped cg);
+    ("mark3k_dma_bytes", total.Swarch.Cost.dma_bytes);
+    ("mark3k_dma_requests", float_of_int s.Swsched.Schedule.dma_requests);
+    ("mark3k_bus_busy_s", s.Swsched.Schedule.bus_busy_s);
+    ("mark3k_bus_contended_s", s.Swsched.Schedule.bus_contended_s);
+    ("mark3k_sched_events", float_of_int s.Swsched.Schedule.events);
+  ]
+
+let write_json path rows =
+  let module J = Swtrace.Json in
+  let doc =
+    J.Obj
+      [
+        ( "benchmarks",
+          J.Arr
+            (List.map
+               (fun (name, time, r2) ->
+                 J.Obj
+                   [
+                     ("name", J.Str name);
+                     ("ns_per_run", J.Num time);
+                     ("r_square", J.Num r2);
+                   ])
+               rows) );
+        ( "simulated",
+          J.Obj (List.map (fun (k, v) -> (k, J.Num v)) (simulated_figures ()))
+        );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+(* minimal argv handling: [--json FILE] is the only flag *)
+let json_path () =
+  let rec scan = function
+    | "--json" :: path :: _ -> Some path
+    | "--json" :: [] ->
+        prerr_endline "bench: --json requires a file argument";
+        exit 2
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (List.tl (Array.to_list Sys.argv))
 
 let () =
+  let json = json_path () in
   Fmt.pr "=== bechamel micro-benchmarks (one per table/figure) ===@.";
-  run_benchmarks ();
+  let rows = run_benchmarks () in
+  print_benchmarks rows;
+  (match json with Some path -> write_json path rows | None -> ());
   Fmt.pr "@.=== regenerating all tables and figures (quick mode) ===@.";
   List.iter
     (fun (e : Swbench.Registry.experiment) ->

@@ -15,8 +15,8 @@ let peak_flops (cfg : Swarch.Config.t) =
   *. float_of_int cfg.Swarch.Config.simd_lanes
   *. cfg.Swarch.Config.cpe_freq_hz
 
-let main particles steps variant_name dt temp seed write_traj trace_file
-    trace_summary =
+let main particles steps variant_name dt temp seed pipelined write_traj
+    trace_file trace_summary =
   let variant =
     match Swgmx.Variant.of_string variant_name with
     | Some v -> v
@@ -28,12 +28,13 @@ let main particles steps variant_name dt temp seed write_traj trace_file
   let tracing = trace_file <> None || trace_summary in
   if tracing then Swtrace.Trace.enable ();
   let molecules = max 4 (particles / 3) in
-  Fmt.pr "sw_gromacs: %d water molecules (%d atoms), %d steps, kernel %s@."
-    molecules (3 * molecules) steps (Swgmx.Variant.name variant);
+  Fmt.pr "sw_gromacs: %d water molecules (%d atoms), %d steps, kernel %s%s@."
+    molecules (3 * molecules) steps (Swgmx.Variant.name variant)
+    (if pipelined then " (pipelined)" else "");
   let t0 = Unix.gettimeofday () in
   let samples, st =
-    Swgmx.Engine.simulate_state ~variant ~dt ~temp ~molecules ~seed ~steps
-      ~sample_every:(max 1 (steps / 10)) ()
+    Swgmx.Engine.simulate_state ~variant ~dt ~temp ~pipelined ~molecules ~seed
+      ~steps ~sample_every:(max 1 (steps / 10)) ()
   in
   Fmt.pr "@.%6s %16s %12s@." "step" "total E (kJ/mol)" "T (K)";
   List.iter
@@ -46,7 +47,7 @@ let main particles steps variant_name dt temp seed write_traj trace_file
      few core groups so communication shows up on the trace *)
   if tracing then
     ignore
-      (Swgmx.Engine.trace_steps ~version:Swgmx.Engine.V_other
+      (Swgmx.Engine.trace_steps ~version:Swgmx.Engine.V_other ~pipelined
          ~total_atoms:(3 * molecules) ~n_cg:8 ~steps ());
   (if write_traj then begin
      let sink = Buffer.create 4096 in
@@ -101,6 +102,16 @@ let dt = Arg.(value & opt float 0.001 & info [ "dt" ] ~doc:"Time step (ps).")
 let temp = Arg.(value & opt float 300.0 & info [ "t"; "temp" ] ~doc:"Temperature (K).")
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let pipelined =
+  Arg.(
+    value & flag
+    & info [ "pipelined" ]
+        ~doc:
+          "Run the short-range kernel through the swsched double-buffer \
+           pipeline: simulated time comes from the discrete-event replay \
+           (DMA overlapped behind compute) instead of the serial analytic \
+           model.  Physics results are identical either way.")
+
 let traj =
   Arg.(value & flag & info [ "traj" ] ~doc:"Write one trajectory frame at the end.")
 
@@ -122,7 +133,7 @@ let cmd =
   Cmd.v
     (Cmd.info "sw_gromacs" ~doc)
     Term.(
-      const main $ particles $ steps $ variant $ dt $ temp $ seed $ traj
-      $ trace_file $ trace_summary)
+      const main $ particles $ steps $ variant $ dt $ temp $ seed $ pipelined
+      $ traj $ trace_file $ trace_summary)
 
 let () = exit (Cmd.eval' cmd)

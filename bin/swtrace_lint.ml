@@ -4,10 +4,14 @@
    Checks, in order:
    - the file parses as JSON and has a "traceEvents" array;
    - every event carries the required fields (name, ph, pid, tid, ts);
+   - no complete event (ph:"X") has a negative duration;
    - thread_name metadata declares the MPE, at least one CPE lane and
      the network track (the >= 3 track types the tracing subsystem
      promises);
-   - at least one "step" span and one "phase" span are present.
+   - at least one "step" span and one "phase" span are present;
+   - scheduler spans (cat:"sched", from a pipelined kernel) properly
+     nest within each track: on one tid they may contain each other
+     but never partially overlap.
 
    Exits 0 when the trace is well-formed, 1 otherwise — used by the
    @smoke alias to gate `dune runtest` on a real end-to-end trace. *)
@@ -78,6 +82,22 @@ let () =
     fail "%s: no thread_name metadata for any CPE track" path;
   if not (List.mem "network" thread_names) then
     fail "%s: no thread_name metadata for the network track" path;
+  let num_field ev key =
+    match Swtrace.Json.member key ev with
+    | Some (Swtrace.Json.Num x) -> Some x
+    | _ -> None
+  in
+  (* negative durations are always a bug in the emitter *)
+  List.iteri
+    (fun i ev ->
+      if str_field ev "ph" = Some "X" then
+        match num_field ev "dur" with
+        | Some d when d < 0.0 ->
+            fail "%s: event %d (%s) has negative duration %g us" path i
+              (Option.value ~default:"?" (str_field ev "name"))
+              d
+        | _ -> ())
+    events;
   let spans_with_cat c =
     List.length
       (List.filter
@@ -88,5 +108,62 @@ let () =
   if steps = 0 then fail "%s: no step spans recorded" path;
   let phases = spans_with_cat "phase" in
   if phases = 0 then fail "%s: no phase spans recorded" path;
-  Fmt.pr "swtrace_lint: %s OK (%d events, %d tracks, %d step spans, %d phase spans)@."
+  (* scheduler spans must nest: within one tid, sort by (start asc,
+     duration desc) and check each span fits inside the innermost
+     still-open one.  Tolerance absorbs the %.12g round-trip. *)
+  let sched_spans =
+    List.filter_map
+      (fun ev ->
+        if str_field ev "ph" = Some "X" && str_field ev "cat" = Some "sched"
+        then
+          match (num_field ev "tid", num_field ev "ts", num_field ev "dur") with
+          | Some tid, Some ts, Some dur ->
+              Some (tid, ts, dur, Option.value ~default:"?" (str_field ev "name"))
+          | _ -> None
+        else None)
+      events
+  in
+  let eps = 1e-6 (* us *) in
+  let by_tid = Hashtbl.create 16 in
+  List.iter
+    (fun (tid, ts, dur, name) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_tid tid) in
+      Hashtbl.replace by_tid tid ((ts, dur, name) :: cur))
+    sched_spans;
+  Hashtbl.iter
+    (fun tid spans ->
+      let sorted =
+        List.sort
+          (fun (t1, d1, _) (t2, d2, _) ->
+            match Float.compare t1 t2 with
+            | 0 -> Float.compare d2 d1
+            | c -> c)
+          spans
+      in
+      let stack = ref [] in
+      List.iter
+        (fun (ts, dur, name) ->
+          let fin = ts +. dur in
+          (* close spans that ended before this one starts *)
+          while
+            match !stack with
+            | (_, e) :: _ -> e <= ts +. eps
+            | [] -> false
+          do
+            stack := List.tl !stack
+          done;
+          (match !stack with
+          | (pname, pend) :: _ when fin > pend +. eps ->
+              fail
+                "%s: sched span %S [%g..%g us] on tid %g overlaps %S ending at \
+                 %g us"
+                path name ts fin tid pname pend
+          | _ -> ());
+          stack := (name, fin) :: !stack)
+        sorted)
+    by_tid;
+  Fmt.pr
+    "swtrace_lint: %s OK (%d events, %d tracks, %d step spans, %d phase \
+     spans, %d sched spans)@."
     path (List.length events) (List.length thread_names) steps phases
+    (List.length sched_spans)

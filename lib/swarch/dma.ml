@@ -36,24 +36,38 @@ let bandwidth (cfg : Config.t) size =
     transfer of [size] bytes. *)
 let transfer_time cfg size = float_of_int size /. bandwidth cfg size
 
-(** [get cfg cost ?aligned ~bytes] charges one DMA read of [bytes]
-    from main memory to [cost].  Transfers not aligned to 128 bits pay
-    a head/tail fix-up transaction (Section 3.7: "if the data address
-    is in the alignment of 128 bit, the memory access tends to be more
-    efficient"); all shipped kernels allocate aligned. *)
-let get ?(aligned = true) cfg (cost : Cost.t) ~bytes =
+(** Transfer direction, reported to the {!observer}. *)
+type direction = Read | Write
+
+(** Observation hook for schedulers: when set, every charged transfer
+    is reported with its direction, size and bus time.  The swsched
+    recorder installs itself here while replaying a kernel, so DMA
+    issued anywhere below it (kernels, software caches, reduction) is
+    captured without threading a recorder through every call site. *)
+let observer : (direction -> bytes:int -> time:float -> unit) option ref =
+  ref None
+
+let transfer dir ?(aligned = true) cfg (cost : Cost.t) ~bytes =
   if bytes > 0 then begin
     let t = transfer_time cfg bytes in
     let t = if aligned then t else t +. transfer_time cfg (min bytes 64) in
     cost.dma_time_s <- cost.dma_time_s +. t;
     cost.dma_bytes <- cost.dma_bytes +. float_of_int bytes;
     cost.dma_transactions <- cost.dma_transactions + 1;
+    (match !observer with Some f -> f dir ~bytes ~time:t | None -> ());
     if Swtrace.Trace.enabled () then Swtrace.Trace.dma_transfer ~bytes ~time:t
   end
 
-(** [put cfg cost ?aligned ~bytes] charges one DMA write of [bytes] to
+(** [get ?aligned cfg cost ~bytes] charges one DMA read of [bytes]
+    from main memory to [cost].  Transfers not aligned to 128 bits pay
+    a head/tail fix-up transaction (Section 3.7: "if the data address
+    is in the alignment of 128 bit, the memory access tends to be more
+    efficient"); all shipped kernels allocate aligned. *)
+let get ?aligned cfg cost ~bytes = transfer Read ?aligned cfg cost ~bytes
+
+(** [put ?aligned cfg cost ~bytes] charges one DMA write of [bytes] to
     main memory to [cost].  Reads and writes share the bus model. *)
-let put ?aligned cfg cost ~bytes = get ?aligned cfg cost ~bytes
+let put ?aligned cfg cost ~bytes = transfer Write ?aligned cfg cost ~bytes
 
 (** [effective_bandwidth cost] is the average bandwidth achieved by the
     transfers recorded in [cost], or [0.] if none were issued. *)

@@ -14,12 +14,23 @@ val bandwidth : Config.t -> int -> float
     transfer of [size] bytes. *)
 val transfer_time : Config.t -> int -> float
 
-(** [get cfg cost ?aligned ~bytes] charges one DMA read of [bytes]
+(** Transfer direction, reported to the {!observer}. *)
+type direction = Read | Write
+
+(** Observation hook for schedulers: when set, every charged transfer
+    is reported with its direction, size and bus time.  The swsched
+    recorder installs itself here while recording a kernel, so DMA
+    issued anywhere below it (kernels, software caches, reduction) is
+    captured without threading a recorder through every call site.
+    Charging is unaffected; the hook only observes. *)
+val observer : (direction -> bytes:int -> time:float -> unit) option ref
+
+(** [get ?aligned cfg cost ~bytes] charges one DMA read of [bytes]
     from main memory to [cost].  Transfers not 128-bit aligned pay a
     head/tail fix-up transaction (Section 3.7). *)
 val get : ?aligned:bool -> Config.t -> Cost.t -> bytes:int -> unit
 
-(** [put cfg cost ?aligned ~bytes] charges one DMA write of [bytes] to
+(** [put ?aligned cfg cost ~bytes] charges one DMA write of [bytes] to
     main memory to [cost].  Reads and writes share the bus model. *)
 val put : ?aligned:bool -> Config.t -> Cost.t -> bytes:int -> unit
 

@@ -153,9 +153,11 @@ let cpe_per_atom_time (cfg : Swarch.Config.t) ~flops ~bytes n =
     optimization level: [total_atoms] split over [n_cg] core groups
     (the per-CG slice is simulated in full; communication is modelled
     analytically).  [steps_per_frame] is the trajectory-output
-    interval (Table 1 measures runs that write output). *)
+    interval (Table 1 measures runs that write output).
+    [pipelined] runs the short-range kernel through the swsched
+    double-buffer pipeline (see {!Kernel.run}). *)
 let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
-    ?(nstlist = 10) ~version ~total_atoms ~n_cg () =
+    ?(nstlist = 10) ?(pipelined = false) ~version ~total_atoms ~n_cg () =
   if n_cg < 1 then invalid_arg "Engine.measure: n_cg must be positive";
   let module T = Swtrace.Trace in
   let traced = T.enabled () in
@@ -193,7 +195,7 @@ let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
      timeline, so the kernel's own span (and its CPE lanes) land
      inside the "force" phase span emitted below *)
   if traced then T.set_now Swtrace.Track.Mpe (step_t0 +. times.nsearch);
-  let outcome = Kernel.run sys pairs cg f.force in
+  let outcome = Kernel.run ~pipelined sys pairs cg f.force in
   let pme_grid = Pme_model.grid_for ~box_edge:box.Md.Box.lx in
   let t_pme =
     if f.pme_on_cpe then Pme_model.cpe_time cfg ~n_atoms:n ~grid:pme_grid
@@ -290,12 +292,15 @@ let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
     tracks, communication on the network track).  Returns the last
     step's measurement; call {!Swtrace.Trace.enable} first or the run
     degenerates to plain repeated {!measure}. *)
-let trace_steps ?cfg ?steps_per_frame ?nstlist ~version ~total_atoms ~n_cg
-    ~steps () =
+let trace_steps ?cfg ?steps_per_frame ?nstlist ?pipelined ~version
+    ~total_atoms ~n_cg ~steps () =
   if steps < 1 then invalid_arg "Engine.trace_steps: steps must be positive";
   let last = ref None in
   for _ = 1 to steps do
-    last := Some (measure ?cfg ?steps_per_frame ?nstlist ~version ~total_atoms ~n_cg ())
+    last :=
+      Some
+        (measure ?cfg ?steps_per_frame ?nstlist ?pipelined ~version
+           ~total_atoms ~n_cg ())
   done;
   Option.get !last
 
@@ -312,8 +317,8 @@ type sample = { step : int; total_energy : float; temperature : float }
     for comparison against the double-precision {!Mdcore.Workflow},
     plus the final particle state (for trajectory output). *)
 let simulate_state ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
-    ?(dt = 0.001) ?(temp = 300.0) ?(equil_steps = 0) ~molecules ~seed ~steps
-    ~sample_every () =
+    ?(dt = 0.001) ?(temp = 300.0) ?(equil_steps = 0) ?(pipelined = false)
+    ~molecules ~seed ~steps ~sample_every () =
   let st = Md.Water.build ~molecules ~seed () in
   let box = st.Md.Md_state.box in
   let rcut = Float.min 0.9 (0.45 *. Md.Box.min_edge box) in
@@ -361,7 +366,7 @@ let simulate_state ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
       K.make cfg ~box ~params ~cl:w.Md.Workflow.cluster
         ~topo:st.Md.Md_state.topo ~ff:st.Md.Md_state.ff ~pos:st.Md.Md_state.pos
     in
-    let outcome = Kernel.run sys w.Md.Workflow.pairs cg variant in
+    let outcome = Kernel.run ~pipelined sys w.Md.Workflow.pairs cg variant in
     K.scatter_forces sys outcome.Kernel.result st.Md.Md_state.force;
     w.Md.Workflow.energy.Md.Energy.lj <- outcome.Kernel.result.K.e_lj;
     w.Md.Workflow.energy.Md.Energy.coulomb_sr <- outcome.Kernel.result.K.e_coul;
@@ -406,8 +411,8 @@ let simulate_state ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
   (List.rev !samples, st)
 
 (** [simulate ...] is {!simulate_state} without the final state. *)
-let simulate ?cfg ?variant ?dt ?temp ?equil_steps ~molecules ~seed ~steps
-    ~sample_every () =
+let simulate ?cfg ?variant ?dt ?temp ?equil_steps ?pipelined ~molecules ~seed
+    ~steps ~sample_every () =
   fst
-    (simulate_state ?cfg ?variant ?dt ?temp ?equil_steps ~molecules ~seed
-       ~steps ~sample_every ())
+    (simulate_state ?cfg ?variant ?dt ?temp ?equil_steps ?pipelined ~molecules
+       ~seed ~steps ~sample_every ())

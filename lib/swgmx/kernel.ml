@@ -15,23 +15,28 @@ type outcome = {
   result : Kernel_common.result;
   elapsed : float;  (** simulated seconds of the kernel on the group *)
   stats : Kernel_cpe.stats option;  (** cache statistics, CPE variants *)
+  sched : Swsched.Schedule.result option;
+      (** replayed timeline when the kernel ran pipelined *)
 }
 
-let dispatch sys pairs cg variant =
+let dispatch ?sched ?buffers sys pairs cg variant =
   match variant with
   | Variant.Ori ->
       let result = Kernel_ori.run sys pairs cg in
-      { result; elapsed = Swarch.Core_group.elapsed cg; stats = None }
+      { result; elapsed = Swarch.Core_group.elapsed cg; stats = None;
+        sched = None }
   | Variant.Pkg | Variant.Cache | Variant.Vec | Variant.Mark | Variant.Rma
   | Variant.Ustc ->
       let spec = Kernel_cpe.spec_of_variant variant in
-      let result, stats = Kernel_cpe.run sys pairs cg spec in
-      { result; elapsed = Swarch.Core_group.elapsed cg; stats = Some stats }
+      let result, stats = Kernel_cpe.run ?sched ?buffers sys pairs cg spec in
+      { result; elapsed = Swarch.Core_group.elapsed cg; stats = Some stats;
+        sched = None }
   | Variant.Rca ->
       let spec = Kernel_cpe.spec_of_variant variant in
       let full = Mdcore.Pair_list.to_full pairs in
-      let result, stats = Kernel_cpe.run sys full cg spec in
-      { result; elapsed = Swarch.Core_group.elapsed cg; stats = Some stats }
+      let result, stats = Kernel_cpe.run ?sched ?buffers sys full cg spec in
+      { result; elapsed = Swarch.Core_group.elapsed cg; stats = Some stats;
+        sched = None }
 
 (* Trace the finished run: the group's cost accumulators are still
    loaded, so the span payload is exactly the Cost.t aggregate. *)
@@ -39,17 +44,41 @@ let trace_outcome (cg : Swarch.Core_group.t) variant outcome =
   let module T = Swtrace.Trace in
   let cfg = cg.Swarch.Core_group.cfg in
   let t0 = T.now Swtrace.Track.Mpe in
-  Array.iter
-    (fun (c : Swarch.Cpe.t) ->
-      let tr = Swtrace.Track.Cpe (c.Swarch.Cpe.id mod Swtrace.Track.cpe_tracks) in
-      T.set_now tr t0;
-      let compute = Swarch.Cpe.compute_time cfg c in
-      if compute > 0.0 then T.span_here ~cat:"cpe" tr "compute" ~dur:compute;
-      let dma =
-        c.Swarch.Cpe.cost.Swarch.Cost.dma_time_s /. cfg.Swarch.Config.dma_channels
-      in
-      if dma > 0.0 then T.span_here ~cat:"cpe-dma" tr "dma" ~dur:dma)
-    cg.Swarch.Core_group.cpes;
+  (match outcome.sched with
+  | Some s ->
+      (* pipelined: the replayed timeline is the ground truth — emit
+         its spans (task, package, stall, phase) at their scheduled
+         positions instead of the analytic per-CPE blocks *)
+      List.iter
+        (fun (sp : Swsched.Schedule.span) ->
+          let tr =
+            if sp.Swsched.Schedule.track < 0 then Swtrace.Track.Mpe
+            else
+              Swtrace.Track.Cpe
+                (sp.Swsched.Schedule.track mod Swtrace.Track.cpe_tracks)
+          in
+          T.span ~cat:sp.Swsched.Schedule.cat tr sp.Swsched.Schedule.name
+            ~t:(t0 +. sp.Swsched.Schedule.t) ~dur:sp.Swsched.Schedule.dur)
+        s.Swsched.Schedule.spans;
+      Array.iter
+        (fun (c : Swarch.Cpe.t) ->
+          let tr =
+            Swtrace.Track.Cpe (c.Swarch.Cpe.id mod Swtrace.Track.cpe_tracks)
+          in
+          T.set_now tr (t0 +. s.Swsched.Schedule.elapsed))
+        cg.Swarch.Core_group.cpes
+  | None ->
+      Array.iter
+        (fun (c : Swarch.Cpe.t) ->
+          let tr = Swtrace.Track.Cpe (c.Swarch.Cpe.id mod Swtrace.Track.cpe_tracks) in
+          T.set_now tr t0;
+          let compute = Swarch.Cpe.compute_time cfg c in
+          if compute > 0.0 then T.span_here ~cat:"cpe" tr "compute" ~dur:compute;
+          let dma =
+            c.Swarch.Cpe.cost.Swarch.Cost.dma_time_s /. cfg.Swarch.Config.dma_channels
+          in
+          if dma > 0.0 then T.span_here ~cat:"cpe-dma" tr "dma" ~dur:dma)
+        cg.Swarch.Core_group.cpes);
   let total = Swarch.Core_group.total_cost cg in
   let mpe_cost = cg.Swarch.Core_group.mpe.Swarch.Mpe.cost in
   let flops =
@@ -72,10 +101,32 @@ let trace_outcome (cg : Swarch.Core_group.t) variant outcome =
         ("pairs", float_of_int outcome.result.Kernel_common.pairs_in_cutoff);
       ]
 
-(** [run sys pairs cg variant] resets the group, executes the chosen
-    kernel variant and reports physics + simulated time. *)
-let run sys (pairs : Mdcore.Pair_list.t) (cg : Swarch.Core_group.t) variant =
+(** [run ?pipelined ?buffers sys pairs cg variant] resets the group,
+    executes the chosen kernel variant and reports physics + simulated
+    time.  With [~pipelined:true] the CPE variants are recorded and
+    replayed through swsched: [elapsed] becomes the scheduled time
+    (between the serial and ideal-overlap analytic bounds) and
+    [sched] carries the replayed timeline; [Ori] has no CPE side and
+    ignores the flag. *)
+let run ?(pipelined = false) ?buffers sys (pairs : Mdcore.Pair_list.t)
+    (cg : Swarch.Core_group.t) variant =
   Swarch.Core_group.reset cg;
-  let outcome = dispatch sys pairs cg variant in
+  let recorder =
+    if pipelined && variant <> Variant.Ori then
+      Some (Swsched.Recorder.create cg.Swarch.Core_group.cfg)
+    else None
+  in
+  let outcome = dispatch ?sched:recorder ?buffers sys pairs cg variant in
+  let outcome =
+    match recorder with
+    | None -> outcome
+    | Some r ->
+        let s = Swsched.Schedule.run cg.Swarch.Core_group.cfg r in
+        let elapsed =
+          s.Swsched.Schedule.elapsed
+          +. Swarch.Mpe.time cg.Swarch.Core_group.cfg cg.Swarch.Core_group.mpe
+        in
+        { outcome with elapsed; sched = Some s }
+  in
   if Swtrace.Trace.enabled () then trace_outcome cg variant outcome;
   outcome

@@ -9,11 +9,21 @@ type outcome = {
   result : Kernel_common.result;
   elapsed : float;  (** simulated seconds of the kernel on the group *)
   stats : Kernel_cpe.stats option;  (** cache statistics, CPE variants *)
+  sched : Swsched.Schedule.result option;
+      (** replayed timeline when the kernel ran pipelined *)
 }
 
-(** [run sys pairs cg variant] resets the group, executes the chosen
-    kernel variant and reports physics + simulated time. *)
+(** [run ?pipelined ?buffers sys pairs cg variant] resets the group,
+    executes the chosen kernel variant and reports physics + simulated
+    time.  With [~pipelined:true] (default false) the CPE variants are
+    recorded and replayed through the swsched pipeline with [buffers]
+    LDM slots (default 2): [elapsed] becomes the scheduled time and
+    [sched] the replayed timeline, while the physics — executed in
+    unchanged serial order — stays bit-identical.  [Ori] ignores the
+    flag. *)
 val run :
+  ?pipelined:bool ->
+  ?buffers:int ->
   Kernel_common.system ->
   Mdcore.Pair_list.t ->
   Swarch.Core_group.t ->

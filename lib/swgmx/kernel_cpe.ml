@@ -231,13 +231,23 @@ let vector_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
 
 (* --- driver ------------------------------------------------------------ *)
 
-(** [run sys pairs cg spec] executes the short-range kernel on the core
-    group and returns the physics result plus cache statistics.  For
-    [Owner_only] (RCA), [pairs] must be the full pair list
-    ({!Mdcore.Pair_list.to_full}). *)
-let run sys (pairs : Pair_list.t) (cg : Swarch.Core_group.t) spec =
+(** [run ?sched ?buffers sys pairs cg spec] executes the short-range
+    kernel on the core group and returns the physics result plus cache
+    statistics.  For [Owner_only] (RCA), [pairs] must be the full pair
+    list ({!Mdcore.Pair_list.to_full}).
+
+    With [sched], the run is additionally recorded for the swsched
+    replay: the i-package read path goes through the double-buffer
+    {!Swsched.Pipeline} with [buffers] LDM slots (default 2), j-cache
+    fills stay blocking demand reads, and write-backs become
+    asynchronous puts.  The physics executes in the exact serial
+    order either way, so forces and energies are bit-identical with
+    and without a recorder. *)
+let run ?sched ?(buffers = 2) sys (pairs : Pair_list.t)
+    (cg : Swarch.Core_group.t) spec =
   if spec.write = Owner_only && spec.vector then
     invalid_arg "Kernel_cpe.run: the RCA baseline is scalar";
+  if buffers < 1 then invalid_arg "Kernel_cpe.run: buffers < 1";
   let cfg = sys.K.cfg in
   let res = K.empty_result sys in
   let n_cpes = Array.length cg.Swarch.Core_group.cpes in
@@ -255,10 +265,21 @@ let run sys (pairs : Pair_list.t) (cg : Swarch.Core_group.t) spec =
     }
   in
   let copies = Array.make n_cpes (None : Reduction.copy option) in
+  (* recorder adapters: identity on the serial reference path *)
+  let in_task (cpe : Swarch.Cpe.t) f =
+    match sched with
+    | Some r ->
+        Swsched.Recorder.task r ~id:cpe.Swarch.Cpe.id ~cost:cpe.Swarch.Cpe.cost f
+    | None -> f ()
+  in
+  let sync_record f =
+    match sched with Some r -> Swsched.Recorder.synchronous r f | None -> f ()
+  in
+  let ibuf_slots = match sched with Some _ -> buffers | None -> 1 in
   Swarch.Core_group.iter_cpes cg (fun cpe ->
       let cost = cpe.Swarch.Cpe.cost in
       let lo, hi = K.partition sys.K.n_clusters n_cpes cpe.Swarch.Cpe.id in
-      if lo < hi then begin
+      if lo < hi then in_task cpe (fun () ->
         (* each CPE keeps a full-length force copy, as the RMA scheme
            prescribes ("an interaction array for every particle") --
            its initialization and reduction cost is precisely what the
@@ -269,8 +290,11 @@ let run sys (pairs : Pair_list.t) (cg : Swarch.Core_group.t) spec =
           / K.write_line_elts * K.write_line_elts
         in
         let ldm = cpe.Swarch.Cpe.ldm in
-        (* LDM: i-package buffer + FA block + j buffer when uncached *)
-        Swarch.Ldm.alloc ldm (Package.bytes + K.force_bytes);
+        (* LDM: i-package slots ([buffers] of them when pipelined, so
+           the depth is provable against the 64 KB budget) + FA block +
+           j buffer when uncached.  The slices run serially, so one
+           backing array stands in for the rotating slots. *)
+        Swarch.Ldm.alloc ldm ((ibuf_slots * Package.bytes) + K.force_bytes);
         let ibuf = Array.make Package.floats 0.0 in
         let jbuf = Array.make Package.floats 0.0 in
         let read_cache =
@@ -300,14 +324,16 @@ let run sys (pairs : Pair_list.t) (cg : Swarch.Core_group.t) spec =
               (Some arr, wc)
           | Owner_only | Mpe_collect -> (None, None)
         in
-        (* initialization step: unmarked copies must be zeroed by DMA *)
+        (* initialization step: unmarked copies must be zeroed by DMA;
+           recorded blocking — the zeroes must land before the loop *)
         (match spec.write with
         | Rmw_direct | Deferred { marks = false } ->
-            let bytes = wlen * K.force_bytes in
-            let blocks = (bytes + 2047) / 2048 in
-            for _ = 1 to blocks do
-              Dma.put cfg cost ~bytes:2048
-            done
+            sync_record (fun () ->
+                let bytes = wlen * K.force_bytes in
+                let blocks = (bytes + 2047) / 2048 in
+                for _ = 1 to blocks do
+                  Dma.put cfg cost ~bytes:2048
+                done)
         | Deferred { marks = true } | Owner_only | Mpe_collect -> ());
         let fetch_j cj =
           match read_cache with
@@ -397,10 +423,17 @@ let run sys (pairs : Pair_list.t) (cg : Swarch.Core_group.t) spec =
               done
           | Mpe_collect -> send_to_mpe (ci * K.force_floats) fa
         in
-        for ci = lo to hi - 1 do
-          (* the fixed outer-loop package: one direct DMA *)
+        (* the i-package loop as a fetch/compute pipeline: the fixed
+           outer-loop package is one direct DMA (the prefetchable
+           stage); serially the combinator degenerates to the
+           reference loop *)
+        let fetch_i k =
+          let ci = lo + k in
           Array.blit backing (ci * Package.floats) ibuf 0 Package.floats;
-          Dma.get cfg cost ~bytes:Package.bytes;
+          Dma.get cfg cost ~bytes:Package.bytes
+        in
+        let compute_i k =
+          let ci = lo + k in
           if spec.vector then begin
             let fa_x = ref (Simd.zero ())
             and fa_y = ref (Simd.zero ())
@@ -446,7 +479,10 @@ let run sys (pairs : Pair_list.t) (cg : Swarch.Core_group.t) spec =
                 flush_fb cj);
             apply_a ci fa
           end
-        done;
+        in
+        Swsched.Pipeline.run ?sched
+          ~stages:{ Swsched.Pipeline.fetch = fetch_i; compute = compute_i }
+          ~buffers ~n:(hi - lo) ();
         (* wind down: flush caches, harvest stats, register the copy *)
         (match write_cache with
         | Some wc ->
@@ -496,10 +532,15 @@ let run sys (pairs : Pair_list.t) (cg : Swarch.Core_group.t) spec =
             | None -> ());
             Swcache.Read_cache.release rc
         | None -> ());
-        Swarch.Ldm.reset ldm
-      end);
-  (* reduction step: fold the per-CPE copies into the final forces *)
+        Swarch.Ldm.reset ldm));
+  (* reduction step: fold the per-CPE copies into the final forces.
+     A barrier separates it from the force loop — every copy must be
+     complete before line owners start summing. *)
   (match spec.write with
-  | Rmw_direct | Deferred _ -> Reduction.run sys cg ~copies res
+  | Rmw_direct | Deferred _ ->
+      (match sched with
+      | Some r -> Swsched.Recorder.phase r "reduce"
+      | None -> ());
+      Reduction.run ?sched sys cg ~copies res
   | Owner_only | Mpe_collect -> ());
   (res, stats)

@@ -17,19 +17,29 @@ module Dma = Swarch.Dma
     in marked mode. *)
 type copy = { wlo : int; data : float array; marks : Swcache.Bitmap.t option }
 
-(** [run sys cg ~copies res] folds every copy into [res.force],
+(** [run ?sched sys cg ~copies res] folds every copy into [res.force],
     charging the reducing CPEs for mark tests, line fetches, adds and
-    the final line store. *)
-let run sys (cg : Swarch.Core_group.t) ~(copies : copy option array)
+    the final line store.  With [sched], each line's work is recorded
+    on its owner CPE (line fetches are blocking demand reads; the
+    final line store is an asynchronous put). *)
+let run ?sched sys (cg : Swarch.Core_group.t) ~(copies : copy option array)
     (res : K.result) =
   let cfg = sys.K.cfg in
   let line_elts = K.write_line_elts in
   let n_lines = (sys.K.n_clusters + line_elts - 1) / line_elts in
   let n_cpes = Array.length cg.Swarch.Core_group.cpes in
+  let in_task (owner : Swarch.Cpe.t) f =
+    match sched with
+    | Some r ->
+        Swsched.Recorder.task r ~id:owner.Swarch.Cpe.id
+          ~cost:owner.Swarch.Cpe.cost f
+    | None -> f ()
+  in
   let fetched = ref 0 in
   for line = 0 to n_lines - 1 do
     let owner = cg.Swarch.Core_group.cpes.(line mod n_cpes) in
     let cost = owner.Swarch.Cpe.cost in
+    in_task owner (fun () ->
     let lo_elt = line * line_elts in
     let hi_elt = min sys.K.n_clusters (lo_elt + line_elts) in
     let touched = ref false in
@@ -65,7 +75,7 @@ let run sys (cg : Swarch.Core_group.t) ~(copies : copy option array)
               end
             end)
       copies;
-    if !touched then Dma.put cfg cost ~bytes:K.write_line_bytes
+    if !touched then Dma.put cfg cost ~bytes:K.write_line_bytes)
   done;
   if Swtrace.Trace.enabled () then
     Swtrace.Trace.instant ~cat:"phase-detail" Swtrace.Track.Mpe "reduction"

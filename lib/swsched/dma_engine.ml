@@ -1,0 +1,172 @@
+(** Asynchronous DMA engine over the event queue.
+
+    Requests are issued with a service demand (the Table-2 bus seconds
+    of the transfer, as charged by {!Swarch.Dma}) and complete through
+    a callback at their simulated finish time.  Two mechanisms shape
+    the timeline:
+
+    - {b bounded in-flight requests}: at most [slots] transfers are in
+      service at once (the hardware DMA channels' request slots);
+      further requests wait in a FIFO backlog, which is how
+      back-pressure reaches the issuing CPEs;
+    - {b bus contention}: the shared bus sustains [channels] concurrent
+      full-rate streams (the {!Swarch.Config.dma_channels} figure).
+      When [k] transfers are in flight, each progresses at rate
+      [min 1 (channels / k)], so the Table-2 bandwidth degrades as the
+      channels saturate while aggregate throughput stays capped at
+      [channels] streams — a processor-sharing model whose completion
+      times are recomputed at every issue and completion event. *)
+
+type request = {
+  id : int;
+  bytes : int;
+  demand : float;  (** bus seconds at full Table-2 rate *)
+  mutable remaining : float;  (** demand not yet served *)
+  issued_at : float;
+  on_complete : float -> unit;
+}
+
+type t = {
+  sim : Sim.t;
+  channels : float;  (** concurrent full-rate streams the bus sustains *)
+  slots : int;  (** bounded in-flight transfers *)
+  mutable active : request list;  (** in service, issue order *)
+  backlog : request Queue.t;  (** waiting for a slot *)
+  mutable last_update : float;
+  mutable generation : int;  (** invalidates stale completion events *)
+  mutable next_id : int;
+  (* statistics *)
+  mutable requests : int;
+  mutable bytes_moved : float;
+  mutable busy_s : float;  (** time with at least one transfer in flight *)
+  mutable contended_s : float;  (** busy time with the bus saturated *)
+  mutable queue_wait_s : float;  (** total backlog + slowdown waiting *)
+  mutable peak_in_flight : int;
+}
+
+(** [create ?channels ?slots sim cfg] is an idle engine.  [channels]
+    defaults to [cfg.dma_channels] (so an uncontended schedule
+    reproduces the analytic bus model); [slots] defaults to 4. *)
+let create ?channels ?(slots = 4) sim (cfg : Swarch.Config.t) =
+  let channels =
+    match channels with Some c -> c | None -> cfg.Swarch.Config.dma_channels
+  in
+  if channels <= 0.0 then invalid_arg "Dma_engine.create: channels <= 0";
+  if slots < 1 then invalid_arg "Dma_engine.create: slots < 1";
+  {
+    sim;
+    channels;
+    slots;
+    active = [];
+    backlog = Queue.create ();
+    last_update = 0.0;
+    generation = 0;
+    next_id = 0;
+    requests = 0;
+    bytes_moved = 0.0;
+    busy_s = 0.0;
+    contended_s = 0.0;
+    queue_wait_s = 0.0;
+    peak_in_flight = 0;
+  }
+
+(** [in_flight t] is the number of transfers currently in service. *)
+let in_flight t = List.length t.active
+
+let rate t k = if k = 0 then 0.0 else Float.min 1.0 (t.channels /. float_of_int k)
+
+(* progress every in-service transfer to the current instant *)
+let advance t =
+  let now = Sim.now t.sim in
+  let dt = now -. t.last_update in
+  if dt > 0.0 then begin
+    let k = List.length t.active in
+    if k > 0 then begin
+      let r = rate t k in
+      List.iter (fun q -> q.remaining <- q.remaining -. (dt *. r)) t.active;
+      t.busy_s <- t.busy_s +. dt;
+      if float_of_int k > t.channels then t.contended_s <- t.contended_s +. dt
+    end;
+    t.last_update <- now
+  end
+
+let eps_of q = Float.max (1e-12 *. q.demand) 1e-18
+
+let rec reschedule t =
+  t.generation <- t.generation + 1;
+  let gen = t.generation in
+  match t.active with
+  | [] -> ()
+  | active ->
+      let k = List.length active in
+      let r = rate t k in
+      let min_rem =
+        List.fold_left (fun m q -> Float.min m (Float.max 0.0 q.remaining))
+          infinity active
+      in
+      let at = Sim.now t.sim +. (min_rem /. r) in
+      Sim.schedule t.sim ~at (fun () ->
+          if gen = t.generation then complete t)
+
+and complete t =
+  advance t;
+  let done_, rest =
+    List.partition (fun q -> q.remaining <= eps_of q) t.active
+  in
+  t.active <- rest;
+  (* freed slots go to the backlog first (FIFO fairness): requests
+     issued from completion callbacks queue behind earlier arrivals *)
+  while List.length t.active < t.slots && not (Queue.is_empty t.backlog) do
+    let q = Queue.pop t.backlog in
+    t.active <- t.active @ [ q ]
+  done;
+  reschedule t;
+  let now = Sim.now t.sim in
+  List.iter
+    (fun q ->
+      t.queue_wait_s <- t.queue_wait_s +. (now -. q.issued_at -. q.demand);
+      q.on_complete now)
+    done_
+
+(** [issue t ~bytes ~demand ~on_complete] submits one transfer at the
+    current instant; [on_complete] fires with the simulated completion
+    time.  [demand] is the transfer's full-rate bus time — pass the
+    value charged by {!Swarch.Dma} so scheduled and analytic bus time
+    agree in the uncontended case. *)
+let issue t ~bytes ~demand ~on_complete =
+  if demand < 0.0 then invalid_arg "Dma_engine.issue: negative demand";
+  advance t;
+  let q =
+    {
+      id = t.next_id;
+      bytes;
+      demand;
+      remaining = demand;
+      issued_at = Sim.now t.sim;
+      on_complete;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.requests <- t.requests + 1;
+  t.bytes_moved <- t.bytes_moved +. float_of_int bytes;
+  if demand <= 0.0 then
+    (* zero-cost transfer: complete immediately, but through the event
+       queue so ordering stays deterministic *)
+    Sim.schedule t.sim ~at:(Sim.now t.sim) (fun () -> on_complete (Sim.now t.sim))
+  else begin
+    if List.length t.active < t.slots then begin
+      t.active <- t.active @ [ q ];
+      t.peak_in_flight <- max t.peak_in_flight (List.length t.active)
+    end
+    else Queue.push q t.backlog;
+    reschedule t
+  end
+
+(** Statistics accessors. *)
+let requests t = t.requests
+
+let bytes_moved t = t.bytes_moved
+let busy_seconds t = t.busy_s
+let contended_seconds t = t.contended_s
+let queue_wait_seconds t = t.queue_wait_s
+let peak_in_flight t = t.peak_in_flight

@@ -1,0 +1,44 @@
+(** Double-buffer pipeline combinator.
+
+    A kernel inner loop splits into two stages: [fetch i] issues the
+    DMA reads that bring package [i] into its LDM slot, and
+    [compute i] consumes the package.  [run] executes the stages
+    serially — physics order never changes, which keeps pipelined
+    results bit-identical to the reference path — while marking the
+    package boundaries and fetch transfers on the recorder.  At replay
+    time {!Schedule} lets the fetch of package [k + buffers - 1] fly
+    while package [k] computes, which is where the DMA/compute overlap
+    comes from.
+
+    Callers are responsible for allocating [buffers] LDM slots (and
+    thereby proving the depth fits the 64 KB budget) and for indexing
+    them as [i mod buffers]. *)
+
+type stages = {
+  fetch : int -> unit;  (** issue the reads for package [i] *)
+  compute : int -> unit;  (** consume package [i] *)
+}
+
+(** [run ?sched ~stages ~buffers ~n] processes packages [0 .. n-1].
+    Without a recorder this is exactly the serial loop.  With one,
+    each package becomes a recorder item whose fetch transfers are
+    marked prefetchable, and [buffers] is recorded as the task's
+    pipeline depth. *)
+let run ?sched ~stages ~buffers ~n () =
+  if buffers < 1 then invalid_arg "Pipeline.run: buffers < 1";
+  match sched with
+  | None ->
+      for i = 0 to n - 1 do
+        stages.fetch i;
+        stages.compute i
+      done
+  | Some r ->
+      Recorder.set_buffers r buffers;
+      for i = 0 to n - 1 do
+        (* ops recorded before the pipeline (e.g. force-area zeroing)
+           stay in their own item, so the first fetch can overlap
+           nothing it must not *)
+        Recorder.new_item r;
+        Recorder.prefetching r (fun () -> stages.fetch i);
+        stages.compute i
+      done

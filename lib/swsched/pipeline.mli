@@ -1,0 +1,15 @@
+(** Double-buffer pipeline combinator: runs a fetch/compute stage pair
+    serially while recording package boundaries for {!Schedule} to
+    overlap at replay time. *)
+
+type stages = {
+  fetch : int -> unit;  (** issue the reads for package [i] *)
+  compute : int -> unit;  (** consume package [i] *)
+}
+
+(** [run ?sched ~stages ~buffers ~n] processes packages [0 .. n-1] in
+    order.  With a recorder, each package becomes an item whose fetch
+    transfers are prefetchable up to [buffers] packages ahead.
+    Raises [Invalid_argument] if [buffers < 1]. *)
+val run :
+  ?sched:Recorder.t -> stages:stages -> buffers:int -> n:int -> unit -> unit

@@ -1,0 +1,220 @@
+(** Recording side of the record-then-replay scheduler.
+
+    The kernels execute their physics serially, in the exact order of
+    the reference path — which is what makes the pipelined results
+    bit-identical to the serial ones.  While they run, a recorder
+    hooks {!Swarch.Dma.observer} and snapshots compute time from the
+    task's {!Swarch.Cost.t}, turning each CPE's execution into a
+    per-task program of operations:
+
+    - [Work dt] — the CPE is busy computing for [dt] seconds;
+    - [Get] — a blocking demand read (j-particle cache miss);
+    - [Put] — a write-back, asynchronous unless recorded inside
+      {!synchronous};
+
+    grouped into {e items} (one per pipeline package) whose [prefetch]
+    transfers may be issued ahead of the item's body.  {!Schedule}
+    replays the resulting program against a shared DMA engine to
+    produce the overlapped timeline. *)
+
+type xfer = { bytes : int; demand : float }
+
+type op =
+  | Work of float  (** CPE busy for this many seconds *)
+  | Get of { bytes : int; demand : float; sync : bool }
+  | Put of { bytes : int; demand : float; sync : bool }
+
+type item = { prefetch : xfer list; body : op list }
+type task = { id : int; buffers : int; items : item list }
+type phase = { name : string; tasks : task list }
+
+(* mutable builders; snapshots are taken by [phases] *)
+type bitem = { mutable bpre : xfer list; mutable bbody : op list }
+
+type btask = {
+  bid : int;
+  mutable bbuffers : int;
+  mutable bitems : bitem list;
+}
+
+type bphase = { bname : string; mutable btasks : btask list }
+type mode = Body | Prefetch | Sync
+
+type t = {
+  cfg : Swarch.Config.t;
+  mutable bphases : bphase list;  (** reversed *)
+  mutable cur : (btask * Swarch.Cost.t) option;
+  mutable last_compute : float;
+  mutable mode : mode;
+}
+
+(** [create cfg] is an empty recorder with one open phase, ["main"]. *)
+let create cfg =
+  {
+    cfg;
+    bphases = [ { bname = "main"; btasks = [] } ];
+    cur = None;
+    last_compute = 0.0;
+    mode = Body;
+  }
+
+(** [phase t name] closes the current phase behind a barrier: tasks
+    recorded after this call only start, at replay time, once every
+    task of the previous phases has drained. *)
+let phase t name =
+  (match t.cur with
+  | Some _ -> invalid_arg "Recorder.phase: called inside a task"
+  | None -> ());
+  t.bphases <- { bname = name; btasks = [] } :: t.bphases
+
+let cur_item t =
+  match t.cur with
+  | Some (bt, _) -> (
+      match bt.bitems with it :: _ -> it | [] -> assert false)
+  | None -> invalid_arg "Recorder: not inside a task"
+
+(* fold compute time accrued since the last DMA event into the body *)
+let flush t =
+  match t.cur with
+  | None -> ()
+  | Some (_, cost) ->
+      let c = Swarch.Cost.cpe_compute_time t.cfg cost in
+      let d = c -. t.last_compute in
+      if d > 0.0 then begin
+        let it = cur_item t in
+        it.bbody <- Work d :: it.bbody
+      end;
+      t.last_compute <- c
+
+let observe t (dir : Swarch.Dma.direction) ~bytes ~time =
+  match t.cur with
+  | None -> ()
+  | Some _ -> (
+      flush t;
+      let it = cur_item t in
+      match (t.mode, dir) with
+      | Prefetch, Read -> it.bpre <- { bytes; demand = time } :: it.bpre
+      | (Body | Sync), Read ->
+          it.bbody <- Get { bytes; demand = time; sync = true } :: it.bbody
+      | (Body | Prefetch), Write ->
+          it.bbody <- Put { bytes; demand = time; sync = false } :: it.bbody
+      | Sync, Write ->
+          it.bbody <- Put { bytes; demand = time; sync = true } :: it.bbody)
+
+(** [task t ~id ~cost f] records [f ()] as work of CPE [id], reading
+    compute time from [cost] and transfers from the DMA observer.
+    Re-entering the same [id] within one phase appends to that CPE's
+    existing program (the reduction phase visits each owner CPE once
+    per interaction line). *)
+let task t ~id ~cost f =
+  (match t.cur with
+  | Some _ -> invalid_arg "Recorder.task: tasks do not nest"
+  | None -> ());
+  let ph = match t.bphases with ph :: _ -> ph | [] -> assert false in
+  let bt =
+    match List.find_opt (fun bt -> bt.bid = id) ph.btasks with
+    | Some bt -> bt
+    | None ->
+        let bt = { bid = id; bbuffers = 1; bitems = [] } in
+        ph.btasks <- bt :: ph.btasks;
+        bt
+  in
+  if bt.bitems = [] then bt.bitems <- [ { bpre = []; bbody = [] } ];
+  t.cur <- Some (bt, cost);
+  t.last_compute <- Swarch.Cost.cpe_compute_time t.cfg cost;
+  t.mode <- Body;
+  let saved = !Swarch.Dma.observer in
+  Swarch.Dma.observer :=
+    Some (fun dir ~bytes ~time -> observe t dir ~bytes ~time);
+  Fun.protect
+    ~finally:(fun () ->
+      flush t;
+      Swarch.Dma.observer := saved;
+      t.cur <- None;
+      t.mode <- Body)
+    f
+
+(** [new_item t] closes the current item and opens the next one — the
+    package boundary the pipeline overlaps across. *)
+let new_item t =
+  flush t;
+  match t.cur with
+  | Some (bt, _) -> bt.bitems <- { bpre = []; bbody = [] } :: bt.bitems
+  | None -> invalid_arg "Recorder.new_item: not inside a task"
+
+let with_mode t m f =
+  flush t;
+  let saved = t.mode in
+  t.mode <- m;
+  Fun.protect
+    ~finally:(fun () ->
+      flush t;
+      t.mode <- saved)
+    f
+
+(** [prefetching t f] records reads issued by [f ()] as the current
+    item's prefetch: at replay they are in flight up to [buffers]
+    items ahead of the compute cursor. *)
+let prefetching t f = with_mode t Prefetch f
+
+(** [synchronous t f] records writes issued by [f ()] as blocking
+    (used for the force-area zeroing before the main loop, which must
+    land before any remote CPE reads the area). *)
+let synchronous t f = with_mode t Sync f
+
+(** [set_buffers t n] records the pipeline depth the current task was
+    written for; {!Schedule.run} uses it unless overridden. *)
+let set_buffers t n =
+  match t.cur with
+  | Some (bt, _) -> bt.bbuffers <- max 1 n
+  | None -> invalid_arg "Recorder.set_buffers: not inside a task"
+
+let item_empty (bi : bitem) = bi.bpre = [] && bi.bbody = []
+
+(** [phases t] is the recorded program, in recording order, with empty
+    items dropped. *)
+let phases t =
+  List.rev_map
+    (fun bp ->
+      {
+        name = bp.bname;
+        tasks =
+          List.rev_map
+            (fun bt ->
+              {
+                id = bt.bid;
+                buffers = bt.bbuffers;
+                items =
+                  List.rev_map
+                    (fun bi ->
+                      { prefetch = List.rev bi.bpre; body = List.rev bi.bbody })
+                    (List.filter (fun bi -> not (item_empty bi)) bt.bitems);
+              })
+            bp.btasks;
+      })
+    t.bphases
+
+(** [total_dma_bytes t] sums the bytes of every recorded transfer —
+    the conservation tests compare it against the cost counters. *)
+let total_dma_bytes t =
+  List.fold_left
+    (fun acc ph ->
+      List.fold_left
+        (fun acc tk ->
+          List.fold_left
+            (fun acc it ->
+              let acc =
+                List.fold_left
+                  (fun acc (x : xfer) -> acc +. float_of_int x.bytes)
+                  acc it.prefetch
+              in
+              List.fold_left
+                (fun acc op ->
+                  match op with
+                  | Work _ -> acc
+                  | Get { bytes; _ } | Put { bytes; _ } ->
+                      acc +. float_of_int bytes)
+                acc it.body)
+            acc tk.items)
+        acc ph.tasks)
+    0.0 (phases t)

@@ -1,0 +1,51 @@
+(** Recording side of the record-then-replay scheduler: turns a
+    serial kernel execution into per-CPE programs of compute and DMA
+    operations that {!Schedule} replays concurrently. *)
+
+type xfer = { bytes : int; demand : float }
+
+type op =
+  | Work of float  (** CPE busy for this many seconds *)
+  | Get of { bytes : int; demand : float; sync : bool }
+      (** blocking demand read *)
+  | Put of { bytes : int; demand : float; sync : bool }
+      (** write-back; asynchronous unless recorded in {!synchronous} *)
+
+(** One pipeline package: [prefetch] transfers may be issued up to
+    [buffers] items ahead; [body] runs on the CPE cursor. *)
+type item = { prefetch : xfer list; body : op list }
+
+type task = { id : int; buffers : int; items : item list }
+type phase = { name : string; tasks : task list }
+type t
+
+(** [create cfg] is an empty recorder with one open phase, ["main"]. *)
+val create : Swarch.Config.t -> t
+
+(** [phase t name] closes the current phase behind a barrier. *)
+val phase : t -> string -> unit
+
+(** [task t ~id ~cost f] records [f ()] as work of CPE [id]; compute
+    time is read from [cost] and transfers from the DMA observer.
+    Re-entering the same [id] within one phase appends to that CPE's
+    program.  Tasks do not nest. *)
+val task : t -> id:int -> cost:Swarch.Cost.t -> (unit -> 'a) -> 'a
+
+(** [new_item t] closes the current item and opens the next one. *)
+val new_item : t -> unit
+
+(** [prefetching t f] records reads issued by [f ()] as the current
+    item's prefetch. *)
+val prefetching : t -> (unit -> 'a) -> 'a
+
+(** [synchronous t f] records writes issued by [f ()] as blocking. *)
+val synchronous : t -> (unit -> 'a) -> 'a
+
+(** [set_buffers t n] records the pipeline depth of the current task. *)
+val set_buffers : t -> int -> unit
+
+(** [phases t] is the recorded program, in recording order. *)
+val phases : t -> phase list
+
+(** [total_dma_bytes t] sums the bytes of every recorded transfer. *)
+val total_dma_bytes : t -> float

@@ -1,0 +1,36 @@
+(** Replay side of the scheduler: produce the overlapped timeline of a
+    recorded program against the contended DMA engine. *)
+
+type span = {
+  track : int;  (** CPE id, or [-1] for the MPE-level phase spans *)
+  name : string;
+  cat : string;  (** always ["sched"] *)
+  t : float;  (** start, seconds of simulated time from the replay origin *)
+  dur : float;
+}
+
+type result = {
+  elapsed : float;  (** end of the last phase *)
+  phase_ends : (string * float) list;
+  spans : span list;
+  dma_requests : int;
+  dma_bytes : float;
+  bus_busy_s : float;  (** time with at least one transfer in flight *)
+  bus_contended_s : float;  (** busy time with the bus saturated *)
+  queue_wait_s : float;
+  peak_in_flight : int;
+  events : int;  (** events processed; determinism tests compare it *)
+}
+
+(** [run ?channels ?slots ?buffers cfg recorder] replays the recorded
+    program.  [channels] and [slots] parameterise the DMA engine (see
+    {!Dma_engine.create}); [buffers], when given, overrides the
+    pipeline depth every task recorded.  Replaying the same recording
+    with the same parameters yields a bit-identical [result]. *)
+val run :
+  ?channels:float ->
+  ?slots:int ->
+  ?buffers:int ->
+  Swarch.Config.t ->
+  Recorder.t ->
+  result

@@ -1,0 +1,27 @@
+(** Deterministic discrete-event core: a clock plus a pending-event
+    queue ordered by (time, insertion sequence).  The sequence
+    tie-break makes replays of the same recorded program produce
+    bit-identical timelines. *)
+
+type t
+
+(** [create ()] is an empty simulation at time 0. *)
+val create : unit -> t
+
+(** [now t] is the current simulated time in seconds. *)
+val now : t -> float
+
+(** [processed t] is the number of events executed so far. *)
+val processed : t -> int
+
+(** [pending t] is the number of events not yet fired. *)
+val pending : t -> int
+
+(** [schedule t ~at action] queues [action] to run at simulated time
+    [at].  Scheduling in the past raises [Invalid_argument]; an [at]
+    equal to the current time runs after all already-queued events of
+    that instant. *)
+val schedule : t -> at:float -> (unit -> unit) -> unit
+
+(** [run t] fires events in (time, seq) order until the queue drains. *)
+val run : t -> unit

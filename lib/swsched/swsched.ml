@@ -1,0 +1,26 @@
+(** swsched: discrete-event pipeline scheduler for DMA/compute overlap.
+
+    The analytic {!Swarch.Core_group} timings bound a kernel between
+    two extremes: fully serial ([compute + dma]) and ideally
+    overlapped ([max compute dma]).  This subsystem computes where a
+    real double-buffered kernel lands between them, by
+
+    + {b recording} the serial execution ({!Recorder}, fed by the
+      {!Pipeline} combinator and the {!Swarch.Dma.observer} hook) into
+      per-CPE programs of compute and DMA operations — the physics
+      itself still runs serially, so results are bit-identical to the
+      reference path;
+    + {b replaying} those programs concurrently ({!Schedule}) on a
+      deterministic event queue ({!Sim}) against an asynchronous DMA
+      engine ({!Dma_engine}) with bounded in-flight requests and a
+      processor-sharing bus that degrades the Table-2 bandwidth under
+      contention.
+
+    The replay yields the scheduled elapsed time, per-CPE timeline
+    spans (exported as swtrace events), and bus statistics. *)
+
+module Sim = Sim
+module Dma_engine = Dma_engine
+module Recorder = Recorder
+module Pipeline = Pipeline
+module Schedule = Schedule

@@ -25,7 +25,10 @@ type cpe_util = {
 
 (** [utilization events] sums span durations on each CPE track and
     reports them as a fraction of the whole trace window.  CPEs with no
-    events are included at zero so imbalance is visible. *)
+    events are included at zero so imbalance is visible.  Scheduler
+    spans nest ("cpe-pipe" contains "pkg" contains "dma-wait"), so of
+    those only the per-package bodies count — they are disjoint and
+    represent the lane actually occupied. *)
 let utilization events =
   let lo, hi = window events in
   let span = if hi > lo then hi -. lo else 0.0 in
@@ -33,7 +36,9 @@ let utilization events =
   List.iter
     (fun (e : Event.t) ->
       match (e.Event.kind, e.Event.track) with
-      | Event.Span, Track.Cpe i -> busy.(i) <- busy.(i) +. e.Event.dur
+      | Event.Span, Track.Cpe i ->
+          if e.Event.cat <> "sched" || e.Event.name = "pkg" then
+            busy.(i) <- busy.(i) +. e.Event.dur
       | _ -> ())
     events;
   Array.to_list
