@@ -164,6 +164,12 @@ let simulated_figures () =
   let mpe = Swarch.Mpe.time cfg cg.Swarch.Core_group.mpe in
   let s = Swsched.Schedule.run cfg recorder in
   let total = Swarch.Core_group.total_cost cg in
+  (* the full decomposed step, priced through both swstep plans *)
+  let step plan =
+    E.measure ~cfg ~plan ~version:E.V_other ~total_atoms:24000 ~n_cg:8 ()
+  in
+  let step_serial = step Swstep.Plan.Serial in
+  let step_overlap = step Swstep.Plan.Overlap in
   [
     ("mark3k_serial_s", Swarch.Core_group.elapsed cg);
     ("mark3k_scheduled_s", s.Swsched.Schedule.elapsed +. mpe);
@@ -173,6 +179,10 @@ let simulated_figures () =
     ("mark3k_bus_busy_s", s.Swsched.Schedule.bus_busy_s);
     ("mark3k_bus_contended_s", s.Swsched.Schedule.bus_contended_s);
     ("mark3k_sched_events", float_of_int s.Swsched.Schedule.events);
+    ("step24k_serial_s", step_serial.E.step_time);
+    ("step24k_overlap_s", step_overlap.E.step_time);
+    ("step24k_comm_hidden_s", step_overlap.E.step.Swstep.Plan.comm_hidden);
+    ("step24k_critical_path_s", step_overlap.E.step.Swstep.Plan.critical_path);
   ]
 
 let write_json path rows =

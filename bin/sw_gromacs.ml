@@ -15,7 +15,7 @@ let peak_flops (cfg : Swarch.Config.t) =
   *. float_of_int cfg.Swarch.Config.simd_lanes
   *. cfg.Swarch.Config.cpe_freq_hz
 
-let main particles steps variant_name dt temp seed pipelined write_traj
+let main particles steps variant_name dt temp seed pipelined overlap write_traj
     trace_file trace_summary =
   let variant =
     match Swgmx.Variant.of_string variant_name with
@@ -25,6 +25,12 @@ let main particles steps variant_name dt temp seed pipelined write_traj
           variant_name;
         exit 2
   in
+  let cfg = Swarch.Config.default in
+  (* validate the machine description once at the boundary *)
+  (try Swarch.Config.validate cfg
+   with Invalid_argument msg ->
+     Fmt.epr "sw_gromacs: invalid machine config: %s@." msg;
+     exit 2);
   let tracing = trace_file <> None || trace_summary in
   if tracing then Swtrace.Trace.enable ();
   let molecules = max 4 (particles / 3) in
@@ -42,13 +48,31 @@ let main particles steps variant_name dt temp seed pipelined write_traj
       Fmt.pr "%6d %16.2f %12.1f@." s.Swgmx.Engine.step s.Swgmx.Engine.total_energy
         s.Swgmx.Engine.temperature)
     samples;
+  let plan = if overlap then Swstep.Plan.Overlap else Swstep.Plan.Serial in
   (* the full-workflow step timeline (MPE phases + network track) comes
      from the analytic engine: price the same system decomposed over a
      few core groups so communication shows up on the trace *)
   if tracing then
     ignore
-      (Swgmx.Engine.trace_steps ~version:Swgmx.Engine.V_other ~pipelined
+      (Swgmx.Engine.trace_steps ~version:Swgmx.Engine.V_other ~pipelined ~plan
          ~total_atoms:(3 * molecules) ~n_cg:8 ~steps ());
+  (if overlap then begin
+     (* price the decomposed step both ways and show what overlapping
+        communication behind compute buys on this workload *)
+     let measure plan =
+       Swgmx.Engine.measure ~cfg ~plan ~version:Swgmx.Engine.V_other ~pipelined
+         ~total_atoms:(3 * molecules) ~n_cg:8 ()
+     in
+     let ms = measure Swstep.Plan.Serial in
+     let mo = measure Swstep.Plan.Overlap in
+     Fmt.pr "@.step plan (V_other, 8 CGs): serial %.3f ms -> overlap %.3f ms@."
+       (ms.Swgmx.Engine.step_time *. 1e3)
+       (mo.Swgmx.Engine.step_time *. 1e3);
+     Fmt.pr "  Wait + comm. F: %.3f ms -> %.3f ms (%.3f ms of comm hidden)@."
+       (Swgmx.Engine.row ms "Wait + comm. F" *. 1e3)
+       (Swgmx.Engine.row mo "Wait + comm. F" *. 1e3)
+       (mo.Swgmx.Engine.step.Swstep.Plan.comm_hidden *. 1e3)
+   end);
   (if write_traj then begin
      let sink = Buffer.create 4096 in
      let w =
@@ -112,6 +136,15 @@ let pipelined =
            (DMA overlapped behind compute) instead of the serial analytic \
            model.  Physics results are identical either way.")
 
+let overlap =
+  Arg.(
+    value & flag
+    & info [ "overlap" ]
+        ~doc:
+          "Schedule the step's communication phases to overlap independent \
+           compute (the swstep Overlap plan) instead of the serial profile, \
+           and print a serial-vs-overlap comparison of the decomposed step.")
+
 let traj =
   Arg.(value & flag & info [ "traj" ] ~doc:"Write one trajectory frame at the end.")
 
@@ -134,6 +167,6 @@ let cmd =
     (Cmd.info "sw_gromacs" ~doc)
     Term.(
       const main $ particles $ steps $ variant $ dt $ temp $ seed $ pipelined
-      $ traj $ trace_file $ trace_summary)
+      $ overlap $ traj $ trace_file $ trace_summary)
 
 let () = exit (Cmd.eval' cmd)

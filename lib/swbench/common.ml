@@ -5,6 +5,9 @@ module K = Swgmx.Kernel_common
 
 let cfg = Swarch.Config.default
 
+(* fail fast if the harness is ever pointed at a bad machine model *)
+let () = Swarch.Config.validate cfg
+
 type prepared = {
   st : Md.Md_state.t;
   sys : K.system;
@@ -37,17 +40,20 @@ let kernel_outcome p variant =
   let cg = Swarch.Core_group.create cfg in
   Swgmx.Kernel.run p.sys p.pairs cg variant
 
-(** Memoized [Engine.measure], keyed by (version, atoms, n_cg): the
-    same measurements feed Table 1 and Figure 10. *)
+(** Memoized [Engine.measure], keyed by (version, plan, atoms, n_cg):
+    the same measurements feed Table 1, Figure 10 and the overlap
+    ablation. *)
 let measure_cache :
-    (Swgmx.Engine.version * int * int, Swgmx.Engine.measurement) Hashtbl.t =
+    ( Swgmx.Engine.version * Swstep.Plan.mode * int * int,
+      Swgmx.Engine.measurement )
+    Hashtbl.t =
   Hashtbl.create 16
 
-let measure ~version ~total_atoms ~n_cg =
-  let key = (version, total_atoms, n_cg) in
+let measure ?(plan = Swstep.Plan.Serial) ~version ~total_atoms ~n_cg () =
+  let key = (version, plan, total_atoms, n_cg) in
   match Hashtbl.find_opt measure_cache key with
   | Some m -> m
   | None ->
-      let m = Swgmx.Engine.measure ~version ~total_atoms ~n_cg () in
+      let m = Swgmx.Engine.measure ~cfg ~plan ~version ~total_atoms ~n_cg () in
       Hashtbl.add measure_cache key m;
       m

@@ -13,7 +13,7 @@ let data ~quick () =
       let case = Workload.shrink ~quick case in
       let t v =
         (Common.measure ~version:v ~total_atoms:case.Workload.particles
-           ~n_cg:case.Workload.n_cg)
+           ~n_cg:case.Workload.n_cg ())
           .E.step_time
       in
       let t_ori = t E.V_ori in

@@ -33,7 +33,7 @@ let data ~quick () =
   let total_atoms = (Workload.shrink ~quick Workload.case2).Workload.particles in
   let box_edge = (float_of_int total_atoms /. 3.0 /. 33.4) ** (1.0 /. 3.0) in
   let per_cg version atoms =
-    (Common.measure ~version ~total_atoms:atoms ~n_cg:1).E.step_time
+    (Common.measure ~version ~total_atoms:atoms ~n_cg:1 ()).E.step_time
   in
   let ensemble version chips =
     let cgs = 4 * chips in

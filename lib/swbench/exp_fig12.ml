@@ -16,7 +16,7 @@ type curves = {
     dominates and is linear at fixed density). *)
 let data ~quick () =
   let ref_atoms = if quick then 3000 else 12000 in
-  let m = Common.measure ~version:E.V_other ~total_atoms:ref_atoms ~n_cg:1 in
+  let m = Common.measure ~version:E.V_other ~total_atoms:ref_atoms ~n_cg:1 () in
   let per_atom = m.E.step_time /. float_of_int ref_atoms in
   let compute atoms = per_atom *. float_of_int atoms in
   (* the curves themselves are cheap model evaluations, so quick mode

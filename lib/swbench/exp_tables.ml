@@ -8,13 +8,13 @@ module T = Table_render
 let table1 ~quick ppf =
   let c1 = Workload.shrink ~quick Workload.case1 in
   let c2 = Workload.shrink ~quick Workload.case2 in
-  let m1 = Common.measure ~version:E.V_ori ~total_atoms:c1.Workload.particles ~n_cg:c1.Workload.n_cg in
-  let m2 = Common.measure ~version:E.V_ori ~total_atoms:c2.Workload.particles ~n_cg:c2.Workload.n_cg in
-  let pct m t = if t <= 0.0 then "NULL" else T.fmt_pct (t /. E.total m.E.times) in
+  let m1 = Common.measure ~version:E.V_ori ~total_atoms:c1.Workload.particles ~n_cg:c1.Workload.n_cg () in
+  let m2 = Common.measure ~version:E.V_ori ~total_atoms:c2.Workload.particles ~n_cg:c2.Workload.n_cg () in
+  let pct m t = if t <= 0.0 then "NULL" else T.fmt_pct (t /. m.E.step_time) in
   let rows =
     List.map2
       (fun (name, t1) (_, t2) -> [ name; pct m1 t1; pct m2 t2 ])
-      (E.rows m1.E.times) (E.rows m2.E.times)
+      (E.rows m1) (E.rows m2)
   in
   Fmt.pf ppf "Table 1: kernel time shares (Ori version)@.";
   Fmt.pf ppf "  paper: Force 95.5%% / 74.8%%, NS 2.5%% / 2.3%%, Comm.energies - / 18.7%%@.";

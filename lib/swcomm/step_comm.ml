@@ -43,8 +43,11 @@ let bytes_per_halo_atom = 20
     ranks idling; the RDMA path keeps the wait small. *)
 let sync_fraction = function Network.Mpi -> 0.18 | Network.Rdma -> 0.03
 
-(** [compute p] evaluates the per-step communication breakdown. *)
-let compute p =
+(** [compute ?trace p] evaluates the per-step communication breakdown.
+    [~trace:false] suppresses the network-track span emission (the
+    swstep planner prices requests silently and lays the spans down
+    itself at their scheduled positions). *)
+let compute ?(trace = true) p =
   if p.ranks < 1 then invalid_arg "Step_comm.compute: ranks must be positive";
   if p.ranks = 1 then { halo = 0.0; pme = 0.0; energies = 0.0; domain_decomp = 0.0 }
   else begin
@@ -82,7 +85,7 @@ let compute p =
     let domain_decomp =
       Network.allreduce p.net p.transport ~ranks:p.ranks ~bytes:migrate_bytes /. 10.0
     in
-    if Swtrace.Trace.enabled () then begin
+    if trace && Swtrace.Trace.enabled () then begin
       (* lay the step's communication down on the network track, in
          wire order, starting at the track's current cursor *)
       let net = Swtrace.Track.Net in

@@ -5,8 +5,12 @@
 
     - {!measure}: price one MD step for a given optimization level
       (the four bars of Figure 10) and report the Table 1 kernel
-      breakdown, combining real kernel simulation on one core group
-      with the {!Swcomm} communication model for multi-CG runs;
+      breakdown.  The step is described declaratively as a {!Swstep}
+      phase graph — each Table-1 row is one or more first-class phases
+      with an executor and dependency edges — and evaluated by the
+      swstep planner, serially (the paper's measured profile) or with
+      communication overlapped behind independent compute
+      ([~plan:Overlap], the RDMA-hides-halo ablation);
     - {!simulate}: actually integrate the equations of motion using
       the optimized (mixed-precision) short-range kernel, producing
       the trajectory data behind the accuracy experiment (Figure 13). *)
@@ -80,90 +84,178 @@ let features_of_version = function
         transport = Swcomm.Network.Rdma;
       }
 
-(** Per-step simulated seconds, one field per Table 1 row. *)
-type kernel_times = {
-  mutable domain_decomp : float;
-  mutable nsearch : float;
-  mutable force : float;  (** short-range kernel + PME mesh work *)
-  mutable wait_comm_f : float;
-  mutable buffer_ops : float;
-  mutable update : float;
-  mutable constraints : float;
-  mutable comm_energies : float;
-  mutable write_traj : float;
-  mutable rest : float;
-}
-
-let zero_times () =
-  {
-    domain_decomp = 0.0;
-    nsearch = 0.0;
-    force = 0.0;
-    wait_comm_f = 0.0;
-    buffer_ops = 0.0;
-    update = 0.0;
-    constraints = 0.0;
-    comm_energies = 0.0;
-    write_traj = 0.0;
-    rest = 0.0;
-  }
-
-(** [total t] is the summed per-step time. *)
-let total t =
-  t.domain_decomp +. t.nsearch +. t.force +. t.wait_comm_f +. t.buffer_ops
-  +. t.update +. t.constraints +. t.comm_energies +. t.write_traj +. t.rest
-
-(** [rows t] lists (Table 1 row label, seconds). *)
-let rows t =
+(** Table 1 row labels, in table order. *)
+let table1_rows =
   [
-    ("Domain decomp.", t.domain_decomp);
-    ("Neighbor search", t.nsearch);
-    ("Force", t.force);
-    ("Wait + comm. F", t.wait_comm_f);
-    ("NB X/F buffer ops", t.buffer_ops);
-    ("Update", t.update);
-    ("Constraints", t.constraints);
-    ("Comm. energies", t.comm_energies);
-    ("Write traj.", t.write_traj);
-    ("Rest", t.rest);
+    "Domain decomp.";
+    "Neighbor search";
+    "Force";
+    "Wait + comm. F";
+    "NB X/F buffer ops";
+    "Update";
+    "Constraints";
+    "Comm. energies";
+    "Write traj.";
+    "Rest";
+  ]
+
+(* trace span names of the Table-1 rows: the step-timeline slugs *)
+let row_span_names =
+  [
+    ("Domain decomp.", "domain-decomp");
+    ("Neighbor search", "nsearch");
+    ("Force", "force");
+    ("Wait + comm. F", "wait-comm-f");
+    ("NB X/F buffer ops", "buffer-ops");
+    ("Update", "update");
+    ("Constraints", "constraints");
+    ("Comm. energies", "comm-energies");
+    ("Write traj.", "write-traj");
+    ("Rest", "rest");
   ]
 
 type measurement = {
-  times : kernel_times;
-  step_time : float;
-  atoms_per_cg : int;
+  step : Swstep.Plan.result;  (** the priced and scheduled phase graph *)
+  step_time : float;  (** step makespan: serial sum or overlapped *)
+  atoms_per_cg : int;  (** atoms actually simulated on the core group *)
+  global_atoms : int;
+      (** modelled global atom count, [atoms_per_cg * n_cg] — what the
+          decomposed run represents after per-CG rounding *)
   read_miss : float;  (** force-kernel read-cache miss ratio, if cached *)
   nsearch_miss : float;  (** pair-list cache miss ratio of the level's path *)
 }
 
-(* serial per-atom work on the MPE (original code paths) *)
-let mpe_per_atom_time (cfg : Swarch.Config.t) ~flops ~bytes n =
-  (float_of_int n *. flops /. cfg.Swarch.Config.mpe_flops_per_cycle
-  /. cfg.Swarch.Config.mpe_freq_hz)
-  +. (float_of_int n *. bytes /. cfg.Swarch.Config.mpe_mem_bw)
+(** [rows m] lists (Table 1 row label, seconds) in table order; the
+    values sum to [m.step_time] under either plan. *)
+let rows m = m.step.Swstep.Plan.rows
 
-(* the same work striped over the CPEs with DMA streaming *)
-let cpe_per_atom_time (cfg : Swarch.Config.t) ~flops ~bytes n =
-  let cpes = float_of_int cfg.Swarch.Config.cpe_count in
-  (float_of_int n *. flops /. cpes /. cfg.Swarch.Config.cpe_freq_hz)
-  +. (float_of_int n *. bytes /. Swarch.Config.peak_dma_bw cfg)
+(** [row m label] is one Table 1 row (0 when absent). *)
+let row m label = Swstep.Plan.row m.step label
 
-(** [measure ?cfg ?steps_per_frame ~version ~total_atoms ~n_cg ()]
-    prices one MD step of the water benchmark at the given
-    optimization level: [total_atoms] split over [n_cg] core groups
-    (the per-CG slice is simulated in full; communication is modelled
-    analytically).  [steps_per_frame] is the trajectory-output
-    interval (Table 1 measures runs that write output).
-    [pipelined] runs the short-range kernel through the swsched
-    double-buffer pipeline (see {!Kernel.run}). *)
-let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
-    ?(nstlist = 10) ?(pipelined = false) ~version ~total_atoms ~n_cg () =
-  if n_cg < 1 then invalid_arg "Engine.measure: n_cg must be positive";
+(** [phases_of_features f ...] builds the declarative step graph for
+    one optimization level: each Table-1 row becomes one or more
+    phases whose executor picks the level's code path, and whose
+    dependency edges encode what the overlap plan may hide (the halo
+    exchange depends only on the pair list, so it can run behind the
+    force kernel; the update needs the remote forces back, so it
+    waits).  Cross-phase data (pair list, kernel outcome) flows
+    through the [Simulated] closures in declaration order. *)
+let phases_of_features (cfg : Swarch.Config.t) f ~sys ~n ~box ~rcut ~total_atoms
+    ~n_cg ~nstlist ~steps_per_frame ~pipelined ~pairs ~ns_stats ~outcome =
+  let module P = Swstep.Phase in
   let module T = Swtrace.Trace in
-  let traced = T.enabled () in
+  let nsearch_exec cg =
+    Swarch.Core_group.reset cg;
+    let pl, stats = Nsearch_cpe.run sys cg ~kind:Nsearch_cpe.Two_way ~rlist:rcut in
+    pairs := Some pl;
+    ns_stats := Some stats;
+    if f.nsearch_cpe then Swarch.Core_group.elapsed cg
+    else
+      (* the original list builder runs serially on the MPE: candidate
+         sweep plus exact refinement of sphere-passing pairs *)
+      P.mpe_time cfg
+        (P.per_atom ~flops:40.0 ~bytes:80.0 stats.Nsearch_cpe.candidates)
+      +. P.mpe_time cfg
+           (P.per_atom ~flops:160.0 ~bytes:32.0 stats.Nsearch_cpe.accepted)
+  in
+  let force_exec cg =
+    let o = Kernel.run ~pipelined sys (Option.get !pairs) cg f.force in
+    outcome := Some o;
+    o.Kernel.elapsed
+  in
+  let pme_grid = Pme_model.grid_for ~box_edge:box.Md.Box.lx in
+  let pme_exec _cg =
+    let t =
+      if f.pme_on_cpe then Pme_model.cpe_time cfg ~n_atoms:n ~grid:pme_grid
+      else Pme_model.mpe_time cfg ~n_atoms:n ~grid:pme_grid
+    in
+    if T.enabled () then
+      T.span_here ~cat:"phase-detail" Swtrace.Track.Mpe
+        (if f.pme_on_cpe then "pme:cpe" else "pme:mpe")
+        ~dur:t;
+    t
+  in
+  let io_exec _cg =
+    let path =
+      if f.fast_io then Swio.Io_model.Fast else Swio.Io_model.Standard
+    in
+    Swio.Io_model.frame_time ~path ~n_atoms:n
+  in
+  let stream w =
+    if f.force = Variant.Ori then P.Mpe_analytic w else P.Cpe_streamed w
+  in
+  let upd w = if f.fast_update then P.Cpe_streamed w else P.Mpe_analytic w in
+  let global_edge = box.Md.Box.lx *. (float_of_int n_cg ** (1.0 /. 3.0)) in
+  let request =
+    {
+      Swcomm.Step_comm.net = Swcomm.Network.default;
+      transport = f.transport;
+      total_atoms;
+      ranks = n_cg;
+      rcut;
+      box_edge = global_edge;
+      pme_grid = Pme_model.grid_for ~box_edge:global_edge;
+      compute_time = 0.0 (* filled with the sync window by the planner *);
+    }
+  in
+  let comm part = P.Comm { request; part } in
+  [
+    P.v "nsearch" ~row:"Neighbor search" ~sync:true
+      (P.Amortized
+         (nstlist, P.v "nsearch-pass" ~row:"Neighbor search"
+            (P.Simulated nsearch_exec)));
+    P.v "force" ~row:"Force" ~sync:true ~deps:[ "nsearch" ]
+      (P.Simulated force_exec);
+    P.v "pme" ~row:"Force" ~sync:true ~deps:[ "force" ] (P.Simulated pme_exec);
+    (* gather/scatter between atom and cluster order *)
+    P.v "buffer-ops" ~row:"NB X/F buffer ops" ~sync:true ~deps:[ "force" ]
+      (stream (P.per_atom ~flops:2.0 ~bytes:24.0 n));
+    (* the update needs the neighbour forces back: this edge is the
+       seam the overlap plan exposes as residual wait *)
+    P.v "update" ~row:"Update" ~sync:true ~deps:[ "buffer-ops"; "halo" ]
+      (upd (P.per_atom ~flops:9.0 ~bytes:72.0 n));
+    P.v "constraints" ~row:"Constraints" ~sync:true ~deps:[ "update" ]
+      (upd (P.per_atom ~flops:100.0 ~bytes:60.0 n));
+    (* positions out before the force loop, forces back after; ready as
+       soon as the pair list is, so overlap hides it behind the kernel *)
+    P.v "halo" ~row:"Wait + comm. F" ~deps:[ "nsearch" ] (comm P.Halo);
+    P.v "pme-transpose" ~row:"Wait + comm. F" ~deps:[ "nsearch" ]
+      (comm P.Pme_transpose);
+    P.v "comm-energies" ~row:"Comm. energies" ~deps:[ "constraints" ]
+      (comm P.Energies);
+    P.v "domain-decomp" ~row:"Domain decomp." (comm P.Domain_decomp);
+    P.v "write-traj" ~row:"Write traj." ~deps:[ "constraints" ]
+      (P.Amortized
+         (steps_per_frame, P.v "write-frame" ~row:"Write traj."
+            (P.Simulated io_exec)));
+    (* everything else: bookkeeping, energy summation, logging *)
+    P.v "rest" ~row:"Rest" (P.Mpe_analytic (P.per_atom ~flops:1.0 ~bytes:8.0 n));
+  ]
+
+(** [measure ?cfg ?steps_per_frame ?nstlist ?pipelined ?plan ~version
+    ~total_atoms ~n_cg ()] prices one MD step of the water benchmark
+    at the given optimization level: [total_atoms] split over [n_cg]
+    core groups (the per-CG slice is simulated in full; communication
+    is modelled analytically).  [steps_per_frame] is the
+    trajectory-output interval (Table 1 measures runs that write
+    output).  [pipelined] runs the short-range kernel through the
+    swsched double-buffer pipeline (see {!Kernel.run}).  [plan]
+    selects the swstep schedule: [Serial] (default) reproduces the
+    paper's measured profile; [Overlap] hides communication behind
+    independent compute the way the RDMA port does. *)
+let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
+    ?(nstlist = 10) ?(pipelined = false) ?(plan = Swstep.Plan.Serial) ~version
+    ~total_atoms ~n_cg () =
+  if n_cg < 1 then invalid_arg "Engine.measure: n_cg must be positive";
+  (* the boundary check: a nonsensical machine description fails fast
+     here instead of producing nonsense times downstream *)
+  Swarch.Config.validate cfg;
+  let module T = Swtrace.Trace in
   let step_t0 = T.now Swtrace.Track.Mpe in
   let f = features_of_version version in
-  let atoms_per_cg = max 12 (total_atoms / n_cg) in
+  (* round to nearest: truncation silently dropped up to [n_cg - 1]
+     atoms of the modelled global system *)
+  let atoms_per_cg = max 12 ((total_atoms + (n_cg / 2)) / n_cg) in
   let molecules = max 4 (atoms_per_cg / 3) in
   let st = Md.Water.build ~molecules ~seed:2019 () in
   let n = Md.Md_state.n_atoms st in
@@ -172,134 +264,57 @@ let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
   let beta = Md.Coulomb.ewald_beta ~rc:rcut ~tolerance:1e-5 in
   let params = { Md.Nonbonded.rcut; elec = Md.Nonbonded.Ewald_real beta } in
   let cl = Md.Cluster.build box st.Md.Md_state.pos n in
-  let sys = K.make cfg ~box ~params ~cl ~topo:st.Md.Md_state.topo
-      ~ff:st.Md.Md_state.ff ~pos:st.Md.Md_state.pos in
-  let times = zero_times () in
-  (* --- neighbour search (amortized over nstlist steps) --- *)
+  let sys =
+    K.make cfg ~box ~params ~cl ~topo:st.Md.Md_state.topo ~ff:st.Md.Md_state.ff
+      ~pos:st.Md.Md_state.pos
+  in
   let cg = Swarch.Core_group.create cfg in
-  Swarch.Core_group.reset cg;
-  let pairs, ns_stats =
-    Nsearch_cpe.run sys cg ~kind:Nsearch_cpe.Two_way ~rlist:rcut
+  let pairs = ref None and ns_stats = ref None and outcome = ref None in
+  let phases =
+    phases_of_features cfg f ~sys ~n ~box ~rcut ~total_atoms ~n_cg ~nstlist
+      ~steps_per_frame ~pipelined ~pairs ~ns_stats ~outcome
   in
-  let t_ns_cpe = Swarch.Core_group.elapsed cg in
-  let t_ns_mpe =
-    (* the original list builder runs serially on the MPE: candidate
-       sweep plus exact refinement of sphere-passing pairs *)
-    mpe_per_atom_time cfg ~flops:40.0 ~bytes:80.0 ns_stats.Nsearch_cpe.candidates
-    +. mpe_per_atom_time cfg ~flops:160.0 ~bytes:32.0 ns_stats.Nsearch_cpe.accepted
+  let step =
+    Swstep.Phase.make ~label:(version_name version) ~rows:table1_rows phases
   in
-  times.nsearch <-
-    (if f.nsearch_cpe then t_ns_cpe else t_ns_mpe) /. float_of_int nstlist;
-  (* --- short-range force + PME mesh --- *)
-  (* park the MPE clock where the force phase will sit in the step
-     timeline, so the kernel's own span (and its CPE lanes) land
-     inside the "force" phase span emitted below *)
-  if traced then T.set_now Swtrace.Track.Mpe (step_t0 +. times.nsearch);
-  let outcome = Kernel.run ~pipelined sys pairs cg f.force in
-  let pme_grid = Pme_model.grid_for ~box_edge:box.Md.Box.lx in
-  let t_pme =
-    if f.pme_on_cpe then Pme_model.cpe_time cfg ~n_atoms:n ~grid:pme_grid
-    else Pme_model.mpe_time cfg ~n_atoms:n ~grid:pme_grid
-  in
-  if traced then
-    T.span_here ~cat:"phase-detail" Swtrace.Track.Mpe
-      (if f.pme_on_cpe then "pme:cpe" else "pme:mpe")
-      ~dur:t_pme;
-  times.force <- outcome.Kernel.elapsed +. t_pme;
+  let result = Swstep.Plan.run ~mode:plan ~cfg ~cg ~t0:step_t0 step in
+  Swstep.Plan.emit result ~t0:step_t0 ~row_names:row_span_names
+    ~args:[ ("atoms", float_of_int n); ("ranks", float_of_int n_cg) ];
   let read_miss =
-    match outcome.Kernel.stats with
-    | Some { Kernel_cpe.read_stats = Some s; _ } -> Swcache.Stats.miss_ratio s
+    match !outcome with
+    | Some { Kernel.stats = Some { Kernel_cpe.read_stats = Some s; _ }; _ } ->
+        Swcache.Stats.miss_ratio s
     | _ -> 0.0
   in
-  (* --- buffer ops: gather/scatter between atom and cluster order --- *)
-  times.buffer_ops <-
-    (if f.force = Variant.Ori then mpe_per_atom_time cfg ~flops:2.0 ~bytes:24.0 n
-     else cpe_per_atom_time cfg ~flops:2.0 ~bytes:24.0 n);
-  (* --- update + constraints --- *)
-  let upd_path = if f.fast_update then cpe_per_atom_time else mpe_per_atom_time in
-  times.update <- upd_path cfg ~flops:9.0 ~bytes:72.0 n;
-  times.constraints <- upd_path cfg ~flops:100.0 ~bytes:60.0 n;
-  (* --- trajectory output, amortized over the output interval --- *)
-  let io_path = if f.fast_io then Swio.Io_model.Fast else Swio.Io_model.Standard in
-  times.write_traj <-
-    Swio.Io_model.frame_time ~path:io_path ~n_atoms:n
-    /. float_of_int steps_per_frame;
-  (* --- communication (multi-CG runs only) --- *)
-  if n_cg > 1 then begin
-    let global_edge = box.Md.Box.lx *. (float_of_int n_cg ** (1.0 /. 3.0)) in
-    let on_chip =
-      times.nsearch +. times.force +. times.buffer_ops +. times.update
-      +. times.constraints
-    in
-    (* network-track events start where the wait phase begins *)
-    if traced then T.set_now Swtrace.Track.Net (step_t0 +. on_chip);
-    let comm =
-      Swcomm.Step_comm.compute
-        {
-          Swcomm.Step_comm.net = Swcomm.Network.default;
-          transport = f.transport;
-          total_atoms;
-          ranks = n_cg;
-          rcut;
-          box_edge = global_edge;
-          pme_grid = Pme_model.grid_for ~box_edge:global_edge;
-          compute_time = on_chip;
-        }
-    in
-    times.domain_decomp <- comm.Swcomm.Step_comm.domain_decomp;
-    times.wait_comm_f <-
-      comm.Swcomm.Step_comm.halo +. comm.Swcomm.Step_comm.pme;
-    times.comm_energies <- comm.Swcomm.Step_comm.energies
-  end;
-  (* --- everything else: bookkeeping, energy summation, logging --- *)
-  times.rest <- mpe_per_atom_time cfg ~flops:1.0 ~bytes:8.0 n;
-  (* --- trace timeline: tile the step with its phase spans --- *)
-  if traced then begin
-    let t = ref step_t0 in
-    let phase name dur =
-      if dur > 0.0 then T.span ~cat:"phase" Swtrace.Track.Mpe name ~t:!t ~dur;
-      t := !t +. dur
-    in
-    phase "nsearch" times.nsearch;
-    phase "force" times.force;
-    phase "buffer-ops" times.buffer_ops;
-    phase "update" times.update;
-    phase "constraints" times.constraints;
-    phase "wait-comm-f" times.wait_comm_f;
-    phase "comm-energies" times.comm_energies;
-    phase "domain-decomp" times.domain_decomp;
-    phase "write-traj" times.write_traj;
-    phase "rest" times.rest;
-    T.span ~cat:"step" Swtrace.Track.Mpe
-      ("step:" ^ version_name version)
-      ~t:step_t0 ~dur:(total times)
-      ~args:[ ("atoms", float_of_int n); ("ranks", float_of_int n_cg) ];
-    T.set_now Swtrace.Track.Mpe !t;
-    T.set_now Swtrace.Track.Net !t
-  end;
+  let nsearch_miss =
+    match !ns_stats with
+    | Some s -> s.Nsearch_cpe.miss_ratio
+    | None -> 0.0
+  in
   {
-    times;
-    step_time = total times;
+    step = result;
+    step_time = result.Swstep.Plan.total;
     atoms_per_cg = n;
+    global_atoms = n * n_cg;
     read_miss;
-    nsearch_miss = ns_stats.Nsearch_cpe.miss_ratio;
+    nsearch_miss;
   }
 
-(** [trace_steps ?cfg ?steps_per_frame ?nstlist ~version ~total_atoms
-    ~n_cg ~steps ()] prices [steps] consecutive MD steps with the
-    recorder running, laying one step timeline after another on the
-    trace clock (phases on the MPE track, kernel detail on the CPE
-    tracks, communication on the network track).  Returns the last
-    step's measurement; call {!Swtrace.Trace.enable} first or the run
-    degenerates to plain repeated {!measure}. *)
-let trace_steps ?cfg ?steps_per_frame ?nstlist ?pipelined ~version
+(** [trace_steps ?cfg ?steps_per_frame ?nstlist ?pipelined ?plan
+    ~version ~total_atoms ~n_cg ~steps ()] prices [steps] consecutive
+    MD steps with the recorder running, laying one step timeline after
+    another on the trace clock (phases on the MPE track, kernel detail
+    on the CPE tracks, communication on the network track).  Returns
+    the last step's measurement; call {!Swtrace.Trace.enable} first or
+    the run degenerates to plain repeated {!measure}. *)
+let trace_steps ?cfg ?steps_per_frame ?nstlist ?pipelined ?plan ~version
     ~total_atoms ~n_cg ~steps () =
   if steps < 1 then invalid_arg "Engine.trace_steps: steps must be positive";
   let last = ref None in
   for _ = 1 to steps do
     last :=
       Some
-        (measure ?cfg ?steps_per_frame ?nstlist ?pipelined ~version
+        (measure ?cfg ?steps_per_frame ?nstlist ?pipelined ?plan ~version
            ~total_atoms ~n_cg ())
   done;
   Option.get !last
@@ -319,6 +334,7 @@ type sample = { step : int; total_energy : float; temperature : float }
 let simulate_state ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
     ?(dt = 0.001) ?(temp = 300.0) ?(equil_steps = 0) ?(pipelined = false)
     ~molecules ~seed ~steps ~sample_every () =
+  Swarch.Config.validate cfg;
   let st = Md.Water.build ~molecules ~seed () in
   let box = st.Md.Md_state.box in
   let rcut = Float.min 0.9 (0.45 *. Md.Box.min_edge box) in

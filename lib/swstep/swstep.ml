@@ -1,0 +1,16 @@
+(** swstep: the MD step as data.
+
+    One MD step is described as a declarative {!Phase.step} — a list
+    of first-class phases (name, Table-1 row, executor, dependency
+    edges) — and evaluated by the {!Plan} planner, which prices each
+    phase through the single appropriate cost path ([Mpe_analytic],
+    [Cpe_streamed], [Simulated], [Comm], [Amortized]), computes the
+    dependency critical path, and schedules either serially (the
+    classic tiled timeline) or with communication overlapped behind
+    independent compute.  The Table-1 rows and the swtrace step
+    timeline are both derived from the same graph, so the engine, the
+    communication model, the tracer and the benchmark tables can no
+    longer drift apart.  See docs/STEP_MODEL.md. *)
+
+module Phase = Phase
+module Plan = Plan

@@ -105,20 +105,20 @@ let test_fig10_case2_comm_matters () =
   let m_list = Engine.measure ~version:Engine.V_list ~total_atoms:96000 ~n_cg:16 () in
   let m_other = Engine.measure ~version:Engine.V_other ~total_atoms:96000 ~n_cg:16 () in
   Alcotest.(check bool) "comm energies present under MPI" true
-    (m_list.Engine.times.Engine.comm_energies > 0.0);
+    (Engine.row m_list "Comm. energies" > 0.0);
   Alcotest.(check bool) "RDMA shrinks comm energies" true
-    (m_other.Engine.times.Engine.comm_energies < m_list.Engine.times.Engine.comm_energies)
+    (Engine.row m_other "Comm. energies" < Engine.row m_list "Comm. energies")
 
 let test_table1_force_dominates_ori () =
   let m = Engine.measure ~version:Engine.V_ori ~total_atoms:6000 ~n_cg:1 () in
-  let share = m.Engine.times.Engine.force /. Engine.total m.Engine.times in
+  let share = Engine.row m "Force" /. m.Engine.step_time in
   Alcotest.(check bool)
     (Printf.sprintf "force share %.0f%% > 85%%" (100.0 *. share))
     true (share > 0.85)
 
 let test_measurement_total_consistent () =
   let m = Engine.measure ~version:Engine.V_cal ~total_atoms:6000 ~n_cg:4 () in
-  let s = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 (Engine.rows m.Engine.times) in
+  let s = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 (Engine.rows m) in
   Alcotest.(check bool) "rows sum to total" true
     (Float.abs (s -. m.Engine.step_time) < 1e-12)
 
