@@ -170,6 +170,23 @@ let simulated_figures () =
   in
   let step_serial = step Swstep.Plan.Serial in
   let step_overlap = step Swstep.Plan.Overlap in
+  (* resilience: the same recording replayed under a faulty DMA plan
+     (deterministic, seed 2027), plus the analytic checkpoint optimum *)
+  let faulty rate =
+    let inj =
+      Swfault.Injector.create ~seed:2027
+        { Swfault.Plan.zero with Swfault.Plan.dma_error_rate = rate }
+    in
+    Swsched.Schedule.run ~faults:inj cfg recorder
+  in
+  let f5 = faulty 0.05 and f10 = faulty 0.1 in
+  let ckpt_s =
+    2.0 *. Swio.Io_model.frame_time ~path:Swio.Io_model.Fast ~n_atoms:3000
+  in
+  let opt_interval =
+    Swfault.Recovery.optimal_interval ~fault_rate:1e-3
+      ~step_s:step_serial.E.step_time ~ckpt_s
+  in
   [
     ("mark3k_serial_s", Swarch.Core_group.elapsed cg);
     ("mark3k_scheduled_s", s.Swsched.Schedule.elapsed +. mpe);
@@ -183,6 +200,12 @@ let simulated_figures () =
     ("step24k_overlap_s", step_overlap.E.step_time);
     ("step24k_comm_hidden_s", step_overlap.E.step.Swstep.Plan.comm_hidden);
     ("step24k_critical_path_s", step_overlap.E.step.Swstep.Plan.critical_path);
+    ("fault_dma5pct_sched_s", f5.Swsched.Schedule.elapsed +. mpe);
+    ("fault_dma5pct_retries", float_of_int f5.Swsched.Schedule.dma_retries);
+    ("fault_dma10pct_sched_s", f10.Swsched.Schedule.elapsed +. mpe);
+    ("fault_dma10pct_retries", float_of_int f10.Swsched.Schedule.dma_retries);
+    ("fault_ckpt_cost_s", ckpt_s);
+    ("fault_ckpt_opt_interval_steps", float_of_int opt_interval);
   ]
 
 let write_json path rows =

@@ -16,7 +16,8 @@ let peak_flops (cfg : Swarch.Config.t) =
   *. cfg.Swarch.Config.cpe_freq_hz
 
 let main particles steps variant_name dt temp seed pipelined overlap write_traj
-    trace_file trace_summary =
+    trace_file trace_summary checkpoint_every checkpoint_file restart_file
+    faults_spec fault_seed =
   let variant =
     match Swgmx.Variant.of_string variant_name with
     | Some v -> v
@@ -31,16 +32,75 @@ let main particles steps variant_name dt temp seed pipelined overlap write_traj
    with Invalid_argument msg ->
      Fmt.epr "sw_gromacs: invalid machine config: %s@." msg;
      exit 2);
+  let fault_plan =
+    try Swfault.Plan.of_string faults_spec
+    with Invalid_argument msg ->
+      Fmt.epr "sw_gromacs: %s@." msg;
+      exit 2
+  in
+  let faults =
+    if Swfault.Plan.is_zero fault_plan then None
+    else Some (Swfault.Injector.create ~seed:fault_seed fault_plan)
+  in
+  let restart =
+    match restart_file with
+    | None -> None
+    | Some path -> (
+        try
+          Some
+            (Swio.Checkpoint.of_string
+               (In_channel.with_open_text path In_channel.input_all))
+        with
+        | Sys_error msg | Invalid_argument msg ->
+            Fmt.epr "sw_gromacs: cannot restart: %s@." msg;
+            exit 2)
+  in
+  let protected =
+    faults <> None || checkpoint_every <> None || restart_file <> None
+  in
   let tracing = trace_file <> None || trace_summary in
   if tracing then Swtrace.Trace.enable ();
   let molecules = max 4 (particles / 3) in
   Fmt.pr "sw_gromacs: %d water molecules (%d atoms), %d steps, kernel %s%s@."
     molecules (3 * molecules) steps (Swgmx.Variant.name variant)
     (if pipelined then " (pipelined)" else "");
+  (match faults with
+  | Some inj ->
+      Fmt.pr "fault plan (seed %d): %a@." fault_seed Swfault.Plan.pp
+        (Swfault.Injector.plan inj)
+  | None -> ());
   let t0 = Unix.gettimeofday () in
+  let sample_every = max 1 (steps / 10) in
   let samples, st =
-    Swgmx.Engine.simulate_state ~variant ~dt ~temp ~pipelined ~molecules ~seed
-      ~steps ~sample_every:(max 1 (steps / 10)) ()
+    if not protected then
+      Swgmx.Engine.simulate_state ~variant ~dt ~temp ~pipelined ~molecules
+        ~seed ~steps ~sample_every ()
+    else begin
+      (* protected run: the recovery loop checkpoints on the pair-list
+         cadence and rolls back on unrecoverable faults; each capture
+         overwrites the checkpoint file so a crash restarts from the
+         latest one *)
+      let write_ck ck =
+        let oc = open_out checkpoint_file in
+        output_string oc (Swio.Checkpoint.to_string ck);
+        close_out oc
+      in
+      let on_checkpoint =
+        if checkpoint_every <> None then Some write_ck else None
+      in
+      let samples, st, rstats =
+        Swgmx.Engine.simulate_protected ~variant ~dt ~temp ~pipelined ?faults
+          ?checkpoint_every ?restart ?on_checkpoint ~molecules ~seed ~steps
+          ~sample_every ()
+      in
+      Fmt.pr "recovery: %a@." Swfault.Recovery.pp_stats rstats;
+      (match faults with
+      | Some inj ->
+          Fmt.pr "faults: %a@." Swfault.Injector.pp_stats
+            (Swfault.Injector.stats inj)
+      | None -> ());
+      (samples, st)
+    end
   in
   Fmt.pr "@.%6s %16s %12s@." "step" "total E (kJ/mol)" "T (K)";
   List.iter
@@ -55,7 +115,7 @@ let main particles steps variant_name dt temp seed pipelined overlap write_traj
   if tracing then
     ignore
       (Swgmx.Engine.trace_steps ~version:Swgmx.Engine.V_other ~pipelined ~plan
-         ~total_atoms:(3 * molecules) ~n_cg:8 ~steps ());
+         ?faults ~total_atoms:(3 * molecules) ~n_cg:8 ~steps ());
   (if overlap then begin
      (* price the decomposed step both ways and show what overlapping
         communication behind compute buys on this workload *)
@@ -161,12 +221,55 @@ let trace_summary =
     & info [ "trace-summary" ]
         ~doc:"Record the run and print phase/utilization/DMA/roofline tables.")
 
+let checkpoint_every =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Capture a restart checkpoint every $(docv) steps (rounded up to \
+           the pair-list cadence) and write it to the $(b,--checkpoint) \
+           file, enabling the protected recovery loop.")
+
+let checkpoint_file =
+  Arg.(
+    value
+    & opt string "sw_gromacs.cpt"
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Checkpoint file written by $(b,--checkpoint-every).")
+
+let restart =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "restart" ] ~docv:"FILE"
+        ~doc:
+          "Resume from a checkpoint file: the run restarts at the captured \
+           step and reproduces the uninterrupted trajectory bit for bit.")
+
+let faults =
+  Arg.(
+    value & opt string ""
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault plan, comma-separated $(i,key=value) pairs: \
+           dma_error, dma_backoff, dma_retries, link_degrade, link_drop, \
+           link_timeout, ldm_flip, cpe_dead=ID (repeatable), cpe_slow=ID:F, \
+           cpe_stall=ID:S.  Empty means no faults.")
+
+let fault_seed =
+  Arg.(
+    value & opt int 2027
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the fault injector's deterministic RNG.")
+
 let cmd =
   let doc = "molecular dynamics on the simulated Sunway SW26010" in
   Cmd.v
     (Cmd.info "sw_gromacs" ~doc)
     Term.(
       const main $ particles $ steps $ variant $ dt $ temp $ seed $ pipelined
-      $ overlap $ traj $ trace_file $ trace_summary)
+      $ overlap $ traj $ trace_file $ trace_summary $ checkpoint_every
+      $ checkpoint_file $ restart $ faults $ fault_seed)
 
 let () = exit (Cmd.eval' cmd)

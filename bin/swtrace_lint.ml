@@ -162,8 +162,53 @@ let () =
           stack := (name, fin) :: !stack)
         sorted)
     by_tid;
+  (* fault-track pairing: every injection carries a numeric "id" and
+     must eventually be closed by a recovery event with the same id at
+     a timestamp no earlier than the injection — an unpaired injection
+     means a fault escaped the recovery machinery *)
+  let fault_events =
+    List.filter (fun ev -> str_field ev "cat" = Some "fault") events
+  in
+  let fault_id ev =
+    match Swtrace.Json.member "args" ev with
+    | Some args -> num_field args "id"
+    | None -> None
+  in
+  let with_prefix p =
+    List.filter_map
+      (fun ev ->
+        match str_field ev "name" with
+        | Some n when has_prefix p n -> Some (ev, n)
+        | _ -> None)
+      fault_events
+  in
+  let injects = with_prefix "inject:" in
+  let recovers = with_prefix "recover:" in
+  let recover_times = Hashtbl.create 64 in
+  List.iter
+    (fun (ev, name) ->
+      match (fault_id ev, num_field ev "ts") with
+      | Some id, Some ts -> Hashtbl.replace recover_times id ts
+      | _ -> fail "%s: fault event %S lacks a numeric id or ts" path name)
+    recovers;
+  List.iter
+    (fun (ev, name) ->
+      match (fault_id ev, num_field ev "ts") with
+      | Some id, Some ts -> (
+          match Hashtbl.find_opt recover_times id with
+          | None ->
+              fail "%s: fault injection %S (id %g) has no recovery event" path
+                name id
+          | Some rts when rts < ts -. eps ->
+              fail
+                "%s: fault injection %S (id %g) at %g us recovered earlier, \
+                 at %g us"
+                path name id ts rts
+          | Some _ -> ())
+      | _ -> fail "%s: fault event %S lacks a numeric id or ts" path name)
+    injects;
   Fmt.pr
     "swtrace_lint: %s OK (%d events, %d tracks, %d step spans, %d phase \
-     spans, %d sched spans)@."
+     spans, %d sched spans, %d/%d faults recovered)@."
     path (List.length events) (List.length thread_names) steps phases
-    (List.length sched_spans)
+    (List.length sched_spans) (List.length recovers) (List.length injects)

@@ -42,6 +42,7 @@ let () =
         box_edge = 11.3;
         pme_grid = 96;
         compute_time = compute (48000 / 512);
+        faults = None;
       }
   in
   let show name (b : Swcomm.Step_comm.breakdown) =

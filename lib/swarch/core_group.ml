@@ -49,6 +49,22 @@ let iter_cpes t f =
       t.cpes
   else Array.iter f t.cpes
 
+(** [apply_faults t ~slow ~stall] installs a degraded-machine state:
+    every CPE is first healed, then the listed (id, factor) slowdowns
+    and (id, seconds) stalls applied.  Plain data so swarch stays below
+    swfault in the layer stack. *)
+let apply_faults t ~slow ~stall =
+  Array.iter
+    (fun c ->
+      c.Cpe.slow <- 1.0;
+      c.Cpe.stall_s <- 0.0)
+    t.cpes;
+  List.iter (fun (id, f) -> (cpe t id).Cpe.slow <- f) slow;
+  List.iter (fun (id, s) -> (cpe t id).Cpe.stall_s <- s) stall
+
+(** [clear_faults t] heals every CPE back to nominal speed. *)
+let clear_faults t = apply_faults t ~slow:[] ~stall:[]
+
 (** [total_cost t] is the sum of all CPE costs (MPE excluded). *)
 let total_cost t =
   let acc = Cost.create () in

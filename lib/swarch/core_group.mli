@@ -30,6 +30,14 @@ val cpe : t -> int -> Cpe.t
     simulator's stand-in for [athread_spawn]. *)
 val iter_cpes : t -> (Cpe.t -> unit) -> unit
 
+(** [apply_faults t ~slow ~stall] installs a degraded-machine state:
+    heals every CPE, then applies the listed (id, factor) compute
+    slowdowns and (id, seconds) per-kernel stalls. *)
+val apply_faults : t -> slow:(int * float) list -> stall:(int * float) list -> unit
+
+(** [clear_faults t] heals every CPE back to nominal speed. *)
+val clear_faults : t -> unit
+
 (** [total_cost t] is the sum of all CPE costs (MPE excluded). *)
 val total_cost : t -> Cost.t
 

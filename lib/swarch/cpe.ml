@@ -9,12 +9,20 @@ type t = {
   id : int;  (** position in the 8x8 mesh, [0..63] *)
   cost : Cost.t;  (** work charged to this CPE *)
   ldm : Ldm.t;  (** scratchpad allocator *)
+  mutable slow : float;  (** compute-time multiplier (1.0 = healthy) *)
+  mutable stall_s : float;  (** one-off stall charged per kernel *)
 }
 
 (** [create cfg id] is a fresh CPE with an empty scratchpad. *)
 let create (cfg : Config.t) id =
   if id < 0 || id >= cfg.cpe_count then invalid_arg "Cpe.create: bad id";
-  { id; cost = Cost.create (); ldm = Ldm.create ~capacity:cfg.ldm_bytes }
+  {
+    id;
+    cost = Cost.create ();
+    ldm = Ldm.create ~capacity:cfg.ldm_bytes;
+    slow = 1.0;
+    stall_s = 0.0;
+  }
 
 (** [row t] is the mesh row of this CPE (0-7). *)
 let row t = t.id / 8
@@ -22,10 +30,16 @@ let row t = t.id / 8
 (** [col t] is the mesh column of this CPE (0-7). *)
 let col t = t.id mod 8
 
-(** [reset t] clears the cost counters and releases all LDM. *)
+(** [reset t] clears the cost counters and releases all LDM.  Fault
+    state ([slow]/[stall_s]) survives a reset on purpose: kernels reset
+    the group before running, and an injected degradation must persist
+    across that (use {!Core_group.clear_faults} to heal). *)
 let reset t =
   Cost.reset t.cost;
   Ldm.reset t.ldm
 
-(** [compute_time cfg t] is the simulated compute time of this CPE. *)
-let compute_time cfg t = Cost.cpe_compute_time cfg t.cost
+(** [compute_time cfg t] is the simulated compute time of this CPE.
+    With the healthy defaults ([slow = 1.0], [stall_s = 0.0]) this is
+    bit-identical to the bare cost-model time: [x *. 1.0 = x] and
+    [x +. 0.0 = x] for the non-negative times involved. *)
+let compute_time cfg t = (Cost.cpe_compute_time cfg t.cost *. t.slow) +. t.stall_s

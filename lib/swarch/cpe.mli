@@ -5,6 +5,8 @@ type t = {
   id : int;  (** position in the 8x8 mesh, [0..63] *)
   cost : Cost.t;  (** work charged to this CPE *)
   ldm : Ldm.t;  (** scratchpad allocator *)
+  mutable slow : float;  (** compute-time multiplier (1.0 = healthy) *)
+  mutable stall_s : float;  (** one-off stall charged per kernel *)
 }
 
 (** [create cfg id] is a fresh CPE with an empty scratchpad. *)
@@ -16,8 +18,10 @@ val row : t -> int
 (** [col t] is the mesh column of this CPE (0-7). *)
 val col : t -> int
 
-(** [reset t] clears the cost counters and releases all LDM. *)
+(** [reset t] clears the cost counters and releases all LDM; injected
+    fault state ([slow]/[stall_s]) survives. *)
 val reset : t -> unit
 
-(** [compute_time cfg t] is the simulated compute time of this CPE. *)
+(** [compute_time cfg t] is the simulated compute time of this CPE,
+    scaled by any injected slowdown plus stall. *)
 val compute_time : Config.t -> t -> float

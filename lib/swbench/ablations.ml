@@ -208,6 +208,94 @@ let step_overlap ~quick () =
       })
     [ Swgmx.Engine.V_list; Swgmx.Engine.V_other ]
 
+(** One row of the resilience-overhead ablation. *)
+type resilience_row = {
+  fault_rate : float;  (** per-transfer DMA error = per-message drop rate *)
+  sched_elapsed : float;  (** pipelined Mark replay under the plan *)
+  sched_retries : int;  (** DMA retries the schedule absorbed *)
+  comm_s : float;  (** halo exchange under degraded links *)
+}
+
+(** [resilience_sweep ~quick ()] replays one recorded Mark run and one
+    halo exchange under increasingly faulty plans (same injector seed
+    throughout, so the failing sets nest and the overhead is monotone
+    by construction), quantifying what recovery costs as faults get
+    more frequent.  Rate 0 is the zero plan: its row must match a run
+    with no injector at all. *)
+let resilience_sweep ~quick () =
+  let particles = if quick then 3000 else 12000 in
+  let p = Common.prepare ~particles () in
+  let cg = Swarch.Core_group.create Common.cfg in
+  Swarch.Core_group.reset cg;
+  let recorder = Swsched.Recorder.create Common.cfg in
+  let spec = Swgmx.Kernel_cpe.spec_of_variant Swgmx.Variant.Mark in
+  ignore
+    (Swgmx.Kernel_cpe.run ~sched:recorder p.Common.sys p.Common.pairs cg spec);
+  List.map
+    (fun fault_rate ->
+      let plan =
+        {
+          Swfault.Plan.zero with
+          Swfault.Plan.dma_error_rate = fault_rate;
+          Swfault.Plan.link_drop_rate = fault_rate;
+          Swfault.Plan.link_degrade = 1.0 +. fault_rate;
+        }
+      in
+      let inj = Swfault.Injector.create ~seed:2027 plan in
+      let s = Swsched.Schedule.run ~buffers:2 ~faults:inj Common.cfg recorder in
+      (* Engine.measure directly: Common's cache is not keyed by plan
+         faults, and a degraded measurement must never be reused *)
+      let m =
+        Swgmx.Engine.measure ~cfg:Common.cfg ~version:Swgmx.Engine.V_other
+          ~faults:inj
+          ~total_atoms:(if quick then 24000 else 96000)
+          ~n_cg:16 ()
+      in
+      {
+        fault_rate;
+        sched_elapsed = s.Swsched.Schedule.elapsed;
+        sched_retries = s.Swsched.Schedule.dma_retries;
+        comm_s = Swgmx.Engine.row m "Wait + comm. F";
+      })
+    [ 0.0; 0.02; 0.05; 0.1 ]
+
+(** One row of the checkpoint-interval ablation. *)
+type checkpoint_row = {
+  interval : int;
+  total : float;
+  ckpt_overhead : float;
+  rework : float;
+}
+
+(** [checkpoint_sweep ()] prices the checkpoint/restart policy across
+    intervals on a fixed fault rate: frequent checkpoints pay capture
+    cost, rare ones pay rework after each rollback, and the analytic
+    optimum (Young's formula) sits in the valley between. *)
+let checkpoint_sweep () =
+  let steps = 100000 and fault_rate = 1e-3 in
+  let step_s = 2e-3 in
+  let ckpt_s =
+    2.0 *. Swio.Io_model.frame_time ~path:Swio.Io_model.Fast ~n_atoms:12000
+  in
+  let restart_s = 10.0 *. ckpt_s in
+  let rows =
+    List.map
+      (fun interval ->
+        let p =
+          Swfault.Recovery.price ~steps ~interval ~fault_rate ~step_s ~ckpt_s
+            ~restart_s
+        in
+        {
+          interval;
+          total = p.Swfault.Recovery.total_s;
+          ckpt_overhead = p.Swfault.Recovery.checkpoint_s;
+          rework = p.Swfault.Recovery.rework_s;
+        })
+      [ 10; 20; 50; 100; 200; 500 ]
+  in
+  let opt = Swfault.Recovery.optimal_interval ~fault_rate ~step_s ~ckpt_s in
+  (rows, opt)
+
 (** [run ~quick ppf] renders all ablations. *)
 let run ~quick ppf =
   Fmt.pf ppf "Ablation 1: read-cache line length (fixed 512-package capacity)@.";
@@ -288,4 +376,33 @@ let run ~quick ppf =
            ms r.hidden;
            ms r.lower_bound;
          ])
-       (step_overlap ~quick ()))
+       (step_overlap ~quick ()));
+  Fmt.pf ppf
+    "Ablation 9a: resilience overhead vs fault rate (Mark replay + halo)@.";
+  T.table ppf
+    ~headers:[ "fault rate"; "scheduled"; "DMA retries"; "comm. F" ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.0f%%" (r.fault_rate *. 100.0);
+           Printf.sprintf "%.3f ms" (r.sched_elapsed *. 1e3);
+           string_of_int r.sched_retries;
+           Printf.sprintf "%.3f ms" (r.comm_s *. 1e3);
+         ])
+       (resilience_sweep ~quick ()));
+  let rows, opt = checkpoint_sweep () in
+  Fmt.pf ppf
+    "Ablation 9b: checkpoint interval (100k steps, 1e-3 faults/step; \
+     Young's optimum %d)@."
+    opt;
+  T.table ppf
+    ~headers:[ "interval"; "total"; "checkpoint cost"; "rework" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.interval;
+           Printf.sprintf "%.1f s" r.total;
+           Printf.sprintf "%.2f s" r.ckpt_overhead;
+           Printf.sprintf "%.2f s" r.rework;
+         ])
+       rows)

@@ -40,6 +40,7 @@ let step_time ?(net = Network.default) ~compute ~transport ~total_atoms ~rcut
         box_edge;
         pme_grid = grid_for box_edge;
         compute_time = on_chip;
+        faults = None;
       }
   in
   on_chip +. Step_comm.total comm

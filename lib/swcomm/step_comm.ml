@@ -22,6 +22,8 @@ type params = {
   box_edge : float;  (** global cubic box edge, nm *)
   pme_grid : int;  (** PME mesh dimension *)
   compute_time : float;  (** per-step on-chip time, for the sync wait *)
+  faults : Swfault.Injector.t option;
+      (** link degradation/drops applied to the halo exchange *)
 }
 
 type breakdown = {
@@ -65,8 +67,35 @@ let compute ?(trace = true) p =
       max 1 (int_of_float (1.3 *. float_of_int (halo_atoms * bytes_per_halo_atom)))
     in
     let msg bytes = Network.message p.net p.transport ~bytes ~cross_supernode:cross in
-    (* positions out before the force loop, forces back after *)
-    let halo = 2.0 *. float_of_int pulses *. msg pulse_bytes in
+    (* positions out before the force loop, forces back after.  With
+       clean links this stays the closed form (per-message summation
+       differs in ulps, and the zero-fault plan must be bit-identical);
+       degraded links price each of the 2 x pulses messages, and a
+       dropped message costs the detection timeout plus a retransmit. *)
+    let fi =
+      match p.faults with
+      | Some inj when Swfault.Injector.links_clean inj -> None
+      | f -> f
+    in
+    let halo =
+      match fi with
+      | None -> 2.0 *. float_of_int pulses *. msg pulse_bytes
+      | Some inj ->
+          let degrade = Swfault.Injector.link_degrade inj in
+          let base = msg pulse_bytes *. degrade in
+          let acc = ref 0.0 in
+          for _ = 1 to 2 * pulses do
+            acc := !acc +. base;
+            if Swfault.Injector.link_drop inj then begin
+              (* timeout fires, then the message is resent *)
+              let penalty = Swfault.Injector.link_timeout inj +. base in
+              let id = Swfault.Injector.inject inj ~kind:"link-drop" () in
+              Swfault.Injector.recover inj ~id ~kind:"halo-retry" ~dur:penalty ();
+              acc := !acc +. penalty
+            end
+          done;
+          !acc
+    in
     (* PME transpose: pencil decomposition, two alltoall rounds inside
        sqrt(P)-rank communicators *)
     let grid_bytes = p.pme_grid * p.pme_grid * p.pme_grid * 8 in

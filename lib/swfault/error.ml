@@ -1,0 +1,31 @@
+(* Structured faults.  Kernel paths used to let [Ldm.Out_of_ldm] and
+   [Invalid_argument] escape raw; [guard] converts them into a fault
+   that names the phase and the CPE where capacity ran out. *)
+
+type info = { phase : string; cpe : int option; detail : string }
+
+exception Fault of info
+
+let fault ~phase ?cpe detail = raise (Fault { phase; cpe; detail })
+
+let to_string { phase; cpe; detail } =
+  match cpe with
+  | Some id -> Printf.sprintf "swfault: phase %s, CPE %d: %s" phase id detail
+  | None -> Printf.sprintf "swfault: phase %s: %s" phase detail
+
+let () =
+  Printexc.register_printer (function
+    | Fault info -> Some (to_string info)
+    | _ -> None)
+
+(* Run [f], converting known low-level escapes into structured faults.
+   [Fault] itself passes through untouched so nested guards keep the
+   innermost (most precise) phase/CPE attribution. *)
+let guard ~phase ?cpe f =
+  try f () with
+  | Fault _ as e -> raise e
+  | Swarch.Ldm.Out_of_ldm { requested; available } ->
+      fault ~phase ?cpe
+        (Printf.sprintf "out of LDM (requested %d bytes, %d available)"
+           requested available)
+  | Invalid_argument msg -> fault ~phase ?cpe ("invalid argument: " ^ msg)

@@ -1,0 +1,65 @@
+(* Recovery accounting.  [stats] is what the engine's protected MD loop
+   actually spent on checkpoints and rollbacks; [price] is the
+   closed-form expectation used by Ablation 9's checkpoint-interval
+   sweep, with [optimal_interval] the Young approximation that the
+   U-shaped curve bottoms out at. *)
+
+type stats = {
+  mutable checkpoints : int;
+  mutable rollbacks : int;
+  mutable replayed_steps : int;
+  mutable checkpoint_s : float;  (** simulated time spent capturing *)
+  mutable replay_s : float;  (** simulated time re-running lost steps *)
+}
+
+let stats_zero () =
+  {
+    checkpoints = 0;
+    rollbacks = 0;
+    replayed_steps = 0;
+    checkpoint_s = 0.0;
+    replay_s = 0.0;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "%d checkpoints (%.3g s), %d rollbacks replaying %d steps (%.3g s)"
+    s.checkpoints s.checkpoint_s s.rollbacks s.replayed_steps s.replay_s
+
+(* Expected cost of running [steps] MD steps of [step_s] seconds each
+   with a checkpoint every [interval] steps costing [ckpt_s], under a
+   per-step unrecoverable-fault probability [fault_rate].  A fault
+   rolls back to the last checkpoint: restart cost plus on average half
+   an interval of replayed work. *)
+type price = {
+  total_s : float;
+  compute_s : float;
+  checkpoint_s : float;
+  rework_s : float;
+  expected_rollbacks : float;
+}
+
+let price ~steps ~interval ~fault_rate ~step_s ~ckpt_s ~restart_s =
+  if interval <= 0 then invalid_arg "Recovery.price: interval <= 0";
+  let compute_s = float_of_int steps *. step_s in
+  let n_ckpts = float_of_int (steps / interval) in
+  let checkpoint_s = n_ckpts *. ckpt_s in
+  let expected_rollbacks = float_of_int steps *. fault_rate in
+  let rework_per_rollback =
+    restart_s +. (((float_of_int interval /. 2.0) +. 1.0) *. step_s)
+  in
+  let rework_s = expected_rollbacks *. rework_per_rollback in
+  {
+    total_s = compute_s +. checkpoint_s +. rework_s;
+    compute_s;
+    checkpoint_s;
+    rework_s;
+    expected_rollbacks;
+  }
+
+(* Young's approximation: interval* = sqrt(2 * C / (rate * step)). *)
+let optimal_interval ~fault_rate ~step_s ~ckpt_s =
+  if fault_rate <= 0.0 then max_int
+  else
+    let i = sqrt (2.0 *. ckpt_s /. (fault_rate *. step_s)) in
+    max 1 (int_of_float (Float.round i))

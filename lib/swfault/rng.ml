@@ -1,0 +1,24 @@
+(* Counter-based splitmix64.  Every fault decision is a pure function
+   of (seed, stream, index): replaying a schedule or rolling back the
+   MD loop re-asks the same questions and gets the same answers, and
+   raising a fault rate keeps the failing set nested (every transfer
+   that failed at rate r still fails at rate r' > r), which is what
+   makes the resilience-overhead ablation monotone. *)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let key ~seed ~stream ~index =
+  let open Int64 in
+  let z0 = mix (add (mul (of_int seed) golden) (of_int stream)) in
+  mix (add z0 (mul (of_int index) golden))
+
+(* uniform float in [0, 1) with 53 significant bits *)
+let uniform ~seed ~stream ~index =
+  let k = key ~seed ~stream ~index in
+  Int64.to_float (Int64.shift_right_logical k 11) *. 0x1p-53

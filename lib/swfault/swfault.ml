@@ -1,0 +1,17 @@
+(** swfault — deterministic fault injection and priced recovery for the
+    simulated SW26010 stack.
+
+    A {!Plan} declares what can go wrong (CPE slowdown/stall/death, DMA
+    transfer errors, link degradation/drops, LDM bit flips); an
+    {!Injector} answers each "does it strike here?" question as a pure
+    function of (seed, stream, counter) so runs replay exactly;
+    {!Recovery} accounts for what the recovery policies cost; {!Error}
+    is the structured fault kernels raise instead of bare exceptions.
+
+    See docs/FAULTS.md. *)
+
+module Rng = Rng
+module Error = Error
+module Plan = Plan
+module Injector = Injector
+module Recovery = Recovery

@@ -141,7 +141,8 @@ let row m label = Swstep.Plan.row m.step label
     waits).  Cross-phase data (pair list, kernel outcome) flows
     through the [Simulated] closures in declaration order. *)
 let phases_of_features (cfg : Swarch.Config.t) f ~sys ~n ~box ~rcut ~total_atoms
-    ~n_cg ~nstlist ~steps_per_frame ~pipelined ~pairs ~ns_stats ~outcome =
+    ~n_cg ~nstlist ~steps_per_frame ~pipelined ~faults ~pairs ~ns_stats ~outcome
+    =
   let module P = Swstep.Phase in
   let module T = Swtrace.Trace in
   let nsearch_exec cg =
@@ -159,7 +160,7 @@ let phases_of_features (cfg : Swarch.Config.t) f ~sys ~n ~box ~rcut ~total_atoms
            (P.per_atom ~flops:160.0 ~bytes:32.0 stats.Nsearch_cpe.accepted)
   in
   let force_exec cg =
-    let o = Kernel.run ~pipelined sys (Option.get !pairs) cg f.force in
+    let o = Kernel.run ~pipelined ?faults sys (Option.get !pairs) cg f.force in
     outcome := Some o;
     o.Kernel.elapsed
   in
@@ -196,6 +197,7 @@ let phases_of_features (cfg : Swarch.Config.t) f ~sys ~n ~box ~rcut ~total_atoms
       box_edge = global_edge;
       pme_grid = Pme_model.grid_for ~box_edge:global_edge;
       compute_time = 0.0 (* filled with the sync window by the planner *);
+      faults;
     }
   in
   let comm part = P.Comm { request; part } in
@@ -242,10 +244,14 @@ let phases_of_features (cfg : Swarch.Config.t) f ~sys ~n ~box ~rcut ~total_atoms
     swsched double-buffer pipeline (see {!Kernel.run}).  [plan]
     selects the swstep schedule: [Serial] (default) reproduces the
     paper's measured profile; [Overlap] hides communication behind
-    independent compute the way the RDMA port does. *)
+    independent compute the way the RDMA port does.  [faults] prices
+    the step over a degraded machine: dead CPEs re-striped, slow CPEs
+    stretching the critical path, degraded links inflating the halo
+    (with the zero plan, every output is bit-identical to no
+    injector at all). *)
 let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
-    ?(nstlist = 10) ?(pipelined = false) ?(plan = Swstep.Plan.Serial) ~version
-    ~total_atoms ~n_cg () =
+    ?(nstlist = 10) ?(pipelined = false) ?(plan = Swstep.Plan.Serial) ?faults
+    ~version ~total_atoms ~n_cg () =
   if n_cg < 1 then invalid_arg "Engine.measure: n_cg must be positive";
   (* the boundary check: a nonsensical machine description fails fast
      here instead of producing nonsense times downstream *)
@@ -269,10 +275,27 @@ let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
       ~pos:st.Md.Md_state.pos
   in
   let cg = Swarch.Core_group.create cfg in
+  (* degraded machine: install slowdowns/stalls on the group and put
+     the dead-CPE re-stripe decisions on the fault track *)
+  (match faults with
+  | None -> ()
+  | Some inj ->
+      let p = Swfault.Injector.plan inj in
+      Swarch.Core_group.apply_faults cg ~slow:p.Swfault.Plan.cpe_slowdown
+        ~stall:p.Swfault.Plan.cpe_stall_s;
+      List.iter
+        (fun id ->
+          let fid =
+            Swfault.Injector.inject inj ~kind:"cpe-dead"
+              ~args:[ ("cpe", float_of_int id) ]
+              ()
+          in
+          Swfault.Injector.recover inj ~id:fid ~kind:"re-stripe" ())
+        (Swfault.Injector.dead inj));
   let pairs = ref None and ns_stats = ref None and outcome = ref None in
   let phases =
     phases_of_features cfg f ~sys ~n ~box ~rcut ~total_atoms ~n_cg ~nstlist
-      ~steps_per_frame ~pipelined ~pairs ~ns_stats ~outcome
+      ~steps_per_frame ~pipelined ~faults ~pairs ~ns_stats ~outcome
   in
   let step =
     Swstep.Phase.make ~label:(version_name version) ~rows:table1_rows phases
@@ -307,15 +330,15 @@ let measure ?(cfg = Swarch.Config.default) ?(steps_per_frame = 100)
     on the CPE tracks, communication on the network track).  Returns
     the last step's measurement; call {!Swtrace.Trace.enable} first or
     the run degenerates to plain repeated {!measure}. *)
-let trace_steps ?cfg ?steps_per_frame ?nstlist ?pipelined ?plan ~version
+let trace_steps ?cfg ?steps_per_frame ?nstlist ?pipelined ?plan ?faults ~version
     ~total_atoms ~n_cg ~steps () =
   if steps < 1 then invalid_arg "Engine.trace_steps: steps must be positive";
   let last = ref None in
   for _ = 1 to steps do
     last :=
       Some
-        (measure ?cfg ?steps_per_frame ?nstlist ?pipelined ?plan ~version
-           ~total_atoms ~n_cg ())
+        (measure ?cfg ?steps_per_frame ?nstlist ?pipelined ?plan ?faults
+           ~version ~total_atoms ~n_cg ())
   done;
   Option.get !last
 
@@ -324,53 +347,117 @@ let trace_steps ?cfg ?steps_per_frame ?nstlist ?pipelined ?plan ~version
 
 type sample = { step : int; total_energy : float; temperature : float }
 
-(** [simulate_state ?cfg ?variant ~molecules ~seed ~steps ~sample_every ()]
-    runs real water dynamics where the short-range forces come from
-    the optimized mixed-precision kernel (default [Mark]) while PME,
-    constraints and integration follow the reference path — exactly
-    the split of the paper's port.  Returns energy/temperature samples
-    for comparison against the double-precision {!Mdcore.Workflow},
-    plus the final particle state (for trajectory output). *)
-let simulate_state ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
+(* The full MD loop with the optional protection machinery: fault
+   injection (LDM flips rolling back to the last checkpoint), periodic
+   checkpoint capture and restart-from-checkpoint.  With no faults, no
+   cadence and no restart, the loop is operation-for-operation the
+   historical unprotected one, so its trajectory is bit-identical. *)
+let simulate_full ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
     ?(dt = 0.001) ?(temp = 300.0) ?(equil_steps = 0) ?(pipelined = false)
-    ~molecules ~seed ~steps ~sample_every () =
+    ?faults ?checkpoint_every ?restart ?on_checkpoint ~molecules ~seed ~steps
+    ~sample_every () =
   Swarch.Config.validate cfg;
   let st = Md.Water.build ~molecules ~seed () in
   let box = st.Md.Md_state.box in
   let rcut = Float.min 0.9 (0.45 *. Md.Box.min_edge box) in
   let beta = Md.Coulomb.ewald_beta ~rc:rcut ~tolerance:1e-5 in
   let params = { Md.Nonbonded.rcut; elec = Md.Nonbonded.Ewald_real beta } in
+  let nstlist = 10 in
   let config =
     {
       Md.Workflow.dt;
-      nstlist = 10;
+      nstlist;
       rlist = rcut;
       nb = params;
       pme_grid = Some 32;
       thermostat = Some (Md.Thermostat.create ~t_ref:temp ~tau:0.5 ());
     }
   in
-  let w = Md.Workflow.create ~config st in
-  ignore (Md.Workflow.minimize ~steps:60 w);
-  Md.Md_state.thermalize st (Md.Rng.create (seed + 1)) temp;
-  (* equilibration: tight coupling drains the remaining lattice strain
-     before the measured trajectory starts *)
-  if equil_steps > 0 then begin
-    let strong =
-      {
-        config with
-        Md.Workflow.thermostat = Some (Md.Thermostat.create ~t_ref:temp ~tau:0.02 ());
-      }
-    in
-    let we = Md.Workflow.create ~config:strong st in
-    Md.Workflow.run we equil_steps
-  end;
-  let cg = Swarch.Core_group.create cfg in
-  let samples = ref [] in
   let n = Md.Md_state.n_atoms st in
-  for step = 1 to steps do
+  let stats = Swfault.Recovery.stats_zero () in
+  (* checkpoints are only taken at pair-list rebuild boundaries:
+     rounding the interval up to a multiple of [nstlist] makes the
+     post-restore neighbour search line up, which is what keeps
+     resumption bit-exact *)
+  let cadence =
+    match checkpoint_every with
+    | Some k when k > 0 -> Some ((k + nstlist - 1) / nstlist * nstlist)
+    | Some _ -> invalid_arg "Engine.simulate: checkpoint_every must be positive"
+    | None -> ( match faults with Some _ -> Some nstlist | None -> None)
+  in
+  (* restart: restore the checkpointed particle state before anything
+     snapshots it, and skip minimization/thermalization/equilibration
+     (the checkpoint already is the running trajectory) *)
+  let start_step =
+    match restart with
+    | None -> 0
+    | Some (ck : Swio.Checkpoint.t) ->
+        if ck.Swio.Checkpoint.n_atoms <> n then
+          invalid_arg "Engine.simulate: checkpoint atom count mismatch";
+        if
+          ck.Swio.Checkpoint.step < 0
+          || ck.Swio.Checkpoint.step mod nstlist <> 0
+        then invalid_arg "Engine.simulate: checkpoint step not nstlist-aligned";
+        ignore
+          (Swio.Checkpoint.restore ck ~pos:st.Md.Md_state.pos
+             ~vel:st.Md.Md_state.vel);
+        ck.Swio.Checkpoint.step
+  in
+  if start_step >= steps && restart <> None then
+    invalid_arg "Engine.simulate: checkpoint is at or past the last step";
+  let w = Md.Workflow.create ~config st in
+  (match restart with
+  | Some _ -> ()
+  | None ->
+      ignore (Md.Workflow.minimize ~steps:60 w);
+      Md.Md_state.thermalize st (Md.Rng.create (seed + 1)) temp;
+      (* equilibration: tight coupling drains the remaining lattice
+         strain before the measured trajectory starts *)
+      if equil_steps > 0 then begin
+        let strong =
+          {
+            config with
+            Md.Workflow.thermostat =
+              Some (Md.Thermostat.create ~t_ref:temp ~tau:0.02 ());
+          }
+        in
+        let we = Md.Workflow.create ~config:strong st in
+        Md.Workflow.run we equil_steps
+      end);
+  let cg = Swarch.Core_group.create cfg in
+  (* degraded machine: slow/stalled CPEs charge more per kernel; dead
+     CPEs are re-striped inside {!Kernel.run} *)
+  (match faults with
+  | None -> ()
+  | Some inj ->
+      let p = Swfault.Injector.plan inj in
+      Swarch.Core_group.apply_faults cg ~slow:p.Swfault.Plan.cpe_slowdown
+        ~stall:p.Swfault.Plan.cpe_stall_s);
+  let ckpt_cost = 2.0 *. Swio.Io_model.frame_time ~path:Swio.Io_model.Fast ~n_atoms:n in
+  let take_checkpoint s =
+    let ck =
+      Swio.Checkpoint.capture ~step:s ~pos:st.Md.Md_state.pos
+        ~vel:st.Md.Md_state.vel ~n_atoms:n
+    in
+    stats.Swfault.Recovery.checkpoints <- stats.Swfault.Recovery.checkpoints + 1;
+    stats.Swfault.Recovery.checkpoint_s <-
+      stats.Swfault.Recovery.checkpoint_s +. ckpt_cost;
+    (match on_checkpoint with Some f -> f ck | None -> ());
+    ck
+  in
+  let last_ckpt =
+    ref
+      (match restart with
+      | Some ck -> Some ck
+      | None -> if cadence <> None then Some (take_checkpoint 0) else None)
+  in
+  let samples = ref [] in
+  let since_ckpt = ref 0.0 in
+  let step = ref (start_step + 1) in
+  while !step <= steps do
+    let s = !step in
     Swtrace.Trace.push ~cat:"step" Swtrace.Track.Mpe "step:md";
-    if (step - 1) mod config.Md.Workflow.nstlist = 0 then
+    if (s - 1) mod config.Md.Workflow.nstlist = 0 then
       Md.Workflow.neighbour_search w;
     (* forces: short-range from the optimized kernel, the rest from the
        reference path *)
@@ -382,49 +469,125 @@ let simulate_state ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
       K.make cfg ~box ~params ~cl:w.Md.Workflow.cluster
         ~topo:st.Md.Md_state.topo ~ff:st.Md.Md_state.ff ~pos:st.Md.Md_state.pos
     in
-    let outcome = Kernel.run ~pipelined sys w.Md.Workflow.pairs cg variant in
-    K.scatter_forces sys outcome.Kernel.result st.Md.Md_state.force;
-    w.Md.Workflow.energy.Md.Energy.lj <- outcome.Kernel.result.K.e_lj;
-    w.Md.Workflow.energy.Md.Energy.coulomb_sr <- outcome.Kernel.result.K.e_coul;
-    Md.Nonbonded.excluded_corrections st params w.Md.Workflow.energy;
-    (match w.Md.Workflow.pme with
-    | Some pme ->
-        Md.Pme.spread pme ~pos:st.Md.Md_state.pos
-          ~charge:st.Md.Md_state.topo.Md.Topology.charge ~n;
-        let e_recip = Md.Pme.solve pme in
-        Md.Pme.gather_forces pme ~pos:st.Md.Md_state.pos
-          ~charge:st.Md.Md_state.topo.Md.Topology.charge ~n
-          ~force:st.Md.Md_state.force;
-        w.Md.Workflow.energy.Md.Energy.coulomb_recip <-
-          w.Md.Workflow.energy.Md.Energy.coulomb_recip +. e_recip
-          +. Md.Coulomb.self_energy ~beta st.Md.Md_state.topo.Md.Topology.charge
-    | None -> ());
-    (* configuration update: leapfrog + SHAKE + thermostat *)
-    Array.blit st.Md.Md_state.pos 0 w.Md.Workflow.ref_pos 0 (3 * n);
-    Md.Integrator.step st ~dt;
-    ignore
-      (Md.Constraints.apply w.Md.Workflow.shake ~ref_pos:w.Md.Workflow.ref_pos
-         ~pos:st.Md.Md_state.pos);
-    let inv_dt = 1.0 /. dt in
-    for k = 0 to (3 * n) - 1 do
-      st.Md.Md_state.vel.(k) <-
-        (st.Md.Md_state.pos.(k) -. w.Md.Workflow.ref_pos.(k)) *. inv_dt
-    done;
-    (match config.Md.Workflow.thermostat with
-    | Some th -> Md.Thermostat.apply th st ~dt
-    | None -> ());
-    w.Md.Workflow.energy.Md.Energy.kinetic <- Md.Md_state.kinetic_energy st;
-    if step mod sample_every = 0 then
+    let outcome = Kernel.run ~pipelined ?faults sys w.Md.Workflow.pairs cg variant in
+    (* an LDM bit flip is detected when the per-CPE force copies are
+       reduced: the step's forces are untrustworthy, so roll back to
+       the last checkpoint and replay from there (the flip is consumed
+       — the replayed step runs clean, so recovery terminates) *)
+    let flip =
+      match faults with
+      | Some inj -> Swfault.Injector.ldm_flip inj ~step:s
+      | None -> false
+    in
+    if flip then begin
+      let inj = Option.get faults in
+      let ck = Option.get !last_ckpt in
+      let fid =
+        Swfault.Injector.inject inj ~kind:"ldm-flip"
+          ~args:[ ("step", float_of_int s) ]
+          ()
+      in
+      ignore
+        (Swio.Checkpoint.restore ck ~pos:st.Md.Md_state.pos
+           ~vel:st.Md.Md_state.vel);
+      Swfault.Injector.recover inj ~id:fid ~kind:"rollback"
+        ~args:[ ("to_step", float_of_int ck.Swio.Checkpoint.step) ]
+        ();
+      stats.Swfault.Recovery.rollbacks <- stats.Swfault.Recovery.rollbacks + 1;
+      stats.Swfault.Recovery.replayed_steps <-
+        stats.Swfault.Recovery.replayed_steps + (s - ck.Swio.Checkpoint.step);
+      stats.Swfault.Recovery.replay_s <-
+        stats.Swfault.Recovery.replay_s +. !since_ckpt +. outcome.Kernel.elapsed;
+      since_ckpt := 0.0;
+      (* drop the samples recorded past the checkpoint — the replay
+         records them again, identically *)
       samples :=
-        {
-          step;
-          total_energy = Md.Energy.total w.Md.Workflow.energy;
-          temperature = Md.Md_state.temperature st;
-        }
-        :: !samples;
-    Swtrace.Trace.pop Swtrace.Track.Mpe
+        List.filter (fun smp -> smp.step <= ck.Swio.Checkpoint.step) !samples;
+      Swtrace.Trace.pop Swtrace.Track.Mpe;
+      step := ck.Swio.Checkpoint.step + 1
+    end
+    else begin
+      K.scatter_forces sys outcome.Kernel.result st.Md.Md_state.force;
+      w.Md.Workflow.energy.Md.Energy.lj <- outcome.Kernel.result.K.e_lj;
+      w.Md.Workflow.energy.Md.Energy.coulomb_sr <- outcome.Kernel.result.K.e_coul;
+      Md.Nonbonded.excluded_corrections st params w.Md.Workflow.energy;
+      (match w.Md.Workflow.pme with
+      | Some pme ->
+          Md.Pme.spread pme ~pos:st.Md.Md_state.pos
+            ~charge:st.Md.Md_state.topo.Md.Topology.charge ~n;
+          let e_recip = Md.Pme.solve pme in
+          Md.Pme.gather_forces pme ~pos:st.Md.Md_state.pos
+            ~charge:st.Md.Md_state.topo.Md.Topology.charge ~n
+            ~force:st.Md.Md_state.force;
+          w.Md.Workflow.energy.Md.Energy.coulomb_recip <-
+            w.Md.Workflow.energy.Md.Energy.coulomb_recip +. e_recip
+            +. Md.Coulomb.self_energy ~beta st.Md.Md_state.topo.Md.Topology.charge
+      | None -> ());
+      (* configuration update: leapfrog + SHAKE + thermostat *)
+      Array.blit st.Md.Md_state.pos 0 w.Md.Workflow.ref_pos 0 (3 * n);
+      Md.Integrator.step st ~dt;
+      ignore
+        (Md.Constraints.apply w.Md.Workflow.shake ~ref_pos:w.Md.Workflow.ref_pos
+           ~pos:st.Md.Md_state.pos);
+      let inv_dt = 1.0 /. dt in
+      for k = 0 to (3 * n) - 1 do
+        st.Md.Md_state.vel.(k) <-
+          (st.Md.Md_state.pos.(k) -. w.Md.Workflow.ref_pos.(k)) *. inv_dt
+      done;
+      (match config.Md.Workflow.thermostat with
+      | Some th -> Md.Thermostat.apply th st ~dt
+      | None -> ());
+      w.Md.Workflow.energy.Md.Energy.kinetic <- Md.Md_state.kinetic_energy st;
+      if s mod sample_every = 0 then
+        samples :=
+          {
+            step = s;
+            total_energy = Md.Energy.total w.Md.Workflow.energy;
+            temperature = Md.Md_state.temperature st;
+          }
+          :: !samples;
+      (match cadence with
+      | Some c when s mod c = 0 -> begin
+          last_ckpt := Some (take_checkpoint s);
+          since_ckpt := 0.0
+        end
+      | _ -> since_ckpt := !since_ckpt +. outcome.Kernel.elapsed);
+      Swtrace.Trace.pop Swtrace.Track.Mpe;
+      incr step
+    end
   done;
-  (List.rev !samples, st)
+  (List.rev !samples, st, stats)
+
+(** [simulate_state ?cfg ?variant ~molecules ~seed ~steps ~sample_every ()]
+    runs real water dynamics where the short-range forces come from
+    the optimized mixed-precision kernel (default [Mark]) while PME,
+    constraints and integration follow the reference path — exactly
+    the split of the paper's port.  Returns energy/temperature samples
+    for comparison against the double-precision {!Mdcore.Workflow},
+    plus the final particle state (for trajectory output). *)
+let simulate_state ?cfg ?variant ?dt ?temp ?equil_steps ?pipelined ~molecules
+    ~seed ~steps ~sample_every () =
+  let samples, st, _ =
+    simulate_full ?cfg ?variant ?dt ?temp ?equil_steps ?pipelined ~molecules
+      ~seed ~steps ~sample_every ()
+  in
+  (samples, st)
+
+(** [simulate_protected ...] is the resilient MD loop: [faults] injects
+    the plan's LDM flips (each rolling the trajectory back to the last
+    checkpoint) and degrades the machine the kernel runs on;
+    [checkpoint_every] captures a {!Swio.Checkpoint} every N steps
+    (rounded up to the pair-list cadence; with faults but no explicit
+    interval, every rebuild); [restart] resumes a checkpointed
+    trajectory bit-identically; [on_checkpoint] observes each capture
+    (e.g. to write it to disk).  Returns the samples, the final state
+    and the {!Swfault.Recovery.stats} of what protection cost. *)
+let simulate_protected ?cfg ?variant ?dt ?temp ?equil_steps ?pipelined ?faults
+    ?checkpoint_every ?restart ?on_checkpoint ~molecules ~seed ~steps
+    ~sample_every () =
+  simulate_full ?cfg ?variant ?dt ?temp ?equil_steps ?pipelined ?faults
+    ?checkpoint_every ?restart ?on_checkpoint ~molecules ~seed ~steps
+    ~sample_every ()
 
 (** [simulate ...] is {!simulate_state} without the final state. *)
 let simulate ?cfg ?variant ?dt ?temp ?equil_steps ?pipelined ~molecules ~seed

@@ -19,7 +19,7 @@ type outcome = {
       (** replayed timeline when the kernel ran pipelined *)
 }
 
-let dispatch ?sched ?buffers sys pairs cg variant =
+let dispatch ?sched ?buffers ?dead sys pairs cg variant =
   match variant with
   | Variant.Ori ->
       let result = Kernel_ori.run sys pairs cg in
@@ -28,13 +28,17 @@ let dispatch ?sched ?buffers sys pairs cg variant =
   | Variant.Pkg | Variant.Cache | Variant.Vec | Variant.Mark | Variant.Rma
   | Variant.Ustc ->
       let spec = Kernel_cpe.spec_of_variant variant in
-      let result, stats = Kernel_cpe.run ?sched ?buffers sys pairs cg spec in
+      let result, stats =
+        Kernel_cpe.run ?sched ?buffers ?dead sys pairs cg spec
+      in
       { result; elapsed = Swarch.Core_group.elapsed cg; stats = Some stats;
         sched = None }
   | Variant.Rca ->
       let spec = Kernel_cpe.spec_of_variant variant in
       let full = Mdcore.Pair_list.to_full pairs in
-      let result, stats = Kernel_cpe.run ?sched ?buffers sys full cg spec in
+      let result, stats =
+        Kernel_cpe.run ?sched ?buffers ?dead sys full cg spec
+      in
       { result; elapsed = Swarch.Core_group.elapsed cg; stats = Some stats;
         sched = None }
 
@@ -52,13 +56,15 @@ let trace_outcome (cg : Swarch.Core_group.t) variant outcome =
       List.iter
         (fun (sp : Swsched.Schedule.span) ->
           let tr =
-            if sp.Swsched.Schedule.track < 0 then Swtrace.Track.Mpe
+            if sp.Swsched.Schedule.track = -2 then Swtrace.Track.Fault
+            else if sp.Swsched.Schedule.track < 0 then Swtrace.Track.Mpe
             else
               Swtrace.Track.Cpe
                 (sp.Swsched.Schedule.track mod Swtrace.Track.cpe_tracks)
           in
           T.span ~cat:sp.Swsched.Schedule.cat tr sp.Swsched.Schedule.name
-            ~t:(t0 +. sp.Swsched.Schedule.t) ~dur:sp.Swsched.Schedule.dur)
+            ~t:(t0 +. sp.Swsched.Schedule.t) ~dur:sp.Swsched.Schedule.dur
+            ~args:sp.Swsched.Schedule.args)
         s.Swsched.Schedule.spans;
       Array.iter
         (fun (c : Swarch.Cpe.t) ->
@@ -101,27 +107,32 @@ let trace_outcome (cg : Swarch.Core_group.t) variant outcome =
         ("pairs", float_of_int outcome.result.Kernel_common.pairs_in_cutoff);
       ]
 
-(** [run ?pipelined ?buffers sys pairs cg variant] resets the group,
-    executes the chosen kernel variant and reports physics + simulated
-    time.  With [~pipelined:true] the CPE variants are recorded and
-    replayed through swsched: [elapsed] becomes the scheduled time
-    (between the serial and ideal-overlap analytic bounds) and
-    [sched] carries the replayed timeline; [Ori] has no CPE side and
-    ignores the flag. *)
-let run ?(pipelined = false) ?buffers sys (pairs : Mdcore.Pair_list.t)
+(** [run ?pipelined ?buffers ?faults sys pairs cg variant] resets the
+    group, executes the chosen kernel variant and reports physics +
+    simulated time.  With [~pipelined:true] the CPE variants are
+    recorded and replayed through swsched: [elapsed] becomes the
+    scheduled time (between the serial and ideal-overlap analytic
+    bounds) and [sched] carries the replayed timeline; [Ori] has no
+    CPE side and ignores the flag.  With [faults], dead CPEs' slabs
+    are re-striped over the survivors and the pipelined replay injects
+    DMA errors / CPE degradation (see {!Swsched.Schedule.run}). *)
+let run ?(pipelined = false) ?buffers ?faults sys (pairs : Mdcore.Pair_list.t)
     (cg : Swarch.Core_group.t) variant =
   Swarch.Core_group.reset cg;
+  let dead =
+    match faults with None -> [] | Some inj -> Swfault.Injector.dead inj
+  in
   let recorder =
     if pipelined && variant <> Variant.Ori then
       Some (Swsched.Recorder.create cg.Swarch.Core_group.cfg)
     else None
   in
-  let outcome = dispatch ?sched:recorder ?buffers sys pairs cg variant in
+  let outcome = dispatch ?sched:recorder ?buffers ~dead sys pairs cg variant in
   let outcome =
     match recorder with
     | None -> outcome
     | Some r ->
-        let s = Swsched.Schedule.run cg.Swarch.Core_group.cfg r in
+        let s = Swsched.Schedule.run ?faults cg.Swarch.Core_group.cfg r in
         let elapsed =
           s.Swsched.Schedule.elapsed
           +. Swarch.Mpe.time cg.Swarch.Core_group.cfg cg.Swarch.Core_group.mpe

@@ -13,17 +13,21 @@ type outcome = {
       (** replayed timeline when the kernel ran pipelined *)
 }
 
-(** [run ?pipelined ?buffers sys pairs cg variant] resets the group,
-    executes the chosen kernel variant and reports physics + simulated
-    time.  With [~pipelined:true] (default false) the CPE variants are
-    recorded and replayed through the swsched pipeline with [buffers]
-    LDM slots (default 2): [elapsed] becomes the scheduled time and
-    [sched] the replayed timeline, while the physics — executed in
-    unchanged serial order — stays bit-identical.  [Ori] ignores the
-    flag. *)
+(** [run ?pipelined ?buffers ?faults sys pairs cg variant] resets the
+    group, executes the chosen kernel variant and reports physics +
+    simulated time.  With [~pipelined:true] (default false) the CPE
+    variants are recorded and replayed through the swsched pipeline
+    with [buffers] LDM slots (default 2): [elapsed] becomes the
+    scheduled time and [sched] the replayed timeline, while the
+    physics — executed in unchanged serial order — stays bit-identical.
+    [Ori] ignores the flag.  With [faults], the fault plan's dead CPEs
+    have their pair-list slabs re-striped over the survivors, and the
+    pipelined replay injects DMA transfer errors (retried with
+    backoff) and CPE slowdowns/stalls. *)
 val run :
   ?pipelined:bool ->
   ?buffers:int ->
+  ?faults:Swfault.Injector.t ->
   Kernel_common.system ->
   Mdcore.Pair_list.t ->
   Swarch.Core_group.t ->

@@ -191,6 +191,29 @@ let partition n_clusters n_cpes cpe =
   let hi = min n_clusters (lo + per) in
   (lo, hi)
 
+(** [alive_ids n_cpes dead] is the sorted array of CPE ids that survive
+    the permanent failures listed in [dead]. *)
+let alive_ids n_cpes dead =
+  Array.init n_cpes Fun.id
+  |> Array.to_list
+  |> List.filter (fun id -> not (List.mem id dead))
+  |> Array.of_list
+
+(** [partition_alive n_clusters ~alive cpe] re-stripes the i-cluster
+    blocks over the surviving CPEs: a dead CPE gets the empty slab
+    [(0, 0)]; survivor number [k] (in id order) gets block [k] of the
+    {!partition} over [Array.length alive] workers.  With no failures
+    this is exactly [partition n_clusters n_cpes cpe]. *)
+let partition_alive n_clusters ~alive cpe =
+  let n_alive = Array.length alive in
+  let rec rank k = if k >= n_alive then None
+    else if alive.(k) = cpe then Some k
+    else rank (k + 1)
+  in
+  match rank 0 with
+  | None -> (0, 0)
+  | Some k -> partition n_clusters n_alive k
+
 (** [window pairs ~lo ~hi ~n_clusters] is the smallest {e line-aligned}
     cluster interval [wlo, whi) containing every j-cluster reachable
     from i-clusters [lo, hi) — the span of the per-CPE force copy.

@@ -243,7 +243,7 @@ let vector_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
     asynchronous puts.  The physics executes in the exact serial
     order either way, so forces and energies are bit-identical with
     and without a recorder. *)
-let run ?sched ?(buffers = 2) sys (pairs : Pair_list.t)
+let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
     (cg : Swarch.Core_group.t) spec =
   if spec.write = Owner_only && spec.vector then
     invalid_arg "Kernel_cpe.run: the RCA baseline is scalar";
@@ -276,10 +276,18 @@ let run ?sched ?(buffers = 2) sys (pairs : Pair_list.t)
     match sched with Some r -> Swsched.Recorder.synchronous r f | None -> f ()
   in
   let ibuf_slots = match sched with Some _ -> buffers | None -> 1 in
+  (* permanently failed CPEs get the empty slab; their i-clusters are
+     re-striped over the survivors.  [dead = []] takes the original
+     partition so the healthy path stays bit-identical. *)
+  let alive = K.alive_ids n_cpes dead in
   Swarch.Core_group.iter_cpes cg (fun cpe ->
       let cost = cpe.Swarch.Cpe.cost in
-      let lo, hi = K.partition sys.K.n_clusters n_cpes cpe.Swarch.Cpe.id in
-      if lo < hi then in_task cpe (fun () ->
+      let lo, hi =
+        if dead = [] then K.partition sys.K.n_clusters n_cpes cpe.Swarch.Cpe.id
+        else K.partition_alive sys.K.n_clusters ~alive cpe.Swarch.Cpe.id
+      in
+      if lo < hi then in_task cpe @@ fun () ->
+        Swfault.Error.guard ~phase:"force" ~cpe:cpe.Swarch.Cpe.id @@ fun () ->
         (* each CPE keeps a full-length force copy, as the RMA scheme
            prescribes ("an interaction array for every particle") --
            its initialization and reduction cost is precisely what the
@@ -532,7 +540,7 @@ let run ?sched ?(buffers = 2) sys (pairs : Pair_list.t)
             | None -> ());
             Swcache.Read_cache.release rc
         | None -> ());
-        Swarch.Ldm.reset ldm));
+        Swarch.Ldm.reset ldm);
   (* reduction step: fold the per-CPE copies into the final forces.
      A barrier separates it from the force loop — every copy must be
      complete before line owners start summing. *)
@@ -541,6 +549,6 @@ let run ?sched ?(buffers = 2) sys (pairs : Pair_list.t)
       (match sched with
       | Some r -> Swsched.Recorder.phase r "reduce"
       | None -> ());
-      Reduction.run ?sched sys cg ~copies res
+      Reduction.run ?sched ~dead sys cg ~copies res
   | Owner_only | Mpe_collect -> ());
   (res, stats)

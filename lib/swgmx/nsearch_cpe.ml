@@ -86,7 +86,9 @@ let run sys (cg : Swarch.Core_group.t) ~kind ~rlist =
   Swarch.Core_group.iter_cpes cg (fun cpe ->
       let cost = cpe.Swarch.Cpe.cost in
       let lo, hi = K.partition nc n_cpes cpe.Swarch.Cpe.id in
-      if lo < hi then begin
+      if lo < hi then
+        Swfault.Error.guard ~phase:"nsearch" ~cpe:cpe.Swarch.Cpe.id @@ fun () ->
+        begin
         let ldm = cpe.Swarch.Cpe.ldm in
         Swarch.Ldm.alloc ldm out_buffer_bytes;
         (* one shared cache over the combined address space, split

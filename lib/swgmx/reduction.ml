@@ -17,17 +17,21 @@ module Dma = Swarch.Dma
     in marked mode. *)
 type copy = { wlo : int; data : float array; marks : Swcache.Bitmap.t option }
 
-(** [run ?sched sys cg ~copies res] folds every copy into [res.force],
-    charging the reducing CPEs for mark tests, line fetches, adds and
-    the final line store.  With [sched], each line's work is recorded
-    on its owner CPE (line fetches are blocking demand reads; the
-    final line store is an asynchronous put). *)
-let run ?sched sys (cg : Swarch.Core_group.t) ~(copies : copy option array)
-    (res : K.result) =
+(** [run ?sched ?dead sys cg ~copies res] folds every copy into
+    [res.force], charging the reducing CPEs for mark tests, line
+    fetches, adds and the final line store.  With [sched], each line's
+    work is recorded on its owner CPE (line fetches are blocking demand
+    reads; the final line store is an asynchronous put).  Lines owned
+    by a [dead] CPE are re-striped over the survivors (line index mod
+    the survivor count). *)
+let run ?sched ?(dead = []) sys (cg : Swarch.Core_group.t)
+    ~(copies : copy option array) (res : K.result) =
   let cfg = sys.K.cfg in
   let line_elts = K.write_line_elts in
   let n_lines = (sys.K.n_clusters + line_elts - 1) / line_elts in
   let n_cpes = Array.length cg.Swarch.Core_group.cpes in
+  let alive = K.alive_ids n_cpes dead in
+  let n_alive = Array.length alive in
   let in_task (owner : Swarch.Cpe.t) f =
     match sched with
     | Some r ->
@@ -37,7 +41,10 @@ let run ?sched sys (cg : Swarch.Core_group.t) ~(copies : copy option array)
   in
   let fetched = ref 0 in
   for line = 0 to n_lines - 1 do
-    let owner = cg.Swarch.Core_group.cpes.(line mod n_cpes) in
+    let owner =
+      if dead = [] then cg.Swarch.Core_group.cpes.(line mod n_cpes)
+      else cg.Swarch.Core_group.cpes.(alive.(line mod n_alive))
+    in
     let cost = owner.Swarch.Cpe.cost in
     in_task owner (fun () ->
     let lo_elt = line * line_elts in

@@ -15,6 +15,7 @@ type t = {
 
 (** [capture ~step ~pos ~vel ~n_atoms] snapshots a running system. *)
 let capture ~step ~pos ~vel ~n_atoms =
+  if step < 0 then invalid_arg "Checkpoint.capture: negative step";
   if Array.length pos <> 3 * n_atoms || Array.length vel <> 3 * n_atoms then
     invalid_arg "Checkpoint.capture: array sizes";
   { step; n_atoms; pos = Array.copy pos; vel = Array.copy vel }
@@ -45,16 +46,29 @@ let of_string s =
             | _ -> invalid_arg "Checkpoint.of_string: bad header")
         | _ -> invalid_arg "Checkpoint.of_string: bad header"
       in
+      (* hostile-input guards: a negative or overflowing header count
+         must fail here, not as an allocation crash (or a silent
+         truncation) further down *)
+      if step < 0 then invalid_arg "Checkpoint.of_string: negative step";
+      if n_atoms < 0 then invalid_arg "Checkpoint.of_string: negative atom count";
+      if n_atoms > Sys.max_array_length / 6 then
+        invalid_arg "Checkpoint.of_string: atom count overflows";
       let need = 6 * n_atoms in
       let values =
         List.filteri (fun i _ -> i < need) rest
         |> List.map (fun line ->
                match float_of_string_opt line with
-               | Some v -> v
+               | Some v when Float.is_finite v -> v
+               | Some _ -> invalid_arg "Checkpoint.of_string: non-finite value"
                | None -> invalid_arg "Checkpoint.of_string: bad float")
       in
       if List.length values <> need then
         invalid_arg "Checkpoint.of_string: truncated";
+      (* the serializer ends with exactly one newline: anything after
+         the 6n floats beyond that is trailing junk *)
+      (match List.filteri (fun i _ -> i >= need) rest with
+      | [] | [ "" ] -> ()
+      | _ -> invalid_arg "Checkpoint.of_string: trailing junk");
       let arr = Array.of_list values in
       {
         step;

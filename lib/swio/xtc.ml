@@ -71,8 +71,16 @@ let read_all (data : string) =
       if off + 16 > len then invalid_arg "Xtc.read_all: truncated header";
       let step = get_i32 b off in
       let n_atoms = get_i32 b (off + 4) in
-      let precision = float_of_int (get_i32 b (off + 8)) in
+      let precision_i = get_i32 b (off + 8) in
       let plen = get_i32 b (off + 12) in
+      (* hostile-input guards: a negative payload length would make the
+         offset stop advancing (an infinite loop), and a mismatched one
+         would silently mis-frame every record after it *)
+      if n_atoms < 0 then invalid_arg "Xtc.read_all: negative atom count";
+      if precision_i <= 0 then invalid_arg "Xtc.read_all: bad precision";
+      if plen < 0 || plen <> 12 * n_atoms then
+        invalid_arg "Xtc.read_all: payload size mismatch";
+      let precision = float_of_int precision_i in
       if off + 16 + plen > len then invalid_arg "Xtc.read_all: truncated payload";
       let payload = Bytes.sub b (off + 16) plen in
       go (off + 16 + plen) ({ step; n_atoms; precision; payload } :: acc)

@@ -22,7 +22,9 @@ type request = {
   bytes : int;
   demand : float;  (** bus seconds at full Table-2 rate *)
   mutable remaining : float;  (** demand not yet served *)
-  issued_at : float;
+  mutable issued_at : float;  (** reset on each retry admission *)
+  mutable attempt : int;  (** service attempts so far *)
+  mutable fault : int;  (** pending injection id, [-1] if none *)
   on_complete : float -> unit;
 }
 
@@ -30,6 +32,8 @@ type t = {
   sim : Sim.t;
   channels : float;  (** concurrent full-rate streams the bus sustains *)
   slots : int;  (** bounded in-flight transfers *)
+  faults : Swfault.Injector.t option;
+  on_fault : string -> id:int -> t:float -> dur:float -> unit;
   mutable active : request list;  (** in service, issue order *)
   backlog : request Queue.t;  (** waiting for a slot *)
   mutable last_update : float;
@@ -42,12 +46,19 @@ type t = {
   mutable contended_s : float;  (** busy time with the bus saturated *)
   mutable queue_wait_s : float;  (** total backlog + slowdown waiting *)
   mutable peak_in_flight : int;
+  mutable retries : int;  (** transfer errors retried after backoff *)
 }
 
-(** [create ?channels ?slots sim cfg] is an idle engine.  [channels]
-    defaults to [cfg.dma_channels] (so an uncontended schedule
-    reproduces the analytic bus model); [slots] defaults to 4. *)
-let create ?channels ?(slots = 4) sim (cfg : Swarch.Config.t) =
+(** [create ?channels ?slots ?faults ?on_fault sim cfg] is an idle
+    engine.  [channels] defaults to [cfg.dma_channels] (so an
+    uncontended schedule reproduces the analytic bus model); [slots]
+    defaults to 4.  With [faults], each completed service round may be
+    struck by a transfer error and re-enter the queue after an
+    exponential backoff; [on_fault name ~id ~t ~dur] reports each
+    injection/retry/recovery so the replay can put it on the fault
+    track. *)
+let create ?channels ?(slots = 4) ?faults
+    ?(on_fault = fun _ ~id:_ ~t:_ ~dur:_ -> ()) sim (cfg : Swarch.Config.t) =
   let channels =
     match channels with Some c -> c | None -> cfg.Swarch.Config.dma_channels
   in
@@ -57,6 +68,8 @@ let create ?channels ?(slots = 4) sim (cfg : Swarch.Config.t) =
     sim;
     channels;
     slots;
+    faults;
+    on_fault;
     active = [];
     backlog = Queue.create ();
     last_update = 0.0;
@@ -68,6 +81,7 @@ let create ?channels ?(slots = 4) sim (cfg : Swarch.Config.t) =
     contended_s = 0.0;
     queue_wait_s = 0.0;
     peak_in_flight = 0;
+    retries = 0;
   }
 
 (** [in_flight t] is the number of transfers currently in service. *)
@@ -114,6 +128,10 @@ and complete t =
     List.partition (fun q -> q.remaining <= eps_of q) t.active
   in
   t.active <- rest;
+  (* a completed service round may have been struck by a transfer
+     error: failed rounds re-enter the queue after a backoff and only
+     clean completions fire their callback *)
+  let ok = List.filter (fun q -> not (maybe_retry t q)) done_ in
   (* freed slots go to the backlog first (FIFO fairness): requests
      issued from completion callbacks queue behind earlier arrivals *)
   while List.length t.active < t.slots && not (Queue.is_empty t.backlog) do
@@ -124,9 +142,64 @@ and complete t =
   let now = Sim.now t.sim in
   List.iter
     (fun q ->
+      (match t.faults with
+      | Some inj when q.fault >= 0 ->
+          (* the backed-off retry served the full demand: the pending
+             injection is recovered *)
+          t.on_fault "recover:dma-retry" ~id:q.fault ~t:now ~dur:0.0;
+          Swfault.Injector.note_recovered inj;
+          q.fault <- -1
+      | _ -> ());
       t.queue_wait_s <- t.queue_wait_s +. (now -. q.issued_at -. q.demand);
       q.on_complete now)
-    done_
+    ok
+
+(* Transfer error on this service round?  If a previous error was
+   pending, this round *was* its retry and did complete the bus work —
+   close it as recovered before opening the new injection.  The retry
+   re-enters the queue with its demand reset after an exponential
+   backoff; exhausting [dma_max_retries] is unrecoverable. *)
+and maybe_retry t q =
+  match t.faults with
+  | None -> false
+  | Some inj ->
+      if not (Swfault.Injector.dma_error inj ~id:q.id ~attempt:q.attempt) then
+        false
+      else begin
+        let now = Sim.now t.sim in
+        if q.fault >= 0 then begin
+          t.on_fault "recover:dma-retry" ~id:q.fault ~t:now ~dur:0.0;
+          Swfault.Injector.note_recovered inj;
+          q.fault <- -1
+        end;
+        if q.attempt + 1 >= Swfault.Injector.dma_max_retries inj then
+          Swfault.Error.fault ~phase:"dma"
+            (Printf.sprintf
+               "transfer %d (%d bytes): error persisted through %d attempts"
+               q.id q.bytes (q.attempt + 1));
+        let id = Swfault.Injector.fresh inj in
+        let backoff = Swfault.Injector.dma_backoff inj ~attempt:q.attempt in
+        t.on_fault "inject:dma-error" ~id ~t:now ~dur:0.0;
+        t.on_fault "retry:dma-backoff" ~id ~t:now ~dur:backoff;
+        q.fault <- id;
+        q.attempt <- q.attempt + 1;
+        q.remaining <- q.demand;
+        t.retries <- t.retries + 1;
+        Sim.schedule t.sim ~at:(now +. backoff) (fun () -> readmit t q);
+        true
+      end
+
+(* re-admit a backed-off retry: same slot/backlog discipline as a
+   fresh issue, with the wait clock restarted *)
+and readmit t q =
+  advance t;
+  q.issued_at <- Sim.now t.sim;
+  if List.length t.active < t.slots then begin
+    t.active <- t.active @ [ q ];
+    t.peak_in_flight <- max t.peak_in_flight (List.length t.active)
+  end
+  else Queue.push q t.backlog;
+  reschedule t
 
 (** [issue t ~bytes ~demand ~on_complete] submits one transfer at the
     current instant; [on_complete] fires with the simulated completion
@@ -143,6 +216,8 @@ let issue t ~bytes ~demand ~on_complete =
       demand;
       remaining = demand;
       issued_at = Sim.now t.sim;
+      attempt = 0;
+      fault = -1;
       on_complete;
     }
   in
@@ -170,3 +245,4 @@ let busy_seconds t = t.busy_s
 let contended_seconds t = t.contended_s
 let queue_wait_seconds t = t.queue_wait_s
 let peak_in_flight t = t.peak_in_flight
+let retries t = t.retries

@@ -18,24 +18,37 @@
     [total demand / channels], i.e. never below
     {!Swarch.Core_group.elapsed_overlapped}'s ideal. *)
 
-type span = { track : int; name : string; cat : string; t : float; dur : float }
+type span = {
+  track : int;
+  name : string;
+  cat : string;
+  t : float;
+  dur : float;
+  args : (string * float) list;
+}
 
 type result = {
   elapsed : float;  (** end of the last phase, seconds of simulated time *)
   phase_ends : (string * float) list;
-  spans : span list;  (** timeline spans; [track = -1] is the MPE *)
+  spans : span list;
+      (** timeline spans; [track = -1] is the MPE, [-2] the fault track *)
   dma_requests : int;
   dma_bytes : float;
   bus_busy_s : float;
   bus_contended_s : float;
   queue_wait_s : float;
   peak_in_flight : int;
+  dma_retries : int;  (** injected transfer errors retried after backoff *)
   events : int;  (** events processed; determinism tests compare it *)
 }
 
-(* one CPE task replayed as a little event-driven machine *)
-let run_task sim eng emit ~start ~depth ~track (items : Recorder.item array)
-    ~on_done =
+(* one CPE task replayed as a little event-driven machine.  [slow]
+   scales recorded compute (an injected CPE slowdown); [stall] delays
+   the task's compute once at its start.  The healthy values (1.0, 0.0)
+   leave the replay bit-identical: [d *. 1.0 = d] and the stall branch
+   is not taken. *)
+let run_task sim eng emit ~start ~depth ~track ~slow ~stall
+    (items : Recorder.item array) ~on_done =
   let n = Array.length items in
   if n = 0 then on_done start
   else begin
@@ -43,7 +56,7 @@ let run_task sim eng emit ~start ~depth ~track (items : Recorder.item array)
     let pre_pending = Array.make n max_int (* max_int = not yet issued *) in
     let next_prefetch = ref 0 in
     let body_done = ref 0 in
-    let cursor = ref start in
+    let cursor = ref (if stall > 0.0 then start +. stall else start) in
     let outstanding = ref 0 in
     let put_end = ref start in
     let finished = ref false in
@@ -100,7 +113,7 @@ let run_task sim eng emit ~start ~depth ~track (items : Recorder.item array)
       match ops with
       | [] -> k ()
       | Recorder.Work d :: rest ->
-          cursor := !cursor +. d;
+          cursor := !cursor +. (d *. slow);
           run_ops rest k
       | Recorder.Get { bytes; demand; sync = _ } :: rest
       | Recorder.Put { bytes; demand; sync = true } :: rest ->
@@ -125,16 +138,31 @@ let run_task sim eng emit ~start ~depth ~track (items : Recorder.item array)
     Sim.schedule sim ~at:start advance
   end
 
-(** [run ?channels ?slots ?buffers cfg recorder] replays the recorded
-    program.  [channels] and [slots] parameterise the DMA engine (see
-    {!Dma_engine.create}); [buffers], when given, overrides the
-    pipeline depth every task recorded. *)
-let run ?channels ?slots ?buffers cfg recorder =
+(** [run ?channels ?slots ?buffers ?faults cfg recorder] replays the
+    recorded program.  [channels] and [slots] parameterise the DMA
+    engine (see {!Dma_engine.create}); [buffers], when given, overrides
+    the pipeline depth every task recorded.  With [faults], DMA
+    transfer errors re-enter the engine queue after backoff (the
+    retries appear as fault-track spans), and injected CPE
+    slowdowns/stalls scale the recorded compute of the affected
+    tracks. *)
+let run ?channels ?slots ?buffers ?faults cfg recorder =
   let sim = Sim.create () in
-  let eng = Dma_engine.create ?channels ?slots sim cfg in
   let spans = ref [] in
+  let on_fault name ~id ~t ~dur =
+    spans :=
+      { track = -2; name; cat = "fault"; t; dur; args = [ ("id", float_of_int id) ] }
+      :: !spans
+  in
+  let eng = Dma_engine.create ?channels ?slots ?faults ~on_fault sim cfg in
   let emit track name t dur =
-    spans := { track; name; cat = "sched"; t; dur } :: !spans
+    spans := { track; name; cat = "sched"; t; dur; args = [] } :: !spans
+  in
+  let degradation id =
+    match faults with
+    | None -> (1.0, 0.0)
+    | Some inj ->
+        (Swfault.Injector.cpe_slowdown inj id, Swfault.Injector.cpe_stall inj id)
   in
   let phase_ends = ref [] in
   let t_phase = ref 0.0 in
@@ -147,7 +175,8 @@ let run ?channels ?slots ?buffers cfg recorder =
           let depth =
             match buffers with Some b -> max 1 b | None -> task.buffers
           in
-          run_task sim eng emit ~start ~depth ~track:task.id
+          let slow, stall = degradation task.id in
+          run_task sim eng emit ~start ~depth ~track:task.id ~slow ~stall
             (Array.of_list task.items) ~on_done:(fun tend ->
               phase_end := Float.max !phase_end tend))
         ph.tasks;
@@ -168,5 +197,6 @@ let run ?channels ?slots ?buffers cfg recorder =
     bus_contended_s = Dma_engine.contended_seconds eng;
     queue_wait_s = Dma_engine.queue_wait_seconds eng;
     peak_in_flight = Dma_engine.peak_in_flight eng;
+    dma_retries = Dma_engine.retries eng;
     events = Sim.processed sim;
   }

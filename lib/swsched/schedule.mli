@@ -2,11 +2,14 @@
     recorded program against the contended DMA engine. *)
 
 type span = {
-  track : int;  (** CPE id, or [-1] for the MPE-level phase spans *)
+  track : int;
+      (** CPE id, [-1] for the MPE-level phase spans, [-2] for the
+          fault track *)
   name : string;
-  cat : string;  (** always ["sched"] *)
+  cat : string;  (** ["sched"], or ["fault"] for injection events *)
   t : float;  (** start, seconds of simulated time from the replay origin *)
   dur : float;
+  args : (string * float) list;  (** numeric payload (fault ids) *)
 }
 
 type result = {
@@ -19,18 +22,23 @@ type result = {
   bus_contended_s : float;  (** busy time with the bus saturated *)
   queue_wait_s : float;
   peak_in_flight : int;
+  dma_retries : int;  (** injected transfer errors retried after backoff *)
   events : int;  (** events processed; determinism tests compare it *)
 }
 
-(** [run ?channels ?slots ?buffers cfg recorder] replays the recorded
-    program.  [channels] and [slots] parameterise the DMA engine (see
-    {!Dma_engine.create}); [buffers], when given, overrides the
-    pipeline depth every task recorded.  Replaying the same recording
-    with the same parameters yields a bit-identical [result]. *)
+(** [run ?channels ?slots ?buffers ?faults cfg recorder] replays the
+    recorded program.  [channels] and [slots] parameterise the DMA
+    engine (see {!Dma_engine.create}); [buffers], when given, overrides
+    the pipeline depth every task recorded.  With [faults], injected
+    DMA errors retry through the engine queue after exponential backoff
+    and CPE slowdowns/stalls scale the affected tracks' compute.
+    Replaying the same recording with the same parameters (and the same
+    fault seed) yields a bit-identical [result]. *)
 val run :
   ?channels:float ->
   ?slots:int ->
   ?buffers:int ->
+  ?faults:Swfault.Injector.t ->
   Swarch.Config.t ->
   Recorder.t ->
   result

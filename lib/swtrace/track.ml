@@ -10,12 +10,13 @@ type t =
   | Mpe  (** the management processing element *)
   | Cpe of int  (** compute element [0..63] of the core group *)
   | Net  (** the interconnect: halo, PME transpose, collectives *)
+  | Fault  (** fault injections and recoveries (swfault) *)
 
 (** Number of CPE tracks; matches the SW26010 core-group geometry. *)
 let cpe_tracks = 64
 
 (** Total number of tracks. *)
-let count = cpe_tracks + 2
+let count = cpe_tracks + 3
 
 (** [index t] is the dense track index, also used as the trace tid:
     MPE first, then the CPE mesh, the network last. *)
@@ -26,12 +27,14 @@ let index = function
         invalid_arg "Track.index: CPE id out of range";
       1 + i
   | Net -> cpe_tracks + 1
+  | Fault -> cpe_tracks + 2
 
 (** [of_index i] inverts {!index}. *)
 let of_index = function
   | 0 -> Mpe
   | i when i >= 1 && i <= cpe_tracks -> Cpe (i - 1)
   | i when i = cpe_tracks + 1 -> Net
+  | i when i = cpe_tracks + 2 -> Fault
   | _ -> invalid_arg "Track.of_index"
 
 (** [name t] is the human-readable lane label shown by trace viewers. *)
@@ -39,5 +42,6 @@ let name = function
   | Mpe -> "MPE"
   | Cpe i -> Printf.sprintf "CPE %02d" i
   | Net -> "network"
+  | Fault -> "fault"
 
 let pp ppf t = Fmt.string ppf (name t)

@@ -81,6 +81,7 @@ let params ?(transport = Network.Rdma) ?(ranks = 64) () =
     box_edge = 26.7;
     pme_grid = 224;
     compute_time = 1e-3;
+    faults = None;
   }
 
 let test_step_comm_single_rank_zero () =
@@ -166,6 +167,7 @@ let prop_comm_grows_with_ranks =
                box_edge = 20.0;
                pme_grid = 128;
                compute_time = 0.0;
+               faults = None;
              })
       in
       (* halo per rank shrinks but collectives grow; the total

@@ -118,6 +118,132 @@ let test_io_model_fast_wins () =
     true
     (slow /. fast > 5.0)
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint: hostile input.  The parser must reject every corruption
+   with Invalid_argument — never crash, loop, or silently truncate. *)
+
+let sample_checkpoint () =
+  let n = 4 in
+  let pos = Array.init (3 * n) (fun i -> 0.1 *. float_of_int (i + 1)) in
+  let vel = Array.init (3 * n) (fun i -> -0.01 *. float_of_int (i + 1)) in
+  Checkpoint.capture ~step:10 ~pos ~vel ~n_atoms:n
+
+let rejects name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: hostile input accepted" name
+  | exception Invalid_argument _ -> ()
+
+let test_checkpoint_truncation_fuzz () =
+  let ck = sample_checkpoint () in
+  let good = Checkpoint.to_string ck in
+  let full = Checkpoint.of_string good in
+  Alcotest.(check bool) "round-trip exact" true (full = ck);
+  (* a prefix cut at any byte must be rejected, with one inherent
+     exception: a cut inside the very last float line still parses
+     (a shortened hex literal is itself valid and the value count
+     still matches) — there the damage is confined to that one value *)
+  let last_line_start = String.rindex_from good (String.length good - 2) '\n' in
+  for k = 0 to String.length good - 1 do
+    match Checkpoint.of_string (String.sub good 0 k) with
+    | parsed ->
+        if k <= last_line_start then
+          Alcotest.failf "truncation at byte %d accepted" k;
+        Alcotest.(check int) "step survives" ck.Checkpoint.step
+          parsed.Checkpoint.step;
+        Alcotest.(check bool) "positions survive" true
+          (parsed.Checkpoint.pos = ck.Checkpoint.pos);
+        Array.iteri
+          (fun i v ->
+            if i < Array.length parsed.Checkpoint.vel - 1
+               && v <> ck.Checkpoint.vel.(i)
+            then Alcotest.failf "cut at %d corrupted velocity %d" k i)
+          parsed.Checkpoint.vel
+    | exception Invalid_argument _ -> ()
+  done
+
+let test_checkpoint_hostile_headers () =
+  let body = String.concat "" (List.init 6 (fun _ -> "0x1p0\n")) in
+  let with_header h = "swgmx-checkpoint 1\n" ^ h ^ "\n" ^ body in
+  rejects "negative step" (fun () -> Checkpoint.of_string (with_header "-1 1"));
+  rejects "negative atoms" (fun () -> Checkpoint.of_string (with_header "10 -1"));
+  (* an overflowing count must fail the guard, not the allocator *)
+  rejects "overflowing atoms" (fun () ->
+      Checkpoint.of_string (with_header "10 4611686018427387903"));
+  rejects "non-numeric header" (fun () ->
+      Checkpoint.of_string (with_header "ten 1"));
+  rejects "missing field" (fun () -> Checkpoint.of_string (with_header "10"));
+  rejects "bad magic" (fun () ->
+      Checkpoint.of_string ("swgmx-checkpoint 9\n10 1\n" ^ body));
+  rejects "empty input" (fun () -> Checkpoint.of_string "")
+
+let test_checkpoint_hostile_values () =
+  let ck = sample_checkpoint () in
+  let good = Checkpoint.to_string ck in
+  let lines = String.split_on_char '\n' good in
+  let patch i v =
+    String.concat "\n" (List.mapi (fun j l -> if j = i then v else l) lines)
+  in
+  (* corrupt each float line in turn with every class of bad value *)
+  List.iter
+    (fun bad ->
+      for i = 2 to 2 + (6 * 4) - 1 do
+        rejects
+          (Printf.sprintf "line %d <- %S" i bad)
+          (fun () -> Checkpoint.of_string (patch i bad))
+      done)
+    [ "nan"; "inf"; "-inf"; "junk"; "" ];
+  (* junk appended after the exact payload *)
+  rejects "trailing junk" (fun () -> Checkpoint.of_string (good ^ "junk\n"));
+  rejects "trailing float" (fun () -> Checkpoint.of_string (good ^ "0x1p0\n"))
+
+(* ------------------------------------------------------------------ *)
+(* Xtc: hostile input *)
+
+let xtc_stream () =
+  let n = 3 in
+  let pos = Array.init (3 * n) (fun i -> 0.25 *. float_of_int i) in
+  let sink = Buffer.create 256 in
+  let w = Buffered_writer.create (Buffered_writer.To_buffer sink) in
+  Xtc.write w (Xtc.encode ~step:1 ~precision:1000.0 pos ~n);
+  Xtc.write w (Xtc.encode ~step:2 ~precision:1000.0 pos ~n);
+  Buffered_writer.flush w;
+  Buffer.contents sink
+
+let test_xtc_truncation_fuzz () =
+  let data = xtc_stream () in
+  let frames = Xtc.read_all data in
+  Alcotest.(check int) "both frames parse" 2 (List.length frames);
+  let frame_bytes = String.length data / 2 in
+  (* cutting at any byte either rejects or yields exactly the frames
+     that fit whole *)
+  for k = 0 to String.length data - 1 do
+    match Xtc.read_all (String.sub data 0 k) with
+    | parsed ->
+        if not ((k = 0 && parsed = []) || (k = frame_bytes && List.length parsed = 1))
+        then Alcotest.failf "truncation at byte %d accepted %d frame(s)" k
+            (List.length parsed)
+    | exception Invalid_argument _ -> ()
+  done
+
+let put_i32 s off v =
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff));
+  Bytes.to_string b
+
+let test_xtc_hostile_headers () =
+  let data = xtc_stream () in
+  (* negative payload length used to freeze the reader (offset never
+     advanced); now every header corruption must be rejected *)
+  rejects "negative plen" (fun () -> Xtc.read_all (put_i32 data 12 (-1)));
+  rejects "negative atoms" (fun () -> Xtc.read_all (put_i32 data 4 (-3)));
+  rejects "zero precision" (fun () -> Xtc.read_all (put_i32 data 8 0));
+  rejects "negative precision" (fun () -> Xtc.read_all (put_i32 data 8 (-1000)));
+  rejects "plen/atoms mismatch" (fun () -> Xtc.read_all (put_i32 data 12 24));
+  rejects "huge plen" (fun () -> Xtc.read_all (put_i32 data 12 0x7fffffff))
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest [ prop_format_matches_printf; prop_format_roundtrip ]
 
@@ -141,6 +267,19 @@ let suites =
       [
         Alcotest.test_case "fast = standard output" `Quick test_trajectory_paths_agree;
         Alcotest.test_case "cost model favours fast path" `Quick test_io_model_fast_wins;
+      ] );
+    ( "swio.hostile_input",
+      [
+        Alcotest.test_case "checkpoint: truncation fuzz" `Quick
+          test_checkpoint_truncation_fuzz;
+        Alcotest.test_case "checkpoint: hostile headers" `Quick
+          test_checkpoint_hostile_headers;
+        Alcotest.test_case "checkpoint: hostile values" `Quick
+          test_checkpoint_hostile_values;
+        Alcotest.test_case "xtc: truncation fuzz" `Quick
+          test_xtc_truncation_fuzz;
+        Alcotest.test_case "xtc: hostile headers" `Quick
+          test_xtc_hostile_headers;
       ] );
     ("swio.properties", qsuite);
   ]
