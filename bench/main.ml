@@ -33,15 +33,19 @@ let tests =
     (* Table 1 / Figure 10: pricing one full MD step *)
     Test.make ~name:"table1/fig10: Engine.measure V_ori"
       (Staged.stage (fun () ->
-           ignore (E.measure ~version:E.V_ori ~total_atoms:3000 ~n_cg:1 ())));
+           ignore
+             (E.measure ~cfg:(Swbench.Common.cfg ()) ~version:E.V_ori
+                ~total_atoms:3000 ~n_cg:1 ())));
     Test.make ~name:"table1/fig10: Engine.measure V_other"
       (Staged.stage (fun () ->
-           ignore (E.measure ~version:E.V_other ~total_atoms:3000 ~n_cg:4 ())));
+           ignore
+             (E.measure ~cfg:(Swbench.Common.cfg ()) ~version:E.V_other
+                ~total_atoms:3000 ~n_cg:4 ())));
     (* Table 2: the DMA bandwidth model *)
     Test.make ~name:"table2: Dma.bandwidth sweep"
       (Staged.stage (fun () ->
            for s = 1 to 4096 do
-             ignore (Swarch.Dma.bandwidth Swarch.Config.default s)
+             ignore (Swarch.Dma.bandwidth (Swbench.Common.cfg ()) s)
            done));
     (* Table 3/4 are static tables: benchmark their rendering *)
     Test.make ~name:"table3+4: render"
@@ -63,7 +67,7 @@ let tests =
     Test.make ~name:"fig10: Nsearch_cpe two-way (6k)"
       (Staged.stage (fun () ->
            let p = Lazy.force prep6k in
-           let cg = Swarch.Core_group.create Swbench.Common.cfg in
+           let cg = Swarch.Core_group.create (Swbench.Common.cfg ()) in
            ignore
              (Swgmx.Nsearch_cpe.run p.Swbench.Common.sys cg
                 ~kind:Swgmx.Nsearch_cpe.Two_way ~rlist:p.Swbench.Common.rcut)));
@@ -85,7 +89,9 @@ let tests =
     (* Figure 13: a few steps of mixed-precision dynamics *)
     Test.make ~name:"fig13: Engine.simulate 5 steps"
       (Staged.stage (fun () ->
-           ignore (E.simulate ~molecules:16 ~seed:5 ~steps:5 ~sample_every:5 ())));
+           ignore
+             (E.simulate ~cfg:(Swbench.Common.cfg ()) ~molecules:16 ~seed:5
+                ~steps:5 ~sample_every:5 ())));
     (* Section 3.7: the two I/O paths *)
     Test.make ~name:"io: fast formatter (1k floats)"
       (Staged.stage (fun () ->
@@ -153,7 +159,7 @@ let print_benchmarks rows =
    bound (all from one recorded run) *)
 let simulated_figures () =
   let p = Lazy.force prep3k in
-  let cfg = Swbench.Common.cfg in
+  let cfg = (Swbench.Common.cfg ()) in
   let cg = Swarch.Core_group.create cfg in
   Swarch.Core_group.reset cg;
   let recorder = Swsched.Recorder.create cfg in
@@ -181,7 +187,8 @@ let simulated_figures () =
   in
   let f5 = faulty 0.05 and f10 = faulty 0.1 in
   let ckpt_s =
-    2.0 *. Swio.Io_model.frame_time ~path:Swio.Io_model.Fast ~n_atoms:3000
+    Swfault.Recovery.checkpoint_cost cfg
+      ~frame_s:(Swio.Io_model.frame_time ~path:Swio.Io_model.Fast ~n_atoms:3000)
   in
   let opt_interval =
     Swfault.Recovery.optimal_interval ~fault_rate:1e-3
@@ -213,6 +220,7 @@ let write_json path rows =
   let doc =
     J.Obj
       [
+        ("platform", J.Str (Swbench.Common.cfg ()).Swarch.Config.name);
         ( "benchmarks",
           J.Arr
             (List.map
@@ -235,7 +243,7 @@ let write_json path rows =
   close_out oc;
   Fmt.pr "wrote %s@." path
 
-(* minimal argv handling: [--json FILE] is the only flag *)
+(* minimal argv handling: [--json FILE] and [--platform NAME] *)
 let json_path () =
   let rec scan = function
     | "--json" :: path :: _ -> Some path
@@ -247,8 +255,27 @@ let json_path () =
   in
   scan (List.tl (Array.to_list Sys.argv))
 
+let platform_name () =
+  let rec scan = function
+    | "--platform" :: name :: _ -> Some name
+    | "--platform" :: [] ->
+        prerr_endline "bench: --platform requires a platform name";
+        exit 2
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (List.tl (Array.to_list Sys.argv))
+
 let () =
+  (match platform_name () with
+  | Some name -> (
+      try Swbench.Common.set_platform (Swarch.Platform.resolve name)
+      with Invalid_argument msg ->
+        prerr_endline ("bench: " ^ msg);
+        exit 2)
+  | None -> ());
   let json = json_path () in
+  Fmt.pr "platform: %a@." Swarch.Platform.pp (Swbench.Common.cfg ());
   Fmt.pr "=== bechamel micro-benchmarks (one per table/figure) ===@.";
   let rows = run_benchmarks () in
   print_benchmarks rows;

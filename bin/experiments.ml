@@ -14,12 +14,17 @@ let run_one ~quick (e : Swbench.Registry.experiment) =
   Fmt.pr "[%s finished in %.1f s wall]@." e.Swbench.Registry.id
     (Unix.gettimeofday () -. t0)
 
-let main list_only quick trace_file trace_summary ids =
+let main list_only quick platform_name trace_file trace_summary ids =
   if list_only then begin
     List.iter print_endline (Swbench.Registry.ids ());
     0
   end
   else begin
+    (try Swbench.Common.set_platform (Swarch.Platform.resolve platform_name)
+     with Invalid_argument msg ->
+       Fmt.epr "experiments: %s@." msg;
+       exit 2);
+    Fmt.pr "platform: %a@." Swarch.Platform.pp (Swbench.Common.cfg ());
     let tracing = trace_file <> None || trace_summary in
     if tracing then Swtrace.Trace.enable ();
     let selected =
@@ -47,7 +52,14 @@ let main list_only quick trace_file trace_summary ids =
             Fmt.epr "experiments: cannot write trace: %s@." msg;
             exit 1)
       | None -> ());
-      if trace_summary then Swtrace.Summary.print Fmt.stdout events;
+      (if trace_summary then
+         let cfg = Swbench.Common.cfg () in
+         Swtrace.Summary.print
+           ~platform:
+             (Printf.sprintf "%s (%s), %d-lane SIMD"
+                cfg.Swarch.Config.display cfg.Swarch.Config.name
+                cfg.Swarch.Config.simd_lanes)
+           Fmt.stdout events);
       Swtrace.Trace.disable ()
     end;
     0
@@ -63,6 +75,15 @@ let quick_flag =
     value & flag
     & info [ "quick" ]
         ~doc:"Run shrunken workloads (8x smaller); shapes are preserved.")
+
+let platform =
+  Arg.(
+    value
+    & opt string Swarch.Platform.default.Swarch.Platform.name
+    & info [ "platform" ] ~docv:"NAME"
+        ~doc:
+          "Machine description the experiments run against: a built-in \
+           platform name or a key=value platform file.")
 
 let trace_file =
   Arg.(
@@ -85,7 +106,7 @@ let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc)
     Term.(
-      const main $ list_flag $ quick_flag $ trace_file $ trace_summary
-      $ ids_arg)
+      const main $ list_flag $ quick_flag $ platform $ trace_file
+      $ trace_summary $ ids_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -15,9 +15,9 @@ let peak_flops (cfg : Swarch.Config.t) =
   *. float_of_int cfg.Swarch.Config.simd_lanes
   *. cfg.Swarch.Config.cpe_freq_hz
 
-let main particles steps variant_name dt temp seed pipelined overlap write_traj
-    trace_file trace_summary checkpoint_every checkpoint_file restart_file
-    faults_spec fault_seed =
+let main particles steps variant_name platform_name dt temp seed pipelined
+    overlap write_traj trace_file trace_summary checkpoint_every
+    checkpoint_file restart_file faults_spec fault_seed =
   let variant =
     match Swgmx.Variant.of_string variant_name with
     | Some v -> v
@@ -26,12 +26,16 @@ let main particles steps variant_name dt temp seed pipelined overlap write_traj
           variant_name;
         exit 2
   in
-  let cfg = Swarch.Config.default in
-  (* validate the machine description once at the boundary *)
-  (try Swarch.Config.validate cfg
-   with Invalid_argument msg ->
-     Fmt.epr "sw_gromacs: invalid machine config: %s@." msg;
-     exit 2);
+  (* resolve and validate the machine description once at the boundary *)
+  let cfg =
+    try
+      let p = Swarch.Platform.resolve platform_name in
+      Swarch.Platform.validate p;
+      p
+    with Invalid_argument msg ->
+      Fmt.epr "sw_gromacs: %s@." msg;
+      exit 2
+  in
   let fault_plan =
     try Swfault.Plan.of_string faults_spec
     with Invalid_argument msg ->
@@ -64,6 +68,7 @@ let main particles steps variant_name dt temp seed pipelined overlap write_traj
   Fmt.pr "sw_gromacs: %d water molecules (%d atoms), %d steps, kernel %s%s@."
     molecules (3 * molecules) steps (Swgmx.Variant.name variant)
     (if pipelined then " (pipelined)" else "");
+  Fmt.pr "platform: %a@." Swarch.Platform.pp cfg;
   (match faults with
   | Some inj ->
       Fmt.pr "fault plan (seed %d): %a@." fault_seed Swfault.Plan.pp
@@ -73,7 +78,7 @@ let main particles steps variant_name dt temp seed pipelined overlap write_traj
   let sample_every = max 1 (steps / 10) in
   let samples, st =
     if not protected then
-      Swgmx.Engine.simulate_state ~variant ~dt ~temp ~pipelined ~molecules
+      Swgmx.Engine.simulate_state ~cfg ~variant ~dt ~temp ~pipelined ~molecules
         ~seed ~steps ~sample_every ()
     else begin
       (* protected run: the recovery loop checkpoints on the pair-list
@@ -89,9 +94,9 @@ let main particles steps variant_name dt temp seed pipelined overlap write_traj
         if checkpoint_every <> None then Some write_ck else None
       in
       let samples, st, rstats =
-        Swgmx.Engine.simulate_protected ~variant ~dt ~temp ~pipelined ?faults
-          ?checkpoint_every ?restart ?on_checkpoint ~molecules ~seed ~steps
-          ~sample_every ()
+        Swgmx.Engine.simulate_protected ~cfg ~variant ~dt ~temp ~pipelined
+          ?faults ?checkpoint_every ?restart ?on_checkpoint ~molecules ~seed
+          ~steps ~sample_every ()
       in
       Fmt.pr "recovery: %a@." Swfault.Recovery.pp_stats rstats;
       (match faults with
@@ -114,8 +119,8 @@ let main particles steps variant_name dt temp seed pipelined overlap write_traj
      few core groups so communication shows up on the trace *)
   if tracing then
     ignore
-      (Swgmx.Engine.trace_steps ~version:Swgmx.Engine.V_other ~pipelined ~plan
-         ?faults ~total_atoms:(3 * molecules) ~n_cg:8 ~steps ());
+      (Swgmx.Engine.trace_steps ~cfg ~version:Swgmx.Engine.V_other ~pipelined
+         ~plan ?faults ~total_atoms:(3 * molecules) ~n_cg:8 ~steps ());
   (if overlap then begin
      (* price the decomposed step both ways and show what overlapping
         communication behind compute buys on this workload *)
@@ -162,8 +167,12 @@ let main particles steps variant_name dt temp seed pipelined overlap write_traj
     | None -> ());
     if trace_summary then
       Swtrace.Summary.print
-        ~peak_flops:(peak_flops Swarch.Config.default)
-        ~peak_bw:(Swarch.Config.peak_dma_bw Swarch.Config.default)
+        ~platform:
+          (Printf.sprintf "%s (%s), %d-lane SIMD"
+             cfg.Swarch.Config.display cfg.Swarch.Config.name
+             cfg.Swarch.Config.simd_lanes)
+        ~peak_flops:(peak_flops cfg)
+        ~peak_bw:(Swarch.Config.peak_dma_bw cfg)
         Fmt.stdout events;
     Swtrace.Trace.disable ()
   end;
@@ -181,6 +190,16 @@ let variant =
   Arg.(
     value & opt string "mark"
     & info [ "k"; "kernel" ] ~doc:"Short-range kernel variant.")
+
+let platform =
+  Arg.(
+    value
+    & opt string Swarch.Platform.default.Swarch.Platform.name
+    & info [ "platform" ] ~docv:"NAME"
+        ~doc:
+          "Machine description to simulate: a built-in platform name \
+           ($(b,sw26010), $(b,sw26010_pro)) or the path of a key=value \
+           platform file (see docs/PLATFORMS.md).")
 
 let dt = Arg.(value & opt float 0.001 & info [ "dt" ] ~doc:"Time step (ps).")
 let temp = Arg.(value & opt float 300.0 & info [ "t"; "temp" ] ~doc:"Temperature (K).")
@@ -268,8 +287,8 @@ let cmd =
   Cmd.v
     (Cmd.info "sw_gromacs" ~doc)
     Term.(
-      const main $ particles $ steps $ variant $ dt $ temp $ seed $ pipelined
-      $ overlap $ traj $ trace_file $ trace_summary $ checkpoint_every
-      $ checkpoint_file $ restart $ faults $ fault_seed)
+      const main $ particles $ steps $ variant $ platform $ dt $ temp $ seed
+      $ pipelined $ overlap $ traj $ trace_file $ trace_summary
+      $ checkpoint_every $ checkpoint_file $ restart $ faults $ fault_seed)
 
 let () = exit (Cmd.eval' cmd)

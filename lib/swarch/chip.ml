@@ -1,30 +1,29 @@
-(** One SW26010 chip: four core groups on a network-on-chip.
+(** One Sunway chip: several core groups on a network-on-chip.
 
     TaihuLight assigns one MPI rank per core group, so multi-CG runs
     are modelled by the communication library ({!Swcomm} in the
     repository); the chip abstraction mainly provides topology facts
-    used by the scaling experiments. *)
+    used by the scaling experiments.  The core-group count comes from
+    the platform record (4 on the SW26010, 6 on the SW26010-Pro). *)
 
 type t = { cfg : Config.t; groups : Core_group.t array }
 
-(** Number of core groups per chip. *)
-let groups_per_chip = 4
+(** [groups_per_chip cfg] is the number of core groups per chip. *)
+let groups_per_chip (cfg : Config.t) = cfg.cg_per_chip
 
-(** [create cfg] is a chip with four fresh core groups. *)
-let create cfg =
-  { cfg; groups = Array.init groups_per_chip (fun _ -> Core_group.create cfg) }
+(** [create cfg] is a chip with [cfg.cg_per_chip] fresh core groups. *)
+let create (cfg : Config.t) =
+  { cfg; groups = Array.init cfg.cg_per_chip (fun _ -> Core_group.create cfg) }
 
-(** [group t i] is core group [i] (0-3). *)
+(** [group t i] is core group [i]. *)
 let group t i = t.groups.(i)
 
 (** [peak_flops cfg] is the single-precision peak of one chip in
-    flop/s: 4 CGs x (64 CPEs + 1 MPE) x 4 lanes x 2 (FMA) x clock.
-    With the default config this is the paper's 3.06 Tflops. *)
-let peak_flops (cfg : Config.t) =
-  float_of_int (groups_per_chip * (cfg.cpe_count + 1) * cfg.simd_lanes * 2)
-  *. cfg.cpe_freq_hz
+    flop/s: CGs x (CPEs + 1 MPE) x lanes x 2 (FMA) x clock.  With the
+    default platform this is the paper's 3.06 Tflops. *)
+let peak_flops (cfg : Config.t) = Platform.chip_peak_flops cfg
 
-(** [reset t] clears all four core groups. *)
+(** [reset t] clears all core groups. *)
 let reset t = Array.iter Core_group.reset t.groups
 
 (** [elapsed t] is the slowest core group's elapsed time. *)

@@ -1,21 +1,21 @@
-(** One SW26010 chip: four core groups on a network-on-chip. *)
+(** One Sunway chip: several core groups on a network-on-chip. *)
 
 type t = { cfg : Config.t; groups : Core_group.t array }
 
-(** Number of core groups per chip. *)
-val groups_per_chip : int
+(** [groups_per_chip cfg] is the number of core groups per chip. *)
+val groups_per_chip : Config.t -> int
 
-(** [create cfg] is a chip with four fresh core groups. *)
+(** [create cfg] is a chip with [cfg.cg_per_chip] fresh core groups. *)
 val create : Config.t -> t
 
-(** [group t i] is core group [i] (0-3). *)
+(** [group t i] is core group [i]. *)
 val group : t -> int -> Core_group.t
 
 (** [peak_flops cfg] is the single-precision peak of one chip in
-    flop/s (~3.06 Tflops with the default configuration). *)
+    flop/s (~3.06 Tflops with the default platform). *)
 val peak_flops : Config.t -> float
 
-(** [reset t] clears all four core groups. *)
+(** [reset t] clears all core groups. *)
 val reset : t -> unit
 
 (** [elapsed t] is the slowest core group's elapsed time. *)

@@ -1,83 +1,11 @@
-(** Architectural constants of the simulated SW26010 core group.
+(** Compatibility alias: the simulator config {e is} the platform.
 
-    All free parameters of the performance model live here, in one
-    place, so that every experiment runs against the same machine
-    description.  The default values come from the paper itself
-    (1.45 GHz clock, 64 KB LDM, the Table-2 DMA bandwidth curve) and
-    from published SW26010 micro-benchmarks (gld/gst latency). *)
+    Historically this module held the SW26010 constants; they now live
+    in {!Platform}, the first-class machine description.  [Config.t]
+    remains the type every layer threads around, so existing code
+    (field accesses, [{ Config.default with ... }] record updates)
+    keeps working unchanged — but the record now also carries chip
+    topology, analytic comparison facts and interconnect parameters,
+    and [default] is {!Platform.sw26010}. *)
 
-type t = {
-  cpe_count : int;  (** computing processing elements per core group *)
-  cpe_freq_hz : float;  (** CPE clock (Hz) *)
-  mpe_freq_hz : float;  (** MPE clock (Hz) *)
-  ldm_bytes : int;  (** scratchpad (local device memory) per CPE *)
-  simd_lanes : int;  (** 256-bit vectors = 4 single-precision lanes *)
-  cpe_flops_per_cycle : float;
-      (** scalar floating-point issue width of one CPE *)
-  mpe_flops_per_cycle : float;
-      (** effective MPE issue width; the MPE is an out-of-order core
-          with real caches, so its effective scalar throughput is
-          higher than a CPE's *)
-  dma_points : (int * float) array;
-      (** measured (transfer size in bytes, bandwidth in B/s) curve;
-          Table 2 of the paper *)
-  gld_latency_s : float;  (** latency of one global load/store *)
-  mpe_mem_bw : float;  (** MPE-side memory bandwidth (B/s) *)
-  dma_channels : float;
-      (** effective DMA concurrency: how many CPE transfers progress
-          in parallel before the shared bus saturates *)
-}
-
-(** Default machine description used by all experiments. *)
-let default =
-  {
-    cpe_count = 64;
-    cpe_freq_hz = 1.45e9;
-    mpe_freq_hz = 1.45e9;
-    ldm_bytes = 64 * 1024;
-    simd_lanes = 4;
-    cpe_flops_per_cycle = 1.0;
-    mpe_flops_per_cycle = 2.0;
-    dma_points =
-      [|
-        (8, 0.99e9); (128, 15.77e9); (256, 28.88e9); (512, 28.98e9);
-        (2048, 30.48e9);
-      |];
-    gld_latency_s = 1.2e-7;
-    mpe_mem_bw = 8.0e9;
-    dma_channels = 1.0;
-  }
-
-(** [peak_dma_bw t] is the plateau bandwidth of the DMA curve. *)
-let peak_dma_bw t =
-  let n = Array.length t.dma_points in
-  if n = 0 then 0.0 else snd t.dma_points.(n - 1)
-
-(** [validate t] checks internal consistency of a machine description
-    and raises [Invalid_argument] if a field is nonsensical. *)
-let validate t =
-  if t.cpe_count <= 0 then invalid_arg "Config: cpe_count must be positive";
-  if t.ldm_bytes <= 0 then invalid_arg "Config: ldm_bytes must be positive";
-  if t.simd_lanes <= 0 then invalid_arg "Config: simd_lanes must be positive";
-  if t.cpe_freq_hz <= 0.0 then invalid_arg "Config: cpe_freq_hz must be positive";
-  if Array.length t.dma_points = 0 then
-    invalid_arg "Config: dma_points must be non-empty";
-  let sorted = ref true in
-  Array.iteri
-    (fun i (s, bw) ->
-      if s <= 0 || bw <= 0.0 then invalid_arg "Config: bad dma point";
-      if i > 0 && fst t.dma_points.(i - 1) >= s then sorted := false)
-    t.dma_points;
-  if not !sorted then invalid_arg "Config: dma_points must be size-sorted"
-
-(** Pretty-printer for a machine description. *)
-let pp ppf t =
-  Fmt.pf ppf
-    "@[<v>SW26010 core group: %d CPEs @ %.2f GHz, LDM %d KB, %d-lane SIMD@ \
-     DMA peak %.2f GB/s, gld latency %.0f ns@]"
-    t.cpe_count
-    (t.cpe_freq_hz /. 1e9)
-    (t.ldm_bytes / 1024)
-    t.simd_lanes
-    (peak_dma_bw t /. 1e9)
-    (t.gld_latency_s *. 1e9)
+include Platform

@@ -20,6 +20,9 @@ type t = {
 (** [create cfg] is a fresh core group described by [cfg]. *)
 let create (cfg : Config.t) =
   Config.validate cfg;
+  (* Push the machine's CPE count down to the tracing layer so the
+     trace grows one lane per compute element of this platform. *)
+  Swtrace.Track.set_cpe_tracks cfg.cpe_count;
   {
     cfg;
     mpe = Mpe.create ();
@@ -44,7 +47,7 @@ let iter_cpes t f =
     Array.iter
       (fun c ->
         Swtrace.Trace.with_track
-          (Swtrace.Track.Cpe (c.Cpe.id mod Swtrace.Track.cpe_tracks))
+          (Swtrace.Track.Cpe (c.Cpe.id mod Swtrace.Track.cpe_tracks ()))
           (fun () -> f c))
       t.cpes
   else Array.iter f t.cpes

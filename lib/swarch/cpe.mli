@@ -1,8 +1,9 @@
 (** One computing processing element (CPE): an identifier, a cost
-    accumulator and a 64 KB scratchpad allocator. *)
+    accumulator and a scratchpad allocator sized by the platform. *)
 
 type t = {
-  id : int;  (** position in the 8x8 mesh, [0..63] *)
+  id : int;  (** position in the mesh, [0 .. cpe_count-1] *)
+  mesh : int;  (** mesh side length (8 on the SW26010's 8x8 grid) *)
   cost : Cost.t;  (** work charged to this CPE *)
   ldm : Ldm.t;  (** scratchpad allocator *)
   mutable slow : float;  (** compute-time multiplier (1.0 = healthy) *)
@@ -12,10 +13,10 @@ type t = {
 (** [create cfg id] is a fresh CPE with an empty scratchpad. *)
 val create : Config.t -> int -> t
 
-(** [row t] is the mesh row of this CPE (0-7). *)
+(** [row t] is the mesh row of this CPE. *)
 val row : t -> int
 
-(** [col t] is the mesh column of this CPE (0-7). *)
+(** [col t] is the mesh column of this CPE. *)
 val col : t -> int
 
 (** [reset t] clears the cost counters and releases all LDM; injected

@@ -26,18 +26,24 @@ let knl =
     miss_rate = 0.02 *. 0.04;
   }
 
-(** SW26010.  Section 4.5 gives slightly inconsistent miss-rate prose
-    ("KNL is about 2.5% of SW" would give 3.2%); 4% is the value that
-    reproduces both published ratios, TTF(SW)/TTF(KNL) ~ 150 and
-    TTF(SW)/TTF(P100) ~ 24, simultaneously. *)
-let sw26010 =
+(** [row_of p] derives a Table-4 comparison row from a simulator
+    {!Platform.t}, so Figure 11 and the simulator can never disagree
+    about a machine's peak flops, bandwidth or on-chip storage. *)
+let row_of (p : Platform.t) =
   {
-    name = "SW26010";
-    peak_flops = 3e12;
-    mem_bw = 132e9;
-    cache_desc = "64 KB LDM";
-    miss_rate = 0.04;
+    name = p.Platform.display;
+    peak_flops = Platform.chip_peak_flops p;
+    mem_bw = p.Platform.chip_mem_bw;
+    cache_desc = Printf.sprintf "%d KB LDM" (p.Platform.ldm_bytes / 1024);
+    miss_rate = p.Platform.kernel_miss_rate;
   }
+
+(** SW26010, derived from {!Platform.sw26010}.  Section 4.5 gives
+    slightly inconsistent miss-rate prose ("KNL is about 2.5% of SW"
+    would give 3.2%); 4% is the value that reproduces both published
+    ratios, TTF(SW)/TTF(KNL) ~ 150 and TTF(SW)/TTF(P100) ~ 24,
+    simultaneously. *)
+let sw26010 = row_of Platform.sw26010
 
 (** P100: L1 miss 6%, L2 miss 15%, combined ~0.9%. *)
 let p100 =

@@ -14,8 +14,12 @@ type t = {
 (** Knights Landing, per Table 4 / Section 4.5. *)
 val knl : t
 
-(** SW26010, with the miss rate that reproduces both published TTF
-    ratios simultaneously. *)
+(** [row_of p] derives a comparison row from a simulator platform, so
+    the analytic table and the simulator share one machine record. *)
+val row_of : Platform.t -> t
+
+(** SW26010, derived from {!Platform.sw26010}; its miss rate
+    reproduces both published TTF ratios simultaneously. *)
 val sw26010 : t
 
 (** P100, per Table 4 / Section 4.5. *)

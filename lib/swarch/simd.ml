@@ -1,69 +1,94 @@
-(** Emulation of the SW26010 256-bit SIMD unit ([floatv4]).
+(** Emulation of the Sunway SIMD unit, lane-count parametric.
 
-    A [floatv4] holds four single-precision lanes.  Arithmetic charges
-    exactly one vector instruction to the supplied {!Cost.t} regardless
-    of lane count, which is what makes vectorization pay off in the
+    A [vec] holds [w] single-precision lanes, where [w] comes from the
+    platform record (4 for the SW26010's 256-bit [floatv4], 8 for the
+    SW26010-Pro's 512-bit vectors).  Arithmetic charges exactly one
+    vector instruction to the supplied {!Cost.t} regardless of lane
+    count, which is what makes vectorization pay off in the
     performance model.  Lane values are rounded through IEEE single
     precision on every operation so that the optimized kernels really
-    compute in mixed precision, as the paper's do. *)
+    compute in mixed precision, as the paper's do.
 
-type v4 = { mutable a : float; mutable b : float; mutable c : float; mutable d : float }
+    With 4 lanes every operation (values {e and} charges) is
+    bit-identical to the historical [floatv4] emulation; the property
+    tests pin this. *)
+
+type vec = float array
+
+type v4 = vec
+(** Compatibility alias from when the module was hardwired to 4 lanes. *)
 
 (** [round32 x] is [x] rounded to the nearest representable IEEE-754
     single-precision value. *)
 let round32 x = Int32.float_of_bits (Int32.bits_of_float x)
 
-(** [splat x] is a vector with all four lanes equal to [round32 x].
-    Free of charge: register broadcasts are folded into the consuming
-    instruction on SW26010. *)
-let splat x =
-  let x = round32 x in
-  { a = x; b = x; c = x; d = x }
+(** [width v] is the number of lanes in [v]. *)
+let width (v : vec) = Array.length v
 
-(** [make a b c d] builds a vector from four lane values. *)
-let make a b c d =
-  { a = round32 a; b = round32 b; c = round32 c; d = round32 d }
+(** [splat w x] is a [w]-lane vector with all lanes equal to
+    [round32 x].  Free of charge: register broadcasts are folded into
+    the consuming instruction. *)
+let splat w x : vec =
+  if w <= 0 then invalid_arg "Simd.splat: width must be positive";
+  Array.make w (round32 x)
 
-(** [zero ()] is the all-zero vector. *)
-let zero () = { a = 0.0; b = 0.0; c = 0.0; d = 0.0 }
+(** [init w f] builds a [w]-lane vector with lane [i] = [round32 (f i)]
+    (free: models a register load/permute from LDM). *)
+let init w f : vec =
+  if w <= 0 then invalid_arg "Simd.init: width must be positive";
+  Array.init w (fun i -> round32 (f i))
+
+(** [make a b c d] builds a 4-lane vector from four lane values. *)
+let make a b c d : vec =
+  [| round32 a; round32 b; round32 c; round32 d |]
+
+(** [zero w] is the [w]-lane all-zero vector. *)
+let zero w : vec =
+  if w <= 0 then invalid_arg "Simd.zero: width must be positive";
+  Array.make w 0.0
 
 (** [copy v] is an independent copy of [v]. *)
-let copy v = { a = v.a; b = v.b; c = v.c; d = v.d }
+let copy (v : vec) : vec = Array.copy v
 
-(** [lane v i] extracts lane [i] (0-3). *)
-let lane v = function
-  | 0 -> v.a
-  | 1 -> v.b
-  | 2 -> v.c
-  | 3 -> v.d
-  | i -> invalid_arg (Printf.sprintf "Simd.lane: %d not in 0..3" i)
+(** [lane v i] extracts lane [i]. *)
+let lane (v : vec) i =
+  if i < 0 || i >= Array.length v then
+    invalid_arg
+      (Printf.sprintf "Simd.lane: %d not in 0..%d" i (Array.length v - 1));
+  v.(i)
 
-(** [set_lane v i x] stores [x] in lane [i]. *)
-let set_lane v i x =
-  let x = round32 x in
-  match i with
-  | 0 -> v.a <- x
-  | 1 -> v.b <- x
-  | 2 -> v.c <- x
-  | 3 -> v.d <- x
-  | _ -> invalid_arg "Simd.set_lane"
+(** [set_lane v i x] stores [round32 x] in lane [i]. *)
+let set_lane (v : vec) i x =
+  if i < 0 || i >= Array.length v then invalid_arg "Simd.set_lane";
+  v.(i) <- round32 x
 
-(** [to_array v] is the four lanes as a float array. *)
-let to_array v = [| v.a; v.b; v.c; v.d |]
+(** [to_array v] is the lanes as a fresh float array. *)
+let to_array (v : vec) = Array.copy v
 
-(** [of_array arr off] loads four consecutive lanes from [arr] starting
-    at [off] (no cost: models a register load from LDM). *)
-let of_array arr off =
-  make arr.(off) arr.(off + 1) arr.(off + 2) arr.(off + 3)
+(** [of_array w arr off] loads [w] consecutive lanes from [arr]
+    starting at [off] (no cost: models a register load from LDM). *)
+let of_array w arr off : vec =
+  if w <= 0 then invalid_arg "Simd.of_array: width must be positive";
+  Array.init w (fun i -> round32 arr.(off + i))
 
-let lift2 cost f x y =
+(** [slice v off len] is lanes [off .. off+len-1] of [v] as a vector;
+    free (a register half/quarter extract).  Returns [v] itself when
+    the slice is the whole vector. *)
+let slice (v : vec) off len : vec =
+  if off = 0 && len = Array.length v then v
+  else if off < 0 || len <= 0 || off + len > Array.length v then
+    invalid_arg "Simd.slice"
+  else Array.sub v off len
+
+let check_widths name (x : vec) (y : vec) =
+  if Array.length x <> Array.length y then
+    invalid_arg (Printf.sprintf "Simd.%s: width mismatch (%d vs %d)" name
+                   (Array.length x) (Array.length y))
+
+let lift2 cost f (x : vec) (y : vec) : vec =
+  check_widths "lift2" x y;
   Cost.simd cost 1.0;
-  {
-    a = round32 (f x.a y.a);
-    b = round32 (f x.b y.b);
-    c = round32 (f x.c y.c);
-    d = round32 (f x.d y.d);
-  }
+  Array.init (Array.length x) (fun i -> round32 (f x.(i) y.(i)))
 
 (** [add cost x y] is the lane-wise sum; one vector instruction. *)
 let add cost x y = lift2 cost ( +. ) x y
@@ -78,65 +103,106 @@ let mul cost x y = lift2 cost ( *. ) x y
 let div cost x y = lift2 cost ( /. ) x y
 
 (** [fma cost x y z] is [x*y + z]; one (fused) vector instruction. *)
-let fma cost x y z =
+let fma cost (x : vec) (y : vec) (z : vec) : vec =
+  check_widths "fma" x y;
+  check_widths "fma" x z;
   Cost.simd cost 1.0;
-  {
-    a = round32 ((x.a *. y.a) +. z.a);
-    b = round32 ((x.b *. y.b) +. z.b);
-    c = round32 ((x.c *. y.c) +. z.c);
-    d = round32 ((x.d *. y.d) +. z.d);
-  }
+  Array.init (Array.length x) (fun i -> round32 ((x.(i) *. y.(i)) +. z.(i)))
 
 (** [round cost x] is the lane-wise round-to-nearest; one vector
     instruction (used by the periodic minimum-image fold). *)
-let round cost x =
+let round cost (x : vec) : vec =
   Cost.simd cost 1.0;
-  { a = Float.round x.a; b = Float.round x.b; c = Float.round x.c; d = Float.round x.d }
+  Array.map Float.round x
 
 (** [rsqrt cost x] is the lane-wise reciprocal square root (charged as
     one vector instruction, matching the hardware estimate+refine
     sequence the paper's kernels use). *)
-let rsqrt cost x =
+let rsqrt cost (x : vec) : vec =
   Cost.simd cost 1.0;
-  let r v = round32 (1.0 /. sqrt v) in
-  { a = r x.a; b = r x.b; c = r x.c; d = r x.d }
+  Array.map (fun v -> round32 (1.0 /. sqrt v)) x
 
 (** [cmp_lt cost x y] is a lane mask: 1.0 where [x < y], else 0.0. *)
-let cmp_lt cost x y =
+let cmp_lt cost (x : vec) (y : vec) : vec =
+  check_widths "cmp_lt" x y;
   Cost.simd cost 1.0;
-  let m p q = if p < q then 1.0 else 0.0 in
-  { a = m x.a y.a; b = m x.b y.b; c = m x.c y.c; d = m x.d y.d }
+  Array.init (Array.length x) (fun i -> if x.(i) < y.(i) then 1.0 else 0.0)
 
 (** [select cost mask x y] is lane-wise [mask <> 0 ? x : y]. *)
-let select cost mask x y =
+let select cost (mask : vec) (x : vec) (y : vec) : vec =
+  check_widths "select" mask x;
+  check_widths "select" mask y;
   Cost.simd cost 1.0;
-  let s m p q = if m <> 0.0 then p else q in
-  {
-    a = s mask.a x.a y.a;
-    b = s mask.b x.b y.b;
-    c = s mask.c x.c y.c;
-    d = s mask.d x.d y.d;
-  }
+  Array.init (Array.length mask) (fun i -> if mask.(i) <> 0.0 then x.(i) else y.(i))
 
-(** [hsum cost v] is the horizontal sum of the four lanes (charged as
-    two vector instructions: two shuffle-add steps). *)
-let hsum cost v =
-  Cost.simd cost 2.0;
-  round32 (round32 (v.a +. v.b) +. round32 (v.c +. v.d))
+(* One halving round of the horizontal-sum tree: adjacent lane pairs
+   are added (an odd trailing lane passes through).  At 4 lanes the two
+   rounds reproduce round32 (round32 (a+b) +. round32 (c+d)) exactly. *)
+let hsum_round (v : vec) : vec =
+  let n = Array.length v in
+  Array.init ((n + 1) / 2) (fun i ->
+      if (2 * i) + 1 < n then round32 (v.(2 * i) +. v.((2 * i) + 1))
+      else v.(2 * i))
+
+(** [hsum cost v] is the horizontal sum of the lanes, charged as one
+    shuffle-add vector instruction per halving round (2 at 4 lanes, 3
+    at 8). *)
+let hsum cost (v : vec) =
+  let r = ref v in
+  while Array.length !r > 1 do
+    Cost.simd cost 1.0;
+    r := hsum_round !r
+  done;
+  (!r).(0)
+
+(** [narrow cost v n] folds [v] down to [n] lanes by repeatedly adding
+    the upper half onto the lower half (one vector instruction per
+    halving).  Free identity when [v] already has [n] lanes; used to
+    bring wide accumulators back to a 4-lane register before the
+    transpose. *)
+let narrow cost (v : vec) n : vec =
+  if n <= 0 then invalid_arg "Simd.narrow";
+  let r = ref v in
+  while Array.length !r > n do
+    let w = Array.length !r in
+    if w mod 2 <> 0 || w / 2 < n then invalid_arg "Simd.narrow";
+    let cur = !r in
+    Cost.simd cost 1.0;
+    r := Array.init (w / 2) (fun i -> round32 (cur.(i) +. cur.(i + (w / 2))))
+  done;
+  !r
 
 (** [vshuff cost x y (i, j, k, l)] is the [simd_vshulff] instruction of
-    the paper: builds a new vector whose first two lanes are lanes [i]
-    and [j] of [x] and whose last two lanes are lanes [k] and [l] of
-    [y]; one vector instruction. *)
-let vshuff cost x y (i, j, k, l) =
+    the paper: within each 4-lane group [g], the result's lanes are
+    lanes [i] and [j] of [x]'s group [g] followed by lanes [k] and [l]
+    of [y]'s group [g]; one vector instruction.  At 4 lanes this is
+    exactly the historical [floatv4] shuffle. *)
+let vshuff cost (x : vec) (y : vec) (i, j, k, l) : vec =
+  check_widths "vshuff" x y;
+  let w = Array.length x in
+  if w mod 4 <> 0 then invalid_arg "Simd.vshuff: width must be a multiple of 4";
+  let pick v g n =
+    if n < 0 || n > 3 then
+      invalid_arg (Printf.sprintf "Simd.lane: %d not in 0..3" n);
+    v.((g * 4) + n)
+  in
   Cost.simd cost 1.0;
-  { a = lane x i; b = lane x j; c = lane y k; d = lane y l }
+  Array.init w (fun p ->
+      let g = p / 4 in
+      match p mod 4 with
+      | 0 -> pick x g i
+      | 1 -> pick x g j
+      | 2 -> pick y g k
+      | _ -> pick y g l)
 
-(** [transpose3x4 cost x y z] converts three vectors holding
+(** [transpose3x4 cost x y z] converts three 4-lane vectors holding
     [x1..x4], [y1..y4], [z1..z4] into four per-particle triples
     [(xi, yi, zi)], using the six-shuffle sequence of Figure 7 in the
-    paper.  Returns the four triples. *)
-let transpose3x4 cost x y z =
+    paper.  Requires width 4 (wider accumulators are first brought
+    down with {!narrow}).  Returns the four triples. *)
+let transpose3x4 cost (x : vec) y z =
+  if width x <> 4 || width y <> 4 || width z <> 4 then
+    invalid_arg "Simd.transpose3x4: width must be 4";
   (* First shuffle round: interleave pairs (Fig 7, "First Shuffle"). *)
   let s1 = vshuff cost x y (0, 2, 0, 2) in  (* X1 X3 Y1 Y3 *)
   let s2 = vshuff cost x z (1, 3, 0, 2) in  (* X2 X4 Z1 Z3 *)
@@ -145,7 +211,7 @@ let transpose3x4 cost x y z =
   let p1 = vshuff cost s1 s2 (0, 2, 2, 0) in (* X1 Y1 Z1 X2 *)
   let p2 = vshuff cost s3 s1 (0, 2, 1, 3) in (* Y2 Z2 X3 Y3 *)
   let p3 = vshuff cost s2 s3 (3, 1, 1, 3) in (* Z3 X4 Y4 Z4 *)
-  ( (p1.a, p1.b, p1.c),
-    (p1.d, p2.a, p2.b),
-    (p2.c, p2.d, p3.a),
-    (p3.b, p3.c, p3.d) )
+  ( (p1.(0), p1.(1), p1.(2)),
+    (p1.(3), p2.(0), p2.(1)),
+    (p2.(2), p2.(3), p3.(0)),
+    (p3.(1), p3.(2), p3.(3)) )

@@ -1,93 +1,112 @@
-(** Emulation of the SW26010 256-bit SIMD unit ([floatv4]).
+(** Emulation of the Sunway SIMD unit, lane-count parametric.
 
-    A [floatv4] holds four single-precision lanes.  Arithmetic charges
-    exactly one vector instruction to the supplied {!Cost.t} regardless
-    of lane count, which is what makes vectorization pay off in the
+    A [vec] holds [w] single-precision lanes, where [w] comes from the
+    platform record (4 for the SW26010's 256-bit [floatv4], 8 for the
+    SW26010-Pro's 512-bit vectors).  Arithmetic charges exactly one
+    vector instruction to the supplied {!Cost.t} regardless of lane
+    count, which is what makes vectorization pay off in the
     performance model.  Lane values are rounded through IEEE single
     precision on every operation so that the optimized kernels really
-    compute in mixed precision, as the paper's do. *)
+    compute in mixed precision, as the paper's do.  With 4 lanes every
+    operation (values and charges) is bit-identical to the historical
+    [floatv4] emulation. *)
 
-type v4 = {
-  mutable a : float;
-  mutable b : float;
-  mutable c : float;
-  mutable d : float;
-}
+type vec
+
+type v4 = vec
+(** Compatibility alias from when the module was hardwired to 4 lanes. *)
 
 (** [round32 x] is [x] rounded to the nearest representable IEEE-754
     single-precision value. *)
 val round32 : float -> float
 
-(** [splat x] is a vector with all four lanes equal to [round32 x]. *)
-val splat : float -> v4
+(** [width v] is the number of lanes in [v]. *)
+val width : vec -> int
 
-(** [make a b c d] builds a vector from four lane values. *)
-val make : float -> float -> float -> float -> v4
+(** [splat w x] is a [w]-lane vector with all lanes [round32 x]; free. *)
+val splat : int -> float -> vec
 
-(** [zero ()] is the all-zero vector. *)
-val zero : unit -> v4
+(** [init w f] builds a [w]-lane vector with lane [i] = [round32 (f i)];
+    free (a register load/permute from LDM). *)
+val init : int -> (int -> float) -> vec
+
+(** [make a b c d] builds a 4-lane vector from four lane values. *)
+val make : float -> float -> float -> float -> vec
+
+(** [zero w] is the [w]-lane all-zero vector. *)
+val zero : int -> vec
 
 (** [copy v] is an independent copy of [v]. *)
-val copy : v4 -> v4
+val copy : vec -> vec
 
-(** [lane v i] extracts lane [i] (0-3). *)
-val lane : v4 -> int -> float
+(** [lane v i] extracts lane [i]. *)
+val lane : vec -> int -> float
 
-(** [set_lane v i x] stores [x] in lane [i]. *)
-val set_lane : v4 -> int -> float -> unit
+(** [set_lane v i x] stores [round32 x] in lane [i]. *)
+val set_lane : vec -> int -> float -> unit
 
-(** [to_array v] is the four lanes as a float array. *)
-val to_array : v4 -> float array
+(** [to_array v] is the lanes as a fresh float array. *)
+val to_array : vec -> float array
 
-(** [of_array arr off] loads four consecutive lanes from [arr] starting
+(** [of_array w arr off] loads [w] consecutive lanes from [arr] starting
     at [off] (no cost: models a register load from LDM). *)
-val of_array : float array -> int -> v4
+val of_array : int -> float array -> int -> vec
+
+(** [slice v off len] is lanes [off .. off+len-1] of [v]; free (a
+    register half/quarter extract). *)
+val slice : vec -> int -> int -> vec
 
 (** [add cost x y] is the lane-wise sum; one vector instruction. *)
-val add : Cost.t -> v4 -> v4 -> v4
+val add : Cost.t -> vec -> vec -> vec
 
 (** [sub cost x y] is the lane-wise difference; one vector instruction. *)
-val sub : Cost.t -> v4 -> v4 -> v4
+val sub : Cost.t -> vec -> vec -> vec
 
 (** [mul cost x y] is the lane-wise product; one vector instruction. *)
-val mul : Cost.t -> v4 -> v4 -> v4
+val mul : Cost.t -> vec -> vec -> vec
 
 (** [div cost x y] is the lane-wise quotient; one vector instruction. *)
-val div : Cost.t -> v4 -> v4 -> v4
+val div : Cost.t -> vec -> vec -> vec
 
 (** [fma cost x y z] is [x*y + z]; one (fused) vector instruction. *)
-val fma : Cost.t -> v4 -> v4 -> v4 -> v4
+val fma : Cost.t -> vec -> vec -> vec -> vec
 
 (** [round cost x] is the lane-wise round-to-nearest; one vector
     instruction (used by the periodic minimum-image fold). *)
-val round : Cost.t -> v4 -> v4
+val round : Cost.t -> vec -> vec
 
 (** [rsqrt cost x] is the lane-wise reciprocal square root. *)
-val rsqrt : Cost.t -> v4 -> v4
+val rsqrt : Cost.t -> vec -> vec
 
 (** [cmp_lt cost x y] is a lane mask: 1.0 where [x < y], else 0.0. *)
-val cmp_lt : Cost.t -> v4 -> v4 -> v4
+val cmp_lt : Cost.t -> vec -> vec -> vec
 
 (** [select cost mask x y] is lane-wise [mask <> 0 ? x : y]. *)
-val select : Cost.t -> v4 -> v4 -> v4 -> v4
+val select : Cost.t -> vec -> vec -> vec -> vec
 
-(** [hsum cost v] is the horizontal sum of the four lanes (two vector
-    instructions). *)
-val hsum : Cost.t -> v4 -> float
+(** [hsum cost v] is the horizontal sum of the lanes, charged as one
+    shuffle-add per halving round (2 vector instructions at 4 lanes,
+    3 at 8). *)
+val hsum : Cost.t -> vec -> float
+
+(** [narrow cost v n] folds [v] to [n] lanes by adding upper halves
+    onto lower halves, one vector instruction per halving; free
+    identity when [v] is already [n] lanes wide. *)
+val narrow : Cost.t -> vec -> int -> vec
 
 (** [vshuff cost x y (i, j, k, l)] is the [simd_vshulff] instruction of
-    the paper: lanes [i], [j] of [x] followed by lanes [k], [l] of [y];
-    one vector instruction. *)
-val vshuff : Cost.t -> v4 -> v4 -> int * int * int * int -> v4
+    the paper, applied within each 4-lane group: lanes [i], [j] of [x]
+    followed by lanes [k], [l] of [y]; one vector instruction. *)
+val vshuff : Cost.t -> vec -> vec -> int * int * int * int -> vec
 
-(** [transpose3x4 cost x y z] converts three vectors holding
+(** [transpose3x4 cost x y z] converts three 4-lane vectors holding
     [x1..x4], [y1..y4], [z1..z4] into four per-particle triples using
-    the six-shuffle sequence of Figure 7. *)
+    the six-shuffle sequence of Figure 7.  Requires width 4. *)
 val transpose3x4 :
   Cost.t ->
-  v4 ->
-  v4 ->
-  v4 ->
+  vec ->
+  vec ->
+  vec ->
   (float * float * float)
   * (float * float * float)
   * (float * float * float)

@@ -27,7 +27,7 @@ let read_line_sweep ~quick () =
       let n_lines = capacity / line_elts in
       let cost = Swarch.Cost.create () in
       let rc =
-        Swcache.Read_cache.create Common.cfg cost ~backing:sys.K.pkg_aos
+        Swcache.Read_cache.create (Common.cfg ()) cost ~backing:sys.K.pkg_aos
           ~elt_floats:Swgmx.Package.floats ~line_elts ~n_lines ()
       in
       (* replay the kernel's j-stream through the cache *)
@@ -52,7 +52,7 @@ let package_sweep ~quick () =
           (Float.round (float_of_int n_fetches *. transfers_per_pkg))
       in
       for _ = 1 to total do
-        Swarch.Dma.get Common.cfg cost ~bytes
+        Swarch.Dma.get (Common.cfg ()) cost ~bytes
       done;
       (label, cost.Swarch.Cost.dma_time_s))
     [
@@ -72,13 +72,13 @@ let gld_vs_dma ~quick () =
   let n_fetches = Md.Pair_list.n_pairs p.Common.pairs in
   let dma_cost = Swarch.Cost.create () in
   for _ = 1 to n_fetches do
-    Swarch.Dma.get Common.cfg dma_cost ~bytes:Swgmx.Package.bytes
+    Swarch.Dma.get (Common.cfg ()) dma_cost ~bytes:Swgmx.Package.bytes
   done;
   let gld_cost = Swarch.Cost.create () in
   (* one gld per 8-byte word of the package *)
   Swarch.Cost.gld gld_cost (n_fetches * (Swgmx.Package.bytes / 8));
   ( dma_cost.Swarch.Cost.dma_time_s,
-    Swarch.Cost.cpe_compute_time Common.cfg gld_cost )
+    Swarch.Cost.cpe_compute_time (Common.cfg ()) gld_cost )
 
 (** [write_cache_sweep ~quick ()] sweeps the number of write-cache
     lines and reports the deferred-update miss ratio. *)
@@ -91,7 +91,7 @@ let write_cache_sweep ~quick () =
       let cost = Swarch.Cost.create () in
       let copy = Array.make (sys.K.n_clusters * K.force_floats) 0.0 in
       let wc =
-        Swcache.Write_cache.create Common.cfg cost ~with_marks:true ~copy
+        Swcache.Write_cache.create (Common.cfg ()) cost ~with_marks:true ~copy
           ~elt_floats:K.force_floats ~line_elts:K.write_line_elts ~n_lines ()
       in
       Md.Pair_list.iter_pairs p.Common.pairs (fun _ cj ->
@@ -110,7 +110,7 @@ let alignment ~quick () =
   let run aligned =
     let cost = Swarch.Cost.create () in
     for _ = 1 to n_fetches do
-      Swarch.Dma.get ~aligned Common.cfg cost ~bytes:Swgmx.Package.bytes
+      Swarch.Dma.get ~aligned (Common.cfg ()) cost ~bytes:Swgmx.Package.bytes
     done;
     cost.Swarch.Cost.dma_time_s
   in
@@ -122,7 +122,7 @@ let alignment ~quick () =
 let pipeline_overlap ~quick () =
   let particles = if quick then 3000 else 12000 in
   let p = Common.prepare ~particles () in
-  let cg = Swarch.Core_group.create Common.cfg in
+  let cg = Swarch.Core_group.create (Common.cfg ()) in
   ignore (Swgmx.Kernel.run p.Common.sys p.Common.pairs cg Swgmx.Variant.Mark);
   (Swarch.Core_group.elapsed cg, Swarch.Core_group.elapsed_overlapped cg)
 
@@ -143,9 +143,9 @@ type overlap_row = {
 let overlap_schedule ~quick () =
   let particles = if quick then 3000 else 12000 in
   let p = Common.prepare ~particles () in
-  let cg = Swarch.Core_group.create Common.cfg in
+  let cg = Swarch.Core_group.create (Common.cfg ()) in
   Swarch.Core_group.reset cg;
-  let recorder = Swsched.Recorder.create Common.cfg in
+  let recorder = Swsched.Recorder.create (Common.cfg ()) in
   let spec = Swgmx.Kernel_cpe.spec_of_variant Swgmx.Variant.Mark in
   ignore
     (Swgmx.Kernel_cpe.run ~sched:recorder p.Common.sys p.Common.pairs cg spec);
@@ -155,7 +155,7 @@ let overlap_schedule ~quick () =
       (fun s (c : Swarch.Cpe.t) -> s +. c.Swarch.Cpe.cost.Swarch.Cost.dma_time_s)
       0.0 cg.Swarch.Core_group.cpes
   in
-  let mpe = Swarch.Mpe.time Common.cfg cg.Swarch.Core_group.mpe in
+  let mpe = Swarch.Mpe.time (Common.cfg ()) cg.Swarch.Core_group.mpe in
   List.concat_map
     (fun channels ->
       let dma = dma_sum /. channels in
@@ -163,7 +163,7 @@ let overlap_schedule ~quick () =
       let ideal = Float.max max_compute dma +. mpe in
       List.map
         (fun buffers ->
-          let s = Swsched.Schedule.run ~channels ~buffers Common.cfg recorder in
+          let s = Swsched.Schedule.run ~channels ~buffers (Common.cfg ()) recorder in
           let scheduled = s.Swsched.Schedule.elapsed +. mpe in
           { channels; buffers; serial; scheduled; ideal })
         [ 1; 2; 4 ])
@@ -225,9 +225,9 @@ type resilience_row = {
 let resilience_sweep ~quick () =
   let particles = if quick then 3000 else 12000 in
   let p = Common.prepare ~particles () in
-  let cg = Swarch.Core_group.create Common.cfg in
+  let cg = Swarch.Core_group.create (Common.cfg ()) in
   Swarch.Core_group.reset cg;
-  let recorder = Swsched.Recorder.create Common.cfg in
+  let recorder = Swsched.Recorder.create (Common.cfg ()) in
   let spec = Swgmx.Kernel_cpe.spec_of_variant Swgmx.Variant.Mark in
   ignore
     (Swgmx.Kernel_cpe.run ~sched:recorder p.Common.sys p.Common.pairs cg spec);
@@ -242,11 +242,11 @@ let resilience_sweep ~quick () =
         }
       in
       let inj = Swfault.Injector.create ~seed:2027 plan in
-      let s = Swsched.Schedule.run ~buffers:2 ~faults:inj Common.cfg recorder in
+      let s = Swsched.Schedule.run ~buffers:2 ~faults:inj (Common.cfg ()) recorder in
       (* Engine.measure directly: Common's cache is not keyed by plan
          faults, and a degraded measurement must never be reused *)
       let m =
-        Swgmx.Engine.measure ~cfg:Common.cfg ~version:Swgmx.Engine.V_other
+        Swgmx.Engine.measure ~cfg:(Common.cfg ()) ~version:Swgmx.Engine.V_other
           ~faults:inj
           ~total_atoms:(if quick then 24000 else 96000)
           ~n_cg:16 ()
@@ -295,6 +295,52 @@ let checkpoint_sweep () =
   in
   let opt = Swfault.Recovery.optimal_interval ~fault_rate ~step_s ~ckpt_s in
   (rows, opt)
+
+(** One row of the cross-platform headroom ablation. *)
+type platform_row = {
+  variant : Swgmx.Variant.t;
+  base_s : float;  (** kernel elapsed on the baseline platform *)
+  pro_s : float;  (** kernel elapsed on the successor platform *)
+}
+
+(** [platform_headroom ~quick ()] reruns the kernel-variant progression
+    on the SW26010 and SW26010-Pro machine descriptions: same physics,
+    different LDM budget (cache geometry follows [ldm_bytes]), SIMD
+    width (4 vs 8 lanes) and DMA curve.  The spread between the two
+    columns per variant is the headroom each optimization inherits from
+    the bigger machine — cache-bound variants track the LDM and DMA
+    gains, vectorized ones additionally the lane count.  Also returns
+    the whole-step times of the final engine version on both machines.
+    The active platform is restored afterwards. *)
+let platform_headroom ~quick () =
+  let particles = if quick then 3000 else 24000 in
+  let atoms = 24000 in
+  let saved = Common.cfg () in
+  let on cfg f =
+    Common.set_platform cfg;
+    Fun.protect ~finally:(fun () -> Common.set_platform saved) f
+  in
+  let elapsed cfg variant =
+    on cfg (fun () ->
+        let p = Common.prepare ~particles () in
+        (Common.kernel_outcome p variant).Swgmx.Kernel.elapsed)
+  in
+  let rows =
+    List.map
+      (fun variant ->
+        {
+          variant;
+          base_s = elapsed Swarch.Platform.sw26010 variant;
+          pro_s = elapsed Swarch.Platform.sw26010_pro variant;
+        })
+      Swgmx.Variant.fig8
+  in
+  let step cfg =
+    (Common.measure ~cfg ~version:Swgmx.Engine.V_other ~total_atoms:atoms
+       ~n_cg:4 ())
+      .Swgmx.Engine.step_time
+  in
+  (rows, step Swarch.Platform.sw26010, step Swarch.Platform.sw26010_pro, atoms)
 
 (** [run ~quick ppf] renders all ablations. *)
 let run ~quick ppf =
@@ -405,4 +451,41 @@ let run ~quick ppf =
            Printf.sprintf "%.2f s" r.ckpt_overhead;
            Printf.sprintf "%.2f s" r.rework;
          ])
-       rows)
+       rows);
+  let prows, step_base, step_pro, atoms = platform_headroom ~quick () in
+  Fmt.pf ppf
+    "Ablation 10: platform headroom, %s vs %s (kernel variants + %d-atom \
+     step)@."
+    Swarch.Platform.sw26010.Swarch.Platform.name
+    Swarch.Platform.sw26010_pro.Swarch.Platform.name atoms;
+  T.table ppf
+    ~headers:
+      [
+        "variant";
+        Swarch.Platform.sw26010.Swarch.Platform.name;
+        Swarch.Platform.sw26010_pro.Swarch.Platform.name;
+        "speedup";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Swgmx.Variant.name r.variant;
+           Printf.sprintf "%.3f ms" (r.base_s *. 1e3);
+           Printf.sprintf "%.3f ms" (r.pro_s *. 1e3);
+           Printf.sprintf "%.2fx" (r.base_s /. r.pro_s);
+         ])
+       prows);
+  T.table ppf
+    ~headers:[ "whole step (Other)"; "time"; "speedup" ]
+    [
+      [
+        Swarch.Platform.sw26010.Swarch.Platform.name;
+        Printf.sprintf "%.3f ms" (step_base *. 1e3);
+        "1.00x";
+      ];
+      [
+        Swarch.Platform.sw26010_pro.Swarch.Platform.name;
+        Printf.sprintf "%.3f ms" (step_pro *. 1e3);
+        Printf.sprintf "%.2fx" (step_base /. step_pro);
+      ];
+    ]

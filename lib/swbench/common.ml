@@ -3,10 +3,18 @@
 module Md = Mdcore
 module K = Swgmx.Kernel_common
 
-let cfg = Swarch.Config.default
+(* The harness runs every experiment against one active platform; the
+   CLI swaps it with [set_platform] before any experiment executes. *)
+let platform = ref Swarch.Platform.default
 
-(* fail fast if the harness is ever pointed at a bad machine model *)
-let () = Swarch.Config.validate cfg
+let cfg () = !platform
+
+(** [set_platform p] makes [p] the active machine description for all
+    subsequent experiments (validated; memoized measurements are keyed
+    by platform name, so switching back and forth is safe). *)
+let set_platform p =
+  Swarch.Platform.validate p;
+  platform := p
 
 type prepared = {
   st : Md.Md_state.t;
@@ -19,6 +27,7 @@ type prepared = {
     for kernel experiments: PME electrostatics at a 1.0 nm cut-off
     (clamped for small boxes), exactly the Table 3 configuration. *)
 let prepare ?(seed = 2019) ~particles () =
+  let cfg = cfg () in
   let molecules = max 4 (particles / 3) in
   let st = Md.Water.build ~molecules ~seed () in
   let n = Md.Md_state.n_atoms st in
@@ -37,20 +46,22 @@ let prepare ?(seed = 2019) ~particles () =
 (** [kernel_outcome prepared variant] runs one force-kernel variant on
     a fresh core group. *)
 let kernel_outcome p variant =
-  let cg = Swarch.Core_group.create cfg in
+  let cg = Swarch.Core_group.create (cfg ()) in
   Swgmx.Kernel.run p.sys p.pairs cg variant
 
-(** Memoized [Engine.measure], keyed by (version, plan, atoms, n_cg):
-    the same measurements feed Table 1, Figure 10 and the overlap
-    ablation. *)
+(** Memoized [Engine.measure], keyed by (platform, version, plan,
+    atoms, n_cg): the same measurements feed Table 1, Figure 10 and
+    the overlap ablation, and Ablation 10 re-runs them per platform. *)
 let measure_cache :
-    ( Swgmx.Engine.version * Swstep.Plan.mode * int * int,
+    ( string * Swgmx.Engine.version * Swstep.Plan.mode * int * int,
       Swgmx.Engine.measurement )
     Hashtbl.t =
   Hashtbl.create 16
 
-let measure ?(plan = Swstep.Plan.Serial) ~version ~total_atoms ~n_cg () =
-  let key = (version, plan, total_atoms, n_cg) in
+let measure ?cfg:cfg_opt ?(plan = Swstep.Plan.Serial) ~version ~total_atoms
+    ~n_cg () =
+  let cfg = match cfg_opt with Some c -> c | None -> cfg () in
+  let key = (cfg.Swarch.Config.name, version, plan, total_atoms, n_cg) in
   match Hashtbl.find_opt measure_cache key with
   | Some m -> m
   | None ->

@@ -36,7 +36,7 @@ let data ~quick () =
     (Common.measure ~version ~total_atoms:atoms ~n_cg:1 ()).E.step_time
   in
   let ensemble version chips =
-    let cgs = 4 * chips in
+    let cgs = (Common.cfg ()).Swarch.Config.cg_per_chip * chips in
     let atoms_per_cg = max 12 (total_atoms / cgs) in
     let t1 = per_cg version atoms_per_cg in
     let compute a = t1 *. float_of_int a /. float_of_int atoms_per_cg in

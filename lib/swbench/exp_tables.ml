@@ -30,7 +30,7 @@ let table2 ppf =
       (fun s ->
         [
           Printf.sprintf "%d B" s;
-          Printf.sprintf "%.2f GB/s" (Swarch.Dma.bandwidth Common.cfg s /. 1e9);
+          Printf.sprintf "%.2f GB/s" (Swarch.Dma.bandwidth (Common.cfg ()) s /. 1e9);
         ])
       sizes
   in

@@ -34,6 +34,23 @@ let default =
     uplink_factor = 2.0;
   }
 
+(** [of_platform p] is the interconnect as described by the platform
+    record: link latencies/bandwidth and supernode shape come from the
+    [net_*] fields, the MPI-path copy bandwidth is the platform's
+    MPE-side memory bandwidth, and the 4-copy MPI protocol overhead is
+    a software fact that does not vary per machine.  For
+    {!Swarch.Platform.sw26010} this reproduces {!default} exactly. *)
+let of_platform (p : Swarch.Platform.t) =
+  {
+    mpi_latency = p.Swarch.Platform.net_mpi_latency_s;
+    rdma_latency = p.Swarch.Platform.net_rdma_latency_s;
+    link_bw = p.Swarch.Platform.net_link_bw;
+    copy_bw = p.Swarch.Platform.mpe_mem_bw;
+    mpi_copies = default.mpi_copies;
+    supernode = p.Swarch.Platform.net_supernode;
+    uplink_factor = p.Swarch.Platform.net_uplink_factor;
+  }
+
 (** [message t transport ~bytes ~cross_supernode] is the simulated
     seconds to deliver one point-to-point message. *)
 let message t transport ~bytes ~cross_supernode =

@@ -19,6 +19,11 @@ type t = {
 (** Default parameters (see the implementation for the calibration). *)
 val default : t
 
+(** [of_platform p] derives the interconnect from a platform record
+    ([net_*] link parameters, MPE memory bandwidth for the MPI
+    copies); reproduces {!default} exactly for the SW26010. *)
+val of_platform : Swarch.Platform.t -> t
+
 (** [message t transport ~bytes ~cross_supernode] is the simulated
     seconds to deliver one point-to-point message. *)
 val message : t -> transport -> bytes:int -> cross_supernode:bool -> float

@@ -35,7 +35,7 @@ let is_zero p =
   && p.cpe_slowdown = [] && p.cpe_stall_s = [] && p.cpe_dead = []
   && p.ldm_flip_rate = 0.0
 
-let validate ?(cpes = 64) p =
+let validate ?(cpes = Swarch.Platform.default.Swarch.Platform.cpe_count) p =
   let rate name r =
     if not (r >= 0.0 && r <= 1.0) then
       invalid_arg (Printf.sprintf "fault plan: %s=%g not in [0,1]" name r)

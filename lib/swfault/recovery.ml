@@ -57,6 +57,17 @@ let price ~steps ~interval ~fault_rate ~step_s ~ckpt_s ~restart_s =
     expected_rollbacks;
   }
 
+(* Checkpoint capture price on a given platform: the engine's rule of
+   thumb is two fast-path I/O frames of MPE work, scaled by how much
+   faster the platform's MPE clocks than the SW26010 baseline the I/O
+   model was calibrated on.  The ratio is exactly 1.0 on the default
+   platform, so the historical [2.0 *. frame_s] price is reproduced
+   bit for bit. *)
+let checkpoint_cost (p : Swarch.Platform.t) ~frame_s =
+  2.0 *. frame_s
+  *. (Swarch.Platform.sw26010.Swarch.Platform.mpe_freq_hz
+     /. p.Swarch.Platform.mpe_freq_hz)
+
 (* Young's approximation: interval* = sqrt(2 * C / (rate * step)). *)
 let optimal_interval ~fault_rate ~step_s ~ckpt_s =
   if fault_rate <= 0.0 then max_int

@@ -189,7 +189,7 @@ let phases_of_features (cfg : Swarch.Config.t) f ~sys ~n ~box ~rcut ~total_atoms
   let global_edge = box.Md.Box.lx *. (float_of_int n_cg ** (1.0 /. 3.0)) in
   let request =
     {
-      Swcomm.Step_comm.net = Swcomm.Network.default;
+      Swcomm.Step_comm.net = Swcomm.Network.of_platform cfg;
       transport = f.transport;
       total_atoms;
       ranks = n_cg;
@@ -395,6 +395,15 @@ let simulate_full ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
         if ck.Swio.Checkpoint.n_atoms <> n then
           invalid_arg "Engine.simulate: checkpoint atom count mismatch";
         if
+          ck.Swio.Checkpoint.platform <> ""
+          && ck.Swio.Checkpoint.platform <> cfg.Swarch.Config.name
+        then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.simulate: checkpoint was taken on platform %s, \
+                restarting on %s would not be bit-faithful"
+               ck.Swio.Checkpoint.platform cfg.Swarch.Config.name);
+        if
           ck.Swio.Checkpoint.step < 0
           || ck.Swio.Checkpoint.step mod nstlist <> 0
         then invalid_arg "Engine.simulate: checkpoint step not nstlist-aligned";
@@ -433,11 +442,14 @@ let simulate_full ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
       let p = Swfault.Injector.plan inj in
       Swarch.Core_group.apply_faults cg ~slow:p.Swfault.Plan.cpe_slowdown
         ~stall:p.Swfault.Plan.cpe_stall_s);
-  let ckpt_cost = 2.0 *. Swio.Io_model.frame_time ~path:Swio.Io_model.Fast ~n_atoms:n in
+  let ckpt_cost =
+    Swfault.Recovery.checkpoint_cost cfg
+      ~frame_s:(Swio.Io_model.frame_time ~path:Swio.Io_model.Fast ~n_atoms:n)
+  in
   let take_checkpoint s =
     let ck =
-      Swio.Checkpoint.capture ~step:s ~pos:st.Md.Md_state.pos
-        ~vel:st.Md.Md_state.vel ~n_atoms:n
+      Swio.Checkpoint.capture ~platform:cfg.Swarch.Config.name ~step:s
+        ~pos:st.Md.Md_state.pos ~vel:st.Md.Md_state.vel ~n_atoms:n ()
     in
     stats.Swfault.Recovery.checkpoints <- stats.Swfault.Recovery.checkpoints + 1;
     stats.Swfault.Recovery.checkpoint_s <-

@@ -60,7 +60,7 @@ let trace_outcome (cg : Swarch.Core_group.t) variant outcome =
             else if sp.Swsched.Schedule.track < 0 then Swtrace.Track.Mpe
             else
               Swtrace.Track.Cpe
-                (sp.Swsched.Schedule.track mod Swtrace.Track.cpe_tracks)
+                (sp.Swsched.Schedule.track mod Swtrace.Track.cpe_tracks ())
           in
           T.span ~cat:sp.Swsched.Schedule.cat tr sp.Swsched.Schedule.name
             ~t:(t0 +. sp.Swsched.Schedule.t) ~dur:sp.Swsched.Schedule.dur
@@ -69,14 +69,14 @@ let trace_outcome (cg : Swarch.Core_group.t) variant outcome =
       Array.iter
         (fun (c : Swarch.Cpe.t) ->
           let tr =
-            Swtrace.Track.Cpe (c.Swarch.Cpe.id mod Swtrace.Track.cpe_tracks)
+            Swtrace.Track.Cpe (c.Swarch.Cpe.id mod Swtrace.Track.cpe_tracks ())
           in
           T.set_now tr (t0 +. s.Swsched.Schedule.elapsed))
         cg.Swarch.Core_group.cpes
   | None ->
       Array.iter
         (fun (c : Swarch.Cpe.t) ->
-          let tr = Swtrace.Track.Cpe (c.Swarch.Cpe.id mod Swtrace.Track.cpe_tracks) in
+          let tr = Swtrace.Track.Cpe (c.Swarch.Cpe.id mod Swtrace.Track.cpe_tracks ()) in
           T.set_now tr t0;
           let compute = Swarch.Cpe.compute_time cfg c in
           if compute > 0.0 then T.span_here ~cat:"cpe" tr "compute" ~dur:compute;

@@ -18,19 +18,28 @@ let force_floats = Cluster.size * 3
 (** Bytes of one cluster's force block. *)
 let force_bytes = force_floats * 4
 
-(** Read-cache geometry (Figure 3): 64 lines of 8 packages (~48 KB,
-    sized to fill the LDM left over by the write cache). *)
-let read_lines = 64
-
+(** Packages per read-cache line / force blocks per write-cache line
+    (Figures 3-4).  Line shape is a copy-granularity choice, not a
+    machine constant, so it stays fixed across platforms. *)
 let read_line_elts = 8
-
-(** Write-cache geometry (Figure 4): 32 lines of 8 force blocks. *)
-let write_lines = 32
 
 let write_line_elts = 8
 
 (** Bytes of one write-cache line (8 force blocks). *)
 let write_line_bytes = write_line_elts * force_bytes
+
+(** [read_lines cfg] is the read-cache depth (Figure 3): three
+    quarters of the platform's LDM holds j-package lines (64 lines x
+    8 packages ~ 48 KB on the SW26010, sized to fill the LDM left over
+    by the write cache). *)
+let read_lines (cfg : Swarch.Config.t) =
+  max 1 (cfg.ldm_bytes * 3 / 4 / (read_line_elts * Package.bytes))
+
+(** [write_lines cfg] is the write-cache depth (Figure 4): three
+    sixteenths of the LDM holds force-block lines (32 lines x 8 blocks
+    on the SW26010). *)
+let write_lines (cfg : Swarch.Config.t) =
+  max 1 (cfg.ldm_bytes * 3 / 16 / (write_line_elts * force_bytes))
 
 type system = {
   cfg : Swarch.Config.t;

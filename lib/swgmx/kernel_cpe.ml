@@ -10,8 +10,8 @@
       update marks (Figure 5), owner-only direct writes over a full
       pair list (the RCA baseline, Algorithm 2), or shipping every
       update to the MPE (the USTC baseline);
-    - {b compute}: scalar, or 4-lane SIMD over the i-cluster with the
-      Figure 7 shuffle transpose in the post-treatment.
+    - {b compute}: scalar, or platform-width SIMD over the i-cluster
+      with the Figure 7 shuffle transpose in the post-treatment.
 
     The driver executes each CPE's slice sequentially but charges costs
     as parallel hardware would incur them; forces and energies are real
@@ -105,47 +105,66 @@ let scalar_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
     done
   done
 
-(* Vectorized member-pair loop: lanes are the four i-members (Fig 6);
-   the inner iteration runs over j-members.  Exclusion, padding, self
-   and cut-off handling all fold into one lane mask. *)
+(* Vectorized member-pair loop, lane-count parametric.  The platform's
+   SIMD width is a multiple of the cluster size: the low two bits of a
+   lane select the i-member (Fig 6) and the upper bits select one of
+   [lanes / Cluster.size] j-members processed per vector block (1 on
+   the 4-lane SW26010, 2 on the 8-lane SW26010-Pro).  Exclusion,
+   padding, self and cut-off handling all fold into one lane mask.
+   At 4 lanes the iteration order, arithmetic and charges are
+   bit-identical to the historical hardwired loop. *)
 let vector_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
     ~joff ~fa_x ~fa_y ~fa_z ~apply_b ~scale =
   let cost = cpe.Swarch.Cpe.cost in
   let box = sys.K.box in
+  let lanes = sys.K.cfg.Swarch.Config.simd_lanes in
+  let jblk = lanes / Cluster.size in
   let rcut2 =
-    Simd.splat (sys.K.params.K.Nonbonded.rcut *. sys.K.params.K.Nonbonded.rcut)
+    Simd.splat lanes
+      (sys.K.params.K.Nonbonded.rcut *. sys.K.params.K.Nonbonded.rcut)
   in
   let ni = Cluster.count sys.K.cl ci and nj = Cluster.count sys.K.cl cj in
   let mask_bits = K.excl_mask sys (min ci cj) (max ci cj) in
   let soa = Package.Soa in
-  let xi = Simd.of_array ibuf 0
-  and yi = Simd.of_array ibuf 4
-  and zi = Simd.of_array ibuf 8
-  and qi = Simd.of_array ibuf 12 in
-  let lx = Simd.splat box.K.Box.lx
-  and ly = Simd.splat box.K.Box.ly
-  and lz = Simd.splat box.K.Box.lz in
-  let inv_lx = Simd.splat (1.0 /. box.K.Box.lx)
-  and inv_ly = Simd.splat (1.0 /. box.K.Box.ly)
-  and inv_lz = Simd.splat (1.0 /. box.K.Box.lz) in
+  let im_of l = l mod Cluster.size in
+  let xi = Simd.init lanes (fun l -> ibuf.(im_of l))
+  and yi = Simd.init lanes (fun l -> ibuf.(Cluster.size + im_of l))
+  and zi = Simd.init lanes (fun l -> ibuf.((2 * Cluster.size) + im_of l))
+  and qi = Simd.init lanes (fun l -> ibuf.((3 * Cluster.size) + im_of l)) in
+  let lx = Simd.splat lanes box.K.Box.lx
+  and ly = Simd.splat lanes box.K.Box.ly
+  and lz = Simd.splat lanes box.K.Box.lz in
+  let inv_lx = Simd.splat lanes (1.0 /. box.K.Box.lx)
+  and inv_ly = Simd.splat lanes (1.0 /. box.K.Box.ly)
+  and inv_lz = Simd.splat lanes (1.0 /. box.K.Box.lz) in
   let mi_v d l inv_l =
     let n = Simd.round cost (Simd.mul cost d inv_l) in
     Simd.sub cost d (Simd.mul cost n l)
   in
-  for mj = 0 to nj - 1 do
-    let lane_valid lane =
-      if lane >= ni then 0.0
-      else if ci = cj && mj <= lane then 0.0
+  for jb = 0 to ((nj + jblk - 1) / jblk) - 1 do
+    let jm_of l = (jb * jblk) + (l / Cluster.size) in
+    (* padded j slots exist up to the cluster capacity, so clamped
+       loads of masked lanes stay in bounds *)
+    let jm_load l = min (jm_of l) (Cluster.size - 1) in
+    let lane_valid l =
+      let im = im_of l and jm = jm_of l in
+      if im >= ni || jm >= nj then 0.0
+      else if ci = cj && jm <= im then 0.0
       else
-        let bit = if ci <= cj then (4 * lane) + mj else (4 * mj) + lane in
+        let bit =
+          if ci <= cj then (Cluster.size * im) + jm
+          else (Cluster.size * jm) + im
+        in
         if mask_bits land (1 lsl bit) <> 0 then 0.0 else 1.0
     in
-    let vmask = Simd.make (lane_valid 0) (lane_valid 1) (lane_valid 2) (lane_valid 3) in
-    Cost.int_ops cost 2.0;
-    let xj = Simd.splat (Package.x ~layout:soa jbuf joff mj)
-    and yj = Simd.splat (Package.y ~layout:soa jbuf joff mj)
-    and zj = Simd.splat (Package.z ~layout:soa jbuf joff mj)
-    and qj = Simd.splat (Package.charge ~layout:soa jbuf joff mj) in
+    let vmask = Simd.init lanes lane_valid in
+    Cost.int_ops cost (2.0 *. float_of_int jblk);
+    let xj = Simd.init lanes (fun l -> Package.x ~layout:soa jbuf joff (jm_load l))
+    and yj = Simd.init lanes (fun l -> Package.y ~layout:soa jbuf joff (jm_load l))
+    and zj = Simd.init lanes (fun l -> Package.z ~layout:soa jbuf joff (jm_load l))
+    and qj =
+      Simd.init lanes (fun l -> Package.charge ~layout:soa jbuf joff (jm_load l))
+    in
     let dx = mi_v (Simd.sub cost xi xj) lx inv_lx in
     let dy = mi_v (Simd.sub cost yi yj) ly inv_ly in
     let dz = mi_v (Simd.sub cost zi zj) lz inv_lz in
@@ -153,25 +172,17 @@ let vector_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
     let in_range = Simd.cmp_lt cost r2 rcut2 in
     let active = Simd.mul cost in_range vmask in
     if Simd.hsum cost active > 0.0 then begin
-      let tj = Package.ptype ~layout:soa jbuf joff mj in
+      let tj l = Package.ptype ~layout:soa jbuf joff (jm_load l) in
       (* per-lane LJ parameters: a scalar table gather on real hardware *)
-      Cost.int_ops cost 4.0;
-      let ti lane = Package.ptype ~layout:soa ibuf 0 lane in
+      Cost.int_ops cost (float_of_int lanes);
+      let ti l = Package.ptype ~layout:soa ibuf 0 (im_of l) in
       let c6 =
-        Simd.make
-          (Mdcore.Forcefield.c6 sys.K.ff (ti 0) tj)
-          (Mdcore.Forcefield.c6 sys.K.ff (ti 1) tj)
-          (Mdcore.Forcefield.c6 sys.K.ff (ti 2) tj)
-          (Mdcore.Forcefield.c6 sys.K.ff (ti 3) tj)
+        Simd.init lanes (fun l -> Mdcore.Forcefield.c6 sys.K.ff (ti l) (tj l))
       and c12 =
-        Simd.make
-          (Mdcore.Forcefield.c12 sys.K.ff (ti 0) tj)
-          (Mdcore.Forcefield.c12 sys.K.ff (ti 1) tj)
-          (Mdcore.Forcefield.c12 sys.K.ff (ti 2) tj)
-          (Mdcore.Forcefield.c12 sys.K.ff (ti 3) tj)
+        Simd.init lanes (fun l -> Mdcore.Forcefield.c12 sys.K.ff (ti l) (tj l))
       in
       (* guard against r2 = 0 in masked-out lanes (padding at origin) *)
-      let r2_safe = Simd.select cost active r2 (Simd.splat 1.0) in
+      let r2_safe = Simd.select cost active r2 (Simd.splat lanes 1.0) in
       let inv_r = Simd.rsqrt cost r2_safe in
       let inv_r2 = Simd.mul cost inv_r inv_r in
       let inv_r6 = Simd.mul cost inv_r2 (Simd.mul cost inv_r2 inv_r2) in
@@ -180,30 +191,31 @@ let vector_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
       let f_lj_v =
         Simd.mul cost
           (Simd.sub cost
-             (Simd.mul cost (Simd.splat 12.0) (Simd.mul cost c12 inv_r12))
-             (Simd.mul cost (Simd.splat 6.0) (Simd.mul cost c6 inv_r6)))
+             (Simd.mul cost (Simd.splat lanes 12.0) (Simd.mul cost c12 inv_r12))
+             (Simd.mul cost (Simd.splat lanes 6.0) (Simd.mul cost c6 inv_r6)))
           inv_r2
       in
-      let keqq = Simd.mul cost (Simd.mul cost qi qj) (Simd.splat Mdcore.Forcefield.ke) in
+      let keqq =
+        Simd.mul cost (Simd.mul cost qi qj) (Simd.splat lanes Mdcore.Forcefield.ke)
+      in
       let f_el_v, e_el_v =
         match sys.K.params.K.Nonbonded.elec with
         | K.Nonbonded.Reaction_field ->
             let inv_r3 = Simd.mul cost inv_r2 inv_r in
-            ( Simd.mul cost keqq (Simd.sub cost inv_r3 (Simd.splat (2.0 *. sys.K.krf))),
+            ( Simd.mul cost keqq
+                (Simd.sub cost inv_r3 (Simd.splat lanes (2.0 *. sys.K.krf))),
               Simd.mul cost keqq
                 (Simd.sub cost
-                   (Simd.fma cost (Simd.splat sys.K.krf) r2_safe inv_r)
-                   (Simd.splat sys.K.crf)) )
+                   (Simd.fma cost (Simd.splat lanes sys.K.krf) r2_safe inv_r)
+                   (Simd.splat lanes sys.K.crf)) )
         | K.Nonbonded.Ewald_real beta ->
             (* erfc evaluated per lane: a vectorized polynomial on the
-               hardware; charged as a fixed block of vector ops *)
-            Cost.simd cost 8.0;
+               hardware; charged as a fixed block of vector ops per
+               4-lane group *)
+            Cost.simd cost (8.0 *. float_of_int jblk);
             let per_lane f =
-              Simd.make
-                (f (Simd.lane r2_safe 0) (Simd.lane keqq 0))
-                (f (Simd.lane r2_safe 1) (Simd.lane keqq 1))
-                (f (Simd.lane r2_safe 2) (Simd.lane keqq 2))
-                (f (Simd.lane r2_safe 3) (Simd.lane keqq 3))
+              Simd.init lanes (fun l ->
+                  f (Simd.lane r2_safe l) (Simd.lane keqq l))
             in
             ( per_lane (fun r2 kq ->
                   Mdcore.Coulomb.ewald_real_force_over_r ~beta
@@ -225,7 +237,18 @@ let vector_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
       fa_x := Simd.add cost !fa_x fx;
       fa_y := Simd.add cost !fa_y fy;
       fa_z := Simd.add cost !fa_z fz;
-      apply_b mj (-.Simd.hsum cost fx) (-.Simd.hsum cost fy) (-.Simd.hsum cost fz)
+      (* FB post-treatment per j-member: horizontal-sum the 4-lane
+         group belonging to that member (a free register extract at
+         4 lanes, where the group is the whole vector) *)
+      for b = 0 to jblk - 1 do
+        let mj = (jb * jblk) + b in
+        if mj < nj then
+          let part v = Simd.slice v (b * Cluster.size) Cluster.size in
+          apply_b mj
+            (-.Simd.hsum cost (part fx))
+            (-.Simd.hsum cost (part fy))
+            (-.Simd.hsum cost (part fz))
+      done
     end
   done
 
@@ -249,6 +272,10 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
     invalid_arg "Kernel_cpe.run: the RCA baseline is scalar";
   if buffers < 1 then invalid_arg "Kernel_cpe.run: buffers < 1";
   let cfg = sys.K.cfg in
+  if spec.vector && cfg.Swarch.Config.simd_lanes mod Cluster.size <> 0 then
+    invalid_arg
+      "Kernel_cpe.run: the vector kernels need a SIMD width that is a \
+       multiple of the cluster size";
   let res = K.empty_result sys in
   let n_cpes = Array.length cg.Swarch.Core_group.cpes in
   let layout = if spec.vector then Package.Soa else Package.Aos in
@@ -310,7 +337,7 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
             Some
               (Swcache.Read_cache.create cfg cost ~ldm ~backing
                  ~elt_floats:Package.floats ~line_elts:K.read_line_elts
-                 ~n_lines:K.read_lines ())
+                 ~n_lines:(K.read_lines cfg) ())
           else begin
             Swarch.Ldm.alloc ldm Package.bytes;
             None
@@ -326,7 +353,8 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
                     Some
                       (Swcache.Write_cache.create cfg cost ~ldm ~with_marks:marks
                          ~copy:arr ~elt_floats:K.force_floats
-                         ~line_elts:K.write_line_elts ~n_lines:K.write_lines ())
+                         ~line_elts:K.write_line_elts
+                         ~n_lines:(K.write_lines cfg) ())
                 | Rmw_direct | Owner_only | Mpe_collect -> None
               in
               (Some arr, wc)
@@ -443,9 +471,10 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
         let compute_i k =
           let ci = lo + k in
           if spec.vector then begin
-            let fa_x = ref (Simd.zero ())
-            and fa_y = ref (Simd.zero ())
-            and fa_z = ref (Simd.zero ()) in
+            let lanes = cfg.Swarch.Config.simd_lanes in
+            let fa_x = ref (Simd.zero lanes)
+            and fa_y = ref (Simd.zero lanes)
+            and fa_z = ref (Simd.zero lanes) in
             Pair_list.iter_ci pairs ci (fun cj ->
                 let joff, jdata = fetch_j cj in
                 let apply_b =
@@ -456,9 +485,14 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
                 vector_pairs sys cpe res ~ci ~cj ~ibuf ~jbuf:jdata ~joff ~fa_x
                   ~fa_y ~fa_z ~apply_b ~scale:1.0;
                 flush_fb cj);
-            (* post-treatment: Figure 7 transpose, then apply FA *)
+            (* post-treatment: fold wide accumulators down to one
+               4-lane register per axis (free at 4 lanes), then the
+               Figure 7 transpose, then apply FA *)
+            let fx = Simd.narrow cost !fa_x Cluster.size
+            and fy = Simd.narrow cost !fa_y Cluster.size
+            and fz = Simd.narrow cost !fa_z Cluster.size in
             let (x1, y1, z1), (x2, y2, z2), (x3, y3, z3), (x4, y4, z4) =
-              Simd.transpose3x4 cost !fa_x !fa_y !fa_z
+              Simd.transpose3x4 cost fx fy fz
             in
             apply_a ci [| x1; y1; z1; x2; y2; z2; x3; y3; z3; x4; y4; z4 |]
           end

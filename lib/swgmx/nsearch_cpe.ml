@@ -41,13 +41,17 @@ type nsearch_stats = {
    cluster id, and (as happened on the real machine) their bases are
    congruent modulo the cache capacity, so in a direct-mapped cache
    the two streams evict each other on every access -- the thrashing
-   of Section 3.5 that two-way associativity cures. *)
-let cache_capacity_elts = 512
+   of Section 3.5 that two-way associativity cures.  The capacity is
+   the package budget of the platform's LDM (three quarters of it, as
+   for the force kernels' read cache: 512 packages on the SW26010). *)
+let cache_capacity_elts (cfg : Swarch.Config.t) =
+  max 4 (cfg.ldm_bytes * 3 / 4 / Package.bytes)
 
 let build_address_space sys =
   let pkgs = sys.K.pkg_aos in
   let nc = sys.K.n_clusters in
-  let nc_pad = (nc + cache_capacity_elts - 1) / cache_capacity_elts * cache_capacity_elts in
+  let cap = cache_capacity_elts sys.K.cfg in
+  let nc_pad = (nc + cap - 1) / cap * cap in
   let total = (nc_pad + nc) * Package.floats in
   let space = Array.make total 0.0 in
   Array.blit pkgs 0 space 0 (Array.length pkgs);
@@ -93,12 +97,16 @@ let run sys (cg : Swarch.Core_group.t) ~kind ~rlist =
         Swarch.Ldm.alloc ldm out_buffer_bytes;
         (* one shared cache over the combined address space, split
            into the two associativity flavours *)
+        (* both flavours span the same LDM capacity: depth follows the
+           platform (256 two-package lines / 128 two-way sets on the
+           SW26010's 64 KB LDM) *)
+        let cap = cache_capacity_elts cfg in
         let touch, stats, release =
           match kind with
           | Direct_mapped ->
               let rc =
                 Swcache.Read_cache.create cfg cost ~ldm ~backing:space
-                  ~elt_floats:Package.floats ~line_elts:2 ~n_lines:256 ()
+                  ~elt_floats:Package.floats ~line_elts:2 ~n_lines:(cap / 2) ()
               in
               ( (fun i -> ignore (Swcache.Read_cache.touch rc i)),
                 Swcache.Read_cache.stats rc,
@@ -106,11 +114,11 @@ let run sys (cg : Swarch.Core_group.t) ~kind ~rlist =
           | Two_way ->
               let ac =
                 Swcache.Assoc_cache.create cfg cost ~backing:space
-                  ~elt_floats:Package.floats ~line_elts:2 ~n_sets:128 ()
+                  ~elt_floats:Package.floats ~line_elts:2 ~n_sets:(cap / 4) ()
               in
               Swarch.Ldm.alloc ldm
                 (Swcache.Assoc_cache.footprint_bytes ~elt_floats:Package.floats
-                   ~line_elts:2 ~n_sets:128);
+                   ~line_elts:2 ~n_sets:(cap / 4));
               ( (fun i -> ignore (Swcache.Assoc_cache.touch ac i)),
                 Swcache.Assoc_cache.stats ac,
                 fun () -> () )

@@ -3,7 +3,7 @@
     After the parallel force loop, every CPE holds a redundant force
     copy; the copies must be summed into the final force array.  The
     work is parallelized across the mesh by line ownership (reducing
-    CPE = line index mod 64).  With update marks, only lines whose mark
+    CPE = line index mod CPE count).  With update marks, only lines whose mark
     bit is set are fetched — the unmarked "meaningless copies" cost
     nothing, which together with the deserted initialization step is
     where the Mark variant's final 1.5-2x comes from. *)

@@ -4,26 +4,38 @@
     velocities) to a text format using hexadecimal float literals, so a
     restart reproduces the original trajectory {e bit for bit} — the
     property GROMACS's .cpt files guarantee and the round-trip tests
-    here verify. *)
+    here verify.
+
+    Format version 2 additionally records the platform the run was
+    simulated on ([platform NAME] header line); a restart on a
+    different machine description cannot be bit-faithful, so the
+    engine refuses it.  Version-1 files (no platform line) still parse,
+    with an empty platform that matches anything. *)
 
 type t = {
   step : int;
   n_atoms : int;
+  platform : string;  (** platform name; [""] = unknown (v1 files) *)
   pos : float array;  (** [3 * n_atoms] *)
   vel : float array;  (** [3 * n_atoms] *)
 }
 
-(** [capture ~step ~pos ~vel ~n_atoms] snapshots a running system. *)
-let capture ~step ~pos ~vel ~n_atoms =
+(** [capture ~step ~pos ~vel ~n_atoms] snapshots a running system;
+    [platform] names the machine description the run used. *)
+let capture ?(platform = "") ~step ~pos ~vel ~n_atoms () =
   if step < 0 then invalid_arg "Checkpoint.capture: negative step";
   if Array.length pos <> 3 * n_atoms || Array.length vel <> 3 * n_atoms then
     invalid_arg "Checkpoint.capture: array sizes";
-  { step; n_atoms; pos = Array.copy pos; vel = Array.copy vel }
+  if String.contains platform '\n' || String.contains platform ' ' then
+    invalid_arg "Checkpoint.capture: bad platform name";
+  { step; n_atoms; platform; pos = Array.copy pos; vel = Array.copy vel }
 
-(** [to_string t] serializes the checkpoint. *)
+(** [to_string t] serializes the checkpoint (format version 2). *)
 let to_string t =
   let buf = Buffer.create (64 * t.n_atoms) in
-  Buffer.add_string buf (Printf.sprintf "swgmx-checkpoint 1\n%d %d\n" t.step t.n_atoms);
+  Buffer.add_string buf
+    (Printf.sprintf "swgmx-checkpoint 2\nplatform %s\n%d %d\n" t.platform
+       t.step t.n_atoms);
   let dump arr =
     Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf "%h\n" x)) arr
   in
@@ -31,13 +43,31 @@ let to_string t =
   dump t.vel;
   Buffer.contents buf
 
-(** [of_string s] parses a serialized checkpoint; raises
-    [Invalid_argument] on malformed input. *)
+(** [of_string s] parses a serialized checkpoint (version 1 or 2);
+    raises [Invalid_argument] on malformed input. *)
 let of_string s =
   match String.split_on_char '\n' s with
-  | magic :: header :: rest ->
-      if magic <> "swgmx-checkpoint 1" then
-        invalid_arg "Checkpoint.of_string: bad magic";
+  | magic :: rest ->
+      let platform, rest =
+        match magic with
+        | "swgmx-checkpoint 1" -> ("", rest)
+        | "swgmx-checkpoint 2" -> (
+            match rest with
+            | pline :: rest ->
+                let prefix = "platform " in
+                let plen = String.length prefix in
+                if String.length pline >= plen
+                   && String.sub pline 0 plen = prefix
+                then (String.sub pline plen (String.length pline - plen), rest)
+                else invalid_arg "Checkpoint.of_string: bad platform line"
+            | [] -> invalid_arg "Checkpoint.of_string: truncated")
+        | _ -> invalid_arg "Checkpoint.of_string: bad magic"
+      in
+      let header, rest =
+        match rest with
+        | header :: rest -> (header, rest)
+        | [] -> invalid_arg "Checkpoint.of_string: truncated"
+      in
       let step, n_atoms =
         match String.split_on_char ' ' header with
         | [ a; b ] -> (
@@ -73,6 +103,7 @@ let of_string s =
       {
         step;
         n_atoms;
+        platform;
         pos = Array.sub arr 0 (3 * n_atoms);
         vel = Array.sub arr (3 * n_atoms) (3 * n_atoms);
       }

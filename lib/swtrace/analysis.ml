@@ -32,7 +32,7 @@ type cpe_util = {
 let utilization events =
   let lo, hi = window events in
   let span = if hi > lo then hi -. lo else 0.0 in
-  let busy = Array.make Track.cpe_tracks 0.0 in
+  let busy = Array.make (Track.cpe_tracks ()) 0.0 in
   List.iter
     (fun (e : Event.t) ->
       match (e.Event.kind, e.Event.track) with

@@ -50,7 +50,7 @@ let json_of_event (e : Event.t) =
 (** Metadata events: process name plus one thread name and sort index
     per track that appears in the event list. *)
 let metadata events =
-  let seen = Array.make Track.count false in
+  let seen = Array.make (Track.count ()) false in
   List.iter (fun (e : Event.t) -> seen.(Track.index e.Event.track) <- true) events;
   let meta name tid value =
     Json.Obj
@@ -72,7 +72,7 @@ let metadata events =
       ]
   in
   let tracks = ref [] in
-  for i = Track.count - 1 downto 0 do
+  for i = Track.count () - 1 downto 0 do
     if seen.(i) then
       tracks :=
         meta "thread_name" i ("name", Json.Str (Track.name (Track.of_index i)))

@@ -106,8 +106,13 @@ let roofline_summary ?peak_flops ?peak_bw ppf events =
           | _ -> ())
         kernels
 
-(** [print ?peak_flops ?peak_bw ppf events] is the full text report. *)
-let print ?peak_flops ?peak_bw ppf events =
+(** [print ?platform ?peak_flops ?peak_bw ppf events] is the full text
+    report; [platform] is a pre-rendered machine label (name + lane
+    width), printed first so a summary is self-describing. *)
+let print ?platform ?peak_flops ?peak_bw ppf events =
+  (match platform with
+  | Some label -> Fmt.pf ppf "@.platform: %s@." label
+  | None -> ());
   Fmt.pf ppf "@.--- trace summary: phases ---@.";
   phase_summary ppf events;
   Fmt.pf ppf "@.--- trace summary: CPE utilization ---@.";

@@ -15,37 +15,91 @@
 type state = {
   mutable enabled : bool;
   mutable rings : Event.t Ring.t array;  (** one per track when enabled *)
-  cursors : float array;  (** per-track simulated time, seconds *)
-  stacks : (string * string * float) list array;
+  mutable cursors : float array;  (** per-track simulated time, seconds *)
+  mutable stacks : (string * string * float) list array;
       (** open spans per track: (name, cat, start) *)
   mutable current : int;  (** ambient track index (see {!with_track}) *)
+  mutable capacity : int;  (** per-track ring capacity when enabled *)
 }
+
+(** Default per-track ring capacity (events); 2^16, a buffer-size
+    choice of the tracer, not a property of the machine. *)
+let default_capacity = 1 lsl 16
 
 let st =
   {
     enabled = false;
     rings = [||];
-    cursors = Array.make Track.count 0.0;
-    stacks = Array.make Track.count [];
+    cursors = Array.make (Track.count ()) 0.0;
+    stacks = Array.make (Track.count ()) [];
     current = 0;
+    capacity = default_capacity;
   }
+
+(* The track geometry follows the platform's CPE count
+   ({!Track.set_cpe_tracks}).  When it changes, re-size the per-track
+   state, carrying cursors, open-span stacks and recorded events over
+   by track identity (events store their [Track.t], so only the dense
+   index layout changes). *)
+let track_of_old_index ~old_cpe i =
+  if i = 0 then Track.Mpe
+  else if i >= 1 && i <= old_cpe then Track.Cpe (i - 1)
+  else if i = old_cpe + 1 then Track.Net
+  else Track.Fault
+
+let resize () =
+  let old_count = Array.length st.cursors in
+  let new_count = Track.count () in
+  if new_count <> old_count then begin
+    let old_cpe = old_count - 3 in
+    let cursors = Array.make new_count 0.0 in
+    let stacks = Array.make new_count [] in
+    let current_track = track_of_old_index ~old_cpe st.current in
+    for i = 0 to old_count - 1 do
+      let tr = track_of_old_index ~old_cpe i in
+      match Track.index tr with
+      | j ->
+          cursors.(j) <- st.cursors.(i);
+          stacks.(j) <- st.stacks.(i)
+      | exception Invalid_argument _ -> ()  (* lane dropped by a shrink *)
+    done;
+    let old_rings = st.rings in
+    st.cursors <- cursors;
+    st.stacks <- stacks;
+    st.current <- (try Track.index current_track with Invalid_argument _ -> 0);
+    if Array.length old_rings > 0 then begin
+      st.rings <-
+        Array.init new_count (fun _ ->
+            Ring.create ~capacity:st.capacity ~dummy:Event.null);
+      Array.iter
+        (fun r ->
+          List.iter
+            (fun ev ->
+              match Track.index ev.Event.track with
+              | j -> Ring.push st.rings.(j) ev
+              | exception Invalid_argument _ -> ())
+            (Ring.to_list r))
+        old_rings
+    end
+  end
+
+let () = Track.on_resize resize
 
 (** [enabled ()] is the one branch paid on the disabled path. *)
 let enabled () = st.enabled
 
-(** Default per-track ring capacity (events). *)
-let default_capacity = 65536
-
 let reset_state () =
-  Array.fill st.cursors 0 Track.count 0.0;
-  Array.fill st.stacks 0 Track.count [];
+  Array.fill st.cursors 0 (Array.length st.cursors) 0.0;
+  Array.fill st.stacks 0 (Array.length st.stacks) [];
   st.current <- 0
 
 (** [enable ?capacity ()] clears any previous trace and starts
     recording, with at most [capacity] events retained per track. *)
 let enable ?(capacity = default_capacity) () =
+  st.capacity <- capacity;
   st.rings <-
-    Array.init Track.count (fun _ -> Ring.create ~capacity ~dummy:Event.null);
+    Array.init (Track.count ()) (fun _ ->
+        Ring.create ~capacity ~dummy:Event.null);
   reset_state ();
   st.enabled <- true
 

@@ -1,0 +1,93 @@
+(* Lint: no hardcoded machine constants outside lib/swarch.
+
+   The platform record is the single source of truth for the machine
+   description; every other layer must read CPE counts, LDM sizes,
+   SIMD lane counts, clock rates and DMA curve points from the
+   [Swarch.Platform.t] it is handed.  This scanner walks the source
+   trees of every library except swarch (plus bin/ and bench/) and
+   fails on any literal that smells like a machine constant leaking
+   back in.  Cluster geometry (the 4-particle cluster, the 96-byte
+   package) is physics, not machine description, and is not flagged. *)
+
+let forbidden =
+  [
+    (* LDM capacity *)
+    "64 * 1024";
+    "65536";
+    "256 * 1024";
+    (* clock rates *)
+    "1.45e9";
+    "2.25e9";
+    (* the Table 2 DMA curve *)
+    "0.99e9";
+    "15.77e9";
+    "28.88e9";
+    "28.98e9";
+    "30.48e9";
+    (* mesh shape *)
+    "cpe_count = 64";
+    "simd_lanes = 4";
+    "simd_lanes = 8";
+    "groups_per_chip = 4";
+    (* LDM-derived cache geometry *)
+    "read_lines = 64";
+    "write_lines = 32";
+  ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let rec walk dir f =
+  Array.iter
+    (fun entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then walk path f
+      else if Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
+      then f path)
+    (Sys.readdir dir)
+
+let () =
+  (* optional argv: the repository root to scan (default ".") *)
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  let violations = ref [] in
+  let scan_tree root =
+    if Sys.file_exists root && Sys.is_directory root then
+      walk root (fun path ->
+          let body = read_file path in
+          let lines = String.split_on_char '\n' body in
+          List.iteri
+            (fun i line ->
+              List.iter
+                (fun pat ->
+                  if contains line pat then
+                    violations :=
+                      Printf.sprintf "%s:%d: machine constant %S" path (i + 1)
+                        pat
+                      :: !violations)
+                forbidden)
+            lines)
+  in
+  (* every layer except the platform's home, plus the executables *)
+  let lib = Filename.concat root "lib" in
+  Array.iter
+    (fun sub -> if sub <> "swarch" then scan_tree (Filename.concat lib sub))
+    (Sys.readdir lib);
+  scan_tree (Filename.concat root "bin");
+  scan_tree (Filename.concat root "bench");
+  match !violations with
+  | [] -> print_endline "lint: no machine constants outside lib/swarch"
+  | vs ->
+      List.iter prerr_endline (List.sort compare vs);
+      Printf.eprintf
+        "lint: %d machine constant(s) leaked outside lib/swarch — read them \
+         from Swarch.Platform.t instead\n"
+        (List.length vs);
+      exit 1

@@ -363,7 +363,7 @@ let test_checkpoint_roundtrip_bitexact () =
   let n = Md_state.n_atoms st in
   let cp =
     Swio.Checkpoint.capture ~step:123 ~pos:st.Md_state.pos ~vel:st.Md_state.vel
-      ~n_atoms:n
+      ~n_atoms:n ()
   in
   let s = Swio.Checkpoint.to_string cp in
   let cp2 = Swio.Checkpoint.of_string s in
@@ -399,7 +399,7 @@ let test_checkpoint_restart_reproduces_run () =
   Workflow.run w1 10;
   let cp =
     Swio.Checkpoint.capture ~step:10 ~pos:st1.Md_state.pos ~vel:st1.Md_state.vel
-      ~n_atoms:(Md_state.n_atoms st1)
+      ~n_atoms:(Md_state.n_atoms st1) ()
   in
   Workflow.run w1 10;
   (* restart from the serialized checkpoint *)

@@ -15,12 +15,12 @@ let test_config_peak_bw () =
 
 let test_config_rejects_bad () =
   let bad = { Config.default with Config.cpe_count = 0 } in
-  Alcotest.check_raises "zero cpes" (Invalid_argument "Config: cpe_count must be positive")
+  Alcotest.check_raises "zero cpes" (Invalid_argument "Platform: cpe_count must be positive")
     (fun () -> Config.validate bad)
 
 let test_config_rejects_unsorted () =
   let bad = { Config.default with Config.dma_points = [| (128, 1e9); (8, 2e9) |] } in
-  Alcotest.check_raises "unsorted" (Invalid_argument "Config: dma_points must be size-sorted")
+  Alcotest.check_raises "unsorted" (Invalid_argument "Platform: dma_points must be size-sorted")
     (fun () -> Config.validate bad)
 
 (* ------------------------------------------------------------------ *)
@@ -173,14 +173,14 @@ let test_simd_make_lane () =
 
 let test_simd_add () =
   let c = Cost.create () in
-  let v = Simd.add c (Simd.make 1.0 2.0 3.0 4.0) (Simd.splat 10.0) in
+  let v = Simd.add c (Simd.make 1.0 2.0 3.0 4.0) (Simd.splat 4 10.0) in
   Alcotest.(check (list (float 0.0))) "sum" [ 11.0; 12.0; 13.0; 14.0 ]
     (Array.to_list (Simd.to_array v));
   check_float "one instruction" 1.0 c.Cost.simd_ops
 
 let test_simd_fma () =
   let c = Cost.create () in
-  let v = Simd.fma c (Simd.splat 2.0) (Simd.splat 3.0) (Simd.splat 1.0) in
+  let v = Simd.fma c (Simd.splat 4 2.0) (Simd.splat 4 3.0) (Simd.splat 4 1.0) in
   check_float "fma lane" 7.0 (Simd.lane v 0);
   check_float "one instruction" 1.0 c.Cost.simd_ops
 
@@ -190,7 +190,7 @@ let test_simd_hsum () =
 
 let test_simd_single_precision_rounding () =
   (* 0.1 is not representable in binary32; lanes must hold the rounded value. *)
-  let v = Simd.splat 0.1 in
+  let v = Simd.splat 4 0.1 in
   Alcotest.(check bool) "rounded" true (Simd.lane v 0 <> 0.1);
   check_float ~eps:1e-7 "close" 0.1 (Simd.lane v 0)
 
@@ -222,7 +222,7 @@ let prop_simd_transpose_roundtrip =
     (fun (xs, ys, zs) ->
       let c = Cost.create () in
       let r32 = Simd.round32 in
-      let x = Simd.of_array xs 0 and y = Simd.of_array ys 0 and z = Simd.of_array zs 0 in
+      let x = Simd.of_array 4 xs 0 and y = Simd.of_array 4 ys 0 and z = Simd.of_array 4 zs 0 in
       let ps = [| Simd.transpose3x4 c x y z |] in
       let (p1, p2, p3, p4) = ps.(0) in
       let triples = [| p1; p2; p3; p4 |] in
@@ -234,8 +234,8 @@ let prop_simd_transpose_roundtrip =
 
 let test_simd_cmp_select () =
   let c = Cost.create () in
-  let m = Simd.cmp_lt c (Simd.make 1.0 5.0 2.0 9.0) (Simd.splat 3.0) in
-  let v = Simd.select c m (Simd.splat 1.0) (Simd.splat 0.0) in
+  let m = Simd.cmp_lt c (Simd.make 1.0 5.0 2.0 9.0) (Simd.splat 4 3.0) in
+  let v = Simd.select c m (Simd.splat 4 1.0) (Simd.splat 4 0.0) in
   Alcotest.(check (list (float 0.0))) "mask select" [ 1.0; 0.0; 1.0; 0.0 ]
     (Array.to_list (Simd.to_array v))
 
@@ -244,7 +244,7 @@ let prop_simd_arith_matches_scalar =
     QCheck.(pair (float_range (-1e6) 1e6) (float_range (-1e6) 1e6))
     (fun (a, b) ->
       let c = Cost.create () in
-      let va = Simd.splat a and vb = Simd.splat b in
+      let va = Simd.splat 4 a and vb = Simd.splat 4 b in
       let r32 = Simd.round32 in
       Simd.lane (Simd.add c va vb) 0 = r32 (r32 a +. r32 b)
       && Simd.lane (Simd.mul c va vb) 2 = r32 (r32 a *. r32 b)

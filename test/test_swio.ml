@@ -126,7 +126,7 @@ let sample_checkpoint () =
   let n = 4 in
   let pos = Array.init (3 * n) (fun i -> 0.1 *. float_of_int (i + 1)) in
   let vel = Array.init (3 * n) (fun i -> -0.01 *. float_of_int (i + 1)) in
-  Checkpoint.capture ~step:10 ~pos ~vel ~n_atoms:n
+  Checkpoint.capture ~step:10 ~pos ~vel ~n_atoms:n ()
 
 let rejects name f =
   match f () with
@@ -186,7 +186,7 @@ let test_checkpoint_hostile_values () =
   (* corrupt each float line in turn with every class of bad value *)
   List.iter
     (fun bad ->
-      for i = 2 to 2 + (6 * 4) - 1 do
+      for i = 3 to 3 + (6 * 4) - 1 do
         rejects
           (Printf.sprintf "line %d <- %S" i bad)
           (fun () -> Checkpoint.of_string (patch i bad))

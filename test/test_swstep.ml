@@ -202,7 +202,7 @@ let test_measure_rejects_bad_config () =
     }
   in
   Alcotest.check_raises "unsorted dma curve rejected"
-    (Invalid_argument "Config: dma_points must be size-sorted") (fun () ->
+    (Invalid_argument "Platform: dma_points must be size-sorted") (fun () ->
       ignore (E.measure ~cfg:bad ~version:E.V_ori ~total_atoms:600 ~n_cg:1 ()))
 
 let suites =
