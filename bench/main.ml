@@ -92,6 +92,14 @@ let tests =
            ignore
              (E.simulate ~cfg:(Swbench.Common.cfg ()) ~molecules:16 ~seed:5
                 ~steps:5 ~sample_every:5 ())));
+    (* swstore: the chunk codec on a checkpoint-sized payload *)
+    Test.make ~name:"store: chunk encode+decode (64 KiB)"
+      (Staged.stage (fun () ->
+           let payload = String.make (1 lsl 16) 'x' in
+           let c = Swstore.Chunk.make payload in
+           match Swstore.Chunk.decode (Swstore.Chunk.encode c) with
+           | Ok _ -> ()
+           | Error _ -> assert false));
     (* Section 3.7: the two I/O paths *)
     Test.make ~name:"io: fast formatter (1k floats)"
       (Staged.stage (fun () ->
@@ -154,6 +162,30 @@ let print_benchmarks rows =
       Fmt.pr "%-45s %15s %10.3f@." name (pretty time) r2)
     rows
 
+(* deterministic swstore cache exercise: 8 distinct 8 KiB chunks pushed
+   through a 32 KiB cache (4 resident), then every chunk re-read — the
+   LRU half hits, the evicted half refills from the backing store *)
+let store_figures () =
+  let cache =
+    Swstore.Cache.create ~capacity:(1 lsl 15) (Swstore.Store.open_memory ())
+  in
+  let keys =
+    List.init 8 (fun i ->
+        Swstore.Cache.put cache (String.make (1 lsl 13) (Char.chr (65 + i))))
+  in
+  List.iter (fun k -> ignore (Swstore.Cache.get_exn cache k)) keys;
+  let s = Swstore.Cache.stats cache in
+  [
+    ("store_hits", float_of_int s.Swcache.Stats.hits);
+    ("store_misses", float_of_int s.Swcache.Stats.misses);
+    ("store_evictions", float_of_int s.Swcache.Stats.evictions);
+    ("store_writebacks", float_of_int s.Swcache.Stats.writebacks);
+    ("store_hit_ratio", Swcache.Stats.hit_ratio s);
+    ("store_cached_bytes", float_of_int (Swstore.Cache.used_bytes cache));
+    ( "store_chunks",
+      float_of_int (Swstore.Store.chunk_count (Swstore.Cache.store cache)) );
+  ]
+
 (* the key simulated-time figures: the Table-1 Mark workload priced
    serially, through the swsched replay, and at the ideal-overlap
    bound (all from one recorded run) *)
@@ -214,6 +246,7 @@ let simulated_figures () =
     ("fault_ckpt_cost_s", ckpt_s);
     ("fault_ckpt_opt_interval_steps", float_of_int opt_interval);
   ]
+  @ store_figures ()
 
 let write_json path rows =
   let module J = Swtrace.Json in

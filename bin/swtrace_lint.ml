@@ -169,7 +169,7 @@ let () =
   let fault_events =
     List.filter (fun ev -> str_field ev "cat" = Some "fault") events
   in
-  let fault_id ev =
+  let args_id ev =
     match Swtrace.Json.member "args" ev with
     | Some args -> num_field args "id"
     | None -> None
@@ -187,13 +187,13 @@ let () =
   let recover_times = Hashtbl.create 64 in
   List.iter
     (fun (ev, name) ->
-      match (fault_id ev, num_field ev "ts") with
+      match (args_id ev, num_field ev "ts") with
       | Some id, Some ts -> Hashtbl.replace recover_times id ts
       | _ -> fail "%s: fault event %S lacks a numeric id or ts" path name)
     recovers;
   List.iter
     (fun (ev, name) ->
-      match (fault_id ev, num_field ev "ts") with
+      match (args_id ev, num_field ev "ts") with
       | Some id, Some ts -> (
           match Hashtbl.find_opt recover_times id with
           | None ->
@@ -207,8 +207,42 @@ let () =
           | Some _ -> ())
       | _ -> fail "%s: fault event %S lacks a numeric id or ts" path name)
     injects;
+  (* store-track pairing: every object-store lookup ("get", category
+     "store") carries a numeric "id" and must be resolved by a "hit" or
+     "miss" event with the same id at a timestamp no earlier than the
+     lookup — an unresolved get means a store read path skipped its
+     accounting *)
+  let store_events =
+    List.filter (fun ev -> str_field ev "cat" = Some "store") events
+  in
+  let store_named n =
+    List.filter (fun ev -> str_field ev "name" = Some n) store_events
+  in
+  let store_gets = store_named "get" in
+  let resolutions = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match (args_id ev, num_field ev "ts") with
+      | Some id, Some ts -> Hashtbl.replace resolutions id ts
+      | _ -> fail "%s: store hit/miss event lacks a numeric id or ts" path)
+    (store_named "hit" @ store_named "miss");
+  List.iter
+    (fun ev ->
+      match (args_id ev, num_field ev "ts") with
+      | Some id, Some ts -> (
+          match Hashtbl.find_opt resolutions id with
+          | None ->
+              fail "%s: store get (id %g) has no hit or miss event" path id
+          | Some rts when rts < ts -. eps ->
+              fail
+                "%s: store get (id %g) at %g us resolved earlier, at %g us"
+                path id ts rts
+          | Some _ -> ())
+      | _ -> fail "%s: store get event lacks a numeric id or ts" path)
+    store_gets;
   Fmt.pr
     "swtrace_lint: %s OK (%d events, %d tracks, %d step spans, %d phase \
-     spans, %d sched spans, %d/%d faults recovered)@."
+     spans, %d sched spans, %d/%d faults recovered, %d store gets resolved)@."
     path (List.length events) (List.length thread_names) steps phases
     (List.length sched_spans) (List.length recovers) (List.length injects)
+    (List.length store_gets)

@@ -50,21 +50,92 @@ let kernel_outcome p variant =
   Swgmx.Kernel.run p.sys p.pairs cg variant
 
 (** Memoized [Engine.measure], keyed by (platform, version, plan,
-    atoms, n_cg): the same measurements feed Table 1, Figure 10 and
-    the overlap ablation, and Ablation 10 re-runs them per platform. *)
+    atoms, n_cg, fault plan): the same measurements feed Table 1,
+    Figure 10 and the overlap ablation, and Ablation 10 re-runs them
+    per platform.  The fault plan is part of the key — a degraded
+    machine prices differently, and a memo hit across fault plans
+    would silently return the wrong profile. *)
 let measure_cache :
-    ( string * Swgmx.Engine.version * Swstep.Plan.mode * int * int,
+    ( string * Swgmx.Engine.version * Swstep.Plan.mode * int * int * string,
       Swgmx.Engine.measurement )
     Hashtbl.t =
   Hashtbl.create 16
 
-let measure ?cfg:cfg_opt ?(plan = Swstep.Plan.Serial) ~version ~total_atoms
-    ~n_cg () =
+(* the fault-plan component of a measure key: plan spec + seed, "-"
+   when the step is priced on a healthy machine *)
+let faults_key = function
+  | None -> "-"
+  | Some inj ->
+      Printf.sprintf "%s#%d"
+        (Swfault.Plan.to_string (Swfault.Injector.plan inj))
+        (Swfault.Injector.seed inj)
+
+(* The persistent measure store (swstore Kv over a cache), when the
+   CLI installs one.  While installed it REPLACES the in-process memo:
+   repeats must be served by the store so they are observable as store
+   hits in traces and batch reports. *)
+let measure_store : Swstore.Kv.t option ref = ref None
+
+(** [set_measure_store kv] routes all subsequent {!measure} calls
+    through the persistent keyed store ([None] restores the in-process
+    memo). *)
+let set_measure_store kv = measure_store := kv
+
+(** Where a measurement came from: the in-process memo table, the
+    persistent store, or a fresh engine run. *)
+type source = Memo | Stored | Computed
+
+let source_name = function
+  | Memo -> "memo"
+  | Stored -> "store"
+  | Computed -> "computed"
+
+let store_key cfg ~version ~plan ~total_atoms ~n_cg ~faults =
+  [
+    "measure";
+    cfg.Swarch.Config.name;
+    Swgmx.Engine.version_name version;
+    Swstep.Plan.mode_name plan;
+    string_of_int total_atoms;
+    string_of_int n_cg;
+    faults_key faults;
+  ]
+
+(** [measure_via ?cfg ?plan ?faults ~version ~total_atoms ~n_cg ()] is
+    {!measure} plus where the result came from.  With a persistent
+    store installed, repeats of a (platform, plan, workload, fault
+    plan) key are reassembled from the store ([Stored]); otherwise the
+    in-process memo answers ([Memo]). *)
+let measure_via ?cfg:cfg_opt ?(plan = Swstep.Plan.Serial) ?faults ~version
+    ~total_atoms ~n_cg () =
   let cfg = match cfg_opt with Some c -> c | None -> cfg () in
-  let key = (cfg.Swarch.Config.name, version, plan, total_atoms, n_cg) in
-  match Hashtbl.find_opt measure_cache key with
-  | Some m -> m
-  | None ->
-      let m = Swgmx.Engine.measure ~cfg ~plan ~version ~total_atoms ~n_cg () in
-      Hashtbl.add measure_cache key m;
-      m
+  let compute () =
+    Swgmx.Engine.measure ~cfg ~plan ?faults ~version ~total_atoms ~n_cg ()
+  in
+  match !measure_store with
+  | Some kv -> (
+      let key = store_key cfg ~version ~plan ~total_atoms ~n_cg ~faults in
+      match Swstore.Kv.get kv ~key with
+      | Some payload -> (
+          match Swgmx.Engine.measurement_of_string payload with
+          | Ok m -> (m, Stored)
+          | Error msg ->
+              Swstore.Error.raise_corrupt (Swstore.Error.Bad_header msg))
+      | None ->
+          let m = compute () in
+          Swstore.Kv.put kv ~key (Swgmx.Engine.measurement_to_string m);
+          (m, Computed))
+  | None -> (
+      let key =
+        (cfg.Swarch.Config.name, version, plan, total_atoms, n_cg,
+         faults_key faults)
+      in
+      match Hashtbl.find_opt measure_cache key with
+      | Some m -> (m, Memo)
+      | None ->
+          let m = compute () in
+          Hashtbl.add measure_cache key m;
+          (m, Computed))
+
+let measure ?cfg ?plan ?faults ~version ~total_atoms ~n_cg () =
+  fst (measure_via ?cfg ?plan ?faults ~version ~total_atoms ~n_cg ())

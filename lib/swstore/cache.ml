@@ -1,0 +1,150 @@
+(** Capacity-bounded local cache in front of a {!Store}.
+
+    Mirrors the cache-over-object-store layering of the s3-netcdf
+    design: readers go through the cache ([get]/[put]/[evict]/[clear]),
+    which holds decoded payloads in memory up to a byte budget and
+    evicts least-recently-used entries when a fill would overflow it.
+    Bookkeeping rides on {!Swcache.Stats} — the same counter record the
+    on-chip software caches use — so hit/miss/eviction rates flow into
+    the bench JSON and trace summary unchanged.
+
+    Every lookup emits a [get] instant on the trace's store track,
+    resolved by a [hit] or [miss] with the same id; fills that displace
+    entries emit [evict], writes emit [put].  The trace linter enforces
+    the get/hit-or-miss pairing. *)
+
+type entry = { payload : string; mutable last_use : int }
+
+type t = {
+  store : Store.t;
+  capacity : int;  (** byte budget for cached payloads *)
+  table : (string, entry) Hashtbl.t;
+  mutable used : int;  (** payload bytes currently held *)
+  mutable tick : int;  (** LRU clock *)
+  stats : Swcache.Stats.t;
+}
+
+(** Default capacity: 16 MiB of payload. *)
+let default_capacity = 1 lsl 24
+
+(** [create ?capacity store] is an empty cache over [store]. *)
+let create ?(capacity = default_capacity) store =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    store;
+    capacity;
+    table = Hashtbl.create 64;
+    used = 0;
+    tick = 0;
+    stats = Swcache.Stats.create ();
+  }
+
+(** [store t] is the backing object store. *)
+let store t = t.store
+
+(** [stats t] is the hit/miss/eviction record. *)
+let stats t = t.stats
+
+(** [used_bytes t] is the payload volume currently cached. *)
+let used_bytes t = t.used
+
+(** [entries t] is the number of cached chunks. *)
+let entries t = Hashtbl.length t.table
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+let drop t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      Hashtbl.remove t.table key;
+      t.used <- t.used - String.length e.payload;
+      Some (String.length e.payload)
+  | None -> None
+
+(* evict least-recently-used entries until [need] more bytes fit; the
+   table is small (chunks are big), so a linear victim scan is fine *)
+let rec make_room t need =
+  if t.used + need > t.capacity && Hashtbl.length t.table > 0 then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key e ->
+        match !victim with
+        | Some (_, best) when best.last_use <= e.last_use -> ()
+        | _ -> victim := Some (key, e))
+      t.table;
+    match !victim with
+    | Some (key, _) ->
+        (match drop t key with
+        | Some bytes ->
+            t.stats.Swcache.Stats.evictions <- t.stats.Swcache.Stats.evictions + 1;
+            Store.emit_evict ~bytes ()
+        | None -> ());
+        make_room t need
+    | None -> ()
+  end
+
+let insert t key payload =
+  let len = String.length payload in
+  (* an over-budget chunk passes through uncached rather than flushing
+     the whole working set *)
+  if len <= t.capacity && not (Hashtbl.mem t.table key) then begin
+    make_room t len;
+    let e = { payload; last_use = 0 } in
+    touch t e;
+    Hashtbl.replace t.table key e;
+    t.used <- t.used + len
+  end
+
+(** [get t key] is the chunk payload under [key]: from memory on a
+    hit, through the integrity-checked store read on a miss (filling
+    the cache, evicting LRU entries as needed).  Corruption in the
+    backing store propagates as the structured error — a miss never
+    silently degrades into empty data. *)
+let get t key : (string, Error.t) result =
+  let id = Store.next_event_id () in
+  Store.emit_get ~id ();
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.stats.Swcache.Stats.hits <- t.stats.Swcache.Stats.hits + 1;
+      touch t e;
+      Store.emit_hit ~id ~bytes:(String.length e.payload);
+      Ok e.payload
+  | None -> (
+      t.stats.Swcache.Stats.misses <- t.stats.Swcache.Stats.misses + 1;
+      Store.emit_miss ~id ();
+      match Store.get_chunk t.store key with
+      | Ok payload ->
+          insert t key payload;
+          Ok payload
+      | Error e -> Error e)
+
+(** [get_exn t key] is {!get}, raising {!Error.Corrupt}. *)
+let get_exn t key =
+  match get t key with Ok p -> p | Error e -> Error.raise_corrupt e
+
+(** [put t payload] writes through: the chunk lands in the store and
+    the cache, and the key is returned. *)
+let put t payload =
+  let key = Store.put_chunk t.store payload in
+  t.stats.Swcache.Stats.writebacks <- t.stats.Swcache.Stats.writebacks + 1;
+  Store.emit_put ~bytes:(String.length payload) ();
+  insert t key payload;
+  key
+
+(** [evict t key] drops one entry from the cache (the store copy is
+    untouched); returns whether it was resident. *)
+let evict t key =
+  match drop t key with
+  | Some bytes ->
+      t.stats.Swcache.Stats.evictions <- t.stats.Swcache.Stats.evictions + 1;
+      Store.emit_evict ~bytes ();
+      true
+  | None -> false
+
+(** [clear t] empties the cache (counters survive; use
+    {!Swcache.Stats.reset} to zero them). *)
+let clear t =
+  Hashtbl.reset t.table;
+  t.used <- 0

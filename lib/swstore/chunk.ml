@@ -1,0 +1,108 @@
+(** Content-addressed chunks: the unit of storage.
+
+    A chunk is a bounded byte payload filed under its own SHA-256.
+    The encoded form carries the key and the payload length in a
+    header, so a reader can verify integrity without any out-of-band
+    state: a flipped bit anywhere — header or payload — surfaces as a
+    structured {!Error.t} instead of silently corrupt physics.
+
+    Wire format (version 1)::
+
+      swstore-chunk 1\n
+      <64-hex key> <payload length>\n
+      <payload bytes>
+
+    The payload is raw binary; only the two header lines are text. *)
+
+type t = { key : string; payload : string }
+
+(** Hard cap on a single chunk's payload.  An encoded length beyond
+    this is rejected {e before} any allocation, so a corrupted header
+    cannot drive the reader into a multi-gigabyte [Bytes.create]. *)
+let max_payload = 1 lsl 22
+
+(** Default split size for chunking large objects (64 KiB — one LDM's
+    worth of trajectory per chunk, a storage-layer choice). *)
+let default_split = 1 lsl 16
+
+let magic = "swstore-chunk 1"
+
+(** [key payload] is the content address of [payload]. *)
+let key payload = Sha256.hex payload
+
+(** [make payload] files [payload] under its content address. *)
+let make payload =
+  if String.length payload > max_payload then
+    invalid_arg "Chunk.make: payload exceeds max_payload";
+  { key = key payload; payload }
+
+(** [encode c] is the chunk's wire form. *)
+let encode c =
+  Printf.sprintf "%s\n%s %d\n%s" magic c.key (String.length c.payload) c.payload
+
+(** [decode s] parses and verifies one encoded chunk.  Every
+    corruption class maps to a distinct {!Error.t}: bad magic,
+    malformed header, oversized declared length, truncated or
+    over-long payload, and — the content-addressing guarantee — a
+    payload that no longer hashes to its key. *)
+let decode s : (t, Error.t) result =
+  let ( let* ) = Result.bind in
+  let* nl1 =
+    match String.index_opt s '\n' with
+    | Some i -> Ok i
+    | None -> Error (Error.Truncated "chunk magic")
+  in
+  let* () =
+    if String.sub s 0 nl1 = magic then Ok ()
+    else Error (Error.Bad_magic (String.sub s 0 nl1))
+  in
+  let* nl2 =
+    match String.index_from_opt s (nl1 + 1) '\n' with
+    | Some i -> Ok i
+    | None -> Error (Error.Truncated "chunk header")
+  in
+  let header = String.sub s (nl1 + 1) (nl2 - nl1 - 1) in
+  let* k, len =
+    match String.split_on_char ' ' header with
+    | [ k; l ] -> (
+        match int_of_string_opt l with
+        | Some len -> Ok (k, len)
+        | None -> Error (Error.Bad_header ("chunk length " ^ l)))
+    | _ -> Error (Error.Bad_header "chunk header shape")
+  in
+  let* () =
+    if Sha256.is_key k then Ok ()
+    else Error (Error.Bad_header ("chunk key " ^ k))
+  in
+  let* () = if len < 0 then Error (Error.Bad_header "negative length") else Ok () in
+  let* () = if len > max_payload then Error (Error.Oversized len) else Ok () in
+  let body_len = String.length s - nl2 - 1 in
+  let* () =
+    if body_len < len then Error (Error.Truncated "chunk payload")
+    else if body_len > len then Error (Error.Bad_header "trailing junk after payload")
+    else Ok ()
+  in
+  let payload = String.sub s (nl2 + 1) len in
+  let actual = key payload in
+  if actual <> k then Error (Error.Hash_mismatch { key = k; actual })
+  else Ok { key = k; payload }
+
+(** [decode_exn s] is {!decode}, raising {!Error.Corrupt}. *)
+let decode_exn s =
+  match decode s with Ok c -> c | Error e -> Error.raise_corrupt e
+
+(** [split ?size payload] cuts [payload] into chunk-sized pieces (the
+    last may be short; an empty payload is one empty piece, so every
+    object owns at least one chunk). *)
+let split ?(size = default_split) payload =
+  if size <= 0 || size > max_payload then invalid_arg "Chunk.split: bad size";
+  let n = String.length payload in
+  if n = 0 then [ "" ]
+  else
+    let rec go off acc =
+      if off >= n then List.rev acc
+      else
+        let len = min size (n - off) in
+        go (off + len) (String.sub payload off len :: acc)
+    in
+    go 0 []

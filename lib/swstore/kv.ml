@@ -1,0 +1,81 @@
+(** Persistent keyed store: arbitrary string values filed under
+    structured keys.
+
+    The promotion target for in-process memo tables (the swbench
+    measure cache): a key is a list of components — platform, plan,
+    workload, fault plan — hashed into a manifest name, the value is
+    chunked through the cache, and the key components are kept in the
+    manifest metadata so a store is self-describing.  Lookups emit
+    [get]/[hit]/[miss] on the store track and keep their own
+    {!Swcache.Stats}, which is what the batch report surfaces as
+    "served from store". *)
+
+type t = {
+  cache : Cache.t;
+  ns : string;  (** namespace, part of every manifest name *)
+  stats : Swcache.Stats.t;
+}
+
+(** [create ?ns cache] is a keyed store in namespace [ns] (default
+    ["kv"]) over [cache]'s object store. *)
+let create ?(ns = "kv") cache =
+  if not (Manifest.is_token ns) then invalid_arg "Kv.create: bad namespace";
+  { cache; ns; stats = Swcache.Stats.create () }
+
+(** [stats t] counts key-level hits (key present, value reassembled)
+    and misses. *)
+let stats t = t.stats
+
+(* key components may hold anything (fault-plan specs, platform file
+   paths), so the manifest name is the hash of the NUL-joined parts *)
+let name_of t key =
+  t.ns ^ "-" ^ Sha256.hex (String.concat "\x00" key)
+
+(** [mem t ~key] tests key presence without touching chunk data. *)
+let mem t ~key = Store.has_manifest (Cache.store t.cache) (name_of t key)
+
+(** [put t ~key value] files [value] under [key], overwriting any
+    previous value (chunks are content-addressed, so re-putting an
+    identical value writes nothing new). *)
+let put t ~key value =
+  let chunks =
+    List.map
+      (fun piece -> (Cache.put t.cache piece, String.length piece))
+      (Chunk.split value)
+  in
+  let meta =
+    ("ns", t.ns)
+    :: List.mapi (fun i part -> (Printf.sprintf "key%d" i, part)) key
+  in
+  Store.put_manifest (Cache.store t.cache)
+    (Manifest.v ~kind:"kv" ~name:(name_of t key) ~meta chunks)
+
+(** [get t ~key] reassembles the value under [key]: [None] when the
+    key was never put (a miss), the value on a hit.  A key that is
+    present but whose chunks are corrupt or missing raises
+    {!Error.Corrupt} — a damaged store must not masquerade as a cold
+    one. *)
+let get t ~key =
+  let id = Store.next_event_id () in
+  Store.emit_get ~id ();
+  match Store.get_manifest (Cache.store t.cache) (name_of t key) with
+  | Error (Error.Missing _) ->
+      t.stats.Swcache.Stats.misses <- t.stats.Swcache.Stats.misses + 1;
+      Store.emit_miss ~id ();
+      None
+  | Error e -> Error.raise_corrupt e
+  | Ok m ->
+      let buf = Buffer.create (Manifest.total_bytes m) in
+      List.iter
+        (fun (ckey, size) ->
+          let piece = Cache.get_exn t.cache ckey in
+          if String.length piece <> size then
+            Error.raise_corrupt
+              (Error.Bad_header
+                 (Printf.sprintf "chunk %s: manifest size %d, payload %d" ckey
+                    size (String.length piece)));
+          Buffer.add_string buf piece)
+        m.Manifest.chunks;
+      t.stats.Swcache.Stats.hits <- t.stats.Swcache.Stats.hits + 1;
+      Store.emit_hit ~id ~bytes:(Buffer.length buf);
+      Some (Buffer.contents buf)

@@ -1,0 +1,149 @@
+(** Object manifests: how named objects map onto chunks.
+
+    A manifest names an object (a trajectory, a checkpoint, a keyed
+    value), carries free-form metadata and lists the content-addressed
+    chunks whose concatenation is the object's payload.  Like the
+    chunk codec, the parser treats its input as hostile: counts,
+    sizes, key shapes and trailing bytes are all checked before
+    anything is believed.
+
+    Wire format (version 1)::
+
+      swstore-manifest 1\n
+      kind <token>\n
+      name <token>\n
+      meta <key> <value>\n        (zero or more; value may hold spaces)
+      chunks <count>\n
+      <64-hex key> <size>\n       (exactly <count> lines)
+*)
+
+type t = {
+  kind : string;  (** object class: "checkpoint", "trajectory", "kv", ... *)
+  name : string;  (** the object's store-wide name *)
+  meta : (string * string) list;  (** free-form string metadata *)
+  chunks : (string * int) list;  (** (chunk key, payload size) in order *)
+}
+
+let magic = "swstore-manifest 1"
+
+(** Cap on the chunk count a manifest may declare; guards the parser
+    against a corrupted count driving an unbounded loop. *)
+let max_chunks = 1_000_000
+
+let is_token s =
+  s <> ""
+  && String.for_all
+       (fun c -> not (c = ' ' || c = '\n' || c = '\r' || c = '\t'))
+       s
+
+(** [v ~kind ~name ?meta chunks] builds a validated manifest. *)
+let v ~kind ~name ?(meta = []) chunks =
+  if not (is_token kind) then invalid_arg "Manifest.v: bad kind";
+  if not (is_token name) then invalid_arg "Manifest.v: bad name";
+  List.iter
+    (fun (k, v) ->
+      if not (is_token k) then invalid_arg "Manifest.v: bad meta key";
+      if String.contains v '\n' then invalid_arg "Manifest.v: newline in meta value")
+    meta;
+  if List.length chunks > max_chunks then invalid_arg "Manifest.v: too many chunks";
+  List.iter
+    (fun (key, size) ->
+      if not (Sha256.is_key key) then invalid_arg "Manifest.v: bad chunk key";
+      if size < 0 || size > Chunk.max_payload then
+        invalid_arg "Manifest.v: bad chunk size")
+    chunks;
+  { kind; name; meta; chunks }
+
+(** [total_bytes m] is the object's payload size. *)
+let total_bytes m = List.fold_left (fun a (_, s) -> a + s) 0 m.chunks
+
+(** [meta_value m key] looks a metadata field up. *)
+let meta_value m key = List.assoc_opt key m.meta
+
+let to_string m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Printf.bprintf buf "kind %s\nname %s\n" m.kind m.name;
+  List.iter (fun (k, v) -> Printf.bprintf buf "meta %s %s\n" k v) m.meta;
+  Printf.bprintf buf "chunks %d\n" (List.length m.chunks);
+  List.iter (fun (key, size) -> Printf.bprintf buf "%s %d\n" key size) m.chunks;
+  Buffer.contents buf
+
+(** [of_string s] parses a manifest; every corruption is a structured
+    {!Error.t}. *)
+let of_string s : (t, Error.t) result =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' s in
+  let* () =
+    match lines with
+    | m :: _ when m = magic -> Ok ()
+    | m :: _ -> Error (Error.Bad_magic m)
+    | [] -> Error (Error.Truncated "manifest")
+  in
+  let field name = function
+    | line :: rest ->
+        let prefix = name ^ " " in
+        let plen = String.length prefix in
+        if String.length line > plen && String.sub line 0 plen = prefix then
+          Ok (String.sub line plen (String.length line - plen), rest)
+        else Error (Error.Bad_header (name ^ " line"))
+    | [] -> Error (Error.Truncated ("manifest " ^ name))
+  in
+  let rest = List.tl lines in
+  let* kind, rest = field "kind" rest in
+  let* name, rest = field "name" rest in
+  let* () =
+    if is_token kind && is_token name then Ok ()
+    else Error (Error.Bad_header "kind/name token")
+  in
+  let rec metas acc = function
+    | line :: rest
+      when String.length line > 5 && String.sub line 0 5 = "meta " -> (
+        let body = String.sub line 5 (String.length line - 5) in
+        match String.index_opt body ' ' with
+        | Some i ->
+            metas
+              ((String.sub body 0 i,
+                String.sub body (i + 1) (String.length body - i - 1))
+              :: acc)
+              rest
+        | None -> Error (Error.Bad_header "meta line"))
+    | rest -> Ok (List.rev acc, rest)
+  in
+  let* meta, rest = metas [] rest in
+  let* count, rest =
+    let* v, rest = field "chunks" rest in
+    match int_of_string_opt v with
+    | Some n when n >= 0 && n <= max_chunks -> Ok (n, rest)
+    | Some n when n > max_chunks -> Error (Error.Oversized n)
+    | _ -> Error (Error.Bad_header ("chunk count " ^ v))
+  in
+  let rec chunk_lines n acc = function
+    | rest when n = 0 -> Ok (List.rev acc, rest)
+    | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | [ key; size ] -> (
+            match int_of_string_opt size with
+            | Some sz
+              when Sha256.is_key key && sz >= 0 && sz <= Chunk.max_payload ->
+                chunk_lines (n - 1) ((key, sz) :: acc) rest
+            | Some sz when sz > Chunk.max_payload -> Error (Error.Oversized sz)
+            | _ -> Error (Error.Bad_header ("chunk line " ^ line)))
+        | _ -> Error (Error.Bad_header ("chunk line " ^ line)))
+    | [] -> Error (Error.Truncated "manifest chunk list")
+  in
+  let* chunks, rest = chunk_lines count [] rest in
+  (* the serializer ends with exactly one newline: its absence means
+     the tail of the manifest was cut off (possibly mid-number) *)
+  let* () =
+    match rest with
+    | [ "" ] -> Ok ()
+    | [] -> Error (Error.Truncated "manifest final newline")
+    | _ -> Error (Error.Bad_header "trailing junk after chunk list")
+  in
+  Ok { kind; name; meta; chunks }
+
+(** [of_string_exn s] is {!of_string}, raising {!Error.Corrupt}. *)
+let of_string_exn s =
+  match of_string s with Ok m -> m | Error e -> Error.raise_corrupt e

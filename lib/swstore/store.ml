@@ -1,0 +1,226 @@
+(** The chunk/manifest object store.
+
+    Two backends behind one interface: an in-memory table (unit tests,
+    ephemeral batch runs) and a directory on disk (persistent runs —
+    chunks under [chunks/], manifests under [manifests/]).  Both hold
+    the {e encoded} chunk form, so a read always goes through the
+    integrity-checked {!Chunk.decode}: flipping one byte in a chunk
+    file is detected as a structured error, never returned as data.
+
+    Every store operation can emit events on the trace's store track
+    (see {!emit_get} and friends); the shared id counter lets the
+    trace linter pair each [get] with the [hit]/[miss] that resolved
+    it. *)
+
+type backend =
+  | Memory of {
+      chunks : (string, string) Hashtbl.t;  (** key -> encoded chunk *)
+      manifests : (string, string) Hashtbl.t;  (** name -> encoded manifest *)
+    }
+  | Dir of string  (** root directory *)
+
+type t = { backend : backend }
+
+(* --- trace emission -------------------------------------------------- *)
+
+(* One id per logical lookup, shared by every layer (store, cache,
+   keyed store) so `get` instants pair with their `hit`/`miss`. *)
+let event_ids = ref 0
+
+let next_event_id () =
+  incr event_ids;
+  float_of_int !event_ids
+
+let emit name ~id args =
+  Swtrace.Trace.instant ~cat:"store"
+    ~args:(("id", id) :: args)
+    Swtrace.Track.Store name
+
+(** [emit_get ~id ()] records a lookup on the store track; the same
+    [id] must later appear on a [hit] or [miss] instant. *)
+let emit_get ~id () = emit "get" ~id []
+
+let emit_hit ~id ~bytes = emit "hit" ~id [ ("bytes", float_of_int bytes) ]
+let emit_miss ~id () = emit "miss" ~id []
+let emit_put ~bytes () = emit "put" ~id:(next_event_id ()) [ ("bytes", float_of_int bytes) ]
+let emit_evict ~bytes () = emit "evict" ~id:(next_event_id ()) [ ("bytes", float_of_int bytes) ]
+
+(* --- backends -------------------------------------------------------- *)
+
+let mkdir_p path =
+  if not (Sys.file_exists path) then
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(** [open_memory ()] is an empty in-memory store. *)
+let open_memory () =
+  {
+    backend =
+      Memory { chunks = Hashtbl.create 64; manifests = Hashtbl.create 16 };
+  }
+
+(** [open_dir root] opens (creating if needed) a directory-backed
+    store. *)
+let open_dir root =
+  (try
+     mkdir_p root;
+     mkdir_p (Filename.concat root "chunks");
+     mkdir_p (Filename.concat root "manifests")
+   with Unix.Unix_error (e, _, _) ->
+     Error.raise_corrupt (Error.Io (root ^ ": " ^ Unix.error_message e)));
+  { backend = Dir root }
+
+(* manifest names become file names on the Dir backend: restrict them
+   so a hostile name cannot escape the store root *)
+let check_name name =
+  let ok c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+    | _ -> false
+  in
+  if name = "" || (not (String.for_all ok name)) || String.length name > 200
+     || name.[0] = '.'
+  then invalid_arg (Printf.sprintf "Swstore: bad object name %S" name)
+
+let chunk_path root key = Filename.concat (Filename.concat root "chunks") key
+let manifest_path root name = Filename.concat (Filename.concat root "manifests") name
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  (* write-then-rename so a crash mid-write never leaves a torn object
+     under its final name *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data);
+  Sys.rename tmp path
+
+(* --- chunks ---------------------------------------------------------- *)
+
+(** [put_chunk t payload] files [payload] under its content address
+    and returns the key.  Re-putting identical content is a no-op —
+    the dedup that makes checkpoint streams cheap. *)
+let put_chunk t payload =
+  let c = Chunk.make payload in
+  (match t.backend with
+  | Memory { chunks; _ } ->
+      if not (Hashtbl.mem chunks c.Chunk.key) then
+        Hashtbl.replace chunks c.Chunk.key (Chunk.encode c)
+  | Dir root ->
+      let path = chunk_path root c.Chunk.key in
+      if not (Sys.file_exists path) then write_file path (Chunk.encode c));
+  c.Chunk.key
+
+(** [get_chunk t key] reads, decodes and verifies the chunk under
+    [key].  The payload must hash back to [key] itself — a chunk filed
+    under the wrong name is as corrupt as a flipped byte. *)
+let get_chunk t key : (string, Error.t) result =
+  let encoded =
+    match t.backend with
+    | Memory { chunks; _ } -> (
+        match Hashtbl.find_opt chunks key with
+        | Some e -> Ok e
+        | None -> Error (Error.Missing key))
+    | Dir root -> (
+        let path = chunk_path root key in
+        if Sys.file_exists path then
+          try Ok (read_file path) with Sys_error m -> Error (Error.Io m)
+        else Error (Error.Missing key))
+  in
+  Result.bind encoded (fun e ->
+      Result.bind (Chunk.decode e) (fun c ->
+          if c.Chunk.key <> key then
+            Error (Error.Hash_mismatch { key; actual = c.Chunk.key })
+          else Ok c.Chunk.payload))
+
+let get_chunk_exn t key =
+  match get_chunk t key with Ok p -> p | Error e -> Error.raise_corrupt e
+
+(** [has_chunk t key] tests presence without reading the payload. *)
+let has_chunk t key =
+  match t.backend with
+  | Memory { chunks; _ } -> Hashtbl.mem chunks key
+  | Dir root -> Sys.file_exists (chunk_path root key)
+
+(** [chunk_count t] is the number of stored chunks. *)
+let chunk_count t =
+  match t.backend with
+  | Memory { chunks; _ } -> Hashtbl.length chunks
+  | Dir root -> Array.length (Sys.readdir (Filename.concat root "chunks"))
+
+(* --- manifests ------------------------------------------------------- *)
+
+(** [put_manifest t m] files [m] under its name, overwriting any
+    previous version (manifests are mutable heads; chunks are not). *)
+let put_manifest t (m : Manifest.t) =
+  check_name m.Manifest.name;
+  let encoded = Manifest.to_string m in
+  match t.backend with
+  | Memory { manifests; _ } -> Hashtbl.replace manifests m.Manifest.name encoded
+  | Dir root -> write_file (manifest_path root m.Manifest.name) encoded
+
+(** [get_manifest t name] reads and parses the manifest under
+    [name]. *)
+let get_manifest t name : (Manifest.t, Error.t) result =
+  check_name name;
+  let encoded =
+    match t.backend with
+    | Memory { manifests; _ } -> (
+        match Hashtbl.find_opt manifests name with
+        | Some e -> Ok e
+        | None -> Error (Error.Missing name))
+    | Dir root -> (
+        let path = manifest_path root name in
+        if Sys.file_exists path then
+          try Ok (read_file path) with Sys_error m -> Error (Error.Io m)
+        else Error (Error.Missing name))
+  in
+  Result.bind encoded Manifest.of_string
+
+let get_manifest_exn t name =
+  match get_manifest t name with Ok m -> m | Error e -> Error.raise_corrupt e
+
+(** [has_manifest t name] tests presence. *)
+let has_manifest t name =
+  check_name name;
+  match t.backend with
+  | Memory { manifests; _ } -> Hashtbl.mem manifests name
+  | Dir root -> Sys.file_exists (manifest_path root name)
+
+(** [manifest_names t] lists every named object, sorted. *)
+let manifest_names t =
+  match t.backend with
+  | Memory { manifests; _ } ->
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) manifests [])
+  | Dir root ->
+      let names = Array.to_list (Sys.readdir (Filename.concat root "manifests")) in
+      List.sort compare (List.filter (fun n -> not (Filename.check_suffix n ".tmp")) names)
+
+(* --- testing hook ---------------------------------------------------- *)
+
+(** [corrupt_chunk t key ~at] flips one payload byte of the stored
+    (encoded) chunk — the corruption-detection tests' fault injector.
+    Raises if the chunk is absent. *)
+let corrupt_chunk t key ~at =
+  let flip encoded =
+    let b = Bytes.of_string encoded in
+    (* skip the two header lines: corrupt the payload itself *)
+    let body = String.index_from encoded (String.index encoded '\n' + 1) '\n' + 1 in
+    let i = body + at in
+    if i >= Bytes.length b then invalid_arg "Swstore.corrupt_chunk: offset past payload";
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b
+  in
+  match t.backend with
+  | Memory { chunks; _ } -> (
+      match Hashtbl.find_opt chunks key with
+      | Some e -> Hashtbl.replace chunks key (flip e)
+      | None -> Error.raise_corrupt (Error.Missing key))
+  | Dir root ->
+      let path = chunk_path root key in
+      if not (Sys.file_exists path) then Error.raise_corrupt (Error.Missing key);
+      write_file path (flip (read_file path))

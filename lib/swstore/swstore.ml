@@ -1,0 +1,26 @@
+(** swstore: chunked, content-addressed object store for trajectory
+    frames, checkpoints and keyed values, fronted by a
+    capacity-bounded LRU cache.
+
+    Layering, bottom to top:
+
+    - {!Error} — the structured corruption error every reader raises
+    - {!Sha256} — content addresses (pure OCaml SHA-256)
+    - {!Chunk} — the integrity-checked unit of storage
+    - {!Manifest} — named objects as ordered chunk lists
+    - {!Store} — the chunk/manifest backends (memory, directory)
+    - {!Cache} — LRU byte-budgeted cache over a store
+    - {!Kv} — persistent keyed values (the promoted measure cache)
+    - {!Objects} — checkpoints and XTC trajectories as store objects
+
+    All lookups emit [get]/[hit]/[miss] instants on the trace's store
+    track; the trace linter enforces that every [get] is resolved. *)
+
+module Error = Error
+module Sha256 = Sha256
+module Chunk = Chunk
+module Manifest = Manifest
+module Store = Store
+module Cache = Cache
+module Kv = Kv
+module Objects = Objects

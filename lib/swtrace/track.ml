@@ -17,6 +17,7 @@ type t =
   | Cpe of int  (** compute element of the core group *)
   | Net  (** the interconnect: halo, PME transpose, collectives *)
   | Fault  (** fault injections and recoveries (swfault) *)
+  | Store  (** object-store traffic: get/hit/miss/put/evict (swstore) *)
 
 (* The CPE lane count starts at a 1-lane placeholder; the first
    core-group instantiation replaces it with the platform's CPE count
@@ -43,7 +44,7 @@ let set_cpe_tracks n =
   end
 
 (** [count ()] is the total number of tracks. *)
-let count () = !cpe_track_count + 3
+let count () = !cpe_track_count + 4
 
 (** [index t] is the dense track index, also used as the trace tid:
     MPE first, then the CPE mesh, the network last. *)
@@ -55,6 +56,7 @@ let index = function
       1 + i
   | Net -> !cpe_track_count + 1
   | Fault -> !cpe_track_count + 2
+  | Store -> !cpe_track_count + 3
 
 (** [of_index i] inverts {!index}. *)
 let of_index i =
@@ -63,6 +65,7 @@ let of_index i =
   else if i >= 1 && i <= cpe then Cpe (i - 1)
   else if i = cpe + 1 then Net
   else if i = cpe + 2 then Fault
+  else if i = cpe + 3 then Store
   else invalid_arg "Track.of_index"
 
 (** [name t] is the human-readable lane label shown by trace viewers. *)
@@ -71,5 +74,6 @@ let name = function
   | Cpe i -> Printf.sprintf "CPE %02d" i
   | Net -> "network"
   | Fault -> "fault"
+  | Store -> "store"
 
 let pp ppf t = Fmt.string ppf (name t)
