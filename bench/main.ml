@@ -248,6 +248,41 @@ let simulated_figures () =
   ]
   @ store_figures ()
 
+(* Real wall-clock alongside the simulated figures: best-of-three fresh
+   runs of the Table-1 24k decomposed step and the 3k Mark kernel.  The
+   simulated keys above are bit-identical across [--domains N]; these
+   wall_* keys (and the [domains] stamp) are what actually moves. *)
+let wall_figures () =
+  let best_of_3 f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let a = once () in
+    let b = once () in
+    let c = once () in
+    Float.min a (Float.min b c)
+  in
+  let cfg = Swbench.Common.cfg () in
+  let step =
+    best_of_3 (fun () ->
+        ignore (E.measure ~cfg ~version:E.V_other ~total_atoms:24000 ~n_cg:8 ()))
+  in
+  let mark =
+    best_of_3 (fun () ->
+        let p = Lazy.force prep3k in
+        let cg = Swarch.Core_group.create cfg in
+        ignore
+          (Swgmx.Kernel_cpe.run p.Swbench.Common.sys p.Swbench.Common.pairs cg
+             (Swgmx.Kernel_cpe.spec_of_variant V.Mark)))
+  in
+  [
+    ("wall_step_ms", step *. 1e3);
+    ("wall_mark3k_ms", mark *. 1e3);
+    ("domains", float_of_int (Swpar.Domains.get ()));
+  ]
+
 let write_json path rows =
   let module J = Swtrace.Json in
   let doc =
@@ -266,8 +301,10 @@ let write_json path rows =
                    ])
                rows) );
         ( "simulated",
-          J.Obj (List.map (fun (k, v) -> (k, J.Num v)) (simulated_figures ()))
-        );
+          J.Obj
+            (List.map
+               (fun (k, v) -> (k, J.Num v))
+               (simulated_figures () @ wall_figures ())) );
       ]
   in
   let oc = open_out path in
@@ -276,7 +313,8 @@ let write_json path rows =
   close_out oc;
   Fmt.pr "wrote %s@." path
 
-(* minimal argv handling: [--json FILE] and [--platform NAME] *)
+(* minimal argv handling: [--json FILE], [--platform NAME] and
+   [--domains N] *)
 let json_path () =
   let rec scan = function
     | "--json" :: path :: _ -> Some path
@@ -299,7 +337,30 @@ let platform_name () =
   in
   scan (List.tl (Array.to_list Sys.argv))
 
+let domain_count () =
+  let rec scan = function
+    | "--domains" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some n -> Some n
+        | None ->
+            prerr_endline "bench: --domains requires an integer";
+            exit 2)
+    | "--domains" :: [] ->
+        prerr_endline "bench: --domains requires a domain count";
+        exit 2
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (List.tl (Array.to_list Sys.argv))
+
 let () =
+  (match domain_count () with
+  | Some n -> (
+      try Swpar.Domains.set n
+      with Invalid_argument msg ->
+        prerr_endline ("bench: " ^ msg);
+        exit 2)
+  | None -> ());
   (match platform_name () with
   | Some name -> (
       try Swbench.Common.set_platform (Swarch.Platform.resolve name)
@@ -308,7 +369,8 @@ let () =
         exit 2)
   | None -> ());
   let json = json_path () in
-  Fmt.pr "platform: %a@." Swarch.Platform.pp (Swbench.Common.cfg ());
+  Fmt.pr "platform: %a (%d domain(s))@." Swarch.Platform.pp
+    (Swbench.Common.cfg ()) (Swpar.Domains.get ());
   Fmt.pr "=== bechamel micro-benchmarks (one per table/figure) ===@.";
   let rows = run_benchmarks () in
   print_benchmarks rows;

@@ -14,17 +14,20 @@ let run_one ~quick (e : Swbench.Registry.experiment) =
   Fmt.pr "[%s finished in %.1f s wall]@." e.Swbench.Registry.id
     (Unix.gettimeofday () -. t0)
 
-let main list_only quick platform_name trace_file trace_summary ids =
+let main list_only quick platform_name domains trace_file trace_summary ids =
   if list_only then begin
     List.iter print_endline (Swbench.Registry.ids ());
     0
   end
   else begin
-    (try Swbench.Common.set_platform (Swarch.Platform.resolve platform_name)
+    (try
+       Swpar.Domains.set domains;
+       Swbench.Common.set_platform (Swarch.Platform.resolve platform_name)
      with Invalid_argument msg ->
        Fmt.epr "experiments: %s@." msg;
        exit 2);
-    Fmt.pr "platform: %a@." Swarch.Platform.pp (Swbench.Common.cfg ());
+    Fmt.pr "platform: %a (%d domain(s))@." Swarch.Platform.pp
+      (Swbench.Common.cfg ()) (Swpar.Domains.get ());
     let tracing = trace_file <> None || trace_summary in
     if tracing then Swtrace.Trace.enable ();
     let selected =
@@ -56,9 +59,9 @@ let main list_only quick platform_name trace_file trace_summary ids =
          let cfg = Swbench.Common.cfg () in
          Swtrace.Summary.print
            ~platform:
-             (Printf.sprintf "%s (%s), %d-lane SIMD"
+             (Printf.sprintf "%s (%s), %d-lane SIMD, %d domain(s)"
                 cfg.Swarch.Config.display cfg.Swarch.Config.name
-                cfg.Swarch.Config.simd_lanes)
+                cfg.Swarch.Config.simd_lanes (Swpar.Domains.get ()))
            Fmt.stdout events);
       Swtrace.Trace.disable ()
     end;
@@ -85,6 +88,14 @@ let platform =
           "Machine description the experiments run against: a built-in \
            platform name or a key=value platform file.")
 
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run the simulator over $(docv) OCaml domains (bit-identical \
+           results for every $(docv); see docs/PARALLEL.md).")
+
 let trace_file =
   Arg.(
     value
@@ -106,7 +117,7 @@ let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc)
     Term.(
-      const main $ list_flag $ quick_flag $ platform $ trace_file
+      const main $ list_flag $ quick_flag $ platform $ domains $ trace_file
       $ trace_summary $ ids_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -39,8 +39,9 @@ let export_trace ~cfg ~trace_file ~trace_summary =
   if trace_summary then
     Swtrace.Summary.print
       ~platform:
-        (Printf.sprintf "%s (%s), %d-lane SIMD" cfg.Swarch.Config.display
-           cfg.Swarch.Config.name cfg.Swarch.Config.simd_lanes)
+        (Printf.sprintf "%s (%s), %d-lane SIMD, %d domain(s)"
+           cfg.Swarch.Config.display cfg.Swarch.Config.name
+           cfg.Swarch.Config.simd_lanes (Swpar.Domains.get ()))
       ~peak_flops:(peak_flops cfg)
       ~peak_bw:(Swarch.Config.peak_dma_bw cfg)
       Fmt.stdout events;
@@ -72,10 +73,11 @@ let run_batch cfg ~manifest_path ~store_dir ~report_file ~trace_file
   let kv = Swstore.Kv.create ~ns:"batch" cache in
   Swbench.Common.set_platform cfg;
   Swbench.Common.set_measure_store (Some kv);
-  Fmt.pr "sw_gromacs batch: %d job(s) from %s (%s store)@." (List.length jobs)
-    manifest_path
-    (match store_dir with Some d -> d | None -> "in-memory");
-  let outcomes =
+  Fmt.pr "sw_gromacs batch: %d job(s) from %s (%s store, %d domain(s))@."
+    (List.length jobs) manifest_path
+    (match store_dir with Some d -> d | None -> "in-memory")
+    (Swpar.Domains.get ());
+  let outcomes, wall_s =
     Fun.protect
       ~finally:(fun () -> Swbench.Common.set_measure_store None)
       (fun () ->
@@ -88,13 +90,14 @@ let run_batch cfg ~manifest_path ~store_dir ~report_file ~trace_file
             exit 2)
   in
   Fmt.pr "@.";
-  Swbench.Batch.report Fmt.stdout ~kv ~cache outcomes;
+  Swbench.Batch.report Fmt.stdout ~kv ~cache ~wall_s outcomes;
   (match report_file with
   | Some path -> (
       try
         let oc = open_out path in
         output_string oc
-          (Swtrace.Json.to_string (Swbench.Batch.json_report ~kv ~cache outcomes));
+          (Swtrace.Json.to_string
+             (Swbench.Batch.json_report ~kv ~cache ~wall_s outcomes));
         output_char oc '\n';
         close_out oc;
         Fmt.pr "report: %s@." path
@@ -105,10 +108,14 @@ let run_batch cfg ~manifest_path ~store_dir ~report_file ~trace_file
   if tracing then export_trace ~cfg ~trace_file ~trace_summary;
   0
 
-let main particles steps variant_name platform_name dt temp seed pipelined
-    overlap write_traj trace_file trace_summary checkpoint_every
+let main particles steps variant_name platform_name dt temp seed domains
+    pipelined overlap write_traj trace_file trace_summary checkpoint_every
     checkpoint_file restart_file faults_spec fault_seed store_dir store_name
     restart_store batch_file report_file =
+  (try Swpar.Domains.set domains
+   with Invalid_argument msg ->
+     Fmt.epr "sw_gromacs: %s@." msg;
+     exit 2);
   let variant =
     match Swgmx.Variant.of_string variant_name with
     | Some v -> v
@@ -190,9 +197,10 @@ let main particles steps variant_name platform_name dt temp seed pipelined
   let tracing = trace_file <> None || trace_summary in
   if tracing then Swtrace.Trace.enable ();
   let molecules = max 4 (particles / 3) in
-  Fmt.pr "sw_gromacs: %d water molecules (%d atoms), %d steps, kernel %s%s@."
+  Fmt.pr "sw_gromacs: %d water molecules (%d atoms), %d steps, kernel %s%s, %d domain(s)@."
     molecules (3 * molecules) steps (Swgmx.Variant.name variant)
-    (if pipelined then " (pipelined)" else "");
+    (if pipelined then " (pipelined)" else "")
+    (Swpar.Domains.get ());
   Fmt.pr "platform: %a@." Swarch.Platform.pp cfg;
   (match faults with
   | Some inj ->
@@ -313,6 +321,16 @@ let platform =
 let dt = Arg.(value & opt float 0.001 & info [ "dt" ] ~doc:"Time step (ps).")
 let temp = Arg.(value & opt float 300.0 & info [ "t"; "temp" ] ~doc:"Temperature (K).")
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Execute the CPE mesh walks and batch jobs over $(docv) OCaml \
+           domains (see docs/PARALLEL.md).  Sharding is static and the \
+           merge order fixed, so physics, cost charges and traces are \
+           bit-identical for every $(docv); 1 reproduces the serial path.")
 
 let pipelined =
   Arg.(
@@ -447,7 +465,7 @@ let cmd =
     (Cmd.info "sw_gromacs" ~doc)
     Term.(
       const main $ particles $ steps $ variant $ platform $ dt $ temp $ seed
-      $ pipelined $ overlap $ traj $ trace_file $ trace_summary
+      $ domains $ pipelined $ overlap $ traj $ trace_file $ trace_summary
       $ checkpoint_every $ checkpoint_file $ restart $ faults $ fault_seed
       $ store_dir $ store_name $ restart_store $ batch_file $ report_file)
 

@@ -98,6 +98,27 @@ let () =
               d
         | _ -> ())
     events;
+  (* within each track, timestamps must be non-decreasing in file
+     order: the recorder appends monotonically per track and the
+     domain-parallel merge must preserve that order, so a regression
+     here means shards were merged out of order *)
+  let last_ts = Hashtbl.create 16 in
+  List.iteri
+    (fun i ev ->
+      if str_field ev "ph" <> Some "M" then
+        match (num_field ev "tid", num_field ev "ts") with
+        | Some tid, Some ts -> (
+            match Hashtbl.find_opt last_ts tid with
+            | Some prev when ts < prev ->
+                fail
+                  "%s: event %d (%s) on tid %g goes back in time (%g us after \
+                   %g us) — parallel merge out of order?"
+                  path i
+                  (Option.value ~default:"?" (str_field ev "name"))
+                  tid ts prev
+            | _ -> Hashtbl.replace last_ts tid ts)
+        | _ -> ())
+    events;
   let spans_with_cat c =
     List.length
       (List.filter

@@ -43,9 +43,17 @@ type direction = Read | Write
     is reported with its direction, size and bus time.  The swsched
     recorder installs itself here while replaying a kernel, so DMA
     issued anywhere below it (kernels, software caches, reduction) is
-    captured without threading a recorder through every call site. *)
-let observer : (direction -> bytes:int -> time:float -> unit) option ref =
-  ref None
+    captured without threading a recorder through every call site.
+
+    The hook is {e domain-local}: each swpar stripe records into its
+    own shard recorder, so an observer installed on one domain must
+    never see transfers charged by another. *)
+let observer_key :
+    (direction -> bytes:int -> time:float -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let observer () = Domain.DLS.get observer_key
+let set_observer f = Domain.DLS.set observer_key f
 
 let transfer dir ?(aligned = true) cfg (cost : Cost.t) ~bytes =
   if bytes > 0 then begin
@@ -54,7 +62,7 @@ let transfer dir ?(aligned = true) cfg (cost : Cost.t) ~bytes =
     cost.dma_time_s <- cost.dma_time_s +. t;
     cost.dma_bytes <- cost.dma_bytes +. float_of_int bytes;
     cost.dma_transactions <- cost.dma_transactions + 1;
-    (match !observer with Some f -> f dir ~bytes ~time:t | None -> ());
+    (match observer () with Some f -> f dir ~bytes ~time:t | None -> ());
     if Swtrace.Trace.enabled () then Swtrace.Trace.dma_transfer ~bytes ~time:t
   end
 

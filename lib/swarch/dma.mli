@@ -22,8 +22,16 @@ type direction = Read | Write
     recorder installs itself here while recording a kernel, so DMA
     issued anywhere below it (kernels, software caches, reduction) is
     captured without threading a recorder through every call site.
-    Charging is unaffected; the hook only observes. *)
-val observer : (direction -> bytes:int -> time:float -> unit) option ref
+    Charging is unaffected; the hook only observes.
+
+    The hook is {e domain-local} ([Domain.DLS]): each swpar stripe
+    records into its own shard recorder, so an observer installed on
+    one domain never sees transfers charged by another. *)
+val observer : unit -> (direction -> bytes:int -> time:float -> unit) option
+
+(** [set_observer f] installs (or, with [None], removes) the calling
+    domain's observation hook. *)
+val set_observer : (direction -> bytes:int -> time:float -> unit) option -> unit
 
 (** [get ?aligned cfg cost ~bytes] charges one DMA read of [bytes]
     from main memory to [cost].  Transfers not 128-bit aligned pay a

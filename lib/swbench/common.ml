@@ -56,10 +56,22 @@ let kernel_outcome p variant =
     machine prices differently, and a memo hit across fault plans
     would silently return the wrong profile. *)
 let measure_cache :
-    ( string * Swgmx.Engine.version * Swstep.Plan.mode * int * int * string,
+    ( string * Swgmx.Engine.version * Swstep.Plan.mode * int * int * string
+      * string,
       Swgmx.Engine.measurement )
     Hashtbl.t =
   Hashtbl.create 16
+
+(* concurrent batch jobs may fall back to the memo when no store is
+   installed; the table is plain, so lookups/inserts are serialized *)
+let memo_lock = Mutex.create ()
+
+(* The execution-configuration component of every memo and store key.
+   Results are bit-identical across domain counts by construction, but
+   the key must still record how a result was produced: a stored
+   measurement silently served across configurations would mask any
+   future determinism regression instead of exposing it. *)
+let exec_key () = Printf.sprintf "d%d" (Swpar.Domains.get ())
 
 (* the fault-plan component of a measure key: plan spec + seed, "-"
    when the step is priced on a healthy machine *)
@@ -99,6 +111,7 @@ let store_key cfg ~version ~plan ~total_atoms ~n_cg ~faults =
     string_of_int total_atoms;
     string_of_int n_cg;
     faults_key faults;
+    exec_key ();
   ]
 
 (** [measure_via ?cfg ?plan ?faults ~version ~total_atoms ~n_cg ()] is
@@ -128,13 +141,17 @@ let measure_via ?cfg:cfg_opt ?(plan = Swstep.Plan.Serial) ?faults ~version
   | None -> (
       let key =
         (cfg.Swarch.Config.name, version, plan, total_atoms, n_cg,
-         faults_key faults)
+         faults_key faults, exec_key ())
       in
-      match Hashtbl.find_opt measure_cache key with
+      match
+        Mutex.protect memo_lock (fun () -> Hashtbl.find_opt measure_cache key)
+      with
       | Some m -> (m, Memo)
       | None ->
           let m = compute () in
-          Hashtbl.add measure_cache key m;
+          Mutex.protect memo_lock (fun () ->
+              if not (Hashtbl.mem measure_cache key) then
+                Hashtbl.add measure_cache key m);
           (m, Computed))
 
 let measure ?cfg ?plan ?faults ~version ~total_atoms ~n_cg () =

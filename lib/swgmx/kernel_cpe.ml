@@ -292,28 +292,59 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
     }
   in
   let copies = Array.make n_cpes (None : Reduction.copy option) in
-  (* recorder adapters: identity on the serial reference path *)
-  let in_task (cpe : Swarch.Cpe.t) f =
-    match sched with
+  (* Per-CPE accumulators.  Each CPE's slice writes only its own slot;
+     after the (possibly domain-sharded) mesh walk a serial merge folds
+     them into [res] in plain CPE-id order.  Running the same local
+     accumulation plus ordered merge at {e every} domain count —
+     including one — is what keeps energies, forces and cost charges
+     bit-identical from [--domains 1] to [--domains N]. *)
+  let l_res =
+    Array.init n_cpes (fun _ ->
+        {
+          K.force =
+            (* only the MPE-collect baseline scatters j-side updates to
+               arbitrary blocks; every other path writes disjoint owner
+               blocks (or goes through its private copy), so it can
+               share the output array directly *)
+            (if spec.write = Mpe_collect then
+               Array.make (Array.length res.K.force) 0.0
+             else res.K.force);
+          e_lj = 0.0;
+          e_coul = 0.0;
+          pairs_in_cutoff = 0;
+        })
+  in
+  let l_mpe_mem = Array.make n_cpes 0.0 in
+  let l_mpe_flops = Array.make n_cpes 0.0 in
+  let l_read = Array.make n_cpes (None : Swcache.Stats.t option) in
+  let l_write = Array.make n_cpes (None : Swcache.Stats.t option) in
+  let l_marked = Array.make n_cpes 0 in
+  let l_total = Array.make n_cpes 0 in
+  (* recorder adapters: identity on the unrecorded path.  [sd] is the
+     calling shard's branch recorder; branches are merged back in shard
+     order by {!Swsched.Recorder.graft} below. *)
+  let in_task sd (cpe : Swarch.Cpe.t) f =
+    match sd with
     | Some r ->
         Swsched.Recorder.task r ~id:cpe.Swarch.Cpe.id ~cost:cpe.Swarch.Cpe.cost f
     | None -> f ()
   in
-  let sync_record f =
-    match sched with Some r -> Swsched.Recorder.synchronous r f | None -> f ()
+  let sync_record sd f =
+    match sd with Some r -> Swsched.Recorder.synchronous r f | None -> f ()
   in
   let ibuf_slots = match sched with Some _ -> buffers | None -> 1 in
   (* permanently failed CPEs get the empty slab; their i-clusters are
      re-striped over the survivors.  [dead = []] takes the original
      partition so the healthy path stays bit-identical. *)
   let alive = K.alive_ids n_cpes dead in
-  Swarch.Core_group.iter_cpes cg (fun cpe ->
+  let run_cpe sd (cpe : Swarch.Cpe.t) =
       let cost = cpe.Swarch.Cpe.cost in
+      let lres = l_res.(cpe.Swarch.Cpe.id) in
       let lo, hi =
         if dead = [] then K.partition sys.K.n_clusters n_cpes cpe.Swarch.Cpe.id
         else K.partition_alive sys.K.n_clusters ~alive cpe.Swarch.Cpe.id
       in
-      if lo < hi then in_task cpe @@ fun () ->
+      if lo < hi then in_task sd cpe @@ fun () ->
         Swfault.Error.guard ~phase:"force" ~cpe:cpe.Swarch.Cpe.id @@ fun () ->
         (* each CPE keeps a full-length force copy, as the RMA scheme
            prescribes ("an interaction array for every particle") --
@@ -364,7 +395,7 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
            recorded blocking — the zeroes must land before the loop *)
         (match spec.write with
         | Rmw_direct | Deferred { marks = false } ->
-            sync_record (fun () ->
+            sync_record sd (fun () ->
                 let bytes = wlen * K.force_bytes in
                 let blocks = (bytes + 2047) / 2048 in
                 for _ = 1 to blocks do
@@ -381,12 +412,15 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
         in
         let send_to_mpe block_base fb =
           Dma.put cfg cost ~bytes:K.force_bytes;
-          Swarch.Mpe.charge_mem cg.Swarch.Core_group.mpe
-            (float_of_int (2 * K.force_bytes));
-          Swarch.Mpe.charge_flops cg.Swarch.Core_group.mpe
-            (float_of_int K.force_floats);
+          (* MPE charges accumulate locally and are applied at merge
+             time in CPE-id order, so the MPE cost too is independent
+             of the domain count *)
+          let id = cpe.Swarch.Cpe.id in
+          l_mpe_mem.(id) <- l_mpe_mem.(id) +. float_of_int (2 * K.force_bytes);
+          l_mpe_flops.(id) <- l_mpe_flops.(id) +. float_of_int K.force_floats;
           for k = 0 to K.force_floats - 1 do
-            res.K.force.(block_base + k) <- res.K.force.(block_base + k) +. fb.(k)
+            lres.K.force.(block_base + k) <-
+              lres.K.force.(block_base + k) +. fb.(k)
           done
         in
         (* per-cj write-back machinery: accumulate member increments in
@@ -455,7 +489,7 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
               Dma.put cfg cost ~bytes:K.force_bytes;
               let base = ci * K.force_floats in
               for k = 0 to K.force_floats - 1 do
-                res.K.force.(base + k) <- res.K.force.(base + k) +. fa.(k)
+                lres.K.force.(base + k) <- lres.K.force.(base + k) +. fa.(k)
               done
           | Mpe_collect -> send_to_mpe (ci * K.force_floats) fa
         in
@@ -482,7 +516,7 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
                   | Rmw_direct -> rmw_pair cj
                   | _ -> accumulate_fb
                 in
-                vector_pairs sys cpe res ~ci ~cj ~ibuf ~jbuf:jdata ~joff ~fa_x
+                vector_pairs sys cpe lres ~ci ~cj ~ibuf ~jbuf:jdata ~joff ~fa_x
                   ~fa_y ~fa_z ~apply_b ~scale:1.0;
                 flush_fb cj);
             (* post-treatment: fold wide accumulators down to one
@@ -516,65 +550,107 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
                   | Rmw_direct -> rmw_pair cj
                   | Deferred _ | Mpe_collect -> accumulate_fb
                 in
-                scalar_pairs sys cpe res ~ci ~cj ~ibuf ~jbuf:jdata ~joff ~layout
-                  ~fa ~apply_b ~scale;
+                scalar_pairs sys cpe lres ~ci ~cj ~ibuf ~jbuf:jdata ~joff
+                  ~layout ~fa ~apply_b ~scale;
                 flush_fb cj);
             apply_a ci fa
           end
         in
-        Swsched.Pipeline.run ?sched
+        Swsched.Pipeline.run ?sched:sd
           ~stages:{ Swsched.Pipeline.fetch = fetch_i; compute = compute_i }
           ~buffers ~n:(hi - lo) ();
-        (* wind down: flush caches, harvest stats, register the copy *)
+        (* wind down: flush caches, park stats in this CPE's slot
+           (aggregated at merge time), register the copy *)
+        let id = cpe.Swarch.Cpe.id in
         (match write_cache with
         | Some wc ->
             Swcache.Write_cache.flush wc;
-            let s = Swcache.Write_cache.stats wc in
-            (match stats.write_stats with
-            | Some agg ->
-                agg.Swcache.Stats.hits <- agg.Swcache.Stats.hits + s.Swcache.Stats.hits;
-                agg.Swcache.Stats.misses <-
-                  agg.Swcache.Stats.misses + s.Swcache.Stats.misses;
-                agg.Swcache.Stats.writebacks <-
-                  agg.Swcache.Stats.writebacks + s.Swcache.Stats.writebacks
-            | None -> ());
+            l_write.(id) <- Some (Swcache.Write_cache.stats wc);
             let marks = Swcache.Write_cache.marks wc in
             (match marks with
             | Some m ->
-                stats.marked_lines <- stats.marked_lines + Swcache.Bitmap.count m;
-                stats.total_lines <- stats.total_lines + Swcache.Bitmap.length m
+                l_marked.(id) <- Swcache.Bitmap.count m;
+                l_total.(id) <- Swcache.Bitmap.length m
             | None ->
-                stats.total_lines <-
-                  stats.total_lines
-                  + Swcache.Write_cache.n_mem_lines ~n_elements:wlen
-                      ~line_elts:K.write_line_elts);
+                l_total.(id) <-
+                  Swcache.Write_cache.n_mem_lines ~n_elements:wlen
+                    ~line_elts:K.write_line_elts);
             (match copy_arr with
-            | Some arr ->
-                copies.(cpe.Swarch.Cpe.id) <-
-                  Some { Reduction.wlo; data = arr; marks }
+            | Some arr -> copies.(id) <- Some { Reduction.wlo; data = arr; marks }
             | None -> ());
             Swcache.Write_cache.release wc
         | None -> (
             match (spec.write, copy_arr) with
             | Rmw_direct, Some arr ->
-                stats.total_lines <-
-                  stats.total_lines
-                  + Swcache.Write_cache.n_mem_lines ~n_elements:wlen
-                      ~line_elts:K.write_line_elts;
-                copies.(cpe.Swarch.Cpe.id) <-
-                  Some { Reduction.wlo; data = arr; marks = None }
+                l_total.(id) <-
+                  Swcache.Write_cache.n_mem_lines ~n_elements:wlen
+                    ~line_elts:K.write_line_elts;
+                copies.(id) <- Some { Reduction.wlo; data = arr; marks = None }
             | _ -> ()));
         (match read_cache with
         | Some rc ->
-            let s = Swcache.Read_cache.stats rc in
-            (match stats.read_stats with
-            | Some agg ->
-                agg.Swcache.Stats.hits <- agg.Swcache.Stats.hits + s.Swcache.Stats.hits;
-                agg.Swcache.Stats.misses <- agg.Swcache.Stats.misses + s.Swcache.Stats.misses
-            | None -> ());
+            l_read.(id) <- Some (Swcache.Read_cache.stats rc);
             Swcache.Read_cache.release rc
         | None -> ());
-        Swarch.Ldm.reset ldm);
+        Swarch.Ldm.reset ldm
+  in
+  (* the mesh walk: statically striped over the configured domains.
+     Each stripe owns a contiguous CPE-id range, hence disjoint
+     accumulator slots, disjoint trace tracks and its own branch
+     recorder — nothing below needs a lock. *)
+  let branches =
+    Swpar.Pool.map_stripes ~n:n_cpes (fun ~shard:_ ~lo:slo ~hi:shi ->
+        let sd = Option.map Swsched.Recorder.branch sched in
+        for id = slo to shi - 1 do
+          let cpe = cg.Swarch.Core_group.cpes.(id) in
+          if Swtrace.Trace.enabled () then
+            Swtrace.Trace.with_track
+              (Swtrace.Track.Cpe (id mod Swtrace.Track.cpe_tracks ()))
+              (fun () -> run_cpe sd cpe)
+          else run_cpe sd cpe
+        done;
+        sd)
+  in
+  (match sched with
+  | Some r ->
+      Swsched.Recorder.graft r
+        (List.filter_map Fun.id (Array.to_list branches))
+  | None -> ());
+  (* the deterministic merge: fold every per-CPE accumulator into the
+     shared result in CPE-id order — the same float additions in the
+     same order no matter how the walk above was sharded *)
+  for id = 0 to n_cpes - 1 do
+    let lres = l_res.(id) in
+    res.K.e_lj <- res.K.e_lj +. lres.K.e_lj;
+    res.K.e_coul <- res.K.e_coul +. lres.K.e_coul;
+    res.K.pairs_in_cutoff <- res.K.pairs_in_cutoff + lres.K.pairs_in_cutoff;
+    if spec.write = Mpe_collect then begin
+      let ov = lres.K.force in
+      for k = 0 to Array.length ov - 1 do
+        if ov.(k) <> 0.0 then res.K.force.(k) <- res.K.force.(k) +. ov.(k)
+      done
+    end;
+    if l_mpe_mem.(id) <> 0.0 then
+      Swarch.Mpe.charge_mem cg.Swarch.Core_group.mpe l_mpe_mem.(id);
+    if l_mpe_flops.(id) <> 0.0 then
+      Swarch.Mpe.charge_flops cg.Swarch.Core_group.mpe l_mpe_flops.(id);
+    (match (l_read.(id), stats.read_stats) with
+    | Some s, Some agg ->
+        agg.Swcache.Stats.hits <- agg.Swcache.Stats.hits + s.Swcache.Stats.hits;
+        agg.Swcache.Stats.misses <-
+          agg.Swcache.Stats.misses + s.Swcache.Stats.misses
+    | _ -> ());
+    (match (l_write.(id), stats.write_stats) with
+    | Some s, Some agg ->
+        agg.Swcache.Stats.hits <- agg.Swcache.Stats.hits + s.Swcache.Stats.hits;
+        agg.Swcache.Stats.misses <-
+          agg.Swcache.Stats.misses + s.Swcache.Stats.misses;
+        agg.Swcache.Stats.writebacks <-
+          agg.Swcache.Stats.writebacks + s.Swcache.Stats.writebacks
+    | _ -> ());
+    stats.marked_lines <- stats.marked_lines + l_marked.(id);
+    stats.total_lines <- stats.total_lines + l_total.(id)
+  done;
   (* reduction step: fold the per-CPE copies into the final forces.
      A barrier separates it from the force loop — every copy must be
      complete before line owners start summing. *)

@@ -85,12 +85,19 @@ let run sys (cg : Swarch.Core_group.t) ~kind ~rlist =
   let n_cpes = Array.length cg.Swarch.Core_group.cpes in
   let lists = Array.make nc [] in
   let agg = Swcache.Stats.create () in
-  let candidates = ref 0 and accepted = ref 0 in
+  (* per-CPE counters and cache stats, folded into the aggregates in
+     CPE-id order after the (possibly domain-sharded) walk — counts
+     are integers, so any order would do, but the ordered merge keeps
+     the discipline uniform across the kernels *)
+  let l_stats = Array.make n_cpes (None : Swcache.Stats.t option) in
+  let l_candidates = Array.make n_cpes 0 in
+  let l_accepted = Array.make n_cpes 0 in
   let rl2 = rlist *. rlist in
-  Swarch.Core_group.iter_cpes cg (fun cpe ->
+  let run_cpe (cpe : Swarch.Cpe.t) =
       let cost = cpe.Swarch.Cpe.cost in
+      let candidates = ref 0 and accepted = ref 0 in
       let lo, hi = K.partition nc n_cpes cpe.Swarch.Cpe.id in
-      if lo < hi then
+      (if lo < hi then
         Swfault.Error.guard ~phase:"nsearch" ~cpe:cpe.Swarch.Cpe.id @@ fun () ->
         begin
         let ldm = cpe.Swarch.Cpe.ldm in
@@ -180,11 +187,35 @@ let run sys (cg : Swarch.Core_group.t) ~kind ~rlist =
           lists.(ci) <- List.sort compare !acc
         done;
         if !out_fill > 0 then Dma.put cfg cost ~bytes:!out_fill;
-        agg.Swcache.Stats.hits <- agg.Swcache.Stats.hits + stats.Swcache.Stats.hits;
-        agg.Swcache.Stats.misses <- agg.Swcache.Stats.misses + stats.Swcache.Stats.misses;
+        l_stats.(cpe.Swarch.Cpe.id) <- Some stats;
         release ();
         Swarch.Ldm.reset ldm
       end);
+      l_candidates.(cpe.Swarch.Cpe.id) <- !candidates;
+      l_accepted.(cpe.Swarch.Cpe.id) <- !accepted
+  in
+  (* the mesh walk, statically striped over the configured domains:
+     each CPE fills only its own [lists] block and counter slots *)
+  Swpar.Pool.iter_stripes ~n:n_cpes (fun ~shard:_ ~lo ~hi ->
+      for id = lo to hi - 1 do
+        let cpe = cg.Swarch.Core_group.cpes.(id) in
+        if Swtrace.Trace.enabled () then
+          Swtrace.Trace.with_track
+            (Swtrace.Track.Cpe (id mod Swtrace.Track.cpe_tracks ()))
+            (fun () -> run_cpe cpe)
+        else run_cpe cpe
+      done);
+  let candidates = ref 0 and accepted = ref 0 in
+  for id = 0 to n_cpes - 1 do
+    (match l_stats.(id) with
+    | Some s ->
+        agg.Swcache.Stats.hits <- agg.Swcache.Stats.hits + s.Swcache.Stats.hits;
+        agg.Swcache.Stats.misses <-
+          agg.Swcache.Stats.misses + s.Swcache.Stats.misses
+    | None -> ());
+    candidates := !candidates + l_candidates.(id);
+    accepted := !accepted + l_accepted.(id)
+  done;
   (* gather step: the MPE prefix-sums the counts and the lists are
      copied from the temporary regions into the final array *)
   Swarch.Mpe.charge_flops cg.Swarch.Core_group.mpe (float_of_int nc);

@@ -32,24 +32,20 @@ let run ?sched ?(dead = []) sys (cg : Swarch.Core_group.t)
   let n_cpes = Array.length cg.Swarch.Core_group.cpes in
   let alive = K.alive_ids n_cpes dead in
   let n_alive = Array.length alive in
-  let in_task (owner : Swarch.Cpe.t) f =
-    match sched with
+  let in_task sd (owner : Swarch.Cpe.t) f =
+    match sd with
     | Some r ->
         Swsched.Recorder.task r ~id:owner.Swarch.Cpe.id
           ~cost:owner.Swarch.Cpe.cost f
     | None -> f ()
   in
-  let fetched = ref 0 in
-  for line = 0 to n_lines - 1 do
-    let owner =
-      if dead = [] then cg.Swarch.Core_group.cpes.(line mod n_cpes)
-      else cg.Swarch.Core_group.cpes.(alive.(line mod n_alive))
-    in
-    let cost = owner.Swarch.Cpe.cost in
-    in_task owner (fun () ->
+  (* [reduce_line] folds one line into [res.force]; lines never share
+     force slots, so owners can run concurrently without locks *)
+  let reduce_line cost line =
     let lo_elt = line * line_elts in
     let hi_elt = min sys.K.n_clusters (lo_elt + line_elts) in
     let touched = ref false in
+    let fetches = ref 0 in
     Array.iter
       (function
         | None -> ()
@@ -68,7 +64,7 @@ let run ?sched ?(dead = []) sys (cg : Swarch.Core_group.t)
                 | None -> true (* meaningless copies are fetched anyway *)
               in
               if fetch then begin
-                incr fetched;
+                incr fetches;
                 Dma.get cfg cost ~bytes:K.write_line_bytes;
                 Cost.flops cost (float_of_int ((hi_elt - lo_elt) * K.force_floats));
                 for e = lo_elt to hi_elt - 1 do
@@ -82,12 +78,52 @@ let run ?sched ?(dead = []) sys (cg : Swarch.Core_group.t)
               end
             end)
       copies;
-    if !touched then Dma.put cfg cost ~bytes:K.write_line_bytes)
-  done;
+    if !touched then Dma.put cfg cost ~bytes:K.write_line_bytes;
+    !fetches
+  in
+  (* The walk is sharded {e by owner}: each owner CPE reduces its lines
+     (line mod owner count) in ascending order, so per-owner costs,
+     force lines and recorded programs are identical for any domain
+     count; owners live on disjoint tracks and disjoint force lines.
+     Per-shard fetch counters merge in shard order below. *)
+  let n_owners = if dead = [] then n_cpes else n_alive in
+  let shard_fetched =
+    Swpar.Pool.map_stripes ~n:n_owners (fun ~shard:_ ~lo ~hi ->
+        let sd = Option.map Swsched.Recorder.branch sched in
+        let fetched = ref 0 in
+        for slot = lo to hi - 1 do
+          let owner =
+            if dead = [] then cg.Swarch.Core_group.cpes.(slot)
+            else cg.Swarch.Core_group.cpes.(alive.(slot))
+          in
+          let cost = owner.Swarch.Cpe.cost in
+          let reduce_all () =
+            let line = ref slot in
+            while !line < n_lines do
+              in_task sd owner (fun () ->
+                  fetched := !fetched + reduce_line cost !line);
+              line := !line + n_owners
+            done
+          in
+          if Swtrace.Trace.enabled () then
+            Swtrace.Trace.with_track
+              (Swtrace.Track.Cpe
+                 (owner.Swarch.Cpe.id mod Swtrace.Track.cpe_tracks ()))
+              reduce_all
+          else reduce_all ()
+        done;
+        (sd, !fetched))
+  in
+  (match sched with
+  | Some r ->
+      Swsched.Recorder.graft r
+        (List.filter_map (fun (sd, _) -> sd) (Array.to_list shard_fetched))
+  | None -> ());
+  let fetched = Array.fold_left (fun acc (_, f) -> acc + f) 0 shard_fetched in
   if Swtrace.Trace.enabled () then
     Swtrace.Trace.instant ~cat:"phase-detail" Swtrace.Track.Mpe "reduction"
       ~args:
         [
           ("lines", float_of_int n_lines);
-          ("lines_fetched", float_of_int !fetched);
+          ("lines_fetched", float_of_int fetched);
         ]

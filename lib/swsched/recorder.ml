@@ -123,13 +123,13 @@ let task t ~id ~cost f =
   t.cur <- Some (bt, cost);
   t.last_compute <- Swarch.Cost.cpe_compute_time t.cfg cost;
   t.mode <- Body;
-  let saved = !Swarch.Dma.observer in
-  Swarch.Dma.observer :=
-    Some (fun dir ~bytes ~time -> observe t dir ~bytes ~time);
+  let saved = Swarch.Dma.observer () in
+  Swarch.Dma.set_observer
+    (Some (fun dir ~bytes ~time -> observe t dir ~bytes ~time));
   Fun.protect
     ~finally:(fun () ->
       flush t;
-      Swarch.Dma.observer := saved;
+      Swarch.Dma.set_observer saved;
       t.cur <- None;
       t.mode <- Body)
     f
@@ -168,6 +168,35 @@ let set_buffers t n =
   match t.cur with
   | Some (bt, _) -> bt.bbuffers <- max 1 n
   | None -> invalid_arg "Recorder.set_buffers: not inside a task"
+
+(** [branch t] is a fresh recorder sharing [t]'s machine config, for
+    recording one swpar shard's tasks off the main recorder: the
+    observer hook and the [cur]/[mode] cursor are per-recorder (and the
+    hook itself is domain-local), so concurrent shards never interleave
+    their operations.  Tasks recorded into a branch join [t]'s current
+    phase via {!graft}. *)
+let branch t = create t.cfg
+
+(** [graft t branches] merges the tasks recorded into [branches]
+    (shard order) into [t]'s current open phase, after any tasks [t]
+    already holds.  Because each shard records its CPEs in ascending id
+    order and the branches arrive in shard order, the grafted phase
+    lists tasks in plain CPE-id order — exactly what direct serial
+    recording produces, for {e any} shard count including one. *)
+let graft t branches =
+  (match t.cur with
+  | Some _ -> invalid_arg "Recorder.graft: called inside a task"
+  | None -> ());
+  let ph = match t.bphases with ph :: _ -> ph | [] -> assert false in
+  List.iter
+    (fun b ->
+      (match b.cur with
+      | Some _ -> invalid_arg "Recorder.graft: branch still inside a task"
+      | None -> ());
+      match b.bphases with
+      | [ bp ] -> ph.btasks <- bp.btasks @ ph.btasks
+      | _ -> invalid_arg "Recorder.graft: branch recorded a phase barrier")
+    branches
 
 let item_empty (bi : bitem) = bi.bpre = [] && bi.bbody = []
 

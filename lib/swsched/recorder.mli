@@ -44,6 +44,18 @@ val synchronous : t -> (unit -> 'a) -> 'a
 (** [set_buffers t n] records the pipeline depth of the current task. *)
 val set_buffers : t -> int -> unit
 
+(** [branch t] is a fresh recorder sharing [t]'s machine config, used
+    to record one swpar shard's tasks concurrently with other shards
+    (the DMA observer hook is domain-local, so branches running on
+    different domains never see each other's transfers). *)
+val branch : t -> t
+
+(** [graft t branches] merges the tasks recorded into [branches], in
+    shard order, into [t]'s current open phase.  With ascending-id
+    recording inside each shard this reproduces the task order of
+    direct serial recording for any shard count. *)
+val graft : t -> t list -> unit
+
 (** [phases t] is the recorded program, in recording order. *)
 val phases : t -> phase list
 

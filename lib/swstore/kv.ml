@@ -14,13 +14,20 @@ type t = {
   cache : Cache.t;
   ns : string;  (** namespace, part of every manifest name *)
   stats : Swcache.Stats.t;
+  lock : Mutex.t;
+      (** serializes whole operations: concurrent batch jobs share one
+          keyed store, and the cache/backend tables below are plain
+          mutable structures.  This is the single locking layer — the
+          store underneath must never take it back (no recursion). *)
 }
 
 (** [create ?ns cache] is a keyed store in namespace [ns] (default
-    ["kv"]) over [cache]'s object store. *)
+    ["kv"]) over [cache]'s object store.  Operations on the result are
+    serialized by an internal mutex, so one [Kv.t] may be shared by
+    concurrent batch jobs. *)
 let create ?(ns = "kv") cache =
   if not (Manifest.is_token ns) then invalid_arg "Kv.create: bad namespace";
-  { cache; ns; stats = Swcache.Stats.create () }
+  { cache; ns; stats = Swcache.Stats.create (); lock = Mutex.create () }
 
 (** [stats t] counts key-level hits (key present, value reassembled)
     and misses. *)
@@ -32,12 +39,15 @@ let name_of t key =
   t.ns ^ "-" ^ Sha256.hex (String.concat "\x00" key)
 
 (** [mem t ~key] tests key presence without touching chunk data. *)
-let mem t ~key = Store.has_manifest (Cache.store t.cache) (name_of t key)
+let mem t ~key =
+  Mutex.protect t.lock (fun () ->
+      Store.has_manifest (Cache.store t.cache) (name_of t key))
 
 (** [put t ~key value] files [value] under [key], overwriting any
     previous value (chunks are content-addressed, so re-putting an
     identical value writes nothing new). *)
 let put t ~key value =
+  Mutex.protect t.lock @@ fun () ->
   let chunks =
     List.map
       (fun piece -> (Cache.put t.cache piece, String.length piece))
@@ -56,6 +66,7 @@ let put t ~key value =
     {!Error.Corrupt} — a damaged store must not masquerade as a cold
     one. *)
 let get t ~key =
+  Mutex.protect t.lock @@ fun () ->
   let id = Store.next_event_id () in
   Store.emit_get ~id ();
   match Store.get_manifest (Cache.store t.cache) (name_of t key) with

@@ -24,12 +24,12 @@ type t = { backend : backend }
 (* --- trace emission -------------------------------------------------- *)
 
 (* One id per logical lookup, shared by every layer (store, cache,
-   keyed store) so `get` instants pair with their `hit`/`miss`. *)
-let event_ids = ref 0
+   keyed store) so `get` instants pair with their `hit`/`miss`.
+   Atomic: concurrent batch jobs on pool domains must never mint the
+   same id, or the trace linter's get/hit pairing breaks. *)
+let event_ids = Atomic.make 0
 
-let next_event_id () =
-  incr event_ids;
-  float_of_int !event_ids
+let next_event_id () = float_of_int (Atomic.fetch_and_add event_ids 1 + 1)
 
 let emit name ~id args =
   Swtrace.Trace.instant ~cat:"store"
@@ -151,6 +151,20 @@ let chunk_count t =
   match t.backend with
   | Memory { chunks; _ } -> Hashtbl.length chunks
   | Dir root -> Array.length (Sys.readdir (Filename.concat root "chunks"))
+
+(** [chunk_keys t] lists every stored chunk key, sorted.  Chunk keys
+    are content addresses, so two stores hold the same data exactly
+    when their key lists agree — the determinism tests compare these
+    across domain counts, where manifest names (which embed the run
+    configuration) legitimately differ. *)
+let chunk_keys t =
+  match t.backend with
+  | Memory { chunks; _ } ->
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) chunks [])
+  | Dir root ->
+      let names = Array.to_list (Sys.readdir (Filename.concat root "chunks")) in
+      List.sort compare
+        (List.filter (fun n -> not (Filename.check_suffix n ".tmp")) names)
 
 (* --- manifests ------------------------------------------------------- *)
 

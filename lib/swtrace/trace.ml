@@ -18,9 +18,17 @@ type state = {
   mutable cursors : float array;  (** per-track simulated time, seconds *)
   mutable stacks : (string * string * float) list array;
       (** open spans per track: (name, cat, start) *)
-  mutable current : int;  (** ambient track index (see {!with_track}) *)
   mutable capacity : int;  (** per-track ring capacity when enabled *)
 }
+
+(* The ambient track index is {e domain-local}: when the swpar pool
+   shards the CPE mesh across domains, each domain runs [with_track]
+   for the CPEs of its own stripe, and the stripes own disjoint tracks
+   — so the per-track rings, cursors and span stacks above need no
+   locking as long as the ambient index itself is not shared. *)
+let current_key = Domain.DLS.new_key (fun () -> 0)
+let current () = Domain.DLS.get current_key
+let set_current i = Domain.DLS.set current_key i
 
 (** Default per-track ring capacity (events); 2^16, a buffer-size
     choice of the tracer, not a property of the machine. *)
@@ -32,7 +40,6 @@ let st =
     rings = [||];
     cursors = Array.make (Track.count ()) 0.0;
     stacks = Array.make (Track.count ()) [];
-    current = 0;
     capacity = default_capacity;
   }
 
@@ -55,7 +62,7 @@ let resize () =
     let old_cpe = old_count - 4 in
     let cursors = Array.make new_count 0.0 in
     let stacks = Array.make new_count [] in
-    let current_track = track_of_old_index ~old_cpe st.current in
+    let current_track = track_of_old_index ~old_cpe (current ()) in
     for i = 0 to old_count - 1 do
       let tr = track_of_old_index ~old_cpe i in
       match Track.index tr with
@@ -67,7 +74,7 @@ let resize () =
     let old_rings = st.rings in
     st.cursors <- cursors;
     st.stacks <- stacks;
-    st.current <- (try Track.index current_track with Invalid_argument _ -> 0);
+    set_current (try Track.index current_track with Invalid_argument _ -> 0);
     if Array.length old_rings > 0 then begin
       st.rings <-
         Array.init new_count (fun _ ->
@@ -92,7 +99,7 @@ let enabled () = st.enabled
 let reset_state () =
   Array.fill st.cursors 0 (Array.length st.cursors) 0.0;
   Array.fill st.stacks 0 (Array.length st.stacks) [];
-  st.current <- 0
+  set_current 0
 
 (** [enable ?capacity ()] clears any previous trace and starts
     recording, with at most [capacity] events retained per track. *)
@@ -135,17 +142,19 @@ let advance tr dt =
 
 (** [current_track ()] is the ambient track charged by context-free
     emitters ({!Dma}-style instrumentation deep in the simulator). *)
-let current_track () = Track.of_index st.current
+let current_track () = Track.of_index (current ())
 
-(** [with_track tr f] runs [f] with [tr] as the ambient track.  The
-    core-group scheduler uses this to attribute scratchpad and DMA
-    events to the CPE whose slice is executing. *)
+(** [with_track tr f] runs [f] with [tr] as the ambient track {e of the
+    calling domain}.  The core-group scheduler uses this to attribute
+    scratchpad and DMA events to the CPE whose slice is executing; when
+    slices run on pool domains, each domain carries its own ambient
+    index, so concurrent stripes never touch each other's tracks. *)
 let with_track tr f =
   if not st.enabled then f ()
   else begin
-    let saved = st.current in
-    st.current <- Track.index tr;
-    Fun.protect ~finally:(fun () -> st.current <- saved) f
+    let saved = current () in
+    set_current (Track.index tr);
+    Fun.protect ~finally:(fun () -> set_current saved) f
   end
 
 (* --- recording ------------------------------------------------------ *)
@@ -201,7 +210,7 @@ let counter ?(cat = "counter") tr name v =
 
 (** [counter_here ?cat name v] samples a counter on the ambient track. *)
 let counter_here ?cat name v =
-  if st.enabled then counter ?cat (Track.of_index st.current) name v
+  if st.enabled then counter ?cat (Track.of_index (current ())) name v
 
 (** [dma_transfer ~bytes ~time] records one DMA transfer on the ambient
     track; the size/duration payload feeds the bandwidth histogram
@@ -211,10 +220,10 @@ let dma_transfer ~bytes ~time =
     record
       {
         Event.kind = Instant;
-        track = Track.of_index st.current;
+        track = Track.of_index (current ());
         name = "dma";
         cat = "dma";
-        t = st.cursors.(st.current);
+        t = st.cursors.(current ());
         dur = 0.0;
         value = 0.0;
         args = [ ("bytes", float_of_int bytes); ("dur", time) ];

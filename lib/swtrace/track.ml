@@ -34,14 +34,22 @@ let on_resize f = resize_hooks := f :: !resize_hooks
     core-group geometry of the active platform. *)
 let cpe_tracks () = !cpe_track_count
 
+(* Concurrent batch jobs instantiate core groups from pool domains, so
+   the geometry check-and-resize must be atomic; the fast path (count
+   unchanged, which is every call after the first per platform) still
+   takes the lock, but only for one comparison. *)
+let resize_mutex = Mutex.create ()
+
 (** [set_cpe_tracks n] installs the CPE lane count of the machine being
-    simulated.  Idempotent when [n] is unchanged. *)
+    simulated.  Idempotent when [n] is unchanged; serialized, so
+    concurrent instantiations of the same geometry are safe. *)
 let set_cpe_tracks n =
   if n <= 0 then invalid_arg "Track.set_cpe_tracks: count must be positive";
-  if n <> !cpe_track_count then begin
-    cpe_track_count := n;
-    List.iter (fun f -> f ()) !resize_hooks
-  end
+  Mutex.protect resize_mutex (fun () ->
+      if n <> !cpe_track_count then begin
+        cpe_track_count := n;
+        List.iter (fun f -> f ()) !resize_hooks
+      end)
 
 (** [count ()] is the total number of tracks. *)
 let count () = !cpe_track_count + 4

@@ -543,7 +543,7 @@ let test_batch_run_serves_repeat () =
        kind=measure name=again version=Cal atoms=600 n_cg=2\n"
   in
   Swbench.Common.set_measure_store (Some kv);
-  let outcomes =
+  let outcomes, wall_s =
     Fun.protect
       ~finally:(fun () -> Swbench.Common.set_measure_store None)
       (fun () -> Swbench.Batch.run ~kv jobs)
@@ -558,7 +558,7 @@ let test_batch_run_serves_repeat () =
     = (List.nth outcomes 2).Swbench.Batch.headline);
   (* the JSON report carries the store_* counters *)
   let module J = Swtrace.Json in
-  match Swbench.Batch.json_report ~kv ~cache outcomes with
+  match Swbench.Batch.json_report ~kv ~cache ~wall_s outcomes with
   | J.Obj fields ->
       Alcotest.(check bool) "jobs present" true (List.mem_assoc "jobs" fields);
       (match List.assoc "store" fields with
