@@ -11,7 +11,8 @@
    `--json FILE` additionally writes the results machine-readably:
    every benchmark's ns/run and r^2, plus the key simulated-time
    figures of the Table-1 Mark workload (serial, swsched-scheduled and
-   ideal-overlap elapsed, DMA bytes). *)
+   ideal-overlap elapsed, DMA bytes), the wall_* host timings and the
+   alloc_* GC figures of the measured step (see docs/ALLOC.md). *)
 
 open Bechamel
 open Toolkit
@@ -283,6 +284,25 @@ let wall_figures () =
     ("domains", float_of_int (Swpar.Domains.get ()));
   ]
 
+(* GC allocation of the same Table-1 24k step that wall_step_ms times:
+   words and minor collections per measured step.  Like the wall_*
+   keys these are host figures, not simulated ones — they need not be
+   bit-identical across domain counts, but with allocation-free hot
+   loops the per-step total is approximately domain-independent, and
+   CI holds it to a tolerance. *)
+let alloc_figures () =
+  let cfg = Swbench.Common.cfg () in
+  let s =
+    Swbench.Alloc.measure ~warmup:1 ~steps:3 (fun () ->
+        ignore (E.measure ~cfg ~version:E.V_other ~total_atoms:24000 ~n_cg:8 ()))
+  in
+  [
+    ("alloc_words_per_step", Swbench.Alloc.words s);
+    ("alloc_minor_words_per_step", s.Swbench.Alloc.minor_words);
+    ("alloc_major_words_per_step", s.Swbench.Alloc.major_words);
+    ("alloc_minor_collections_per_step", s.Swbench.Alloc.minor_collections);
+  ]
+
 let write_json path rows =
   let module J = Swtrace.Json in
   let doc =
@@ -304,7 +324,7 @@ let write_json path rows =
           J.Obj
             (List.map
                (fun (k, v) -> (k, J.Num v))
-               (simulated_figures () @ wall_figures ())) );
+               (simulated_figures () @ wall_figures () @ alloc_figures ())) );
       ]
   in
   let oc = open_out path in

@@ -49,12 +49,12 @@ let () =
   Md.Md_state.clear_forces st;
   let e = Md.Energy.create () in
   ignore (Md.Nonbonded.compute st w.Md.Workflow.cluster w.Md.Workflow.pairs config.Md.Workflow.nb e);
-  let kernel_f = Array.make (3 * Md.Md_state.n_atoms st) 0.0 in
+  let kernel_f = Md.Fbuf.create (3 * Md.Md_state.n_atoms st) in
   Swgmx.Kernel_common.scatter_forces sys outcome.Swgmx.Kernel.result kernel_f;
   let max_dev = ref 0.0 and max_f = ref 0.0 in
-  Array.iteri
+  Md.Fbuf.iteri
     (fun i f ->
-      max_dev := Float.max !max_dev (Float.abs (f -. kernel_f.(i)));
+      max_dev := Float.max !max_dev (Float.abs (f -. Md.Fbuf.get kernel_f i));
       max_f := Float.max !max_f (Float.abs f))
     st.Md.Md_state.force;
   Fmt.pr "@.Mark kernel on the simulated SW26010 core group:@.";
@@ -62,6 +62,6 @@ let () =
     (outcome.Swgmx.Kernel.elapsed *. 1e3)
     outcome.Swgmx.Kernel.result.Swgmx.Kernel_common.pairs_in_cutoff;
   Fmt.pr "  LJ energy: kernel %.3f vs reference %.3f kJ/mol@."
-    outcome.Swgmx.Kernel.result.Swgmx.Kernel_common.e_lj e.Md.Energy.lj;
+    (Swgmx.Kernel_common.e_lj outcome.Swgmx.Kernel.result) e.Md.Energy.lj;
   Fmt.pr "  max force deviation: %.2e of %.2e kJ/mol/nm (mixed precision)@."
     !max_dev !max_f

@@ -59,7 +59,7 @@ let build_system ~waters ~beads ~seed =
   let water_state = Md.Water.build ~molecules:waters ~seed () in
   let box = water_state.Md.Md_state.box in
   let st = Md.Md_state.create topo Md.Forcefield.spce box in
-  Array.blit water_state.Md.Md_state.pos 0 st.Md.Md_state.pos 0 (3 * nw);
+  Md.Fbuf.blit water_state.Md.Md_state.pos 0 st.Md.Md_state.pos 0 (3 * nw);
   for k = 0 to beads - 1 do
     Md.Vec3.set st.Md.Md_state.pos (nw + k)
       (Md.Vec3.make

@@ -21,6 +21,7 @@ let volume t = t.lx *. t.ly *. t.lz
 (** [min_edge t] is the shortest box edge. *)
 let min_edge t = Float.min t.lx (Float.min t.ly t.lz)
 
+(** [wrap1 x l] maps one coordinate into [[0, l)]. *)
 let wrap1 x l =
   let x = Float.rem x l in
   if x < 0.0 then x +. l else x
@@ -29,6 +30,10 @@ let wrap1 x l =
 let wrap t (v : Vec3.t) =
   Vec3.make (wrap1 v.Vec3.x t.lx) (wrap1 v.Vec3.y t.ly) (wrap1 v.Vec3.z t.lz)
 
+(** [mi1 d l] folds one displacement component into [[-l/2, l/2]].
+    Exposed so hot loops can compute minimum-image displacements from
+    flat buffers without building intermediate {!Vec3.t} records; the
+    arithmetic is exactly the per-component step of {!min_image}. *)
 let mi1 d l =
   let d = d -. (l *. Float.round (d /. l)) in
   d

@@ -15,8 +15,15 @@ val volume : t -> float
 (** [min_edge t] is the shortest box edge. *)
 val min_edge : t -> float
 
+(** [wrap1 x l] maps one coordinate into [[0, l)]. *)
+val wrap1 : float -> float -> float
+
 (** [wrap t v] maps a point into [[0, L)] in each dimension. *)
 val wrap : t -> Vec3.t -> Vec3.t
+
+(** [mi1 d l] folds one displacement component into [[-l/2, l/2]] —
+    the scalar core of {!min_image}, for allocation-free hot loops. *)
+val mi1 : float -> float -> float
 
 (** [min_image t d] folds each displacement component into
     [[-L/2, L/2]]. *)

@@ -19,7 +19,7 @@ type t = {
   n_clusters : int;
   order : int array;  (** cluster-order slot -> original atom id *)
   inv : int array;  (** original atom id -> cluster-order slot *)
-  centroids : float array;  (** [3 * n_clusters], cluster centres *)
+  centroids : Fbuf.t;  (** [3 * n_clusters], cluster centres *)
   radii : float array;  (** per-cluster bounding-sphere radius *)
 }
 
@@ -28,8 +28,8 @@ type t = {
 let n_clusters_for n = (n + size - 1) / size
 
 (** [build box pos n] clusters [n] atoms with positions in the flat
-    array [pos] by sorting them along the cell grid and chunking. *)
-let build (box : Box.t) pos n =
+    buffer [pos] by sorting them along the cell grid and chunking. *)
+let build (box : Box.t) (pos : Fbuf.t) n =
   if n <= 0 then invalid_arg "Cluster.build: need atoms";
   (* target ~1 cluster per cell so clusters stay compact: cluster
      radius directly controls how conservative the pair list is *)
@@ -49,7 +49,7 @@ let build (box : Box.t) pos n =
   let inv = Array.make n 0 in
   Array.iteri (fun slot atom -> inv.(atom) <- slot) order;
   let n_clusters = n_clusters_for n in
-  let centroids = Array.make (3 * n_clusters) 0.0 in
+  let centroids = Fbuf.create (3 * n_clusters) in
   let radii = Array.make n_clusters 0.0 in
   let t = { n_atoms = n; n_clusters; order; inv; centroids; radii } in
   (* centroids and radii; positions may wrap, so accumulate with
@@ -98,22 +98,25 @@ let centroid t c = Vec3.get t.centroids c
 (** [radius t c] is the cluster bounding-sphere radius. *)
 let radius t c = t.radii.(c)
 
-(** [gather t src dst ~floats] permutes a per-atom array [src] (with
-    [floats] values per atom) into cluster order in [dst]; padding
-    slots are zero-filled. *)
-let gather t ~floats src dst =
+(** [gather t src dst ~floats] permutes a per-atom buffer [src] (with
+    [floats] values per atom) into the cluster-order array [dst];
+    padding slots are zero-filled. *)
+let gather t ~floats (src : Fbuf.t) dst =
   Array.fill dst 0 (Array.length dst) 0.0;
   for slot = 0 to t.n_atoms - 1 do
     let atom = t.order.(slot) in
-    Array.blit src (atom * floats) dst (slot * floats) floats
+    for f = 0 to floats - 1 do
+      dst.((slot * floats) + f) <- Fbuf.unsafe_get src ((atom * floats) + f)
+    done
   done
 
 (** [scatter_add t ~floats src dst] adds a cluster-order array [src]
-    back into the per-atom array [dst]. *)
-let scatter_add t ~floats src dst =
+    back into the per-atom buffer [dst]. *)
+let scatter_add t ~floats src (dst : Fbuf.t) =
   for slot = 0 to t.n_atoms - 1 do
     let atom = t.order.(slot) in
     for f = 0 to floats - 1 do
-      dst.((atom * floats) + f) <- dst.((atom * floats) + f) +. src.((slot * floats) + f)
+      Fbuf.unsafe_set dst ((atom * floats) + f)
+        (Fbuf.unsafe_get dst ((atom * floats) + f) +. src.((slot * floats) + f))
     done
   done

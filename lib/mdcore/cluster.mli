@@ -11,7 +11,7 @@ type t = {
   n_clusters : int;
   order : int array;  (** cluster-order slot -> original atom id *)
   inv : int array;  (** original atom id -> cluster-order slot *)
-  centroids : float array;  (** [3 * n_clusters] *)
+  centroids : Fbuf.t;  (** [3 * n_clusters] *)
   radii : float array;  (** per-cluster bounding-sphere radius *)
 }
 
@@ -20,7 +20,7 @@ val n_clusters_for : int -> int
 
 (** [build box pos n] clusters [n] atoms by sorting them along the
     cell grid and chunking. *)
-val build : Box.t -> float array -> int -> t
+val build : Box.t -> Fbuf.t -> int -> t
 
 (** [members t c] is the list of original atom ids in cluster [c]. *)
 val members : t -> int -> int list
@@ -38,10 +38,10 @@ val centroid : t -> int -> Vec3.t
 (** [radius t c] is the cluster bounding-sphere radius. *)
 val radius : t -> int -> float
 
-(** [gather t ~floats src dst] permutes a per-atom array into cluster
-    order; padding slots are zero-filled. *)
-val gather : t -> floats:int -> float array -> float array -> unit
+(** [gather t ~floats src dst] permutes a per-atom buffer into the
+    cluster-order array [dst]; padding slots are zero-filled. *)
+val gather : t -> floats:int -> Fbuf.t -> float array -> unit
 
 (** [scatter_add t ~floats src dst] adds a cluster-order array back
-    into the per-atom array. *)
-val scatter_add : t -> floats:int -> float array -> float array -> unit
+    into the per-atom buffer [dst]. *)
+val scatter_add : t -> floats:int -> float array -> Fbuf.t -> unit

@@ -24,32 +24,61 @@ let n_constraints t = Array.length t.topo.Topology.constraints
     satisfies [|pos_i - pos_j| = c.dist], using displacement directions
     from [ref_pos] (positions before the unconstrained update).
     Returns the number of SHAKE iterations used. *)
-let apply t ~(ref_pos : float array) ~(pos : float array) =
+let apply t ~(ref_pos : Fbuf.t) ~(pos : Fbuf.t) =
   let cs = t.topo.Topology.constraints in
   let mass = t.topo.Topology.mass in
   let iter = ref 0 and converged = ref false in
   while (not !converged) && !iter < t.max_iter do
     converged := true;
     incr iter;
-    Array.iter
-      (fun (c : Topology.constraint_) ->
-        let i = c.Topology.ci and j = c.Topology.cj in
-        let d = Vec3.sub (Vec3.get pos i) (Vec3.get pos j) in
-        let d2 = Vec3.norm2 d in
-        let target2 = c.Topology.dist *. c.Topology.dist in
-        let diff = d2 -. target2 in
-        if Float.abs diff > t.tol *. target2 then begin
-          converged := false;
-          let r = Vec3.sub (Vec3.get ref_pos i) (Vec3.get ref_pos j) in
-          let inv_mi = 1.0 /. mass.(i) and inv_mj = 1.0 /. mass.(j) in
-          let denom = 2.0 *. (inv_mi +. inv_mj) *. Vec3.dot r d in
-          if Float.abs denom > 1e-12 then begin
-            let g = diff /. denom in
-            Vec3.axpy pos i (-.g *. inv_mi) r;
-            Vec3.axpy pos j (g *. inv_mj) r
-          end
-        end)
-      cs
+    for k = 0 to Array.length cs - 1 do
+      let c = cs.(k) in
+      let i = c.Topology.ci and j = c.Topology.cj in
+      let dx = Fbuf.unsafe_get pos (3 * i) -. Fbuf.unsafe_get pos (3 * j) in
+      let dy =
+        Fbuf.unsafe_get pos ((3 * i) + 1) -. Fbuf.unsafe_get pos ((3 * j) + 1)
+      in
+      let dz =
+        Fbuf.unsafe_get pos ((3 * i) + 2) -. Fbuf.unsafe_get pos ((3 * j) + 2)
+      in
+      let d2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+      let target2 = c.Topology.dist *. c.Topology.dist in
+      let diff = d2 -. target2 in
+      if Float.abs diff > t.tol *. target2 then begin
+        converged := false;
+        let rx =
+          Fbuf.unsafe_get ref_pos (3 * i) -. Fbuf.unsafe_get ref_pos (3 * j)
+        in
+        let ry =
+          Fbuf.unsafe_get ref_pos ((3 * i) + 1)
+          -. Fbuf.unsafe_get ref_pos ((3 * j) + 1)
+        in
+        let rz =
+          Fbuf.unsafe_get ref_pos ((3 * i) + 2)
+          -. Fbuf.unsafe_get ref_pos ((3 * j) + 2)
+        in
+        let inv_mi = 1.0 /. mass.(i) and inv_mj = 1.0 /. mass.(j) in
+        let dot = (rx *. dx) +. (ry *. dy) +. (rz *. dz) in
+        let denom = 2.0 *. (inv_mi +. inv_mj) *. dot in
+        if Float.abs denom > 1e-12 then begin
+          let g = diff /. denom in
+          let si = -.g *. inv_mi in
+          Fbuf.unsafe_set pos (3 * i)
+            (Fbuf.unsafe_get pos (3 * i) +. (si *. rx));
+          Fbuf.unsafe_set pos ((3 * i) + 1)
+            (Fbuf.unsafe_get pos ((3 * i) + 1) +. (si *. ry));
+          Fbuf.unsafe_set pos ((3 * i) + 2)
+            (Fbuf.unsafe_get pos ((3 * i) + 2) +. (si *. rz));
+          let sj = g *. inv_mj in
+          Fbuf.unsafe_set pos (3 * j)
+            (Fbuf.unsafe_get pos (3 * j) +. (sj *. rx));
+          Fbuf.unsafe_set pos ((3 * j) + 1)
+            (Fbuf.unsafe_get pos ((3 * j) + 1) +. (sj *. ry));
+          Fbuf.unsafe_set pos ((3 * j) + 2)
+            (Fbuf.unsafe_get pos ((3 * j) + 2) +. (sj *. rz))
+        end
+      end
+    done
   done;
   !iter
 
@@ -57,25 +86,48 @@ let apply t ~(ref_pos : float array) ~(pos : float array) =
     along each constraint (RATTLE-style projection), so constrained
     bonds carry no internal kinetic energy.  Constraints within a
     molecule are coupled, so the projection sweeps until converged. *)
-let constrain_velocities t ~(pos : float array) ~(vel : float array) =
+let constrain_velocities t ~(pos : Fbuf.t) ~(vel : Fbuf.t) =
   let mass = t.topo.Topology.mass in
+  let cs = t.topo.Topology.constraints in
   let sweep () =
     let worst = ref 0.0 in
-    Array.iter
-      (fun (c : Topology.constraint_) ->
-        let i = c.Topology.ci and j = c.Topology.cj in
-        let d = Vec3.sub (Vec3.get pos i) (Vec3.get pos j) in
-        let d2 = Vec3.norm2 d in
-        if d2 > 0.0 then begin
-          let dv = Vec3.sub (Vec3.get vel i) (Vec3.get vel j) in
-          let inv_mi = 1.0 /. mass.(i) and inv_mj = 1.0 /. mass.(j) in
-          let radial = Vec3.dot d dv in
-          worst := Float.max !worst (Float.abs radial);
-          let g = radial /. (d2 *. (inv_mi +. inv_mj)) in
-          Vec3.axpy vel i (-.g *. inv_mi) d;
-          Vec3.axpy vel j (g *. inv_mj) d
-        end)
-      t.topo.Topology.constraints;
+    for k = 0 to Array.length cs - 1 do
+      let c = cs.(k) in
+      let i = c.Topology.ci and j = c.Topology.cj in
+      let dx = Fbuf.unsafe_get pos (3 * i) -. Fbuf.unsafe_get pos (3 * j) in
+      let dy =
+        Fbuf.unsafe_get pos ((3 * i) + 1) -. Fbuf.unsafe_get pos ((3 * j) + 1)
+      in
+      let dz =
+        Fbuf.unsafe_get pos ((3 * i) + 2) -. Fbuf.unsafe_get pos ((3 * j) + 2)
+      in
+      let d2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+      if d2 > 0.0 then begin
+        let dvx = Fbuf.unsafe_get vel (3 * i) -. Fbuf.unsafe_get vel (3 * j) in
+        let dvy =
+          Fbuf.unsafe_get vel ((3 * i) + 1) -. Fbuf.unsafe_get vel ((3 * j) + 1)
+        in
+        let dvz =
+          Fbuf.unsafe_get vel ((3 * i) + 2) -. Fbuf.unsafe_get vel ((3 * j) + 2)
+        in
+        let inv_mi = 1.0 /. mass.(i) and inv_mj = 1.0 /. mass.(j) in
+        let radial = (dx *. dvx) +. (dy *. dvy) +. (dz *. dvz) in
+        worst := Float.max !worst (Float.abs radial);
+        let g = radial /. (d2 *. (inv_mi +. inv_mj)) in
+        let si = -.g *. inv_mi in
+        Fbuf.unsafe_set vel (3 * i) (Fbuf.unsafe_get vel (3 * i) +. (si *. dx));
+        Fbuf.unsafe_set vel ((3 * i) + 1)
+          (Fbuf.unsafe_get vel ((3 * i) + 1) +. (si *. dy));
+        Fbuf.unsafe_set vel ((3 * i) + 2)
+          (Fbuf.unsafe_get vel ((3 * i) + 2) +. (si *. dz));
+        let sj = g *. inv_mj in
+        Fbuf.unsafe_set vel (3 * j) (Fbuf.unsafe_get vel (3 * j) +. (sj *. dx));
+        Fbuf.unsafe_set vel ((3 * j) + 1)
+          (Fbuf.unsafe_get vel ((3 * j) + 1) +. (sj *. dy));
+        Fbuf.unsafe_set vel ((3 * j) + 2)
+          (Fbuf.unsafe_get vel ((3 * j) + 2) +. (sj *. dz))
+      end
+    done;
     !worst
   in
   let rec go n = if n < t.max_iter && sweep () > 1e-10 then go (n + 1) in
@@ -83,7 +135,7 @@ let constrain_velocities t ~(pos : float array) ~(vel : float array) =
 
 (** [max_violation t pos] is the largest relative constraint error in
     [pos]; used by tests and sanity assertions. *)
-let max_violation t pos =
+let max_violation t (pos : Fbuf.t) =
   Array.fold_left
     (fun m (c : Topology.constraint_) ->
       let d = Vec3.dist (Vec3.get pos c.Topology.ci) (Vec3.get pos c.Topology.cj) in

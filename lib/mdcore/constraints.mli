@@ -14,12 +14,12 @@ val n_constraints : t -> int
 (** [apply t ~ref_pos ~pos] projects [pos] so every constraint is
     satisfied, using displacement directions from [ref_pos].  Returns
     the number of SHAKE iterations used. *)
-val apply : t -> ref_pos:float array -> pos:float array -> int
+val apply : t -> ref_pos:Fbuf.t -> pos:Fbuf.t -> int
 
 (** [constrain_velocities t ~pos ~vel] removes velocity components
     along each constraint (RATTLE-style projection), sweeping until the
     coupled system converges. *)
-val constrain_velocities : t -> pos:float array -> vel:float array -> unit
+val constrain_velocities : t -> pos:Fbuf.t -> vel:Fbuf.t -> unit
 
 (** [max_violation t pos] is the largest relative constraint error. *)
-val max_violation : t -> float array -> float
+val max_violation : t -> Fbuf.t -> float

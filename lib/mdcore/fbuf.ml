@@ -1,0 +1,58 @@
+(** Flat float64 buffers for the MD hot state.
+
+    A thin veneer over [Bigarray.Array1]: C-layout, double precision,
+    xyz-interleaved when holding per-atom vectors.  Unlike [float
+    array], reads and writes never box (even across module boundaries
+    without flambda), the storage is shareable across OCaml 5 domains
+    without copying, and the payload lives outside the OCaml heap so
+    the hot loops put zero pressure on the minor GC. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create n : t =
+  let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill b 0.0;
+  b
+
+let length (t : t) = Bigarray.Array1.dim t
+let get (t : t) i = Bigarray.Array1.get t i
+let set (t : t) i v = Bigarray.Array1.set t i v
+let unsafe_get (t : t) i = Bigarray.Array1.unsafe_get t i
+let unsafe_set (t : t) i v = Bigarray.Array1.unsafe_set t i v
+
+(* Same argument order as [Array.fill] so call sites translate
+   mechanically. *)
+let fill (t : t) pos len v =
+  if pos = 0 && len = length t then Bigarray.Array1.fill t v
+  else
+    for i = pos to pos + len - 1 do
+      Bigarray.Array1.unsafe_set t i v
+    done
+
+(* Same argument order as [Array.blit]. *)
+let blit (src : t) src_pos (dst : t) dst_pos len =
+  Bigarray.Array1.blit
+    (Bigarray.Array1.sub src src_pos len)
+    (Bigarray.Array1.sub dst dst_pos len)
+
+let copy (t : t) =
+  let c = create (length t) in
+  Bigarray.Array1.blit t c;
+  c
+
+let of_array (a : float array) : t =
+  Bigarray.Array1.of_array Bigarray.float64 Bigarray.c_layout a
+
+let to_array (t : t) = Array.init (length t) (Bigarray.Array1.get t)
+
+let iteri f (t : t) =
+  for i = 0 to length t - 1 do
+    f i (Bigarray.Array1.unsafe_get t i)
+  done
+
+let init n f : t =
+  let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set b i (f i)
+  done;
+  b

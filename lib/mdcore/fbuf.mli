@@ -1,0 +1,47 @@
+(** Flat float64 buffers for the MD hot state.
+
+    C-layout double-precision [Bigarray.Array1] — unboxed float access
+    even across module boundaries, shareable across OCaml 5 domains
+    without copying, and off the OCaml minor heap so hot loops do not
+    allocate. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** [create n] is a zero-filled buffer of [n] floats. *)
+val create : int -> t
+
+(** [length t] is the number of floats in [t]. *)
+val length : t -> int
+
+(** Bounds-checked element access ([t.{i}] sugar also applies). *)
+val get : t -> int -> float
+
+val set : t -> int -> float -> unit
+
+(** Unchecked element access for hot loops. *)
+val unsafe_get : t -> int -> float
+
+val unsafe_set : t -> int -> float -> unit
+
+(** [fill t pos len v] sets [len] elements from [pos] to [v]
+    ([Array.fill] argument order). *)
+val fill : t -> int -> int -> float -> unit
+
+(** [blit src src_pos dst dst_pos len] copies a range ([Array.blit]
+    argument order). *)
+val blit : t -> int -> t -> int -> int -> unit
+
+(** [copy t] is a fresh buffer with the same contents. *)
+val copy : t -> t
+
+(** [of_array a] copies a float array into a fresh buffer. *)
+val of_array : float array -> t
+
+(** [to_array t] copies the buffer into a fresh float array. *)
+val to_array : t -> float array
+
+(** [iteri f t] applies [f i t.{i}] in index order. *)
+val iteri : (int -> float -> unit) -> t -> unit
+
+(** [init n f] is a buffer with element [i] set to [f i]. *)
+val init : int -> (int -> float) -> t

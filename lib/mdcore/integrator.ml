@@ -9,12 +9,17 @@ let step (state : Md_state.t) ~dt =
   if dt <= 0.0 then invalid_arg "Integrator.step: dt must be positive";
   let n = Md_state.n_atoms state in
   let mass = state.Md_state.topo.Topology.mass in
+  let pos = state.Md_state.pos
+  and vel = state.Md_state.vel
+  and force = state.Md_state.force in
   for i = 0 to n - 1 do
     let inv_m = dt /. mass.(i) in
     for d = 0 to 2 do
       let k = (3 * i) + d in
-      state.Md_state.vel.(k) <- state.Md_state.vel.(k) +. (state.Md_state.force.(k) *. inv_m);
-      state.Md_state.pos.(k) <- state.Md_state.pos.(k) +. (dt *. state.Md_state.vel.(k))
+      Fbuf.unsafe_set vel k
+        (Fbuf.unsafe_get vel k +. (Fbuf.unsafe_get force k *. inv_m));
+      Fbuf.unsafe_set pos k
+        (Fbuf.unsafe_get pos k +. (dt *. Fbuf.unsafe_get vel k))
     done
   done
 
@@ -25,12 +30,17 @@ let velocity_verlet_positions (state : Md_state.t) ~dt =
   if dt <= 0.0 then invalid_arg "Integrator.velocity_verlet_positions: dt";
   let n = Md_state.n_atoms state in
   let mass = state.Md_state.topo.Topology.mass in
+  let pos = state.Md_state.pos
+  and vel = state.Md_state.vel
+  and force = state.Md_state.force in
   for i = 0 to n - 1 do
     let half = 0.5 *. dt /. mass.(i) in
     for d = 0 to 2 do
       let k = (3 * i) + d in
-      state.Md_state.vel.(k) <- state.Md_state.vel.(k) +. (half *. state.Md_state.force.(k));
-      state.Md_state.pos.(k) <- state.Md_state.pos.(k) +. (dt *. state.Md_state.vel.(k))
+      Fbuf.unsafe_set vel k
+        (Fbuf.unsafe_get vel k +. (half *. Fbuf.unsafe_get force k));
+      Fbuf.unsafe_set pos k
+        (Fbuf.unsafe_get pos k +. (dt *. Fbuf.unsafe_get vel k))
     done
   done
 
@@ -41,11 +51,13 @@ let velocity_verlet_velocities (state : Md_state.t) ~dt =
   if dt <= 0.0 then invalid_arg "Integrator.velocity_verlet_velocities: dt";
   let n = Md_state.n_atoms state in
   let mass = state.Md_state.topo.Topology.mass in
+  let vel = state.Md_state.vel and force = state.Md_state.force in
   for i = 0 to n - 1 do
     let half = 0.5 *. dt /. mass.(i) in
     for d = 0 to 2 do
       let k = (3 * i) + d in
-      state.Md_state.vel.(k) <- state.Md_state.vel.(k) +. (half *. state.Md_state.force.(k))
+      Fbuf.unsafe_set vel k
+        (Fbuf.unsafe_get vel k +. (half *. Fbuf.unsafe_get force k))
     done
   done
 
@@ -53,7 +65,13 @@ let velocity_verlet_velocities (state : Md_state.t) ~dt =
     Called after position updates so kernels may assume wrapped
     coordinates. *)
 let wrap_positions (state : Md_state.t) =
+  let pos = state.Md_state.pos in
+  let box = state.Md_state.box in
+  let lx = box.Box.lx and ly = box.Box.ly and lz = box.Box.lz in
   for i = 0 to Md_state.n_atoms state - 1 do
-    Vec3.set state.Md_state.pos i
-      (Box.wrap state.Md_state.box (Vec3.get state.Md_state.pos i))
+    Fbuf.unsafe_set pos (3 * i) (Box.wrap1 (Fbuf.unsafe_get pos (3 * i)) lx);
+    Fbuf.unsafe_set pos ((3 * i) + 1)
+      (Box.wrap1 (Fbuf.unsafe_get pos ((3 * i) + 1)) ly);
+    Fbuf.unsafe_set pos ((3 * i) + 2)
+      (Box.wrap1 (Fbuf.unsafe_get pos ((3 * i) + 2)) lz)
   done

@@ -114,44 +114,92 @@ let solve_series t dirs =
     done
   done
 
-(* project positions given target lengths in [targets] *)
-let project t ~(pos : float array) ~targets =
+(* project positions given target lengths in [targets]; index-based
+   access on the flat buffer (no Vec3 records in the solver loop) *)
+let project t ~(pos : Fbuf.t) ~targets =
   let cs = t.topo.Topology.constraints in
   let nc = Array.length cs in
   (* rhs_c = sdiag_c * (B_c . (r_i - r_j) - d_c) *)
   for k = 0 to nc - 1 do
     let c = cs.(k) in
-    let d = Vec3.sub (Vec3.get pos c.Topology.ci) (Vec3.get pos c.Topology.cj) in
-    let b = Vec3.make t.dirs.(3 * k) t.dirs.((3 * k) + 1) t.dirs.((3 * k) + 2) in
-    t.rhs.(k) <- t.sdiag.(k) *. (Vec3.dot b d -. targets.(k))
+    let i = c.Topology.ci and j = c.Topology.cj in
+    let dx = Fbuf.unsafe_get pos (3 * i) -. Fbuf.unsafe_get pos (3 * j) in
+    let dy =
+      Fbuf.unsafe_get pos ((3 * i) + 1) -. Fbuf.unsafe_get pos ((3 * j) + 1)
+    in
+    let dz =
+      Fbuf.unsafe_get pos ((3 * i) + 2) -. Fbuf.unsafe_get pos ((3 * j) + 2)
+    in
+    let bx = t.dirs.(3 * k)
+    and by = t.dirs.((3 * k) + 1)
+    and bz = t.dirs.((3 * k) + 2) in
+    let dot = (bx *. dx) +. (by *. dy) +. (bz *. dz) in
+    t.rhs.(k) <- t.sdiag.(k) *. (dot -. targets.(k))
   done;
   solve_series t t.dirs;
   (* move atoms: r_i -= inv_m_i * B_c * sdiag_c * sol_c *)
   for k = 0 to nc - 1 do
     let c = cs.(k) in
+    let i = c.Topology.ci and j = c.Topology.cj in
     let f = t.sdiag.(k) *. t.sol.(k) in
-    let b = Vec3.make t.dirs.(3 * k) t.dirs.((3 * k) + 1) t.dirs.((3 * k) + 2) in
-    Vec3.axpy pos c.Topology.ci (-.f /. t.topo.Topology.mass.(c.Topology.ci)) b;
-    Vec3.axpy pos c.Topology.cj (f /. t.topo.Topology.mass.(c.Topology.cj)) b
+    let bx = t.dirs.(3 * k)
+    and by = t.dirs.((3 * k) + 1)
+    and bz = t.dirs.((3 * k) + 2) in
+    let si = -.f /. t.topo.Topology.mass.(i) in
+    Fbuf.unsafe_set pos (3 * i) (Fbuf.unsafe_get pos (3 * i) +. (si *. bx));
+    Fbuf.unsafe_set pos ((3 * i) + 1)
+      (Fbuf.unsafe_get pos ((3 * i) + 1) +. (si *. by));
+    Fbuf.unsafe_set pos ((3 * i) + 2)
+      (Fbuf.unsafe_get pos ((3 * i) + 2) +. (si *. bz));
+    let sj = f /. t.topo.Topology.mass.(j) in
+    Fbuf.unsafe_set pos (3 * j) (Fbuf.unsafe_get pos (3 * j) +. (sj *. bx));
+    Fbuf.unsafe_set pos ((3 * j) + 1)
+      (Fbuf.unsafe_get pos ((3 * j) + 1) +. (sj *. by));
+    Fbuf.unsafe_set pos ((3 * j) + 2)
+      (Fbuf.unsafe_get pos ((3 * j) + 2) +. (sj *. bz))
   done
 
 (* one LINCS pass: directions from [dir_pos], projection + [iters]
    rotation corrections on [pos] *)
-let apply_once t ~iters ~(dir_pos : float array) ~(pos : float array) =
+let dist_idx (pos : Fbuf.t) i j =
+  let dx = Fbuf.unsafe_get pos (3 * i) -. Fbuf.unsafe_get pos (3 * j) in
+  let dy =
+    Fbuf.unsafe_get pos ((3 * i) + 1) -. Fbuf.unsafe_get pos ((3 * j) + 1)
+  in
+  let dz =
+    Fbuf.unsafe_get pos ((3 * i) + 2) -. Fbuf.unsafe_get pos ((3 * j) + 2)
+  in
+  sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz))
+
+let apply_once t ~iters ~(dir_pos : Fbuf.t) ~(pos : Fbuf.t) =
   let ref_pos = dir_pos in
   let cs = t.topo.Topology.constraints in
   let nc = Array.length cs in
   if nc > 0 then begin
     for k = 0 to nc - 1 do
       let c = cs.(k) in
-      let d =
-        Vec3.sub (Vec3.get ref_pos c.Topology.ci) (Vec3.get ref_pos c.Topology.cj)
+      let i = c.Topology.ci and j = c.Topology.cj in
+      let dx = Fbuf.unsafe_get ref_pos (3 * i) -. Fbuf.unsafe_get ref_pos (3 * j) in
+      let dy =
+        Fbuf.unsafe_get ref_pos ((3 * i) + 1)
+        -. Fbuf.unsafe_get ref_pos ((3 * j) + 1)
       in
-      let n = Vec3.norm d in
-      let b = if n > 0.0 then Vec3.scale (1.0 /. n) d else Vec3.make 1.0 0.0 0.0 in
-      t.dirs.(3 * k) <- b.Vec3.x;
-      t.dirs.((3 * k) + 1) <- b.Vec3.y;
-      t.dirs.((3 * k) + 2) <- b.Vec3.z
+      let dz =
+        Fbuf.unsafe_get ref_pos ((3 * i) + 2)
+        -. Fbuf.unsafe_get ref_pos ((3 * j) + 2)
+      in
+      let n = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+      if n > 0.0 then begin
+        let inv = 1.0 /. n in
+        t.dirs.(3 * k) <- inv *. dx;
+        t.dirs.((3 * k) + 1) <- inv *. dy;
+        t.dirs.((3 * k) + 2) <- inv *. dz
+      end
+      else begin
+        t.dirs.(3 * k) <- 1.0;
+        t.dirs.((3 * k) + 1) <- 0.0;
+        t.dirs.((3 * k) + 2) <- 0.0
+      end
     done;
     let targets = Array.map (fun (c : Topology.constraint_) -> c.Topology.dist) cs in
     project t ~pos ~targets;
@@ -162,9 +210,7 @@ let apply_once t ~iters ~(dir_pos : float array) ~(pos : float array) =
       let corrected =
         Array.map
           (fun (c : Topology.constraint_) ->
-            let d =
-              Vec3.dist (Vec3.get pos c.Topology.ci) (Vec3.get pos c.Topology.cj)
-            in
+            let d = dist_idx pos c.Topology.ci c.Topology.cj in
             let d0 = c.Topology.dist in
             let p2 = (2.0 *. d0 *. d0) -. (d *. d) in
             if p2 > 0.0 then sqrt p2 else d0)
@@ -180,23 +226,21 @@ let apply_once t ~iters ~(dir_pos : float array) ~(pos : float array) =
     prescribes; if the displacement was too large for the linearization
     (beyond a normal MD step), further passes re-linearize around the
     current positions until the violation falls below [tol]. *)
-let apply ?(tol = 1e-4) t ~(ref_pos : float array) ~(pos : float array) =
+let apply ?(tol = 1e-4) t ~(ref_pos : Fbuf.t) ~(pos : Fbuf.t) =
   apply_once t ~iters:t.iter ~dir_pos:ref_pos ~pos;
   let rec refine rounds =
     if rounds > 0 then begin
       let worst =
         Array.fold_left
           (fun m (c : Topology.constraint_) ->
-            let d =
-              Vec3.dist (Vec3.get pos c.Topology.ci) (Vec3.get pos c.Topology.cj)
-            in
+            let d = dist_idx pos c.Topology.ci c.Topology.cj in
             Float.max m (Float.abs (d -. c.Topology.dist) /. c.Topology.dist))
           0.0 t.topo.Topology.constraints
       in
       if worst > tol then begin
         (* re-linearize at the current point: directions are now exact,
            so the rotation correction must be skipped *)
-        apply_once t ~iters:0 ~dir_pos:(Array.copy pos) ~pos;
+        apply_once t ~iters:0 ~dir_pos:(Fbuf.copy pos) ~pos;
         refine (rounds - 1)
       end
     end
@@ -204,9 +248,9 @@ let apply ?(tol = 1e-4) t ~(ref_pos : float array) ~(pos : float array) =
   refine 4
 
 (** [max_violation t pos] is the largest relative constraint error. *)
-let max_violation t pos =
+let max_violation t (pos : Fbuf.t) =
   Array.fold_left
     (fun m (c : Topology.constraint_) ->
-      let d = Vec3.dist (Vec3.get pos c.Topology.ci) (Vec3.get pos c.Topology.cj) in
+      let d = dist_idx pos c.Topology.ci c.Topology.cj in
       Float.max m (Float.abs (d -. c.Topology.dist) /. c.Topology.dist))
     0.0 t.topo.Topology.constraints

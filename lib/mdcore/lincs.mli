@@ -18,7 +18,7 @@ val n_constraints : t -> int
     takes directions from [ref_pos]; if the displacement was too large
     for the linearization, further passes re-linearize around the
     current positions until the violation falls below [tol]. *)
-val apply : ?tol:float -> t -> ref_pos:float array -> pos:float array -> unit
+val apply : ?tol:float -> t -> ref_pos:Fbuf.t -> pos:Fbuf.t -> unit
 
 (** [max_violation t pos] is the largest relative constraint error. *)
-val max_violation : t -> float array -> float
+val max_violation : t -> Fbuf.t -> float

@@ -1,13 +1,14 @@
 (** Mutable state of one MD system: positions, velocities, forces and
-    topology in flat xyz-interleaved arrays. *)
+    topology in flat xyz-interleaved {!Fbuf.t} buffers (float64
+    Bigarrays — unboxed access, shareable across domains). *)
 
 type t = {
   topo : Topology.t;
   ff : Forcefield.t;
   box : Box.t;
-  pos : float array;  (** [3n], nm *)
-  vel : float array;  (** [3n], nm/ps *)
-  force : float array;  (** [3n], kJ mol^-1 nm^-1 *)
+  pos : Fbuf.t;  (** [3n], nm *)
+  vel : Fbuf.t;  (** [3n], nm/ps *)
+  force : Fbuf.t;  (** [3n], kJ mol^-1 nm^-1 *)
 }
 
 (** [create topo ff box] is a state with zeroed coordinates. *)
@@ -18,23 +19,26 @@ let create topo ff box =
     topo;
     ff;
     box;
-    pos = Array.make (3 * n) 0.0;
-    vel = Array.make (3 * n) 0.0;
-    force = Array.make (3 * n) 0.0;
+    pos = Fbuf.create (3 * n);
+    vel = Fbuf.create (3 * n);
+    force = Fbuf.create (3 * n);
   }
 
 (** [n_atoms t] is the number of atoms. *)
 let n_atoms t = t.topo.Topology.n_atoms
 
-(** [clear_forces t] zeroes the force array. *)
-let clear_forces t = Array.fill t.force 0 (Array.length t.force) 0.0
+(** [clear_forces t] zeroes the force buffer. *)
+let clear_forces t = Fbuf.fill t.force 0 (Fbuf.length t.force) 0.0
 
 (** [kinetic_energy t] is the total kinetic energy (kJ/mol). *)
 let kinetic_energy t =
   let ke = ref 0.0 in
   for i = 0 to n_atoms t - 1 do
-    let v = Vec3.get t.vel i in
-    ke := !ke +. (0.5 *. t.topo.Topology.mass.(i) *. Vec3.norm2 v)
+    let vx = Fbuf.unsafe_get t.vel (3 * i)
+    and vy = Fbuf.unsafe_get t.vel ((3 * i) + 1)
+    and vz = Fbuf.unsafe_get t.vel ((3 * i) + 2) in
+    let n2 = (vx *. vx) +. (vy *. vy) +. (vz *. vz) in
+    ke := !ke +. (0.5 *. t.topo.Topology.mass.(i) *. n2)
   done;
   !ke
 
@@ -51,30 +55,30 @@ let thermalize t rng temp =
   for i = 0 to n - 1 do
     let m = t.topo.Topology.mass.(i) in
     let s = sqrt (Forcefield.kb *. temp /. m) in
-    t.vel.(3 * i) <- s *. Rng.gaussian rng;
-    t.vel.((3 * i) + 1) <- s *. Rng.gaussian rng;
-    t.vel.((3 * i) + 2) <- s *. Rng.gaussian rng
+    t.vel.{3 * i} <- s *. Rng.gaussian rng;
+    t.vel.{(3 * i) + 1} <- s *. Rng.gaussian rng;
+    t.vel.{(3 * i) + 2} <- s *. Rng.gaussian rng
   done;
   (* remove centre-of-mass momentum *)
   let px = ref 0.0 and py = ref 0.0 and pz = ref 0.0 and mtot = ref 0.0 in
   for i = 0 to n - 1 do
     let m = t.topo.Topology.mass.(i) in
-    px := !px +. (m *. t.vel.(3 * i));
-    py := !py +. (m *. t.vel.((3 * i) + 1));
-    pz := !pz +. (m *. t.vel.((3 * i) + 2));
+    px := !px +. (m *. t.vel.{3 * i});
+    py := !py +. (m *. t.vel.{(3 * i) + 1});
+    pz := !pz +. (m *. t.vel.{(3 * i) + 2});
     mtot := !mtot +. m
   done;
   let vx = !px /. !mtot and vy = !py /. !mtot and vz = !pz /. !mtot in
   for i = 0 to n - 1 do
-    t.vel.(3 * i) <- t.vel.(3 * i) -. vx;
-    t.vel.((3 * i) + 1) <- t.vel.((3 * i) + 1) -. vy;
-    t.vel.((3 * i) + 2) <- t.vel.((3 * i) + 2) -. vz
+    t.vel.{3 * i} <- t.vel.{3 * i} -. vx;
+    t.vel.{(3 * i) + 1} <- t.vel.{(3 * i) + 1} -. vy;
+    t.vel.{(3 * i) + 2} <- t.vel.{(3 * i) + 2} -. vz
   done;
   (* rescale to the exact target temperature *)
   let cur = temperature t in
   if cur > 0.0 then begin
     let s = sqrt (temp /. cur) in
     for i = 0 to (3 * n) - 1 do
-      t.vel.(i) <- t.vel.(i) *. s
+      t.vel.{i} <- t.vel.{i} *. s
     done
   end

@@ -1,13 +1,14 @@
 (** Mutable state of one MD system: positions, velocities, forces and
-    topology in flat xyz-interleaved arrays. *)
+    topology in flat xyz-interleaved {!Fbuf.t} buffers (float64
+    Bigarrays — unboxed access, shareable across domains). *)
 
 type t = {
   topo : Topology.t;
   ff : Forcefield.t;
   box : Box.t;
-  pos : float array;  (** [3n], nm *)
-  vel : float array;  (** [3n], nm/ps *)
-  force : float array;  (** [3n], kJ mol^-1 nm^-1 *)
+  pos : Fbuf.t;  (** [3n], nm *)
+  vel : Fbuf.t;  (** [3n], nm/ps *)
+  force : Fbuf.t;  (** [3n], kJ mol^-1 nm^-1 *)
 }
 
 (** [create topo ff box] is a state with zeroed coordinates. *)

@@ -10,6 +10,7 @@
     correctness oracle for the optimized kernels in {!Swgmx}. *)
 
 module Rng = Rng
+module Fbuf = Fbuf
 module Vec3 = Vec3
 module Box = Box
 module Forcefield = Forcefield

@@ -30,14 +30,26 @@ let build (box : Box.t) (cl : Cluster.t) ?pos ~rlist () =
     Cell_grid.build box ~min_cell:rlist ~n:nc ~point:(fun c -> Cluster.centroid cl c)
   in
   let rl2 = rlist *. rlist in
-  let close_exact pos ci cj =
+  let lx = box.Box.lx and ly = box.Box.ly and lz = box.Box.lz in
+  let close_exact (pos : Fbuf.t) ci cj =
     let ni = Cluster.count cl ci and nj = Cluster.count cl cj in
     let rec go mi mj =
       if mi >= ni then false
       else if mj >= nj then go (mi + 1) 0
       else
         let a = Cluster.atom cl ci mi and b = Cluster.atom cl cj mj in
-        if Box.dist2 box (Vec3.get pos a) (Vec3.get pos b) <= rl2 then true
+        (* Box.dist2, inlined on the flat buffer (no Vec3 records) *)
+        let dx0 = Fbuf.unsafe_get pos (3 * a) -. Fbuf.unsafe_get pos (3 * b) in
+        let dy0 =
+          Fbuf.unsafe_get pos ((3 * a) + 1) -. Fbuf.unsafe_get pos ((3 * b) + 1)
+        in
+        let dz0 =
+          Fbuf.unsafe_get pos ((3 * a) + 2) -. Fbuf.unsafe_get pos ((3 * b) + 2)
+        in
+        let dx = dx0 -. (lx *. Float.round (dx0 /. lx)) in
+        let dy = dy0 -. (ly *. Float.round (dy0 /. ly)) in
+        let dz = dz0 -. (lz *. Float.round (dz0 /. lz)) in
+        if (dx *. dx) +. (dy *. dy) +. (dz *. dz) <= rl2 then true
         else go mi (mj + 1)
     in
     go 0 0

@@ -12,7 +12,7 @@ type t = {
 (** [build box cluster ?pos ~rlist ()] enumerates candidate cluster
     pairs by bounding spheres; when [pos] is supplied, candidates are
     refined with the exact minimum member distance. *)
-val build : Box.t -> Cluster.t -> ?pos:float array -> rlist:float -> unit -> t
+val build : Box.t -> Cluster.t -> ?pos:Fbuf.t -> rlist:float -> unit -> t
 
 (** [iter_pairs t f] applies [f ci cj] to every stored cluster pair. *)
 val iter_pairs : t -> (int -> int -> unit) -> unit

@@ -84,16 +84,18 @@ let spread_axis ~len ~k x =
 
 (** [spread t ~pos ~charge ~n] deposits the [n] charges onto the grid
     (overwrites previous contents). *)
-let spread t ~pos ~charge ~n =
+let spread t ~(pos : Fbuf.t) ~charge ~n =
   Fft.clear_grid3 t.grid;
   let g = t.grid in
   for i = 0 to n - 1 do
     let q = charge.(i) in
     if q <> 0.0 then begin
-      let p = Box.wrap t.box (Vec3.get pos i) in
-      let wx = spread_axis ~len:t.box.Box.lx ~k:g.Fft.nx p.Vec3.x in
-      let wy = spread_axis ~len:t.box.Box.ly ~k:g.Fft.ny p.Vec3.y in
-      let wz = spread_axis ~len:t.box.Box.lz ~k:g.Fft.nz p.Vec3.z in
+      let px = Box.wrap1 (Fbuf.unsafe_get pos (3 * i)) t.box.Box.lx in
+      let py = Box.wrap1 (Fbuf.unsafe_get pos ((3 * i) + 1)) t.box.Box.ly in
+      let pz = Box.wrap1 (Fbuf.unsafe_get pos ((3 * i) + 2)) t.box.Box.lz in
+      let wx = spread_axis ~len:t.box.Box.lx ~k:g.Fft.nx px in
+      let wy = spread_axis ~len:t.box.Box.ly ~k:g.Fft.ny py in
+      let wz = spread_axis ~len:t.box.Box.lz ~k:g.Fft.nz pz in
       Array.iter
         (fun (gz, wz_v, _) ->
           Array.iter
@@ -158,7 +160,7 @@ let solve t =
 (** [gather_forces t ~pos ~charge ~n ~force] adds the reciprocal-space
     force on every atom into the flat [force] array.  Must follow
     {!solve}. *)
-let gather_forces t ~pos ~charge ~n ~force =
+let gather_forces t ~(pos : Fbuf.t) ~charge ~n ~(force : Fbuf.t) =
   let g = t.conv in
   let kx = float_of_int g.Fft.nx /. t.box.Box.lx in
   let ky = float_of_int g.Fft.ny /. t.box.Box.ly in
@@ -166,10 +168,12 @@ let gather_forces t ~pos ~charge ~n ~force =
   for i = 0 to n - 1 do
     let q = charge.(i) in
     if q <> 0.0 then begin
-      let p = Box.wrap t.box (Vec3.get pos i) in
-      let wx = spread_axis ~len:t.box.Box.lx ~k:g.Fft.nx p.Vec3.x in
-      let wy = spread_axis ~len:t.box.Box.ly ~k:g.Fft.ny p.Vec3.y in
-      let wz = spread_axis ~len:t.box.Box.lz ~k:g.Fft.nz p.Vec3.z in
+      let px = Box.wrap1 (Fbuf.unsafe_get pos (3 * i)) t.box.Box.lx in
+      let py = Box.wrap1 (Fbuf.unsafe_get pos ((3 * i) + 1)) t.box.Box.ly in
+      let pz = Box.wrap1 (Fbuf.unsafe_get pos ((3 * i) + 2)) t.box.Box.lz in
+      let wx = spread_axis ~len:t.box.Box.lx ~k:g.Fft.nx px in
+      let wy = spread_axis ~len:t.box.Box.ly ~k:g.Fft.ny py in
+      let wz = spread_axis ~len:t.box.Box.lz ~k:g.Fft.nz pz in
       let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
       Array.iter
         (fun (gz, wz_v, dz_v) ->
@@ -186,8 +190,8 @@ let gather_forces t ~pos ~charge ~n ~force =
         wz;
       (* F = -dE/dr = -2 q (K/L) sum_grid M4' w w conv: the factor 2
          comes from the gradient of |Q^|^2, K/L from du/dx *)
-      force.(3 * i) <- force.(3 * i) -. (2.0 *. q *. kx *. !fx);
-      force.((3 * i) + 1) <- force.((3 * i) + 1) -. (2.0 *. q *. ky *. !fy);
-      force.((3 * i) + 2) <- force.((3 * i) + 2) -. (2.0 *. q *. kz *. !fz)
+      force.{3 * i} <- force.{3 * i} -. (2.0 *. q *. kx *. !fx);
+      force.{(3 * i) + 1} <- force.{(3 * i) + 1} -. (2.0 *. q *. ky *. !fy);
+      force.{(3 * i) + 2} <- force.{(3 * i) + 2} -. (2.0 *. q *. kz *. !fz)
     end
   done

@@ -29,7 +29,7 @@ val create : grid_dim:int -> box:Box.t -> beta:float -> t
 
 (** [spread t ~pos ~charge ~n] deposits the [n] charges onto the grid
     (overwrites previous contents). *)
-val spread : t -> pos:float array -> charge:float array -> n:int -> unit
+val spread : t -> pos:Fbuf.t -> charge:float array -> n:int -> unit
 
 (** [solve t] transforms the spread grid, applies the influence
     function and returns the reciprocal-space energy; the convolved
@@ -40,4 +40,4 @@ val solve : t -> float
     force on every atom into the flat [force] array.  Must follow
     {!solve}. *)
 val gather_forces :
-  t -> pos:float array -> charge:float array -> n:int -> force:float array -> unit
+  t -> pos:Fbuf.t -> charge:float array -> n:int -> force:Fbuf.t -> unit

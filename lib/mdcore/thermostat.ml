@@ -63,6 +63,6 @@ let apply t (state : Md_state.t) ~dt =
           ~dof:(Topology.degrees_of_freedom state.Md_state.topo)
   in
   let v = state.Md_state.vel in
-  for i = 0 to Array.length v - 1 do
-    v.(i) <- v.(i) *. l
+  for i = 0 to Fbuf.length v - 1 do
+    Fbuf.unsafe_set v i (Fbuf.unsafe_get v i *. l)
   done

@@ -48,19 +48,21 @@ let validate t =
     t.constraints;
   if Array.length t.exclusions <> t.n_atoms then invalid_arg "Topology: exclusions size"
 
+(* Top-level so [excluded] builds no closure: it runs once per
+   candidate pair in the hot non-bonded loops. *)
+let rec bsearch (ex : int array) j lo hi =
+  if lo >= hi then false
+  else
+    let mid = (lo + hi) / 2 in
+    if ex.(mid) = j then true
+    else if ex.(mid) < j then bsearch ex j (mid + 1) hi
+    else bsearch ex j lo mid
+
 (** [excluded t i j] is [true] when the non-bonded interaction between
     atoms [i] and [j] must be skipped. *)
 let excluded t i j =
   let ex = t.exclusions.(i) in
-  let rec bsearch lo hi =
-    if lo >= hi then false
-    else
-      let mid = (lo + hi) / 2 in
-      if ex.(mid) = j then true
-      else if ex.(mid) < j then bsearch (mid + 1) hi
-      else bsearch lo mid
-  in
-  bsearch 0 (Array.length ex)
+  bsearch ex j 0 (Array.length ex)
 
 (** [total_charge t] is the sum of all partial charges. *)
 let total_charge t = Array.fold_left ( +. ) 0.0 t.charge

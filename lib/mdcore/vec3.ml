@@ -53,20 +53,21 @@ let dist2 a b = norm2 (sub a b)
 (** [dist a b] is the distance between two points. *)
 let dist a b = sqrt (dist2 a b)
 
-(** [get arr i] reads vector [i] from a flat xyz-interleaved array. *)
-let get arr i = { x = arr.(3 * i); y = arr.((3 * i) + 1); z = arr.((3 * i) + 2) }
+(** [get arr i] reads vector [i] from a flat xyz-interleaved buffer. *)
+let get (arr : Fbuf.t) i =
+  { x = arr.{3 * i}; y = arr.{(3 * i) + 1}; z = arr.{(3 * i) + 2} }
 
-(** [set arr i v] stores [v] as vector [i] of a flat array. *)
-let set arr i v =
-  arr.(3 * i) <- v.x;
-  arr.((3 * i) + 1) <- v.y;
-  arr.((3 * i) + 2) <- v.z
+(** [set arr i v] stores [v] as vector [i] of a flat buffer. *)
+let set (arr : Fbuf.t) i v =
+  arr.{3 * i} <- v.x;
+  arr.{(3 * i) + 1} <- v.y;
+  arr.{(3 * i) + 2} <- v.z
 
-(** [axpy arr i s v] adds [s*v] to vector [i] of a flat array. *)
-let axpy arr i s v =
-  arr.(3 * i) <- arr.(3 * i) +. (s *. v.x);
-  arr.((3 * i) + 1) <- arr.((3 * i) + 1) +. (s *. v.y);
-  arr.((3 * i) + 2) <- arr.((3 * i) + 2) +. (s *. v.z)
+(** [axpy arr i s v] adds [s*v] to vector [i] of a flat buffer. *)
+let axpy (arr : Fbuf.t) i s v =
+  arr.{3 * i} <- arr.{3 * i} +. (s *. v.x);
+  arr.{(3 * i) + 1} <- arr.{(3 * i) + 1} +. (s *. v.y);
+  arr.{(3 * i) + 2} <- arr.{(3 * i) + 2} +. (s *. v.z)
 
 (** Pretty-printer: "(x, y, z)". *)
 let pp ppf a = Fmt.pf ppf "(%g, %g, %g)" a.x a.y a.z

@@ -44,14 +44,14 @@ val dist2 : t -> t -> float
 (** [dist a b] is the distance between two points. *)
 val dist : t -> t -> float
 
-(** [get arr i] reads vector [i] from a flat xyz-interleaved array. *)
-val get : float array -> int -> t
+(** [get arr i] reads vector [i] from a flat xyz-interleaved buffer. *)
+val get : Fbuf.t -> int -> t
 
-(** [set arr i v] stores [v] as vector [i] of a flat array. *)
-val set : float array -> int -> t -> unit
+(** [set arr i v] stores [v] as vector [i] of a flat buffer. *)
+val set : Fbuf.t -> int -> t -> unit
 
-(** [axpy arr i s v] adds [s*v] to vector [i] of a flat array. *)
-val axpy : float array -> int -> float -> t -> unit
+(** [axpy arr i s v] adds [s*v] to vector [i] of a flat buffer. *)
+val axpy : Fbuf.t -> int -> float -> t -> unit
 
 (** Pretty-printer: "(x, y, z)". *)
 val pp : Format.formatter -> t -> unit

@@ -38,7 +38,8 @@ type t = {
   mutable pairs : Pair_list.t;
   mutable step_count : int;
   mutable pairs_in_cutoff : int;
-  ref_pos : float array;  (** scratch: positions before the update *)
+  ref_pos : Fbuf.t;  (** scratch: positions before the update *)
+  trial : Fbuf.t;  (** scratch: trial positions during minimization *)
 }
 
 (** [create ?config state] prepares a runnable simulation; the initial
@@ -67,7 +68,8 @@ let create ?(config = default_config) (state : Md_state.t) =
     pairs;
     step_count = 0;
     pairs_in_cutoff = 0;
-    ref_pos = Array.make (3 * Md_state.n_atoms state) 0.0;
+    ref_pos = Fbuf.create (3 * Md_state.n_atoms state);
+    trial = Fbuf.create (3 * Md_state.n_atoms state);
   }
 
 (** [neighbour_search t] rebuilds the cluster decomposition and the
@@ -112,14 +114,18 @@ let step t =
   if t.step_count mod t.config.nstlist = 0 then neighbour_search t;
   compute_forces t;
   let state = t.state in
-  Array.blit state.Md_state.pos 0 t.ref_pos 0 (Array.length t.ref_pos);
+  Fbuf.blit state.Md_state.pos 0 t.ref_pos 0 (Fbuf.length t.ref_pos);
   Integrator.step state ~dt:t.config.dt;
   if Constraints.n_constraints t.shake > 0 then begin
     ignore (Constraints.apply t.shake ~ref_pos:t.ref_pos ~pos:state.Md_state.pos);
     (* leapfrog velocities consistent with the constrained move *)
     let inv_dt = 1.0 /. t.config.dt in
-    for k = 0 to Array.length t.ref_pos - 1 do
-      state.Md_state.vel.(k) <- (state.Md_state.pos.(k) -. t.ref_pos.(k)) *. inv_dt
+    let pos = state.Md_state.pos
+    and vel = state.Md_state.vel
+    and ref_pos = t.ref_pos in
+    for k = 0 to Fbuf.length ref_pos - 1 do
+      Fbuf.unsafe_set vel k
+        ((Fbuf.unsafe_get pos k -. Fbuf.unsafe_get ref_pos k) *. inv_dt)
     done
   end;
   (match t.config.thermostat with
@@ -135,19 +141,23 @@ let step t =
 let minimize ?(steps = 100) t =
   let state = t.state in
   let n3 = 3 * Md_state.n_atoms state in
-  let trial = Array.make n3 0.0 in
+  let trial = t.trial in
   let h = ref 0.01 in
   let pe () = Energy.potential t.energy in
   neighbour_search t;
   compute_forces t;
   let current = ref (pe ()) in
   for _ = 1 to steps do
-    let fmax =
-      Array.fold_left (fun m f -> Float.max m (Float.abs f)) 1e-12 state.Md_state.force
-    in
-    Array.blit state.Md_state.pos 0 trial 0 n3;
+    let force = state.Md_state.force and pos = state.Md_state.pos in
+    let fmax = ref 1e-12 in
     for k = 0 to n3 - 1 do
-      state.Md_state.pos.(k) <- state.Md_state.pos.(k) +. (!h *. state.Md_state.force.(k) /. fmax)
+      fmax := Float.max !fmax (Float.abs (Fbuf.unsafe_get force k))
+    done;
+    let fmax = !fmax in
+    Fbuf.blit pos 0 trial 0 n3;
+    for k = 0 to n3 - 1 do
+      Fbuf.unsafe_set pos k
+        (Fbuf.unsafe_get pos k +. (!h *. Fbuf.unsafe_get force k /. fmax))
     done;
     if Constraints.n_constraints t.shake > 0 then
       ignore (Constraints.apply t.shake ~ref_pos:trial ~pos:state.Md_state.pos);
@@ -160,7 +170,7 @@ let minimize ?(steps = 100) t =
     end
     else begin
       (* revert the move and try a smaller step *)
-      Array.blit trial 0 state.Md_state.pos 0 n3;
+      Fbuf.blit trial 0 state.Md_state.pos 0 n3;
       h := Float.max 1e-6 (!h *. 0.3);
       neighbour_search t;
       compute_forces t

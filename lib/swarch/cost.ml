@@ -11,12 +11,16 @@ type t = {
   mutable int_ops : float;  (** integer/bit operations (tag math, marks) *)
   mutable dma_time_s : float;  (** seconds of DMA bus time consumed *)
   mutable dma_bytes : float;  (** bytes moved by DMA *)
-  mutable dma_transactions : int;  (** number of DMA transfers *)
-  mutable gld_count : int;  (** global loads issued (high latency) *)
-  mutable gst_count : int;  (** global stores issued (high latency) *)
+  mutable dma_transactions : float;  (** number of DMA transfers *)
+  mutable gld_count : float;  (** global loads issued (high latency) *)
+  mutable gst_count : float;  (** global stores issued (high latency) *)
   mutable mpe_flops : float;  (** work executed on the MPE *)
   mutable mpe_mem_bytes : float;  (** MPE-side memory traffic *)
 }
+(* All-float on purpose: the runtime stores all-float records flat, so
+   a charge (a mutable field store) never allocates a box.  A mixed
+   int/float record would box every float store, which puts one minor
+   allocation in the innermost pair loop of every kernel. *)
 
 (** [create ()] is a zeroed accumulator. *)
 let create () =
@@ -26,9 +30,9 @@ let create () =
     int_ops = 0.0;
     dma_time_s = 0.0;
     dma_bytes = 0.0;
-    dma_transactions = 0;
-    gld_count = 0;
-    gst_count = 0;
+    dma_transactions = 0.0;
+    gld_count = 0.0;
+    gst_count = 0.0;
     mpe_flops = 0.0;
     mpe_mem_bytes = 0.0;
   }
@@ -40,9 +44,9 @@ let reset t =
   t.int_ops <- 0.0;
   t.dma_time_s <- 0.0;
   t.dma_bytes <- 0.0;
-  t.dma_transactions <- 0;
-  t.gld_count <- 0;
-  t.gst_count <- 0;
+  t.dma_transactions <- 0.0;
+  t.gld_count <- 0.0;
+  t.gst_count <- 0.0;
   t.mpe_flops <- 0.0;
   t.mpe_mem_bytes <- 0.0
 
@@ -56,9 +60,9 @@ let add ~into src =
   into.int_ops <- into.int_ops +. src.int_ops;
   into.dma_time_s <- into.dma_time_s +. src.dma_time_s;
   into.dma_bytes <- into.dma_bytes +. src.dma_bytes;
-  into.dma_transactions <- into.dma_transactions + src.dma_transactions;
-  into.gld_count <- into.gld_count + src.gld_count;
-  into.gst_count <- into.gst_count + src.gst_count;
+  into.dma_transactions <- into.dma_transactions +. src.dma_transactions;
+  into.gld_count <- into.gld_count +. src.gld_count;
+  into.gst_count <- into.gst_count +. src.gst_count;
   into.mpe_flops <- into.mpe_flops +. src.mpe_flops;
   into.mpe_mem_bytes <- into.mpe_mem_bytes +. src.mpe_mem_bytes
 
@@ -76,15 +80,18 @@ let int_ops t n = t.int_ops <- t.int_ops +. n
 
 (** [gld t n] charges [n] global (main-memory) loads. *)
 let gld t n =
-  t.gld_count <- t.gld_count + n;
+  t.gld_count <- t.gld_count +. float_of_int n;
   if Swtrace.Trace.enabled () then
-    Swtrace.Trace.counter_here ~cat:"mem" "gld" (float_of_int t.gld_count)
+    Swtrace.Trace.counter_here ~cat:"mem" "gld" t.gld_count
 
 (** [gst t n] charges [n] global (main-memory) stores. *)
 let gst t n =
-  t.gst_count <- t.gst_count + n;
+  t.gst_count <- t.gst_count +. float_of_int n;
   if Swtrace.Trace.enabled () then
-    Swtrace.Trace.counter_here ~cat:"mem" "gst" (float_of_int t.gst_count)
+    Swtrace.Trace.counter_here ~cat:"mem" "gst" t.gst_count
+
+(** [transactions t] is [t.dma_transactions] as an [int]. *)
+let transactions t = int_of_float t.dma_transactions
 
 (** [mpe_flops t n] charges [n] operations executed on the MPE. *)
 let mpe_flops t n = t.mpe_flops <- t.mpe_flops +. n
@@ -98,9 +105,7 @@ let cpe_compute_time (cfg : Config.t) t =
   let fp_cycles = t.scalar_flops /. cfg.cpe_flops_per_cycle in
   let simd_cycles = t.simd_ops in
   let int_cycles = t.int_ops in
-  let gld_time =
-    float_of_int (t.gld_count + t.gst_count) *. cfg.gld_latency_s
-  in
+  let gld_time = (t.gld_count +. t.gst_count) *. cfg.gld_latency_s in
   ((fp_cycles +. simd_cycles +. int_cycles) /. cfg.cpe_freq_hz) +. gld_time
 
 (** [mpe_time cfg t] is the simulated seconds of MPE execution recorded
@@ -113,7 +118,7 @@ let mpe_time (cfg : Config.t) t =
 (** Pretty-printer showing the main counters. *)
 let pp ppf t =
   Fmt.pf ppf
-    "@[<v>flops=%.3e simd=%.3e int=%.3e dma=%.3e B (%d xfers, %.3e s) \
-     gld=%d gst=%d mpe=%.3e flops %.3e B@]"
+    "@[<v>flops=%.3e simd=%.3e int=%.3e dma=%.3e B (%.0f xfers, %.3e s) \
+     gld=%.0f gst=%.0f mpe=%.3e flops %.3e B@]"
     t.scalar_flops t.simd_ops t.int_ops t.dma_bytes t.dma_transactions
     t.dma_time_s t.gld_count t.gst_count t.mpe_flops t.mpe_mem_bytes

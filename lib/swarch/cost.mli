@@ -11,12 +11,16 @@ type t = {
   mutable int_ops : float;  (** integer/bit operations (tag math, marks) *)
   mutable dma_time_s : float;  (** seconds of DMA bus time consumed *)
   mutable dma_bytes : float;  (** bytes moved by DMA *)
-  mutable dma_transactions : int;  (** number of DMA transfers *)
-  mutable gld_count : int;  (** global loads issued (high latency) *)
-  mutable gst_count : int;  (** global stores issued (high latency) *)
+  mutable dma_transactions : float;  (** number of DMA transfers *)
+  mutable gld_count : float;  (** global loads issued (high latency) *)
+  mutable gst_count : float;  (** global stores issued (high latency) *)
   mutable mpe_flops : float;  (** work executed on the MPE *)
   mutable mpe_mem_bytes : float;  (** MPE-side memory traffic *)
 }
+(** All fields are [float] on purpose: an all-float record is stored
+    flat by the OCaml runtime, so charging (a [mutable] field store)
+    never allocates a box.  Counts are exact in a [float] far beyond
+    any realistic run length (2{^53} events). *)
 
 (** [create ()] is a zeroed accumulator. *)
 val create : unit -> t
@@ -44,6 +48,9 @@ val gld : t -> int -> unit
 
 (** [gst t n] charges [n] global (main-memory) stores. *)
 val gst : t -> int -> unit
+
+(** [transactions t] is [t.dma_transactions] as an [int]. *)
+val transactions : t -> int
 
 (** [mpe_flops t n] charges [n] operations executed on the MPE. *)
 val mpe_flops : t -> float -> unit

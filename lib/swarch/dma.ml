@@ -61,7 +61,7 @@ let transfer dir ?(aligned = true) cfg (cost : Cost.t) ~bytes =
     let t = if aligned then t else t +. transfer_time cfg (min bytes 64) in
     cost.dma_time_s <- cost.dma_time_s +. t;
     cost.dma_bytes <- cost.dma_bytes +. float_of_int bytes;
-    cost.dma_transactions <- cost.dma_transactions + 1;
+    cost.dma_transactions <- cost.dma_transactions +. 1.0;
     (match observer () with Some f -> f dir ~bytes ~time:t | None -> ());
     if Swtrace.Trace.enabled () then Swtrace.Trace.dma_transfer ~bytes ~time:t
   end

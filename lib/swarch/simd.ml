@@ -144,16 +144,54 @@ let hsum_round (v : vec) : vec =
       if (2 * i) + 1 < n then round32 (v.(2 * i) +. v.((2 * i) + 1))
       else v.(2 * i))
 
+(* Allocation-free tree sum over a power-of-two lane range: identical
+   to folding [hsum_round] because both round through round32 at every
+   internal node of the same balanced adjacent-pairs tree. *)
+let rec hsum_pow2 (v : vec) lo len =
+  if len = 1 then v.(lo)
+  else
+    let h = len / 2 in
+    round32 (hsum_pow2 v lo h +. hsum_pow2 v (lo + h) h)
+
 (** [hsum cost v] is the horizontal sum of the lanes, charged as one
     shuffle-add vector instruction per halving round (2 at 4 lanes, 3
     at 8). *)
 let hsum cost (v : vec) =
-  let r = ref v in
-  while Array.length !r > 1 do
+  let n = Array.length v in
+  if n land (n - 1) = 0 then begin
+    (* power-of-two widths (every real platform) take the scratch-free
+       path; charges are identical: one instruction per halving *)
+    let w = ref n in
+    while !w > 1 do
+      Cost.simd cost 1.0;
+      w := !w / 2
+    done;
+    hsum_pow2 v 0 n
+  end
+  else begin
+    let r = ref v in
+    while Array.length !r > 1 do
+      Cost.simd cost 1.0;
+      r := hsum_round !r
+    done;
+    (!r).(0)
+  end
+
+(** [hsum_part cost v off len] is {!hsum} of lanes
+    [off .. off+len-1] without materialising the slice: charged one
+    shuffle-add per halving of [len], which must be a power of two.
+    Bit-identical to [hsum cost (slice v off len)]. *)
+let hsum_part cost (v : vec) off len =
+  if off < 0 || len <= 0 || off + len > Array.length v then
+    invalid_arg "Simd.hsum_part";
+  if len land (len - 1) <> 0 then
+    invalid_arg "Simd.hsum_part: len must be a power of two";
+  let w = ref len in
+  while !w > 1 do
     Cost.simd cost 1.0;
-    r := hsum_round !r
+    w := !w / 2
   done;
-  (!r).(0)
+  hsum_pow2 v off len
 
 (** [narrow cost v n] folds [v] down to [n] lanes by repeatedly adding
     the upper half onto the lower half (one vector instruction per
@@ -215,3 +253,135 @@ let transpose3x4 cost (x : vec) y z =
     (p1.(3), p2.(0), p2.(1)),
     (p2.(2), p2.(3), p3.(0)),
     (p3.(1), p3.(2), p3.(3)) )
+
+(* --- in-place API ------------------------------------------------------ *)
+
+(* Destination-passing variants of the operations above.  Each performs
+   exactly the same lane arithmetic in the same order as its allocating
+   twin and charges the same cost, but writes into a caller-owned
+   vector instead of allocating a fresh one — this is what lets the
+   kernel inner loops run without triggering the minor GC.  A
+   destination may alias an operand: lanes are independent and each
+   lane is read before it is written. *)
+
+let check_dst name (dst : vec) (x : vec) =
+  if Array.length dst <> Array.length x then
+    invalid_arg
+      (Printf.sprintf "Simd.%s: width mismatch (dst %d vs %d)" name
+         (Array.length dst) (Array.length x))
+
+(** [splat_into dst x] fills every lane of [dst] with [round32 x];
+    free, like {!splat}. *)
+let splat_into (dst : vec) x =
+  let v = round32 x in
+  Array.fill dst 0 (Array.length dst) v
+
+(** [init_into dst f] sets lane [i] of [dst] to [round32 (f i)], in
+    ascending lane order; free, like {!init}. *)
+let init_into (dst : vec) f =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- round32 (f i)
+  done
+
+(** [copy_into dst src] copies the lanes of [src] into [dst]; free. *)
+let copy_into (dst : vec) (src : vec) =
+  check_dst "copy_into" dst src;
+  Array.blit src 0 dst 0 (Array.length src)
+
+let lift2_into name cost f (dst : vec) (x : vec) (y : vec) =
+  check_widths name x y;
+  check_dst name dst x;
+  Cost.simd cost 1.0;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- round32 (f x.(i) y.(i))
+  done
+
+(** [add_into cost dst x y] is {!add} into [dst]. *)
+let add_into cost dst x y = lift2_into "add_into" cost ( +. ) dst x y
+
+(** [sub_into cost dst x y] is {!sub} into [dst]. *)
+let sub_into cost dst x y = lift2_into "sub_into" cost ( -. ) dst x y
+
+(** [mul_into cost dst x y] is {!mul} into [dst]. *)
+let mul_into cost dst x y = lift2_into "mul_into" cost ( *. ) dst x y
+
+(** [div_into cost dst x y] is {!div} into [dst]. *)
+let div_into cost dst x y = lift2_into "div_into" cost ( /. ) dst x y
+
+(** [fma_into cost dst x y z] is {!fma} into [dst]. *)
+let fma_into cost (dst : vec) (x : vec) (y : vec) (z : vec) =
+  check_widths "fma_into" x y;
+  check_widths "fma_into" x z;
+  check_dst "fma_into" dst x;
+  Cost.simd cost 1.0;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- round32 ((x.(i) *. y.(i)) +. z.(i))
+  done
+
+(** [round_into cost dst x] is {!round} into [dst]. *)
+let round_into cost (dst : vec) (x : vec) =
+  check_dst "round_into" dst x;
+  Cost.simd cost 1.0;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- Float.round x.(i)
+  done
+
+(** [rsqrt_into cost dst x] is {!rsqrt} into [dst]. *)
+let rsqrt_into cost (dst : vec) (x : vec) =
+  check_dst "rsqrt_into" dst x;
+  Cost.simd cost 1.0;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- round32 (1.0 /. sqrt x.(i))
+  done
+
+(** [cmp_lt_into cost dst x y] is {!cmp_lt} into [dst]. *)
+let cmp_lt_into cost (dst : vec) (x : vec) (y : vec) =
+  check_widths "cmp_lt_into" x y;
+  check_dst "cmp_lt_into" dst x;
+  Cost.simd cost 1.0;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- (if x.(i) < y.(i) then 1.0 else 0.0)
+  done
+
+(** [select_into cost dst mask x y] is {!select} into [dst].  [dst] may
+    alias [mask], [x] or [y]. *)
+let select_into cost (dst : vec) (mask : vec) (x : vec) (y : vec) =
+  check_widths "select_into" mask x;
+  check_widths "select_into" mask y;
+  check_dst "select_into" dst mask;
+  Cost.simd cost 1.0;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- (if mask.(i) <> 0.0 then x.(i) else y.(i))
+  done
+
+(** [narrow_into cost dst v] is {!narrow} of [v] down to [dst]'s width,
+    written into [dst]: a copy when the widths match (free), one
+    halving-add instruction when [v] is twice as wide.  [dst] must not
+    alias [v] when a halving runs.  Those two shapes cover both real
+    platforms (8 -> 4 and 4 -> 4); anything else raises. *)
+let narrow_into cost (dst : vec) (v : vec) =
+  let n = Array.length dst and w = Array.length v in
+  if w = n then (if dst != v then Array.blit v 0 dst 0 n)
+  else if w = 2 * n then begin
+    Cost.simd cost 1.0;
+    for i = 0 to n - 1 do
+      dst.(i) <- round32 (v.(i) +. v.(i + n))
+    done
+  end
+  else invalid_arg "Simd.narrow_into: width must equal or double dst"
+
+(** [transpose3x4_into cost x y z dst] is {!transpose3x4} written as
+    the 12 floats [x1 y1 z1 x2 y2 z2 x3 y3 z3 x4 y4 z4] into [dst].
+    The six shuffles move lanes without arithmetic, so the values are
+    a pure permutation of the inputs; the charge stays six vector
+    instructions. *)
+let transpose3x4_into cost (x : vec) (y : vec) (z : vec) (dst : float array) =
+  if width x <> 4 || width y <> 4 || width z <> 4 then
+    invalid_arg "Simd.transpose3x4_into: width must be 4";
+  if Array.length dst < 12 then invalid_arg "Simd.transpose3x4_into: dst < 12";
+  Cost.simd cost 6.0;
+  for i = 0 to 3 do
+    dst.(3 * i) <- x.(i);
+    dst.((3 * i) + 1) <- y.(i);
+    dst.((3 * i) + 2) <- z.(i)
+  done

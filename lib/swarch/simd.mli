@@ -89,6 +89,10 @@ val select : Cost.t -> vec -> vec -> vec -> vec
     3 at 8). *)
 val hsum : Cost.t -> vec -> float
 
+(** [hsum_part cost v off len] is [hsum cost (slice v off len)]
+    without materialising the slice; [len] must be a power of two. *)
+val hsum_part : Cost.t -> vec -> int -> int -> float
+
 (** [narrow cost v n] folds [v] to [n] lanes by adding upper halves
     onto lower halves, one vector instruction per halving; free
     identity when [v] is already [n] lanes wide. *)
@@ -111,3 +115,59 @@ val transpose3x4 :
   * (float * float * float)
   * (float * float * float)
   * (float * float * float)
+
+(** {2 In-place API}
+
+    Destination-passing variants of the operations above.  Each
+    performs exactly the same lane arithmetic in the same order as its
+    allocating twin and charges the same cost, but writes into a
+    caller-owned vector instead of allocating — the kernel inner loops
+    run on a fixed set of scratch vectors and never touch the minor
+    heap.  A destination may alias an operand. *)
+
+(** [splat_into dst x] fills every lane of [dst] with [round32 x]; free. *)
+val splat_into : vec -> float -> unit
+
+(** [init_into dst f] sets lane [i] of [dst] to [round32 (f i)] in
+    ascending lane order; free. *)
+val init_into : vec -> (int -> float) -> unit
+
+(** [copy_into dst src] copies the lanes of [src] into [dst]; free. *)
+val copy_into : vec -> vec -> unit
+
+(** [add_into cost dst x y] is {!add} into [dst]. *)
+val add_into : Cost.t -> vec -> vec -> vec -> unit
+
+(** [sub_into cost dst x y] is {!sub} into [dst]. *)
+val sub_into : Cost.t -> vec -> vec -> vec -> unit
+
+(** [mul_into cost dst x y] is {!mul} into [dst]. *)
+val mul_into : Cost.t -> vec -> vec -> vec -> unit
+
+(** [div_into cost dst x y] is {!div} into [dst]. *)
+val div_into : Cost.t -> vec -> vec -> vec -> unit
+
+(** [fma_into cost dst x y z] is {!fma} into [dst]. *)
+val fma_into : Cost.t -> vec -> vec -> vec -> vec -> unit
+
+(** [round_into cost dst x] is {!round} into [dst]. *)
+val round_into : Cost.t -> vec -> vec -> unit
+
+(** [rsqrt_into cost dst x] is {!rsqrt} into [dst]. *)
+val rsqrt_into : Cost.t -> vec -> vec -> unit
+
+(** [cmp_lt_into cost dst x y] is {!cmp_lt} into [dst]. *)
+val cmp_lt_into : Cost.t -> vec -> vec -> vec -> unit
+
+(** [select_into cost dst mask x y] is {!select} into [dst]. *)
+val select_into : Cost.t -> vec -> vec -> vec -> vec -> unit
+
+(** [narrow_into cost dst v] is {!narrow} of [v] to [dst]'s width,
+    written into [dst]; the widths must be equal (free copy) or [v]
+    twice as wide (one halving add). *)
+val narrow_into : Cost.t -> vec -> vec -> unit
+
+(** [transpose3x4_into cost x y z dst] is {!transpose3x4} written as
+    the 12 floats [x1 y1 z1 ... x4 y4 z4] into [dst]; six vector
+    instructions, no arithmetic (a pure lane permutation). *)
+val transpose3x4_into : Cost.t -> vec -> vec -> vec -> float array -> unit

@@ -1,0 +1,54 @@
+(** GC allocation accounting for the bench harness.
+
+    The zero-allocation refactor (flat Bigarray MD state, in-place
+    SIMD, pooled event queue) is only as good as its regression story:
+    this module measures how many heap words one "step" of a workload
+    allocates, so the bench harness can publish [alloc_words_per_step]
+    next to [wall_step_ms] and the test suite can gate on a pinned
+    budget.  See docs/ALLOC.md for how to read the numbers.
+
+    Counters come from {!Gc.quick_stat}, so with [--domains N > 1] the
+    sample only charges allocation performed by the calling domain —
+    worker-domain counters fold in lazily.  Hot loops run
+    allocation-free by construction, which is exactly what makes the
+    per-step figure (approximately) domain-count-independent; CI
+    asserts that with a tolerance rather than bit equality. *)
+
+type sample = {
+  minor_words : float;  (** words allocated in the minor heap, per step *)
+  major_words : float;  (** words allocated directly on the major heap *)
+  promoted_words : float;  (** minor words that survived into the major heap *)
+  minor_collections : float;  (** minor GCs triggered, per step *)
+}
+
+(** [words s] is the total fresh allocation of one step: minor plus
+    major, with promotions subtracted (a promoted word was already
+    counted when it was minor-allocated). *)
+let words s = s.minor_words +. s.major_words -. s.promoted_words
+
+(** [measure ?warmup ?steps f] runs [f ()] [warmup] times (populating
+    caches and lazies so steady-state behaviour is what gets counted),
+    then measures GC counters across [steps] further runs and returns
+    the per-step deltas.  The measurement itself allocates only the
+    two {!Gc.quick_stat} records, a constant that is amortised across
+    [steps]. *)
+let measure ?(warmup = 1) ?(steps = 3) f =
+  if steps < 1 then invalid_arg "Alloc.measure: steps < 1";
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let s0 = Gc.quick_stat () in
+  for _ = 1 to steps do
+    f ()
+  done;
+  let s1 = Gc.quick_stat () in
+  let per x0 x1 = (x1 -. x0) /. float_of_int steps in
+  {
+    minor_words = per s0.Gc.minor_words s1.Gc.minor_words;
+    major_words = per s0.Gc.major_words s1.Gc.major_words;
+    promoted_words = per s0.Gc.promoted_words s1.Gc.promoted_words;
+    minor_collections =
+      per
+        (float_of_int s0.Gc.minor_collections)
+        (float_of_int s1.Gc.minor_collections);
+  }

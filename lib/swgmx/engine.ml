@@ -596,8 +596,8 @@ let simulate_full ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
     end
     else begin
       K.scatter_forces sys outcome.Kernel.result st.Md.Md_state.force;
-      w.Md.Workflow.energy.Md.Energy.lj <- outcome.Kernel.result.K.e_lj;
-      w.Md.Workflow.energy.Md.Energy.coulomb_sr <- outcome.Kernel.result.K.e_coul;
+      w.Md.Workflow.energy.Md.Energy.lj <- K.e_lj outcome.Kernel.result;
+      w.Md.Workflow.energy.Md.Energy.coulomb_sr <- K.e_coul outcome.Kernel.result;
       Md.Nonbonded.excluded_corrections st params w.Md.Workflow.energy;
       (match w.Md.Workflow.pme with
       | Some pme ->
@@ -612,15 +612,18 @@ let simulate_full ?(cfg = Swarch.Config.default) ?(variant = Variant.Mark)
             +. Md.Coulomb.self_energy ~beta st.Md.Md_state.topo.Md.Topology.charge
       | None -> ());
       (* configuration update: leapfrog + SHAKE + thermostat *)
-      Array.blit st.Md.Md_state.pos 0 w.Md.Workflow.ref_pos 0 (3 * n);
+      Md.Fbuf.blit st.Md.Md_state.pos 0 w.Md.Workflow.ref_pos 0 (3 * n);
       Md.Integrator.step st ~dt;
       ignore
         (Md.Constraints.apply w.Md.Workflow.shake ~ref_pos:w.Md.Workflow.ref_pos
            ~pos:st.Md.Md_state.pos);
       let inv_dt = 1.0 /. dt in
+      let pos = st.Md.Md_state.pos
+      and vel = st.Md.Md_state.vel
+      and ref_pos = w.Md.Workflow.ref_pos in
       for k = 0 to (3 * n) - 1 do
-        st.Md.Md_state.vel.(k) <-
-          (st.Md.Md_state.pos.(k) -. w.Md.Workflow.ref_pos.(k)) *. inv_dt
+        Md.Fbuf.unsafe_set vel k
+          ((Md.Fbuf.unsafe_get pos k -. Md.Fbuf.unsafe_get ref_pos k) *. inv_dt)
       done;
       (match config.Md.Workflow.thermostat with
       | Some th -> Md.Thermostat.apply th st ~dt

@@ -101,9 +101,7 @@ let trace_outcome (cg : Swarch.Core_group.t) variant outcome =
         ("simd_ops", total.Swarch.Cost.simd_ops);
         ("dma_bytes", total.Swarch.Cost.dma_bytes);
         ("dma_time", total.Swarch.Cost.dma_time_s);
-        ( "gld",
-          float_of_int (total.Swarch.Cost.gld_count + total.Swarch.Cost.gst_count)
-        );
+        ("gld", total.Swarch.Cost.gld_count +. total.Swarch.Cost.gst_count);
         ("pairs", float_of_int outcome.result.Kernel_common.pairs_in_cutoff);
       ]
 

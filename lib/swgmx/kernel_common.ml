@@ -63,7 +63,7 @@ let pair_key ci cj = (ci * 0x40000) + cj
 (** [make cfg ~box ~params ~cl ~topo ~ff ~pos] snapshots a system for
     kernel execution: gathers positions/charges/types into both
     package layouts and precomputes exclusion masks per cluster pair. *)
-let make (cfg : Swarch.Config.t) ~box ~params ~cl ~topo ~ff ~pos =
+let make (cfg : Swarch.Config.t) ~box ~params ~cl ~topo ~ff ~(pos : Mdcore.Fbuf.t) =
   let charge = topo.Topology.charge and type_of = topo.Topology.type_of in
   let excl = Hashtbl.create 256 in
   Array.iteri
@@ -123,30 +123,44 @@ let make (cfg : Swarch.Config.t) ~box ~params ~cl ~topo ~ff ~pos =
 let excl_mask sys ci cj =
   Option.value ~default:0 (Hashtbl.find_opt sys.excl (pair_key ci cj))
 
-type result = {
-  force : float array;  (** cluster-ordered forces, [3] floats per slot *)
+type acc = {
   mutable e_lj : float;
   mutable e_coul : float;
+}
+(** Energy accumulators, split into their own all-float record so the
+    runtime stores them flat: the per-pair [e_lj <- e_lj +. ...] update
+    in the kernel inner loops is then a plain unboxed store.  Inside
+    [result] (which also holds a pointer field) the same floats would
+    be boxed and every accumulation would allocate. *)
+
+type result = {
+  force : float array;  (** cluster-ordered forces, [3] floats per slot *)
+  acc : acc;  (** unboxed energy accumulators *)
   mutable pairs_in_cutoff : int;
 }
+
+(** [e_lj res] is the accumulated Lennard-Jones energy. *)
+let e_lj res = res.acc.e_lj
+
+(** [e_coul res] is the accumulated short-range Coulomb energy. *)
+let e_coul res = res.acc.e_coul
 
 (** [empty_result sys] allocates a zeroed result for [sys]. *)
 let empty_result sys =
   {
     force = Array.make (sys.n_clusters * force_floats) 0.0;
-    e_lj = 0.0;
-    e_coul = 0.0;
+    acc = { e_lj = 0.0; e_coul = 0.0 };
     pairs_in_cutoff = 0;
   }
 
 (** [scatter_forces sys result dst] adds the cluster-ordered kernel
     forces back onto the per-atom array [dst] (length [3 *
     n_atoms]). *)
-let scatter_forces sys result dst =
+let scatter_forces sys result (dst : Mdcore.Fbuf.t) =
   for slot = 0 to sys.topo.Topology.n_atoms - 1 do
     let atom = sys.cl.Cluster.order.(slot) in
     for d = 0 to 2 do
-      dst.((3 * atom) + d) <- dst.((3 * atom) + d) +. result.force.((3 * slot) + d)
+      dst.{(3 * atom) + d} <- dst.{(3 * atom) + d} +. result.force.((3 * slot) + d)
     done
   done
 
@@ -165,11 +179,23 @@ let flops_interaction sys =
   | Nonbonded.Reaction_field -> 45.0
   | Nonbonded.Ewald_real _ -> 60.0
 
-(** [pair_interaction sys ~dx ~dy ~dz ~r2 ~qq ~ti ~tj] is
-    [(f_over_r, e_lj, e_coul)] of one in-range pair, computed through
+type pair_out = {
+  mutable p_f : float;  (** force over distance, [f_over_r] *)
+  mutable p_e_lj : float;
+  mutable p_e_coul : float;
+}
+(** Out-parameter of {!pair_interaction_into}; all-float, hence flat —
+    the kernels keep one per run and the per-pair stores never box. *)
+
+(** [fresh_pair_out ()] is a zeroed {!pair_out}. *)
+let fresh_pair_out () = { p_f = 0.0; p_e_lj = 0.0; p_e_coul = 0.0 }
+
+(** [pair_interaction_into sys ~r2 ~qq ~ti ~tj out] computes
+    [f_over_r], [e_lj] and [e_coul] of one in-range pair through
     single-precision rounding (the optimized kernels run in GROMACS
-    "mixed" precision). *)
-let pair_interaction sys ~r2 ~qq ~ti ~tj =
+    "mixed" precision) and stores them in [out] — destination-passing
+    so the per-pair loop allocates no result tuple. *)
+let pair_interaction_into sys ~r2 ~qq ~ti ~tj (out : pair_out) =
   let c6 = Mdcore.Forcefield.c6 sys.ff ti tj
   and c12 = Mdcore.Forcefield.c12 sys.ff ti tj in
   let r2 = r32 r2 in
@@ -179,17 +205,35 @@ let pair_interaction sys ~r2 ~qq ~ti ~tj =
   let f_lj =
     r32 (((12.0 *. c12 *. inv_r6 *. inv_r6) -. (6.0 *. c6 *. inv_r6)) *. inv_r2)
   in
-  let f_el, e_el =
+  (* two separate matches instead of one returning a pair: binding a
+     tuple would allocate it on every in-range pair *)
+  let f_el =
     match sys.params.Nonbonded.elec with
     | Nonbonded.Reaction_field ->
         let r = r32 (sqrt r2) in
-        ( r32 (Mdcore.Forcefield.ke *. qq *. ((1.0 /. (r2 *. r)) -. (2.0 *. sys.krf))),
-          r32 (Mdcore.Forcefield.ke *. qq *. ((1.0 /. r) +. (sys.krf *. r2) -. sys.crf)) )
+        r32 (Mdcore.Forcefield.ke *. qq *. ((1.0 /. (r2 *. r)) -. (2.0 *. sys.krf)))
     | Nonbonded.Ewald_real beta ->
-        ( r32 (Mdcore.Coulomb.ewald_real_force_over_r ~beta ~qq r2),
-          r32 (Mdcore.Coulomb.ewald_real_energy ~beta ~qq r2) )
+        r32 (Mdcore.Coulomb.ewald_real_force_over_r ~beta ~qq r2)
   in
-  (r32 (f_lj +. f_el), e_lj, e_el)
+  let e_el =
+    match sys.params.Nonbonded.elec with
+    | Nonbonded.Reaction_field ->
+        let r = r32 (sqrt r2) in
+        r32 (Mdcore.Forcefield.ke *. qq *. ((1.0 /. r) +. (sys.krf *. r2) -. sys.crf))
+    | Nonbonded.Ewald_real beta ->
+        r32 (Mdcore.Coulomb.ewald_real_energy ~beta ~qq r2)
+  in
+  out.p_f <- r32 (f_lj +. f_el);
+  out.p_e_lj <- e_lj;
+  out.p_e_coul <- e_el
+
+(** [pair_interaction sys ~r2 ~qq ~ti ~tj] is
+    [(f_over_r, e_lj, e_coul)] of one in-range pair — the tupled
+    convenience form of {!pair_interaction_into}. *)
+let pair_interaction sys ~r2 ~qq ~ti ~tj =
+  let out = fresh_pair_out () in
+  pair_interaction_into sys ~r2 ~qq ~ti ~tj out;
+  (out.p_f, out.p_e_lj, out.p_e_coul)
 
 (** [partition n_clusters n_cpes cpe] is the contiguous [lo, hi) block
     of i-clusters assigned to CPE [cpe] — the outer-loop partitioning

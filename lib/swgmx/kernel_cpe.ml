@@ -66,9 +66,11 @@ let mi d l = d -. (l *. Float.round (d /. l))
 
 (* The scalar member-pair loop of one cluster pair.  [apply_b] receives
    (mj, fx, fy, fz) increments for the j side; FA accumulates in [fa].
-   [scale] weights energies (0.5 for duplicated RCA directions). *)
+   [scale] weights energies (0.5 for duplicated RCA directions).
+   [pout] is the caller's reusable pair-interaction out-record: the
+   per-pair physics writes into it instead of allocating a tuple. *)
 let scalar_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
-    ~joff ~layout ~fa ~apply_b ~scale =
+    ~joff ~layout ~fa ~pout ~apply_b ~scale =
   let cost = cpe.Swarch.Cpe.cost in
   let box = sys.K.box in
   let rcut2 = sys.K.params.K.Nonbonded.rcut *. sys.K.params.K.Nonbonded.rcut in
@@ -91,9 +93,10 @@ let scalar_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
           in
           let ti = Package.ptype ~layout ibuf 0 mi_
           and tj = Package.ptype ~layout jbuf joff mj in
-          let f, e_lj, e_coul = K.pair_interaction sys ~r2 ~qq ~ti ~tj in
-          res.K.e_lj <- res.K.e_lj +. (scale *. e_lj);
-          res.K.e_coul <- res.K.e_coul +. (scale *. e_coul);
+          K.pair_interaction_into sys ~r2 ~qq ~ti ~tj pout;
+          let f = pout.K.p_f in
+          res.K.acc.K.e_lj <- res.K.acc.K.e_lj +. (scale *. pout.K.p_e_lj);
+          res.K.acc.K.e_coul <- res.K.acc.K.e_coul +. (scale *. pout.K.p_e_coul);
           res.K.pairs_in_cutoff <- res.K.pairs_in_cutoff + 1;
           let fx = f *. dx and fy = f *. dy and fz = f *. dz in
           fa.((3 * mi_) + 0) <- fa.((3 * mi_) + 0) +. fx;
@@ -105,149 +108,266 @@ let scalar_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
     done
   done
 
+(* Preallocated register file of the vector kernel: every vector the
+   inner loop touches lives here, allocated once per CPE slice and
+   reused for every cluster pair — the loop itself never allocates a
+   vector.  Mirrors the LDM discipline of the real kernels: a CPE has
+   a fixed set of vector registers, not a heap. *)
+type vscratch = {
+  (* constants (filled per cluster-pair call; free broadcast loads) *)
+  v_rcut2 : Simd.vec;
+  v_lx : Simd.vec;
+  v_ly : Simd.vec;
+  v_lz : Simd.vec;
+  v_inv_lx : Simd.vec;
+  v_inv_ly : Simd.vec;
+  v_inv_lz : Simd.vec;
+  v_one : Simd.vec;
+  v_twelve : Simd.vec;
+  v_six : Simd.vec;
+  v_ke : Simd.vec;
+  v_two_krf : Simd.vec;
+  v_krf : Simd.vec;
+  v_crf : Simd.vec;
+  (* i-cluster registers and FA accumulators *)
+  v_xi : Simd.vec;
+  v_yi : Simd.vec;
+  v_zi : Simd.vec;
+  v_qi : Simd.vec;
+  v_fa_x : Simd.vec;
+  v_fa_y : Simd.vec;
+  v_fa_z : Simd.vec;
+  (* per-block temporaries *)
+  v_mask : Simd.vec;
+  v_xj : Simd.vec;
+  v_yj : Simd.vec;
+  v_zj : Simd.vec;
+  v_qj : Simd.vec;
+  v_dx : Simd.vec;
+  v_dy : Simd.vec;
+  v_dz : Simd.vec;
+  v_t1 : Simd.vec;
+  v_t2 : Simd.vec;
+  v_r2 : Simd.vec;
+  v_in_range : Simd.vec;
+  v_active : Simd.vec;
+  v_c6 : Simd.vec;
+  v_c12 : Simd.vec;
+  v_r2_safe : Simd.vec;
+  v_inv_r : Simd.vec;
+  v_inv_r2 : Simd.vec;
+  v_inv_r6 : Simd.vec;
+  v_inv_r12 : Simd.vec;
+  v_e_lj : Simd.vec;
+  v_f_lj : Simd.vec;
+  v_keqq : Simd.vec;
+  v_f_el : Simd.vec;
+  v_e_el : Simd.vec;
+  v_f : Simd.vec;
+  v_fx : Simd.vec;
+  v_fy : Simd.vec;
+  v_fz : Simd.vec;
+  (* 4-lane targets of the narrow + Figure 7 transpose post-treatment *)
+  v_nx : Simd.vec;
+  v_ny : Simd.vec;
+  v_nz : Simd.vec;
+  v_fa12 : float array;
+}
+
+let make_vscratch lanes =
+  let v () = Simd.zero lanes in
+  {
+    v_rcut2 = v (); v_lx = v (); v_ly = v (); v_lz = v ();
+    v_inv_lx = v (); v_inv_ly = v (); v_inv_lz = v ();
+    v_one = v (); v_twelve = v (); v_six = v (); v_ke = v ();
+    v_two_krf = v (); v_krf = v (); v_crf = v ();
+    v_xi = v (); v_yi = v (); v_zi = v (); v_qi = v ();
+    v_fa_x = v (); v_fa_y = v (); v_fa_z = v ();
+    v_mask = v (); v_xj = v (); v_yj = v (); v_zj = v (); v_qj = v ();
+    v_dx = v (); v_dy = v (); v_dz = v (); v_t1 = v (); v_t2 = v ();
+    v_r2 = v (); v_in_range = v (); v_active = v ();
+    v_c6 = v (); v_c12 = v (); v_r2_safe = v ();
+    v_inv_r = v (); v_inv_r2 = v (); v_inv_r6 = v (); v_inv_r12 = v ();
+    v_e_lj = v (); v_f_lj = v (); v_keqq = v ();
+    v_f_el = v (); v_e_el = v (); v_f = v ();
+    v_fx = v (); v_fy = v (); v_fz = v ();
+    v_nx = Simd.zero Cluster.size;
+    v_ny = Simd.zero Cluster.size;
+    v_nz = Simd.zero Cluster.size;
+    v_fa12 = Array.make K.force_floats 0.0;
+  }
+
 (* Vectorized member-pair loop, lane-count parametric.  The platform's
    SIMD width is a multiple of the cluster size: the low two bits of a
    lane select the i-member (Fig 6) and the upper bits select one of
    [lanes / Cluster.size] j-members processed per vector block (1 on
    the 4-lane SW26010, 2 on the 8-lane SW26010-Pro).  Exclusion,
    padding, self and cut-off handling all fold into one lane mask.
-   At 4 lanes the iteration order, arithmetic and charges are
-   bit-identical to the historical hardwired loop. *)
+   Every operation runs in place on [s]: same arithmetic, same order
+   and same charges as the historical allocating loop (the in-place
+   ops are lane-for-lane identical), but the block loop touches no
+   heap vector.  FA accumulates in [s.v_fa_x/y/z]. *)
 let vector_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
-    ~joff ~fa_x ~fa_y ~fa_z ~apply_b ~scale =
+    ~joff ~(s : vscratch) ~apply_b ~scale =
   let cost = cpe.Swarch.Cpe.cost in
   let box = sys.K.box in
   let lanes = sys.K.cfg.Swarch.Config.simd_lanes in
   let jblk = lanes / Cluster.size in
-  let rcut2 =
-    Simd.splat lanes
-      (sys.K.params.K.Nonbonded.rcut *. sys.K.params.K.Nonbonded.rcut)
-  in
+  Simd.splat_into s.v_rcut2
+    (sys.K.params.K.Nonbonded.rcut *. sys.K.params.K.Nonbonded.rcut);
   let ni = Cluster.count sys.K.cl ci and nj = Cluster.count sys.K.cl cj in
   let mask_bits = K.excl_mask sys (min ci cj) (max ci cj) in
   let soa = Package.Soa in
   let im_of l = l mod Cluster.size in
-  let xi = Simd.init lanes (fun l -> ibuf.(im_of l))
-  and yi = Simd.init lanes (fun l -> ibuf.(Cluster.size + im_of l))
-  and zi = Simd.init lanes (fun l -> ibuf.((2 * Cluster.size) + im_of l))
-  and qi = Simd.init lanes (fun l -> ibuf.((3 * Cluster.size) + im_of l)) in
-  let lx = Simd.splat lanes box.K.Box.lx
-  and ly = Simd.splat lanes box.K.Box.ly
-  and lz = Simd.splat lanes box.K.Box.lz in
-  let inv_lx = Simd.splat lanes (1.0 /. box.K.Box.lx)
-  and inv_ly = Simd.splat lanes (1.0 /. box.K.Box.ly)
-  and inv_lz = Simd.splat lanes (1.0 /. box.K.Box.lz) in
+  Simd.init_into s.v_xi (fun l -> ibuf.(im_of l));
+  Simd.init_into s.v_yi (fun l -> ibuf.(Cluster.size + im_of l));
+  Simd.init_into s.v_zi (fun l -> ibuf.((2 * Cluster.size) + im_of l));
+  Simd.init_into s.v_qi (fun l -> ibuf.((3 * Cluster.size) + im_of l));
+  Simd.splat_into s.v_lx box.K.Box.lx;
+  Simd.splat_into s.v_ly box.K.Box.ly;
+  Simd.splat_into s.v_lz box.K.Box.lz;
+  Simd.splat_into s.v_inv_lx (1.0 /. box.K.Box.lx);
+  Simd.splat_into s.v_inv_ly (1.0 /. box.K.Box.ly);
+  Simd.splat_into s.v_inv_lz (1.0 /. box.K.Box.lz);
+  Simd.splat_into s.v_one 1.0;
+  Simd.splat_into s.v_twelve 12.0;
+  Simd.splat_into s.v_six 6.0;
+  Simd.splat_into s.v_ke Mdcore.Forcefield.ke;
+  Simd.splat_into s.v_two_krf (2.0 *. sys.K.krf);
+  Simd.splat_into s.v_krf sys.K.krf;
+  Simd.splat_into s.v_crf sys.K.crf;
+  (* in-place minimum image: d <- d - l * round (d * inv_l) *)
   let mi_v d l inv_l =
-    let n = Simd.round cost (Simd.mul cost d inv_l) in
-    Simd.sub cost d (Simd.mul cost n l)
+    Simd.mul_into cost s.v_t1 d inv_l;
+    Simd.round_into cost s.v_t1 s.v_t1;
+    Simd.mul_into cost s.v_t1 s.v_t1 l;
+    Simd.sub_into cost d d s.v_t1
+  in
+  (* the block-position state the lane closures read; defining the
+     closures once per cluster pair (not once per block) keeps the
+     block loop closure-free *)
+  let cur_jb = ref 0 in
+  let jm_of l = (!cur_jb * jblk) + (l / Cluster.size) in
+  (* padded j slots exist up to the cluster capacity, so clamped
+     loads of masked lanes stay in bounds *)
+  let jm_load l = min (jm_of l) (Cluster.size - 1) in
+  let lane_valid l =
+    let im = im_of l and jm = jm_of l in
+    if im >= ni || jm >= nj then 0.0
+    else if ci = cj && jm <= im then 0.0
+    else
+      let bit =
+        if ci <= cj then (Cluster.size * im) + jm
+        else (Cluster.size * jm) + im
+      in
+      if mask_bits land (1 lsl bit) <> 0 then 0.0 else 1.0
+  in
+  let xj_lane l = Package.x ~layout:soa jbuf joff (jm_load l) in
+  let yj_lane l = Package.y ~layout:soa jbuf joff (jm_load l) in
+  let zj_lane l = Package.z ~layout:soa jbuf joff (jm_load l) in
+  let qj_lane l = Package.charge ~layout:soa jbuf joff (jm_load l) in
+  let tj l = Package.ptype ~layout:soa jbuf joff (jm_load l) in
+  let ti l = Package.ptype ~layout:soa ibuf 0 (im_of l) in
+  let c6_lane l = Mdcore.Forcefield.c6 sys.K.ff (ti l) (tj l) in
+  let c12_lane l = Mdcore.Forcefield.c12 sys.K.ff (ti l) (tj l) in
+  let f_el_lane l =
+    Mdcore.Coulomb.ewald_real_force_over_r ~beta:sys.K.beta
+      ~qq:(Simd.lane s.v_keqq l /. Mdcore.Forcefield.ke)
+      (Simd.lane s.v_r2_safe l)
+  in
+  let e_el_lane l =
+    Mdcore.Coulomb.ewald_real_energy ~beta:sys.K.beta
+      ~qq:(Simd.lane s.v_keqq l /. Mdcore.Forcefield.ke)
+      (Simd.lane s.v_r2_safe l)
   in
   for jb = 0 to ((nj + jblk - 1) / jblk) - 1 do
-    let jm_of l = (jb * jblk) + (l / Cluster.size) in
-    (* padded j slots exist up to the cluster capacity, so clamped
-       loads of masked lanes stay in bounds *)
-    let jm_load l = min (jm_of l) (Cluster.size - 1) in
-    let lane_valid l =
-      let im = im_of l and jm = jm_of l in
-      if im >= ni || jm >= nj then 0.0
-      else if ci = cj && jm <= im then 0.0
-      else
-        let bit =
-          if ci <= cj then (Cluster.size * im) + jm
-          else (Cluster.size * jm) + im
-        in
-        if mask_bits land (1 lsl bit) <> 0 then 0.0 else 1.0
-    in
-    let vmask = Simd.init lanes lane_valid in
+    cur_jb := jb;
+    Simd.init_into s.v_mask lane_valid;
     Cost.int_ops cost (2.0 *. float_of_int jblk);
-    let xj = Simd.init lanes (fun l -> Package.x ~layout:soa jbuf joff (jm_load l))
-    and yj = Simd.init lanes (fun l -> Package.y ~layout:soa jbuf joff (jm_load l))
-    and zj = Simd.init lanes (fun l -> Package.z ~layout:soa jbuf joff (jm_load l))
-    and qj =
-      Simd.init lanes (fun l -> Package.charge ~layout:soa jbuf joff (jm_load l))
-    in
-    let dx = mi_v (Simd.sub cost xi xj) lx inv_lx in
-    let dy = mi_v (Simd.sub cost yi yj) ly inv_ly in
-    let dz = mi_v (Simd.sub cost zi zj) lz inv_lz in
-    let r2 = Simd.fma cost dz dz (Simd.fma cost dy dy (Simd.mul cost dx dx)) in
-    let in_range = Simd.cmp_lt cost r2 rcut2 in
-    let active = Simd.mul cost in_range vmask in
-    if Simd.hsum cost active > 0.0 then begin
-      let tj l = Package.ptype ~layout:soa jbuf joff (jm_load l) in
+    Simd.init_into s.v_xj xj_lane;
+    Simd.init_into s.v_yj yj_lane;
+    Simd.init_into s.v_zj zj_lane;
+    Simd.init_into s.v_qj qj_lane;
+    Simd.sub_into cost s.v_dx s.v_xi s.v_xj;
+    mi_v s.v_dx s.v_lx s.v_inv_lx;
+    Simd.sub_into cost s.v_dy s.v_yi s.v_yj;
+    mi_v s.v_dy s.v_ly s.v_inv_ly;
+    Simd.sub_into cost s.v_dz s.v_zi s.v_zj;
+    mi_v s.v_dz s.v_lz s.v_inv_lz;
+    Simd.mul_into cost s.v_t1 s.v_dx s.v_dx;
+    Simd.fma_into cost s.v_t1 s.v_dy s.v_dy s.v_t1;
+    Simd.fma_into cost s.v_r2 s.v_dz s.v_dz s.v_t1;
+    Simd.cmp_lt_into cost s.v_in_range s.v_r2 s.v_rcut2;
+    Simd.mul_into cost s.v_active s.v_in_range s.v_mask;
+    if Simd.hsum cost s.v_active > 0.0 then begin
       (* per-lane LJ parameters: a scalar table gather on real hardware *)
       Cost.int_ops cost (float_of_int lanes);
-      let ti l = Package.ptype ~layout:soa ibuf 0 (im_of l) in
-      let c6 =
-        Simd.init lanes (fun l -> Mdcore.Forcefield.c6 sys.K.ff (ti l) (tj l))
-      and c12 =
-        Simd.init lanes (fun l -> Mdcore.Forcefield.c12 sys.K.ff (ti l) (tj l))
-      in
+      Simd.init_into s.v_c6 c6_lane;
+      Simd.init_into s.v_c12 c12_lane;
       (* guard against r2 = 0 in masked-out lanes (padding at origin) *)
-      let r2_safe = Simd.select cost active r2 (Simd.splat lanes 1.0) in
-      let inv_r = Simd.rsqrt cost r2_safe in
-      let inv_r2 = Simd.mul cost inv_r inv_r in
-      let inv_r6 = Simd.mul cost inv_r2 (Simd.mul cost inv_r2 inv_r2) in
-      let inv_r12 = Simd.mul cost inv_r6 inv_r6 in
-      let e_lj_v = Simd.sub cost (Simd.mul cost c12 inv_r12) (Simd.mul cost c6 inv_r6) in
-      let f_lj_v =
-        Simd.mul cost
-          (Simd.sub cost
-             (Simd.mul cost (Simd.splat lanes 12.0) (Simd.mul cost c12 inv_r12))
-             (Simd.mul cost (Simd.splat lanes 6.0) (Simd.mul cost c6 inv_r6)))
-          inv_r2
-      in
-      let keqq =
-        Simd.mul cost (Simd.mul cost qi qj) (Simd.splat lanes Mdcore.Forcefield.ke)
-      in
-      let f_el_v, e_el_v =
-        match sys.K.params.K.Nonbonded.elec with
-        | K.Nonbonded.Reaction_field ->
-            let inv_r3 = Simd.mul cost inv_r2 inv_r in
-            ( Simd.mul cost keqq
-                (Simd.sub cost inv_r3 (Simd.splat lanes (2.0 *. sys.K.krf))),
-              Simd.mul cost keqq
-                (Simd.sub cost
-                   (Simd.fma cost (Simd.splat lanes sys.K.krf) r2_safe inv_r)
-                   (Simd.splat lanes sys.K.crf)) )
-        | K.Nonbonded.Ewald_real beta ->
-            (* erfc evaluated per lane: a vectorized polynomial on the
-               hardware; charged as a fixed block of vector ops per
-               4-lane group *)
-            Cost.simd cost (8.0 *. float_of_int jblk);
-            let per_lane f =
-              Simd.init lanes (fun l ->
-                  f (Simd.lane r2_safe l) (Simd.lane keqq l))
-            in
-            ( per_lane (fun r2 kq ->
-                  Mdcore.Coulomb.ewald_real_force_over_r ~beta
-                    ~qq:(kq /. Mdcore.Forcefield.ke) r2),
-              per_lane (fun r2 kq ->
-                  Mdcore.Coulomb.ewald_real_energy ~beta
-                    ~qq:(kq /. Mdcore.Forcefield.ke) r2) )
-      in
-      let f_v = Simd.mul cost (Simd.add cost f_lj_v f_el_v) active in
-      res.K.e_lj <-
-        res.K.e_lj +. (scale *. Simd.hsum cost (Simd.mul cost e_lj_v active));
-      res.K.e_coul <-
-        res.K.e_coul +. (scale *. Simd.hsum cost (Simd.mul cost e_el_v active));
+      Simd.select_into cost s.v_r2_safe s.v_active s.v_r2 s.v_one;
+      Simd.rsqrt_into cost s.v_inv_r s.v_r2_safe;
+      Simd.mul_into cost s.v_inv_r2 s.v_inv_r s.v_inv_r;
+      Simd.mul_into cost s.v_t1 s.v_inv_r2 s.v_inv_r2;
+      Simd.mul_into cost s.v_inv_r6 s.v_inv_r2 s.v_t1;
+      Simd.mul_into cost s.v_inv_r12 s.v_inv_r6 s.v_inv_r6;
+      (* e_lj = c12 * inv_r12 - c6 * inv_r6 *)
+      Simd.mul_into cost s.v_e_lj s.v_c12 s.v_inv_r12;
+      Simd.mul_into cost s.v_t1 s.v_c6 s.v_inv_r6;
+      Simd.sub_into cost s.v_e_lj s.v_e_lj s.v_t1;
+      (* f_lj = (12 c12 inv_r12 - 6 c6 inv_r6) * inv_r2; the products
+         are recharged, matching the historical expression *)
+      Simd.mul_into cost s.v_t1 s.v_c12 s.v_inv_r12;
+      Simd.mul_into cost s.v_t1 s.v_twelve s.v_t1;
+      Simd.mul_into cost s.v_t2 s.v_c6 s.v_inv_r6;
+      Simd.mul_into cost s.v_t2 s.v_six s.v_t2;
+      Simd.sub_into cost s.v_t1 s.v_t1 s.v_t2;
+      Simd.mul_into cost s.v_f_lj s.v_t1 s.v_inv_r2;
+      Simd.mul_into cost s.v_t1 s.v_qi s.v_qj;
+      Simd.mul_into cost s.v_keqq s.v_t1 s.v_ke;
+      (match sys.K.params.K.Nonbonded.elec with
+      | K.Nonbonded.Reaction_field ->
+          (* f_el = keqq * (inv_r3 - 2 krf) *)
+          Simd.mul_into cost s.v_t1 s.v_inv_r2 s.v_inv_r;
+          Simd.sub_into cost s.v_t1 s.v_t1 s.v_two_krf;
+          Simd.mul_into cost s.v_f_el s.v_keqq s.v_t1;
+          (* e_el = keqq * (krf * r2 + inv_r - crf) *)
+          Simd.fma_into cost s.v_t1 s.v_krf s.v_r2_safe s.v_inv_r;
+          Simd.sub_into cost s.v_t1 s.v_t1 s.v_crf;
+          Simd.mul_into cost s.v_e_el s.v_keqq s.v_t1
+      | K.Nonbonded.Ewald_real _ ->
+          (* erfc evaluated per lane: a vectorized polynomial on the
+             hardware; charged as a fixed block of vector ops per
+             4-lane group *)
+          Cost.simd cost (8.0 *. float_of_int jblk);
+          Simd.init_into s.v_f_el f_el_lane;
+          Simd.init_into s.v_e_el e_el_lane);
+      Simd.add_into cost s.v_t1 s.v_f_lj s.v_f_el;
+      Simd.mul_into cost s.v_f s.v_t1 s.v_active;
+      Simd.mul_into cost s.v_t1 s.v_e_lj s.v_active;
+      res.K.acc.K.e_lj <-
+        res.K.acc.K.e_lj +. (scale *. Simd.hsum cost s.v_t1);
+      Simd.mul_into cost s.v_t1 s.v_e_el s.v_active;
+      res.K.acc.K.e_coul <-
+        res.K.acc.K.e_coul +. (scale *. Simd.hsum cost s.v_t1);
       res.K.pairs_in_cutoff <-
-        res.K.pairs_in_cutoff + int_of_float (Simd.hsum cost active);
-      let fx = Simd.mul cost f_v dx
-      and fy = Simd.mul cost f_v dy
-      and fz = Simd.mul cost f_v dz in
-      fa_x := Simd.add cost !fa_x fx;
-      fa_y := Simd.add cost !fa_y fy;
-      fa_z := Simd.add cost !fa_z fz;
+        res.K.pairs_in_cutoff + int_of_float (Simd.hsum cost s.v_active);
+      Simd.mul_into cost s.v_fx s.v_f s.v_dx;
+      Simd.mul_into cost s.v_fy s.v_f s.v_dy;
+      Simd.mul_into cost s.v_fz s.v_f s.v_dz;
+      Simd.add_into cost s.v_fa_x s.v_fa_x s.v_fx;
+      Simd.add_into cost s.v_fa_y s.v_fa_y s.v_fy;
+      Simd.add_into cost s.v_fa_z s.v_fa_z s.v_fz;
       (* FB post-treatment per j-member: horizontal-sum the 4-lane
          group belonging to that member (a free register extract at
          4 lanes, where the group is the whole vector) *)
       for b = 0 to jblk - 1 do
         let mj = (jb * jblk) + b in
         if mj < nj then
-          let part v = Simd.slice v (b * Cluster.size) Cluster.size in
           apply_b mj
-            (-.Simd.hsum cost (part fx))
-            (-.Simd.hsum cost (part fy))
-            (-.Simd.hsum cost (part fz))
+            (-.Simd.hsum_part cost s.v_fx (b * Cluster.size) Cluster.size)
+            (-.Simd.hsum_part cost s.v_fy (b * Cluster.size) Cluster.size)
+            (-.Simd.hsum_part cost s.v_fz (b * Cluster.size) Cluster.size)
       done
     end
   done
@@ -309,8 +429,7 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
             (if spec.write = Mpe_collect then
                Array.make (Array.length res.K.force) 0.0
              else res.K.force);
-          e_lj = 0.0;
-          e_coul = 0.0;
+          acc = { K.e_lj = 0.0; e_coul = 0.0 };
           pairs_in_cutoff = 0;
         })
   in
@@ -502,13 +621,22 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
           Array.blit backing (ci * Package.floats) ibuf 0 Package.floats;
           Dma.get cfg cost ~bytes:Package.bytes
         in
+        (* per-slice scratch, reused by every i-cluster: the vector
+           register file, the scalar FA block and the pair-interaction
+           out-record live for the whole slice *)
+        let vs =
+          if spec.vector then Some (make_vscratch cfg.Swarch.Config.simd_lanes)
+          else None
+        in
+        let fa = Array.make K.force_floats 0.0 in
+        let pout = K.fresh_pair_out () in
         let compute_i k =
           let ci = lo + k in
           if spec.vector then begin
-            let lanes = cfg.Swarch.Config.simd_lanes in
-            let fa_x = ref (Simd.zero lanes)
-            and fa_y = ref (Simd.zero lanes)
-            and fa_z = ref (Simd.zero lanes) in
+            let s = Option.get vs in
+            Simd.splat_into s.v_fa_x 0.0;
+            Simd.splat_into s.v_fa_y 0.0;
+            Simd.splat_into s.v_fa_z 0.0;
             Pair_list.iter_ci pairs ci (fun cj ->
                 let joff, jdata = fetch_j cj in
                 let apply_b =
@@ -516,22 +644,20 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
                   | Rmw_direct -> rmw_pair cj
                   | _ -> accumulate_fb
                 in
-                vector_pairs sys cpe lres ~ci ~cj ~ibuf ~jbuf:jdata ~joff ~fa_x
-                  ~fa_y ~fa_z ~apply_b ~scale:1.0;
+                vector_pairs sys cpe lres ~ci ~cj ~ibuf ~jbuf:jdata ~joff ~s
+                  ~apply_b ~scale:1.0;
                 flush_fb cj);
             (* post-treatment: fold wide accumulators down to one
                4-lane register per axis (free at 4 lanes), then the
                Figure 7 transpose, then apply FA *)
-            let fx = Simd.narrow cost !fa_x Cluster.size
-            and fy = Simd.narrow cost !fa_y Cluster.size
-            and fz = Simd.narrow cost !fa_z Cluster.size in
-            let (x1, y1, z1), (x2, y2, z2), (x3, y3, z3), (x4, y4, z4) =
-              Simd.transpose3x4 cost fx fy fz
-            in
-            apply_a ci [| x1; y1; z1; x2; y2; z2; x3; y3; z3; x4; y4; z4 |]
+            Simd.narrow_into cost s.v_nx s.v_fa_x;
+            Simd.narrow_into cost s.v_ny s.v_fa_y;
+            Simd.narrow_into cost s.v_nz s.v_fa_z;
+            Simd.transpose3x4_into cost s.v_nx s.v_ny s.v_nz s.v_fa12;
+            apply_a ci s.v_fa12
           end
           else begin
-            let fa = Array.make K.force_floats 0.0 in
+            Array.fill fa 0 K.force_floats 0.0;
             Pair_list.iter_ci pairs ci (fun cj ->
                 let joff, jdata = fetch_j cj in
                 let scale =
@@ -551,7 +677,7 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
                   | Deferred _ | Mpe_collect -> accumulate_fb
                 in
                 scalar_pairs sys cpe lres ~ci ~cj ~ibuf ~jbuf:jdata ~joff
-                  ~layout ~fa ~apply_b ~scale;
+                  ~layout ~fa ~pout ~apply_b ~scale;
                 flush_fb cj);
             apply_a ci fa
           end
@@ -621,8 +747,8 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
      same order no matter how the walk above was sharded *)
   for id = 0 to n_cpes - 1 do
     let lres = l_res.(id) in
-    res.K.e_lj <- res.K.e_lj +. lres.K.e_lj;
-    res.K.e_coul <- res.K.e_coul +. lres.K.e_coul;
+    res.K.acc.K.e_lj <- res.K.acc.K.e_lj +. lres.K.acc.K.e_lj;
+    res.K.acc.K.e_coul <- res.K.acc.K.e_coul +. lres.K.acc.K.e_coul;
     res.K.pairs_in_cutoff <- res.K.pairs_in_cutoff + lres.K.pairs_in_cutoff;
     if spec.write = Mpe_collect then begin
       let ov = lres.K.force in

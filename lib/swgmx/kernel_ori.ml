@@ -25,6 +25,7 @@ let mi d l = d -. (l *. Float.round (d /. l))
     result (forces in cluster order, energies, pair count). *)
 let run sys (pairs : Pair_list.t) (cg : Swarch.Core_group.t) =
   let res = K.empty_result sys in
+  let pout = K.fresh_pair_out () in
   let mpe = cg.Swarch.Core_group.mpe in
   let box = sys.K.box in
   let rcut2 = sys.K.params.K.Nonbonded.rcut *. sys.K.params.K.Nonbonded.rcut in
@@ -52,9 +53,10 @@ let run sys (pairs : Pair_list.t) (cg : Swarch.Core_group.t) =
               in
               let ti = Package.ptype ~layout buf ioff mi_
               and tj = Package.ptype ~layout buf joff mj in
-              let f, e_lj, e_coul = K.pair_interaction sys ~r2 ~qq ~ti ~tj in
-              res.K.e_lj <- res.K.e_lj +. e_lj;
-              res.K.e_coul <- res.K.e_coul +. e_coul;
+              K.pair_interaction_into sys ~r2 ~qq ~ti ~tj pout;
+              let f = pout.K.p_f in
+              res.K.acc.K.e_lj <- res.K.acc.K.e_lj +. pout.K.p_e_lj;
+              res.K.acc.K.e_coul <- res.K.acc.K.e_coul +. pout.K.p_e_coul;
               res.K.pairs_in_cutoff <- res.K.pairs_in_cutoff + 1;
               let add slot d v =
                 res.K.force.((3 * slot) + d) <- res.K.force.((3 * slot) + d) +. v

@@ -36,7 +36,7 @@ let soa_base field m = (field * Mdcore.Cluster.size) + m
     array for every cluster of [cl] (cluster-ordered, padded slots
     zero); positions are pre-wrapped into the box by the caller if
     needed. *)
-let pack ~layout (cl : Mdcore.Cluster.t) ~pos ~charge ~type_of =
+let pack ~layout (cl : Mdcore.Cluster.t) ~(pos : Mdcore.Fbuf.t) ~charge ~type_of =
   let nc = cl.Mdcore.Cluster.n_clusters in
   let out = Array.make (nc * floats) 0.0 in
   for c = 0 to nc - 1 do
@@ -45,15 +45,15 @@ let pack ~layout (cl : Mdcore.Cluster.t) ~pos ~charge ~type_of =
       let base = c * floats in
       match layout with
       | Aos ->
-          out.(base + aos_base m) <- pos.(3 * a);
-          out.(base + aos_base m + 1) <- pos.((3 * a) + 1);
-          out.(base + aos_base m + 2) <- pos.((3 * a) + 2);
+          out.(base + aos_base m) <- pos.{3 * a};
+          out.(base + aos_base m + 1) <- pos.{(3 * a) + 1};
+          out.(base + aos_base m + 2) <- pos.{(3 * a) + 2};
           out.(base + aos_base m + 3) <- charge.(a);
           out.(base + aos_base m + 4) <- float_of_int type_of.(a)
       | Soa ->
-          out.(base + soa_base 0 m) <- pos.(3 * a);
-          out.(base + soa_base 1 m) <- pos.((3 * a) + 1);
-          out.(base + soa_base 2 m) <- pos.((3 * a) + 2);
+          out.(base + soa_base 0 m) <- pos.{3 * a};
+          out.(base + soa_base 1 m) <- pos.{(3 * a) + 1};
+          out.(base + soa_base 2 m) <- pos.{(3 * a) + 2};
           out.(base + soa_base 3 m) <- charge.(a);
           out.(base + soa_base 4 m) <- float_of_int type_of.(a)
     done

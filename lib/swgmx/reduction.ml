@@ -41,43 +41,45 @@ let run ?sched ?(dead = []) sys (cg : Swarch.Core_group.t)
   in
   (* [reduce_line] folds one line into [res.force]; lines never share
      force slots, so owners can run concurrently without locks *)
+  (* a plain indexed loop (not [Array.iter] with a closure) so the
+     per-line walk allocates nothing *)
   let reduce_line cost line =
     let lo_elt = line * line_elts in
     let hi_elt = min sys.K.n_clusters (lo_elt + line_elts) in
     let touched = ref false in
     let fetches = ref 0 in
-    Array.iter
-      (function
-        | None -> ()
-        | Some { wlo; data; marks } ->
-            let wlen = Array.length data / K.force_floats in
-            let whi = wlo + wlen in
-            if wlo <= lo_elt && hi_elt <= whi then begin
-              let local_line = (lo_elt - wlo) / line_elts in
-              let fetch =
-                match marks with
-                | Some m ->
-                    (* Alg 4 line 4: test the mark by bit operations *)
-                    Cost.int_ops cost 2.0;
-                    local_line < Swcache.Bitmap.length m
-                    && Swcache.Bitmap.is_marked m local_line
-                | None -> true (* meaningless copies are fetched anyway *)
-              in
-              if fetch then begin
-                incr fetches;
-                Dma.get cfg cost ~bytes:K.write_line_bytes;
-                Cost.flops cost (float_of_int ((hi_elt - lo_elt) * K.force_floats));
-                for e = lo_elt to hi_elt - 1 do
-                  let src = (e - wlo) * K.force_floats
-                  and dst = e * K.force_floats in
-                  for k = 0 to K.force_floats - 1 do
-                    res.K.force.(dst + k) <- res.K.force.(dst + k) +. data.(src + k)
-                  done
-                done;
-                touched := true
-              end
-            end)
-      copies;
+    for c = 0 to Array.length copies - 1 do
+      match copies.(c) with
+      | None -> ()
+      | Some { wlo; data; marks } ->
+          let wlen = Array.length data / K.force_floats in
+          let whi = wlo + wlen in
+          if wlo <= lo_elt && hi_elt <= whi then begin
+            let local_line = (lo_elt - wlo) / line_elts in
+            let fetch =
+              match marks with
+              | Some m ->
+                  (* Alg 4 line 4: test the mark by bit operations *)
+                  Cost.int_ops cost 2.0;
+                  local_line < Swcache.Bitmap.length m
+                  && Swcache.Bitmap.is_marked m local_line
+              | None -> true (* meaningless copies are fetched anyway *)
+            in
+            if fetch then begin
+              incr fetches;
+              Dma.get cfg cost ~bytes:K.write_line_bytes;
+              Cost.flops cost (float_of_int ((hi_elt - lo_elt) * K.force_floats));
+              for e = lo_elt to hi_elt - 1 do
+                let src = (e - wlo) * K.force_floats
+                and dst = e * K.force_floats in
+                for k = 0 to K.force_floats - 1 do
+                  res.K.force.(dst + k) <- res.K.force.(dst + k) +. data.(src + k)
+                done
+              done;
+              touched := true
+            end
+          end
+    done;
     if !touched then Dma.put cfg cost ~bytes:K.write_line_bytes;
     !fetches
   in

@@ -20,15 +20,16 @@ type t = {
   vel : float array;  (** [3 * n_atoms] *)
 }
 
-(** [capture ~step ~pos ~vel ~n_atoms] snapshots a running system;
-    [platform] names the machine description the run used. *)
-let capture ?(platform = "") ~step ~pos ~vel ~n_atoms () =
+(** [capture ~step ~pos ~vel ~n_atoms] snapshots a running system
+    (copying out of the live {!Fvec.t} buffers); [platform] names the
+    machine description the run used. *)
+let capture ?(platform = "") ~step ~(pos : Fvec.t) ~(vel : Fvec.t) ~n_atoms () =
   if step < 0 then invalid_arg "Checkpoint.capture: negative step";
-  if Array.length pos <> 3 * n_atoms || Array.length vel <> 3 * n_atoms then
+  if Fvec.dim pos <> 3 * n_atoms || Fvec.dim vel <> 3 * n_atoms then
     invalid_arg "Checkpoint.capture: array sizes";
   if String.contains platform '\n' || String.contains platform ' ' then
     invalid_arg "Checkpoint.capture: bad platform name";
-  { step; n_atoms; platform; pos = Array.copy pos; vel = Array.copy vel }
+  { step; n_atoms; platform; pos = Fvec.to_array pos; vel = Fvec.to_array vel }
 
 (** [to_string t] serializes the checkpoint (format version 2). *)
 let to_string t =
@@ -110,10 +111,13 @@ let of_string s =
   | _ -> invalid_arg "Checkpoint.of_string: empty"
 
 (** [restore t ~pos ~vel] writes the checkpointed arrays back into a
-    live system (sizes must match) and returns the step counter. *)
-let restore t ~pos ~vel =
-  if Array.length pos <> 3 * t.n_atoms || Array.length vel <> 3 * t.n_atoms then
+    live system's buffers (sizes must match) and returns the step
+    counter. *)
+let restore t ~(pos : Fvec.t) ~(vel : Fvec.t) =
+  if Fvec.dim pos <> 3 * t.n_atoms || Fvec.dim vel <> 3 * t.n_atoms then
     invalid_arg "Checkpoint.restore: array sizes";
-  Array.blit t.pos 0 pos 0 (3 * t.n_atoms);
-  Array.blit t.vel 0 vel 0 (3 * t.n_atoms);
+  for i = 0 to (3 * t.n_atoms) - 1 do
+    pos.{i} <- t.pos.(i);
+    vel.{i} <- t.vel.(i)
+  done;
   t.step

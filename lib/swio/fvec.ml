@@ -1,0 +1,30 @@
+(** Flat float64 coordinate buffers, as the I/O layer sees them.
+
+    The MD engine stores positions and velocities in flat Bigarrays
+    ({!Mdcore.Fbuf}); [Swio] depends only on [fmt], so it re-declares
+    the same type alias over the stdlib [Bigarray] — the two unify
+    structurally, letting the engine hand its state buffers to the
+    writers without copies or a dependency edge. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** [create n] is a zero-filled buffer of [n] floats. *)
+let create n : t =
+  let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill b 0.0;
+  b
+
+(** [dim t] is the number of floats. *)
+let dim (t : t) = Bigarray.Array1.dim t
+
+(** [of_array a] copies a float array into a fresh buffer. *)
+let of_array a : t =
+  let n = Array.length a in
+  let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    b.{i} <- a.(i)
+  done;
+  b
+
+(** [to_array t] copies the buffer out into a float array. *)
+let to_array (t : t) = Array.init (dim t) (fun i -> t.{i})

@@ -5,6 +5,7 @@
     formatter with a 20 MB buffer — plus the simulated-time model the
     full-step engine charges for the "Write traj" kernel. *)
 
+module Fvec = Fvec
 module Fast_format = Fast_format
 module Buffered_writer = Buffered_writer
 module Trajectory = Trajectory

@@ -10,16 +10,16 @@ type path = Standard | Fast
 (** [write_frame ~path writer ~step ~pos ~n] emits one frame of [n]
     particle positions (flat xyz array, nm, three decimals as .gro
     uses) and returns the payload size in bytes. *)
-let write_frame ~path (w : Buffered_writer.t) ~step ~pos ~n =
+let write_frame ~path (w : Buffered_writer.t) ~step ~(pos : Fvec.t) ~n =
   let before = Buffered_writer.bytes_written w in
   (match path with
   | Standard ->
       Buffered_writer.write_string w (Printf.sprintf "frame %d\n%d\n" step n);
       for i = 0 to n - 1 do
         Buffered_writer.write_string w
-          (Printf.sprintf "%8.3f%8.3f%8.3f\n" pos.(3 * i)
-             pos.((3 * i) + 1)
-             pos.((3 * i) + 2))
+          (Printf.sprintf "%8.3f%8.3f%8.3f\n" pos.{3 * i}
+             pos.{(3 * i) + 1}
+             pos.{(3 * i) + 2})
       done
   | Fast ->
       Buffered_writer.write_string w "frame ";
@@ -28,11 +28,11 @@ let write_frame ~path (w : Buffered_writer.t) ~step ~pos ~n =
       Buffered_writer.write_fixed w (float_of_int n) ~decimals:0;
       Buffered_writer.write_char w '\n';
       for i = 0 to n - 1 do
-        Buffered_writer.write_fixed w pos.(3 * i) ~decimals:3;
+        Buffered_writer.write_fixed w pos.{3 * i} ~decimals:3;
         Buffered_writer.write_char w ' ';
-        Buffered_writer.write_fixed w pos.((3 * i) + 1) ~decimals:3;
+        Buffered_writer.write_fixed w pos.{(3 * i) + 1} ~decimals:3;
         Buffered_writer.write_char w ' ';
-        Buffered_writer.write_fixed w pos.((3 * i) + 2) ~decimals:3;
+        Buffered_writer.write_fixed w pos.{(3 * i) + 2} ~decimals:3;
         Buffered_writer.write_char w '\n'
       done);
   Buffered_writer.bytes_written w - before

@@ -28,11 +28,11 @@ let get_i32 buf off =
 (** [encode ~step ~precision pos ~n] packs [n] xyz-interleaved
     positions into a frame.  Coordinates must satisfy
     [|x * precision| < 2^31]. *)
-let encode ~step ~precision pos ~n =
+let encode ~step ~precision (pos : Fvec.t) ~n =
   if precision <= 0.0 then invalid_arg "Xtc.encode: precision must be positive";
   let payload = Bytes.create (12 * n) in
   for k = 0 to (3 * n) - 1 do
-    let v = Float.round (pos.(k) *. precision) in
+    let v = Float.round (pos.{k} *. precision) in
     if Float.abs v >= 2147483647.0 then invalid_arg "Xtc.encode: coordinate overflow";
     put_i32 payload (4 * k) (int_of_float v)
   done;

@@ -17,15 +17,33 @@
       [channels] streams — a processor-sharing model whose completion
       times are recomputed at every issue and completion event. *)
 
+(* the per-transfer mutable floats live in an all-float sub-record:
+   a float field of a mixed record is boxed, so updating it in the
+   processor-sharing progress loop would allocate on every event —
+   an all-float record stores its fields flat *)
+type progress = {
+  mutable remaining : float;  (** demand not yet served *)
+  mutable issued_at : float;  (** reset on each retry admission *)
+}
+
 type request = {
   id : int;
   bytes : int;
   demand : float;  (** bus seconds at full Table-2 rate *)
-  mutable remaining : float;  (** demand not yet served *)
-  mutable issued_at : float;  (** reset on each retry admission *)
+  pr : progress;
   mutable attempt : int;  (** service attempts so far *)
   mutable fault : int;  (** pending injection id, [-1] if none *)
   on_complete : float -> unit;
+}
+
+(* mutable float statistics, flat for the same reason as [progress]:
+   [advance] updates them on every event of the replay *)
+type stats = {
+  mutable last_update : float;
+  mutable bytes_moved : float;
+  mutable busy_s : float;  (** time with at least one transfer in flight *)
+  mutable contended_s : float;  (** busy time with the bus saturated *)
+  mutable queue_wait_s : float;  (** total backlog + slowdown waiting *)
 }
 
 type t = {
@@ -36,15 +54,11 @@ type t = {
   on_fault : string -> id:int -> t:float -> dur:float -> unit;
   mutable active : request list;  (** in service, issue order *)
   backlog : request Queue.t;  (** waiting for a slot *)
-  mutable last_update : float;
+  st : stats;
   mutable generation : int;  (** invalidates stale completion events *)
   mutable next_id : int;
   (* statistics *)
   mutable requests : int;
-  mutable bytes_moved : float;
-  mutable busy_s : float;  (** time with at least one transfer in flight *)
-  mutable contended_s : float;  (** busy time with the bus saturated *)
-  mutable queue_wait_s : float;  (** total backlog + slowdown waiting *)
   mutable peak_in_flight : int;
   mutable retries : int;  (** transfer errors retried after backoff *)
 }
@@ -72,14 +86,17 @@ let create ?channels ?(slots = 4) ?faults
     on_fault;
     active = [];
     backlog = Queue.create ();
-    last_update = 0.0;
+    st =
+      {
+        last_update = 0.0;
+        bytes_moved = 0.0;
+        busy_s = 0.0;
+        contended_s = 0.0;
+        queue_wait_s = 0.0;
+      };
     generation = 0;
     next_id = 0;
     requests = 0;
-    bytes_moved = 0.0;
-    busy_s = 0.0;
-    contended_s = 0.0;
-    queue_wait_s = 0.0;
     peak_in_flight = 0;
     retries = 0;
   }
@@ -92,16 +109,17 @@ let rate t k = if k = 0 then 0.0 else Float.min 1.0 (t.channels /. float_of_int 
 (* progress every in-service transfer to the current instant *)
 let advance t =
   let now = Sim.now t.sim in
-  let dt = now -. t.last_update in
+  let dt = now -. t.st.last_update in
   if dt > 0.0 then begin
     let k = List.length t.active in
     if k > 0 then begin
       let r = rate t k in
-      List.iter (fun q -> q.remaining <- q.remaining -. (dt *. r)) t.active;
-      t.busy_s <- t.busy_s +. dt;
-      if float_of_int k > t.channels then t.contended_s <- t.contended_s +. dt
+      List.iter (fun q -> q.pr.remaining <- q.pr.remaining -. (dt *. r)) t.active;
+      t.st.busy_s <- t.st.busy_s +. dt;
+      if float_of_int k > t.channels then
+        t.st.contended_s <- t.st.contended_s +. dt
     end;
-    t.last_update <- now
+    t.st.last_update <- now
   end
 
 let eps_of q = Float.max (1e-12 *. q.demand) 1e-18
@@ -115,7 +133,7 @@ let rec reschedule t =
       let k = List.length active in
       let r = rate t k in
       let min_rem =
-        List.fold_left (fun m q -> Float.min m (Float.max 0.0 q.remaining))
+        List.fold_left (fun m q -> Float.min m (Float.max 0.0 q.pr.remaining))
           infinity active
       in
       let at = Sim.now t.sim +. (min_rem /. r) in
@@ -125,7 +143,7 @@ let rec reschedule t =
 and complete t =
   advance t;
   let done_, rest =
-    List.partition (fun q -> q.remaining <= eps_of q) t.active
+    List.partition (fun q -> q.pr.remaining <= eps_of q) t.active
   in
   t.active <- rest;
   (* a completed service round may have been struck by a transfer
@@ -150,7 +168,7 @@ and complete t =
           Swfault.Injector.note_recovered inj;
           q.fault <- -1
       | _ -> ());
-      t.queue_wait_s <- t.queue_wait_s +. (now -. q.issued_at -. q.demand);
+      t.st.queue_wait_s <- t.st.queue_wait_s +. (now -. q.pr.issued_at -. q.demand);
       q.on_complete now)
     ok
 
@@ -183,7 +201,7 @@ and maybe_retry t q =
         t.on_fault "retry:dma-backoff" ~id ~t:now ~dur:backoff;
         q.fault <- id;
         q.attempt <- q.attempt + 1;
-        q.remaining <- q.demand;
+        q.pr.remaining <- q.demand;
         t.retries <- t.retries + 1;
         Sim.schedule t.sim ~at:(now +. backoff) (fun () -> readmit t q);
         true
@@ -193,7 +211,7 @@ and maybe_retry t q =
    fresh issue, with the wait clock restarted *)
 and readmit t q =
   advance t;
-  q.issued_at <- Sim.now t.sim;
+  q.pr.issued_at <- Sim.now t.sim;
   if List.length t.active < t.slots then begin
     t.active <- t.active @ [ q ];
     t.peak_in_flight <- max t.peak_in_flight (List.length t.active)
@@ -214,8 +232,7 @@ let issue t ~bytes ~demand ~on_complete =
       id = t.next_id;
       bytes;
       demand;
-      remaining = demand;
-      issued_at = Sim.now t.sim;
+      pr = { remaining = demand; issued_at = Sim.now t.sim };
       attempt = 0;
       fault = -1;
       on_complete;
@@ -223,7 +240,7 @@ let issue t ~bytes ~demand ~on_complete =
   in
   t.next_id <- t.next_id + 1;
   t.requests <- t.requests + 1;
-  t.bytes_moved <- t.bytes_moved +. float_of_int bytes;
+  t.st.bytes_moved <- t.st.bytes_moved +. float_of_int bytes;
   if demand <= 0.0 then
     (* zero-cost transfer: complete immediately, but through the event
        queue so ordering stays deterministic *)
@@ -240,9 +257,9 @@ let issue t ~bytes ~demand ~on_complete =
 (** Statistics accessors. *)
 let requests t = t.requests
 
-let bytes_moved t = t.bytes_moved
-let busy_seconds t = t.busy_s
-let contended_seconds t = t.contended_s
-let queue_wait_seconds t = t.queue_wait_s
+let bytes_moved t = t.st.bytes_moved
+let busy_seconds t = t.st.busy_s
+let contended_seconds t = t.st.contended_s
+let queue_wait_seconds t = t.st.queue_wait_s
 let peak_in_flight t = t.peak_in_flight
 let retries t = t.retries

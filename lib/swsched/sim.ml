@@ -8,23 +8,58 @@
 
     Events are plain closures; the scheduler has no notion of tasks or
     resources — those live in {!Dma_engine} and {!Schedule}, which
-    build their state machines out of events. *)
+    build their state machines out of events.
 
-type event = { time : float; seq : int; action : unit -> unit }
-
-let null_event = { time = 0.0; seq = -1; action = ignore }
+    {b Storage.}  Events live in a pooled slab of parallel arrays
+    (fire time, insertion sequence, action) indexed by slot, threaded
+    on an intrusive free list; the heap orders slot indices, not
+    records.  [schedule] pops a free slot and [run] pushes it back
+    after firing, so steady-state scheduling allocates nothing — the
+    replay of a large recorded program used to allocate one event
+    record per operation.  Capacity grows by doubling: the allocation
+    charge is paid once per slab, not once per event. *)
 
 type t = {
-  mutable heap : event array;  (** binary min-heap on (time, seq) *)
+  (* event slab, indexed by slot *)
+  mutable times : float array;  (** fire time of the event in each slot *)
+  mutable seqs : int array;  (** insertion sequence, the tie-break *)
+  mutable actions : (unit -> unit) array;
+  mutable next_free : int array;  (** intrusive free-list links *)
+  mutable free : int;  (** head of the free-slot list; [-1] when full *)
+  (* ordering structure *)
+  mutable heap : int array;  (** binary min-heap of slots, on (time, seq) *)
   mutable size : int;
+  (* clock *)
   mutable now : float;
   mutable seq : int;
   mutable processed : int;
 }
 
+let initial_capacity = 64
+
+(* link slots [lo .. cap-1] into an ascending free chain ending at -1 *)
+let chain next_free lo cap =
+  for slot = lo to cap - 1 do
+    next_free.(slot) <- (if slot = cap - 1 then -1 else slot + 1)
+  done
+
 (** [create ()] is an empty simulation at time 0. *)
 let create () =
-  { heap = Array.make 64 null_event; size = 0; now = 0.0; seq = 0; processed = 0 }
+  let cap = initial_capacity in
+  let next_free = Array.make cap (-1) in
+  chain next_free 0 cap;
+  {
+    times = Array.make cap 0.0;
+    seqs = Array.make cap (-1);
+    actions = Array.make cap ignore;
+    next_free;
+    free = 0;
+    heap = Array.make cap (-1);
+    size = 0;
+    now = 0.0;
+    seq = 0;
+    processed = 0;
+  }
 
 (** [now t] is the current simulated time in seconds. *)
 let now t = t.now
@@ -36,17 +71,33 @@ let processed t = t.processed
 (** [pending t] is the number of events not yet fired. *)
 let pending t = t.size
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* (time, seq) order over slot indices *)
+let before t a b =
+  t.times.(a) < t.times.(b)
+  || (t.times.(a) = t.times.(b) && t.seqs.(a) < t.seqs.(b))
 
+(* double the slab; called with every slot in the heap, so the new
+   free list is exactly the new upper half *)
 let grow t =
-  let bigger = Array.make (2 * Array.length t.heap) null_event in
-  Array.blit t.heap 0 bigger 0 t.size;
-  t.heap <- bigger
+  let cap = Array.length t.heap in
+  let cap' = 2 * cap in
+  let widen a fill =
+    let bigger = Array.make cap' fill in
+    Array.blit a 0 bigger 0 cap;
+    bigger
+  in
+  t.times <- widen t.times 0.0;
+  t.seqs <- widen t.seqs (-1);
+  t.actions <- widen t.actions ignore;
+  t.next_free <- widen t.next_free (-1);
+  chain t.next_free cap cap';
+  t.free <- cap;
+  t.heap <- widen t.heap (-1)
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
+    if before t t.heap.(i) t.heap.(parent) then begin
       let tmp = t.heap.(i) in
       t.heap.(i) <- t.heap.(parent);
       t.heap.(parent) <- tmp;
@@ -57,8 +108,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && before t t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t t.heap.(r) t.heap.(!smallest) then smallest := r;
   if !smallest <> i then begin
     let tmp = t.heap.(i) in
     t.heap.(i) <- t.heap.(!smallest);
@@ -73,10 +124,16 @@ let schedule t ~at action =
   if at < t.now -. 1e-15 then
     invalid_arg
       (Printf.sprintf "Sim.schedule: event at %.3e is before now %.3e" at t.now);
-  if t.size = Array.length t.heap then grow t;
-  let ev = { time = Float.max at t.now; seq = t.seq; action } in
+  if t.free = -1 then grow t;
+  let slot = t.free in
+  t.free <- t.next_free.(slot);
+  (* clamp inline rather than through [Float.max]: a cross-module
+     float call would box its result on every schedule *)
+  t.times.(slot) <- (if at < t.now then t.now else at);
+  t.seqs.(slot) <- t.seq;
+  t.actions.(slot) <- action;
   t.seq <- t.seq + 1;
-  t.heap.(t.size) <- ev;
+  t.heap.(t.size) <- slot;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
@@ -84,7 +141,7 @@ let pop t =
   let top = t.heap.(0) in
   t.size <- t.size - 1;
   t.heap.(0) <- t.heap.(t.size);
-  t.heap.(t.size) <- null_event;
+  t.heap.(t.size) <- -1;
   if t.size > 0 then sift_down t 0;
   top
 
@@ -93,8 +150,15 @@ let pop t =
     backwards. *)
 let run t =
   while t.size > 0 do
-    let ev = pop t in
-    t.now <- ev.time;
+    let slot = pop t in
+    let action = t.actions.(slot) in
+    t.now <- t.times.(slot);
     t.processed <- t.processed + 1;
-    ev.action ()
+    (* release the slot before firing: the action may schedule and
+       immediately reuse it, and clearing the closure reference keeps
+       the slab from retaining dead environments *)
+    t.actions.(slot) <- ignore;
+    t.next_free.(slot) <- t.free;
+    t.free <- slot;
+    action ()
   done

@@ -1,7 +1,11 @@
 (** Deterministic discrete-event core: a clock plus a pending-event
     queue ordered by (time, insertion sequence).  The sequence
     tie-break makes replays of the same recorded program produce
-    bit-identical timelines. *)
+    bit-identical timelines.
+
+    The queue is pooled: events live in a preallocated slab threaded
+    on a free list, so steady-state scheduling allocates nothing and
+    slab growth is charged per doubling, not per event. *)
 
 type t
 

@@ -88,10 +88,10 @@ let test_virial_consistent_between_paths () =
 
 let perturbed_water molecules seed =
   let st = Water.build ~molecules ~seed () in
-  let ref_pos = Array.copy st.Md_state.pos in
+  let ref_pos = Fbuf.copy st.Md_state.pos in
   let rng = Rng.create (seed + 100) in
-  for i = 0 to Array.length st.Md_state.pos - 1 do
-    st.Md_state.pos.(i) <- st.Md_state.pos.(i) +. Rng.uniform rng (-0.008) 0.008
+  for i = 0 to Fbuf.length st.Md_state.pos - 1 do
+    st.Md_state.pos.{i} <- st.Md_state.pos.{i} +. Rng.uniform rng (-0.008) 0.008
   done;
   (st, ref_pos)
 
@@ -109,16 +109,17 @@ let test_lincs_restores_constraints () =
 
 let test_lincs_agrees_with_shake () =
   let st, ref_pos = perturbed_water 8 11 in
-  let pos_lincs = Array.copy st.Md_state.pos in
-  let pos_shake = Array.copy st.Md_state.pos in
+  let pos_lincs = Fbuf.copy st.Md_state.pos in
+  let pos_shake = Fbuf.copy st.Md_state.pos in
   let lincs = Lincs.create ~order:8 ~iter:4 st.Md_state.topo in
   Lincs.apply lincs ~ref_pos ~pos:pos_lincs;
   let shake = Constraints.create st.Md_state.topo in
   ignore (Constraints.apply shake ~ref_pos ~pos:pos_shake);
   (* both project onto the same manifold from the same point: the
      results agree to the projection tolerance *)
-  Array.iteri
-    (fun i a -> check_float ~eps:5e-3 (Printf.sprintf "coord %d" i) a pos_lincs.(i))
+  Fbuf.iteri
+    (fun i a ->
+      check_float ~eps:5e-3 (Printf.sprintf "coord %d" i) a (Fbuf.get pos_lincs i))
     pos_shake
 
 let test_lincs_preserves_com () =
@@ -213,7 +214,7 @@ let test_velocity_verlet_conserves_energy () =
   in
   ignore (force ());
   let energy () =
-    let pe = Bonded.compute st.Md_state.box topo st.Md_state.pos (Array.make 9 0.0) in
+    let pe = Bonded.compute st.Md_state.box topo st.Md_state.pos (Fbuf.create 9) in
     pe +. Md_state.kinetic_energy st
   in
   let e0 = energy () in
@@ -260,8 +261,9 @@ let test_velocity_verlet_matches_leapfrog_positions () =
     force lf;
     Integrator.step lf ~dt
   done;
-  Array.iteri
-    (fun i x -> check_float ~eps:1e-3 (Printf.sprintf "pos %d" i) x vv.Md_state.pos.(i))
+  Fbuf.iteri
+    (fun i x ->
+      check_float ~eps:1e-3 (Printf.sprintf "pos %d" i) x (Fbuf.get vv.Md_state.pos i))
     lf.Md_state.pos
 
 (* ------------------------------------------------------------------ *)
@@ -316,18 +318,18 @@ let prop_table_lookup_within_bins =
 let test_xtc_roundtrip () =
   let rng = Rng.create 31 in
   let n = 100 in
-  let pos = Array.init (3 * n) (fun _ -> Rng.uniform rng (-10.0) 10.0) in
+  let pos = Fbuf.init (3 * n) (fun _ -> Rng.uniform rng (-10.0) 10.0) in
   let f = Swio.Xtc.encode ~step:42 ~precision:1000.0 pos ~n in
   let back = Swio.Xtc.decode f in
   Array.iteri
     (fun i x ->
-      if Float.abs (x -. pos.(i)) > 0.0005 +. 1e-12 then
-        Alcotest.failf "coord %d off by %g" i (Float.abs (x -. pos.(i))))
+      if Float.abs (x -. Fbuf.get pos i) > 0.0005 +. 1e-12 then
+        Alcotest.failf "coord %d off by %g" i (Float.abs (x -. Fbuf.get pos i)))
     back
 
 let test_xtc_size_saving () =
   let n = 1000 in
-  let pos = Array.make (3 * n) 1.234 in
+  let pos = Fbuf.init (3 * n) (fun _ -> 1.234) in
   let f = Swio.Xtc.encode ~step:0 ~precision:1000.0 pos ~n in
   (* 12 bytes/atom vs 24 bytes/atom for raw doubles *)
   Alcotest.(check int) "12 bytes per atom + header" (16 + (12 * n)) (Swio.Xtc.bytes f)
@@ -336,7 +338,7 @@ let test_xtc_stream_roundtrip () =
   let rng = Rng.create 37 in
   let n = 50 in
   let mk step = Swio.Xtc.encode ~step ~precision:1000.0
-      (Array.init (3 * n) (fun _ -> Rng.uniform rng (-5.0) 5.0)) ~n in
+      (Fbuf.init (3 * n) (fun _ -> Rng.uniform rng (-5.0) 5.0)) ~n in
   let frames = [ mk 0; mk 10; mk 20 ] in
   let sink = Buffer.create 4096 in
   let w = Swio.Buffered_writer.create (Swio.Buffered_writer.To_buffer sink) in
@@ -367,16 +369,16 @@ let test_checkpoint_roundtrip_bitexact () =
   in
   let s = Swio.Checkpoint.to_string cp in
   let cp2 = Swio.Checkpoint.of_string s in
-  let pos = Array.make (3 * n) 0.0 and vel = Array.make (3 * n) 0.0 in
+  let pos = Fbuf.create (3 * n) and vel = Fbuf.create (3 * n) in
   let step = Swio.Checkpoint.restore cp2 ~pos ~vel in
   Alcotest.(check int) "step" 123 step;
-  Array.iteri
+  Fbuf.iteri
     (fun i x ->
-      if x <> st.Md_state.pos.(i) then Alcotest.failf "pos %d not bit-exact" i)
+      if x <> Fbuf.get st.Md_state.pos i then Alcotest.failf "pos %d not bit-exact" i)
     pos;
-  Array.iteri
+  Fbuf.iteri
     (fun i v ->
-      if v <> st.Md_state.vel.(i) then Alcotest.failf "vel %d not bit-exact" i)
+      if v <> Fbuf.get st.Md_state.vel i then Alcotest.failf "vel %d not bit-exact" i)
     vel
 
 let test_checkpoint_restart_reproduces_run () =
@@ -408,8 +410,9 @@ let test_checkpoint_restart_reproduces_run () =
   let cp2 = Swio.Checkpoint.of_string (Swio.Checkpoint.to_string cp) in
   ignore (Swio.Checkpoint.restore cp2 ~pos:st2.Md_state.pos ~vel:st2.Md_state.vel);
   Workflow.run w2 10;
-  Array.iteri
-    (fun i x -> check_float ~eps:1e-12 (Printf.sprintf "pos %d" i) x st2.Md_state.pos.(i))
+  Fbuf.iteri
+    (fun i x ->
+      check_float ~eps:1e-12 (Printf.sprintf "pos %d" i) x (Fbuf.get st2.Md_state.pos i))
     st1.Md_state.pos
 
 let test_checkpoint_rejects_garbage () =

@@ -53,7 +53,7 @@ let test_vec3_algebra () =
   check_float "cross orthogonal" 0.0 (Vec3.dot c a)
 
 let test_vec3_flat_roundtrip () =
-  let arr = Array.make 9 0.0 in
+  let arr = Fbuf.create 9 in
   Vec3.set arr 1 (Vec3.make 7.0 8.0 9.0);
   let v = Vec3.get arr 1 in
   check_float "x" 7.0 v.Vec3.x;
@@ -189,7 +189,7 @@ let test_grid_neighbourhood_complete () =
   let b = Box.cubic 4.0 in
   let rng = Rng.create 11 in
   let n = 200 in
-  let pos = Array.init (3 * n) (fun _ -> Rng.uniform rng 0.0 4.0) in
+  let pos = Fbuf.init (3 * n) (fun _ -> Rng.uniform rng 0.0 4.0) in
   let g = Cell_grid.build b ~min_cell:1.0 ~n ~point:(fun i -> Vec3.get pos i) in
   let p = Vec3.make 1.7 2.2 0.4 in
   let visited = Array.make n false in
@@ -205,7 +205,7 @@ let test_grid_no_duplicates_small_box () =
   let b = Box.cubic 1.5 in
   let n = 50 in
   let rng = Rng.create 13 in
-  let pos = Array.init (3 * n) (fun _ -> Rng.uniform rng 0.0 1.5) in
+  let pos = Fbuf.init (3 * n) (fun _ -> Rng.uniform rng 0.0 1.5) in
   let g = Cell_grid.build b ~min_cell:1.0 ~n ~point:(fun i -> Vec3.get pos i) in
   let count = Array.make n 0 in
   Cell_grid.iter_neighbourhood g (Vec3.make 0.1 0.1 0.1) (fun i ->
@@ -218,7 +218,7 @@ let test_grid_all_points_binned () =
   let b = Box.cubic 3.0 in
   let n = 100 in
   let rng = Rng.create 17 in
-  let pos = Array.init (3 * n) (fun _ -> Rng.uniform rng (-3.0) 6.0) in
+  let pos = Fbuf.init (3 * n) (fun _ -> Rng.uniform rng (-3.0) 6.0) in
   let g = Cell_grid.build b ~min_cell:0.5 ~n ~point:(fun i -> Vec3.get pos i) in
   let total = ref 0 in
   for c = 0 to Cell_grid.n_cells g - 1 do
@@ -248,12 +248,12 @@ let test_cluster_gather_scatter_roundtrip () =
   let st = Water.build ~molecules:20 ~seed:23 () in
   let n = Md_state.n_atoms st in
   let cl = Cluster.build st.Md_state.box st.Md_state.pos n in
-  let src = Array.init (3 * n) float_of_int in
+  let src = Fbuf.init (3 * n) float_of_int in
   let gathered = Array.make (3 * cl.Cluster.n_clusters * Cluster.size) 0.0 in
   Cluster.gather cl ~floats:3 src gathered;
-  let back = Array.make (3 * n) 0.0 in
+  let back = Fbuf.create (3 * n) in
   Cluster.scatter_add cl ~floats:3 gathered back;
-  Array.iteri (fun i v -> check_float "roundtrip" src.(i) v) back
+  Fbuf.iteri (fun i v -> check_float "roundtrip" (Fbuf.get src i) v) back
 
 let test_cluster_radius_bounds_members () =
   let st = Water.build ~molecules:40 ~seed:29 () in
@@ -522,7 +522,7 @@ let test_pme_forces_match_numeric_gradient () =
   ignore (Pme.solve pme);
   Pme.gather_forces pme ~pos:st.Md_state.pos ~charge:topo.Topology.charge ~n
     ~force:st.Md_state.force;
-  let analytic = Array.copy st.Md_state.force in
+  let analytic = Fbuf.to_array st.Md_state.force in
   (* drop LJ contribution from analytic forces: recompute with pure
      charges only — brute_force already added LJ, so subtract it *)
   Md_state.clear_forces st;
@@ -532,18 +532,18 @@ let test_pme_forces_match_numeric_gradient () =
   ignore (Nonbonded.brute_force st params e_lj);
   Array.blit saved_charges 0 topo.Topology.charge 0 n;
   let lj_force = st.Md_state.force in
-  let coul_force = Array.mapi (fun i f -> f -. lj_force.(i)) analytic in
+  let coul_force = Array.mapi (fun i f -> f -. Fbuf.get lj_force i) analytic in
   (* numeric gradient on atoms 0 and 4, x and z *)
   let h = 2e-5 in
   List.iter
     (fun (atom, dim) ->
       let k = (3 * atom) + dim in
-      let x0 = st.Md_state.pos.(k) in
-      st.Md_state.pos.(k) <- x0 +. h;
+      let x0 = st.Md_state.pos.{k} in
+      st.Md_state.pos.{k} <- x0 +. h;
       let ep = total_coulomb_energy st beta grid in
-      st.Md_state.pos.(k) <- x0 -. h;
+      st.Md_state.pos.{k} <- x0 -. h;
       let em = total_coulomb_energy st beta grid in
-      st.Md_state.pos.(k) <- x0;
+      st.Md_state.pos.{k} <- x0;
       let numeric = -.(ep -. em) /. (2.0 *. h) in
       check_float ~eps:2e-3 (Printf.sprintf "force atom %d dim %d" atom dim)
         numeric coul_force.(k))
@@ -577,20 +577,20 @@ let numeric_gradient_check ~build_topo ~pos_init ~eps =
   let topo = build_topo in
   let box = Box.cubic 10.0 in
   let n = topo.Topology.n_atoms in
-  let pos = pos_init in
-  let force = Array.make (3 * n) 0.0 in
+  let pos = Fbuf.of_array pos_init in
+  let force = Fbuf.create (3 * n) in
   let _e = Bonded.compute box topo pos force in
   let h = 1e-6 in
   let ok = ref true in
   for k = 0 to (3 * n) - 1 do
-    let x0 = pos.(k) in
-    pos.(k) <- x0 +. h;
-    let ep = Bonded.compute box topo pos (Array.make (3 * n) 0.0) in
-    pos.(k) <- x0 -. h;
-    let em = Bonded.compute box topo pos (Array.make (3 * n) 0.0) in
-    pos.(k) <- x0;
+    let x0 = pos.{k} in
+    pos.{k} <- x0 +. h;
+    let ep = Bonded.compute box topo pos (Fbuf.create (3 * n)) in
+    pos.{k} <- x0 -. h;
+    let em = Bonded.compute box topo pos (Fbuf.create (3 * n)) in
+    pos.{k} <- x0;
     let numeric = -.(ep -. em) /. (2.0 *. h) in
-    if not (feq ~eps numeric force.(k)) then ok := false
+    if not (feq ~eps numeric (Fbuf.get force k)) then ok := false
   done;
   !ok
 
@@ -642,8 +642,8 @@ let test_bond_energy_zero_at_equilibrium () =
       constraints = [||];
     }
   in
-  let pos = [| 0.0; 0.0; 0.0; 0.2; 0.0; 0.0; 1.0; 1.0; 1.0 |] in
-  let e = Bonded.compute (Box.cubic 10.0) topo pos (Array.make 9 0.0) in
+  let pos = Fbuf.of_array [| 0.0; 0.0; 0.0; 0.2; 0.0; 0.0; 1.0; 1.0; 1.0 |] in
+  let e = Bonded.compute (Box.cubic 10.0) topo pos (Fbuf.create 9) in
   check_float ~eps:1e-12 "zero at r0" 0.0 e
 
 (* ------------------------------------------------------------------ *)
@@ -660,7 +660,7 @@ let test_nonbonded_pairlist_matches_brute_force () =
   Md_state.clear_forces st;
   let e1 = Energy.create () in
   let n1 = Nonbonded.compute st cl pl params e1 in
-  let f1 = Array.copy st.Md_state.force in
+  let f1 = Fbuf.copy st.Md_state.force in
   (* brute force path *)
   Md_state.clear_forces st;
   let e2 = Energy.create () in
@@ -668,8 +668,8 @@ let test_nonbonded_pairlist_matches_brute_force () =
   Alcotest.(check int) "same pair count" n2 n1;
   check_float ~eps:1e-9 "same LJ energy" e2.Energy.lj e1.Energy.lj;
   check_float ~eps:1e-9 "same Coulomb energy" e2.Energy.coulomb_sr e1.Energy.coulomb_sr;
-  Array.iteri
-    (fun i f -> check_float ~eps:1e-9 (Printf.sprintf "force %d" i) f f1.(i))
+  Fbuf.iteri
+    (fun i f -> check_float ~eps:1e-9 (Printf.sprintf "force %d" i) f (Fbuf.get f1 i))
     st.Md_state.force
 
 let test_nonbonded_newtons_third_law () =
@@ -682,9 +682,9 @@ let test_nonbonded_newtons_third_law () =
   ignore (Nonbonded.compute st cl pl { Nonbonded.rcut = 0.6; elec = Nonbonded.Reaction_field } e);
   let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
   for i = 0 to n - 1 do
-    fx := !fx +. st.Md_state.force.(3 * i);
-    fy := !fy +. st.Md_state.force.((3 * i) + 1);
-    fz := !fz +. st.Md_state.force.((3 * i) + 2)
+    fx := !fx +. st.Md_state.force.{3 * i};
+    fy := !fy +. st.Md_state.force.{(3 * i) + 1};
+    fz := !fz +. st.Md_state.force.{(3 * i) + 2}
   done;
   check_float ~eps:1e-8 "sum fx" 0.0 !fx;
   check_float ~eps:1e-8 "sum fy" 0.0 !fy;
@@ -696,11 +696,11 @@ let test_nonbonded_newtons_third_law () =
 let test_shake_restores_geometry () =
   let st = Water.build ~molecules:8 ~seed:89 () in
   let shake = Constraints.create st.Md_state.topo in
-  let ref_pos = Array.copy st.Md_state.pos in
+  let ref_pos = Fbuf.copy st.Md_state.pos in
   (* perturb positions *)
   let rng = Rng.create 97 in
-  for i = 0 to Array.length st.Md_state.pos - 1 do
-    st.Md_state.pos.(i) <- st.Md_state.pos.(i) +. Rng.uniform rng (-0.01) 0.01
+  for i = 0 to Fbuf.length st.Md_state.pos - 1 do
+    st.Md_state.pos.{i} <- st.Md_state.pos.{i} +. Rng.uniform rng (-0.01) 0.01
   done;
   Alcotest.(check bool) "violated before" true
     (Constraints.max_violation shake st.Md_state.pos > 1e-4);
@@ -740,7 +740,7 @@ let test_leapfrog_harmonic_energy_conservation () =
   Vec3.set st.Md_state.pos 2 (Vec3.make 1.0 1.0 1.0);
   let dt = 0.0005 in
   let energy_at () =
-    let f = Array.make 9 0.0 in
+    let f = Fbuf.create 9 in
     let pe = Bonded.compute st.Md_state.box topo st.Md_state.pos f in
     pe +. Md_state.kinetic_energy st
   in
@@ -828,7 +828,7 @@ let test_workflow_momentum_conserved_without_thermostat () =
   let momentum () =
     let px = ref 0.0 in
     for i = 0 to Md_state.n_atoms st - 1 do
-      px := !px +. (st.Md_state.topo.Topology.mass.(i) *. st.Md_state.vel.(3 * i))
+      px := !px +. (st.Md_state.topo.Topology.mass.(i) *. st.Md_state.vel.{3 * i})
     done;
     !px
   in

@@ -241,11 +241,12 @@ let test_pro_variant_matches_reference variant () =
   Md.Md_state.clear_forces st;
   let e = Md.Energy.create () in
   ignore (Md.Nonbonded.compute st sys.K.cl pairs sys.K.params e);
-  let ref_f = Array.copy st.Md.Md_state.force in
+  let ref_f = Md.Fbuf.to_array st.Md.Md_state.force in
   let cg = Core_group.create cfg in
   let outcome = Swgmx.Kernel.run sys pairs cg variant in
-  let f = Array.make (3 * Md.Md_state.n_atoms st) 0.0 in
-  K.scatter_forces sys outcome.Swgmx.Kernel.result f;
+  let fb = Md.Fbuf.create (3 * Md.Md_state.n_atoms st) in
+  K.scatter_forces sys outcome.Swgmx.Kernel.result fb;
+  let f = Md.Fbuf.to_array fb in
   let scale =
     Array.fold_left (fun m x -> Float.max m (Float.abs x)) 1.0 ref_f
   in
@@ -276,8 +277,8 @@ let test_vector_kernel_rejects_bad_lane_count () =
 
 let test_checkpoint_records_platform () =
   let n = 2 in
-  let pos = Array.init (3 * n) float_of_int in
-  let vel = Array.init (3 * n) float_of_int in
+  let pos = Md.Fbuf.init (3 * n) float_of_int in
+  let vel = Md.Fbuf.init (3 * n) float_of_int in
   let ck =
     Swio.Checkpoint.capture ~platform:"sw26010_pro" ~step:0 ~pos ~vel
       ~n_atoms:n ()

@@ -139,7 +139,7 @@ let test_rc_miss_charges_dma () =
   let cost = Cost.create () in
   let rc = Read_cache.create cfg cost ~backing ~elt_floats:4 ~line_elts:8 ~n_lines:16 () in
   ignore (Read_cache.touch rc 0);
-  Alcotest.(check int) "one transfer" 1 cost.Cost.dma_transactions;
+  Alcotest.(check int) "one transfer" 1 (Cost.transactions cost);
   check_float "line bytes" (float_of_int (8 * 4 * 4)) cost.Cost.dma_bytes
 
 let test_rc_ldm_accounting () =
@@ -266,7 +266,7 @@ let test_wc_deferred_updates_are_deferred () =
   let cost = Cost.create () in
   let wc = Write_cache.create cfg cost ~with_marks:true ~copy ~elt_floats:3 ~line_elts:4 ~n_lines:4 () in
   for _ = 1 to 1000 do Write_cache.accumulate3 wc 5 0.5 0.5 0.5 done;
-  Alcotest.(check int) "no DMA during accumulation" 0 cost.Cost.dma_transactions;
+  Alcotest.(check int) "no DMA during accumulation" 0 (Cost.transactions cost);
   check_float "still zero in memory" 0.0 copy.(15);
   Write_cache.flush wc;
   check_float "flushed" 500.0 copy.(15);
@@ -292,14 +292,14 @@ let test_wc_marks_skip_init () =
   let cost = Cost.create () in
   let wc = Write_cache.create cfg cost ~with_marks:true ~copy ~elt_floats:3 ~line_elts:4 ~n_lines:4 () in
   Write_cache.accumulate3 wc 0 1.0 1.0 1.0;
-  Alcotest.(check int) "cold fill costs nothing" 0 cost.Cost.dma_transactions
+  Alcotest.(check int) "cold fill costs nothing" 0 (Cost.transactions cost)
 
 let test_wc_no_marks_always_fetch () =
   let copy = Array.make (64 * 3) 0.0 in
   let cost = Cost.create () in
   let wc = Write_cache.create cfg cost ~with_marks:false ~copy ~elt_floats:3 ~line_elts:4 ~n_lines:4 () in
   Write_cache.accumulate3 wc 0 1.0 1.0 1.0;
-  Alcotest.(check int) "cold fill fetches" 1 cost.Cost.dma_transactions
+  Alcotest.(check int) "cold fill fetches" 1 (Cost.transactions cost)
 
 let test_wc_mark_records_written_lines () =
   let copy = Array.make (64 * 3) 0.0 in
@@ -334,7 +334,7 @@ let test_wc_init_copy_charges_dma () =
   let wc = Write_cache.create cfg cost ~with_marks:false ~copy ~elt_floats:4 ~line_elts:4 ~n_lines:4 () in
   Write_cache.init_copy wc;
   Alcotest.(check bool) "copy zeroed" true (Array.for_all (fun x -> x = 0.0) copy);
-  Alcotest.(check int) "2048 floats = 8192 B = 4 blocks" 4 cost.Cost.dma_transactions
+  Alcotest.(check int) "2048 floats = 8192 B = 4 blocks" 4 (Cost.transactions cost)
 
 let prop_wc_sum_preserved =
   (* The fundamental invariant of deferred update: after flush, the
@@ -372,7 +372,7 @@ let prop_wc_marks_never_more_dma =
         if not with_marks then Write_cache.init_copy wc;
         List.iter (fun i -> Write_cache.accumulate3 wc i 1.0 1.0 1.0) ixs;
         Write_cache.flush wc;
-        cost.Cost.dma_transactions
+        (Cost.transactions cost)
       in
       run true <= run false)
 

@@ -218,10 +218,10 @@ let test_dead_cpe_restripe () =
   Alcotest.(check int) "pair count preserved"
     base.Swgmx.Kernel.result.K.pairs_in_cutoff
     dead.Swgmx.Kernel.result.K.pairs_in_cutoff;
-  check_close "e_lj preserved" base.Swgmx.Kernel.result.K.e_lj
-    dead.Swgmx.Kernel.result.K.e_lj;
-  check_close "e_coul preserved" base.Swgmx.Kernel.result.K.e_coul
-    dead.Swgmx.Kernel.result.K.e_coul;
+  check_close "e_lj preserved" (K.e_lj base.Swgmx.Kernel.result)
+    (K.e_lj dead.Swgmx.Kernel.result);
+  check_close "e_coul preserved" (K.e_coul base.Swgmx.Kernel.result)
+    (K.e_coul dead.Swgmx.Kernel.result);
   (* dead CPEs did no work, survivors did all of it *)
   let cost (c : Swarch.Cpe.t) = c.Swarch.Cpe.cost.Swarch.Cost.scalar_flops in
   Alcotest.(check (float 0.0)) "cpe 9 idle" 0.0

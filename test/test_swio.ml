@@ -88,7 +88,7 @@ let test_trajectory_paths_agree () =
   (* both output paths must produce numerically identical frames *)
   let n = 50 in
   let rng = Mdcore.Rng.create 5 in
-  let pos = Array.init (3 * n) (fun _ -> Mdcore.Rng.uniform rng (-5.0) 5.0) in
+  let pos = Fvec.of_array (Array.init (3 * n) (fun _ -> Mdcore.Rng.uniform rng (-5.0) 5.0)) in
   let render path =
     let sink = Buffer.create 4096 in
     let w = Buffered_writer.create ~capacity:65536 (Buffered_writer.To_buffer sink) in
@@ -124,8 +124,8 @@ let test_io_model_fast_wins () =
 
 let sample_checkpoint () =
   let n = 4 in
-  let pos = Array.init (3 * n) (fun i -> 0.1 *. float_of_int (i + 1)) in
-  let vel = Array.init (3 * n) (fun i -> -0.01 *. float_of_int (i + 1)) in
+  let pos = Fvec.of_array (Array.init (3 * n) (fun i -> 0.1 *. float_of_int (i + 1))) in
+  let vel = Fvec.of_array (Array.init (3 * n) (fun i -> -0.01 *. float_of_int (i + 1))) in
   Checkpoint.capture ~step:10 ~pos ~vel ~n_atoms:n ()
 
 let rejects name f =
@@ -201,7 +201,7 @@ let test_checkpoint_hostile_values () =
 
 let xtc_stream () =
   let n = 3 in
-  let pos = Array.init (3 * n) (fun i -> 0.25 *. float_of_int i) in
+  let pos = Fvec.of_array (Array.init (3 * n) (fun i -> 0.25 *. float_of_int i)) in
   let sink = Buffer.create 256 in
   let w = Buffered_writer.create (Buffered_writer.To_buffer sink) in
   Xtc.write w (Xtc.encode ~step:1 ~precision:1000.0 pos ~n);

@@ -316,8 +316,8 @@ let test_kv_persists_across_reopen () =
 let test_checkpoint_object_roundtrip () =
   let cache = Cache.create (Store.open_memory ()) in
   let n = 5 in
-  let pos = Array.init (3 * n) (fun i -> 0.1 *. float_of_int i) in
-  let vel = Array.init (3 * n) (fun i -> -0.01 *. float_of_int i) in
+  let pos = Swio.Fvec.of_array (Array.init (3 * n) (fun i -> 0.1 *. float_of_int i)) in
+  let vel = Swio.Fvec.of_array (Array.init (3 * n) (fun i -> -0.01 *. float_of_int i)) in
   let ck =
     Swio.Checkpoint.capture ~platform:"sw26010" ~step:20 ~pos ~vel ~n_atoms:n ()
   in
@@ -330,7 +330,8 @@ let test_checkpoint_object_roundtrip () =
 
 let test_checkpoint_object_corruption () =
   let cache = Cache.create (Store.open_memory ()) in
-  let pos = Array.make 9 1.0 and vel = Array.make 9 0.0 in
+  let pos = Swio.Fvec.of_array (Array.make 9 1.0)
+  and vel = Swio.Fvec.of_array (Array.make 9 0.0) in
   let ck = Swio.Checkpoint.capture ~step:0 ~pos ~vel ~n_atoms:3 () in
   Objects.put_checkpoint cache ~name:"head" ck;
   (* damage the one chunk behind the object, drop the cached copy *)
@@ -344,7 +345,7 @@ let test_checkpoint_object_corruption () =
 let test_trajectory_object () =
   let cache = Cache.create (Store.open_memory ()) in
   let frame step =
-    let pos = Array.init 9 (fun i -> float_of_int (step + i) *. 0.25) in
+    let pos = Swio.Fvec.of_array (Array.init 9 (fun i -> float_of_int (step + i) *. 0.25)) in
     Swio.Xtc.encode ~step ~precision:1000.0 pos ~n:3
   in
   Objects.append_frame cache ~name:"traj" (frame 0);
@@ -355,7 +356,7 @@ let test_trajectory_object () =
   Alcotest.(check (list int)) "steps in order" [ 0; 10; 20 ]
     (List.map (fun (f : Swio.Xtc.frame) -> f.Swio.Xtc.step) frames);
   (* a checkpoint name is not a trajectory *)
-  let pos = Array.make 9 0.0 in
+  let pos = Swio.Fvec.of_array (Array.make 9 0.0) in
   let ck = Swio.Checkpoint.capture ~step:0 ~pos ~vel:pos ~n_atoms:3 () in
   Objects.put_checkpoint cache ~name:"head" ck;
   corrupt "kind mismatch rejected" (fun () ->

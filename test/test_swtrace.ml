@@ -236,8 +236,8 @@ let test_tracing_does_not_change_kernel_result () =
     let cg = Swarch.Core_group.create cfg in
     let outcome = Swgmx.Kernel.run sys pairs cg Swgmx.Variant.Mark in
     ( outcome.Swgmx.Kernel.elapsed,
-      outcome.Swgmx.Kernel.result.Swgmx.Kernel_common.e_lj,
-      outcome.Swgmx.Kernel.result.Swgmx.Kernel_common.e_coul )
+      (Swgmx.Kernel_common.e_lj outcome.Swgmx.Kernel.result),
+      (Swgmx.Kernel_common.e_coul outcome.Swgmx.Kernel.result) )
   in
   let plain = run () in
   let traced = with_trace (fun () -> run ()) in
