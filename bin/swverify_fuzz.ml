@@ -1,0 +1,132 @@
+(* Property-fuzzing front-end for the swverify harness.
+
+   Modes:
+     swverify_fuzz                 quick matrix (the dune-runtest pass)
+     swverify_fuzz --deep N        nightly matrix, N seed rounds per case
+     swverify_fuzz --replay LINE   re-run one SWVERIFY-REPRO line
+     swverify_fuzz --list          print the invariant catalog
+     swverify_fuzz --self-test     force the canary failure; exit 0 iff
+                                   its repro line replays to the same
+                                   failure (proves the plumbing)
+     swverify_fuzz --out FILE      also write failing repro lines to FILE
+                                   (the CI artifact)
+
+   Exit status: 0 all properties held, 1 failures (repro lines on
+   stdout and in --out), 2 usage error. *)
+
+let usage () =
+  prerr_endline
+    "usage: swverify_fuzz [--deep N] [--replay LINE] [--list] [--self-test] \
+     [--quiet] [--out FILE]";
+  exit 2
+
+let () =
+  let deep = ref 0 in
+  let replay = ref None in
+  let list_props = ref false in
+  let self_test = ref false in
+  let quiet = ref false in
+  let out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--deep" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k > 0 ->
+            deep := k;
+            parse rest
+        | _ -> usage ())
+    | "--replay" :: line :: rest ->
+        replay := Some line;
+        parse rest
+    | "--list" :: rest ->
+        list_props := true;
+        parse rest
+    | "--self-test" :: rest ->
+        self_test := true;
+        parse rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := Some file;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_props then begin
+    List.iter
+      (fun (p : Swverify.Props.t) ->
+        Printf.printf "%-24s %s\n" p.Swverify.Props.name p.Swverify.Props.doc)
+      Swverify.Props.all;
+    exit 0
+  end;
+  if !self_test then begin
+    (* the canary must fail, render a parseable repro line, and replay
+       to the same failure *)
+    let c =
+      {
+        Swverify.Runner.prop = Swverify.Props.canary.Swverify.Props.name;
+        gen = Swverify.Gen.Water { molecules = 1 };
+        seed = 7;
+        cfg = Swverify.Config.default;
+      }
+    in
+    match Swverify.Runner.run_case c with
+    | Ok () ->
+        prerr_endline "self-test: canary unexpectedly passed";
+        exit 1
+    | Error first -> (
+        let line = Swverify.Runner.repro_line c in
+        print_endline line;
+        match Swverify.Runner.replay line with
+        | Error second when first = second ->
+            print_endline "self-test: canary failure replayed identically";
+            exit 0
+        | Error second ->
+            Printf.eprintf
+              "self-test: replay failure differs:\n  %s\n  %s\n" first second;
+            exit 1
+        | Ok () ->
+            prerr_endline "self-test: replayed canary unexpectedly passed";
+            exit 1)
+  end;
+  match !replay with
+  | Some line -> (
+      match Swverify.Runner.replay line with
+      | Ok () ->
+          print_endline "replay: property held";
+          exit 0
+      | Error msg ->
+          Printf.printf "replay: FAILED\n  %s\n" msg;
+          exit 1)
+  | None ->
+      let cases =
+        if !deep > 0 then Swverify.Runner.deep_cases ~rounds:!deep ()
+        else Swverify.Runner.quick_cases ()
+      in
+      Printf.printf "swverify: %d cases (%s matrix)\n%!" (List.length cases)
+        (if !deep > 0 then "deep" else "quick");
+      let progress = if !quiet then None else Some print_endline in
+      let failures = Swverify.Runner.run ?progress cases in
+      if failures = [] then begin
+        Printf.printf "swverify: all %d cases held\n" (List.length cases);
+        exit 0
+      end
+      else begin
+        Printf.printf "swverify: %d/%d cases FAILED\n" (List.length failures)
+          (List.length cases);
+        List.iter
+          (fun f -> print_endline (Swverify.Runner.failure_to_string f))
+          failures;
+        (match !out with
+        | Some file ->
+            let oc = open_out file in
+            List.iter
+              (fun (f : Swverify.Runner.failure) ->
+                output_string oc
+                  (Swverify.Runner.repro_line f.Swverify.Runner.case ^ "\n"))
+              failures;
+            close_out oc
+        | None -> ());
+        exit 1
+      end

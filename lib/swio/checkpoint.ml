@@ -89,7 +89,17 @@ let of_string s =
         List.filteri (fun i _ -> i < need) rest
         |> List.map (fun line ->
                match float_of_string_opt line with
-               | Some v when Float.is_finite v -> v
+               | Some v when Float.is_finite v ->
+                   (* hostile-input sanitization: denormals are legal
+                      floats but no simulated trajectory produces them
+                      (positions are nm-scale, velocities thermal) — a
+                      checkpoint carrying one is damaged input.  Flush
+                      to signed zero so downstream kinetic-energy and
+                      force kernels never see the slow/flushed range;
+                      NaN and +-inf stay hard errors below. *)
+                   if v <> 0.0 && Float.abs v < Float.min_float then
+                     Float.copy_sign 0.0 v
+                   else v
                | Some _ -> invalid_arg "Checkpoint.of_string: non-finite value"
                | None -> invalid_arg "Checkpoint.of_string: bad float")
       in

@@ -15,6 +15,9 @@ type t =
       (** payload does not hash to the key it is filed under *)
   | Missing of string  (** no chunk/manifest under that key/name *)
   | Io of string  (** the backing directory failed underneath us *)
+  | Io_exhausted of { path : string; attempts : int; last : string }
+      (** every read attempt (including backoff retries) failed; [last]
+          is the final OS error *)
 
 exception Corrupt of t
 (** Raised by the [_exn] read paths; the payload pinpoints the
@@ -30,6 +33,9 @@ let to_string = function
         actual
   | Missing key -> Printf.sprintf "no object under %s" key
   | Io msg -> Printf.sprintf "store I/O: %s" msg
+  | Io_exhausted { path; attempts; last } ->
+      Printf.sprintf "store I/O on %s still failing after %d attempts: %s" path
+        attempts last
 
 let pp ppf e = Fmt.string ppf (to_string e)
 

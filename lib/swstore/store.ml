@@ -91,6 +91,40 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* --- robust reads ------------------------------------------------------ *)
+
+(* A networked or overloaded filesystem (the Sunway I/O forwarding
+   layer, NFS under contention) fails reads transiently; one EIO must
+   not poison a batch run whose next attempt would succeed.  Mirror the
+   DMA engine's recovery discipline (swsched): bounded retries with
+   exponential backoff, then a structured error naming the path and
+   attempt count — never a silent partial read, never an unbounded
+   spin. *)
+
+let read_retries = ref 3  (* retries after the first attempt *)
+let read_backoff_s = ref 0.002  (* doubled per retry, as dma_backoff *)
+
+(** Test hook: called with the path before every physical read attempt;
+    raising [Sys_error] from it simulates a transient fault. *)
+let read_fault_hook : (string -> unit) ref = ref (fun _ -> ())
+
+let read_file_robust path : (string, Error.t) result =
+  let retries = max 0 !read_retries in
+  let rec attempt k =
+    match
+      !read_fault_hook path;
+      read_file path
+    with
+    | data -> Ok data
+    | exception Sys_error last ->
+        if k < retries then begin
+          Unix.sleepf (!read_backoff_s *. (2.0 ** float_of_int k));
+          attempt (k + 1)
+        end
+        else Error (Error.Io_exhausted { path; attempts = k + 1; last })
+  in
+  attempt 0
+
 let write_file path data =
   (* write-then-rename so a crash mid-write never leaves a torn object
      under its final name *)
@@ -127,8 +161,7 @@ let get_chunk t key : (string, Error.t) result =
         | None -> Error (Error.Missing key))
     | Dir root -> (
         let path = chunk_path root key in
-        if Sys.file_exists path then
-          try Ok (read_file path) with Sys_error m -> Error (Error.Io m)
+        if Sys.file_exists path then read_file_robust path
         else Error (Error.Missing key))
   in
   Result.bind encoded (fun e ->
@@ -189,8 +222,7 @@ let get_manifest t name : (Manifest.t, Error.t) result =
         | None -> Error (Error.Missing name))
     | Dir root -> (
         let path = manifest_path root name in
-        if Sys.file_exists path then
-          try Ok (read_file path) with Sys_error m -> Error (Error.Io m)
+        if Sys.file_exists path then read_file_robust path
         else Error (Error.Missing name))
   in
   Result.bind encoded Manifest.of_string

@@ -1,0 +1,116 @@
+type report = {
+  n : int;
+  failures : int;
+  worst_index : int;
+  worst_expected : float;
+  worst_got : float;
+  max_ulp : int64;
+  max_abs_err : float;
+  hist : int array;
+}
+
+(* 0 ulp | [2^(k-1), 2^k) for k = 1..63 | NaN and saturated distances *)
+let n_buckets = 65
+
+let bucket_of d =
+  if Int64.compare d 0L = 0 then 0
+  else if Int64.compare d Int64.max_int = 0 then n_buckets - 1
+  else
+    (* index of the highest set bit, plus one *)
+    let rec msb i acc =
+      if Int64.compare i 0L = 0 then acc
+      else msb (Int64.shift_right_logical i 1) (acc + 1)
+    in
+    min (n_buckets - 1) (msb d 0)
+
+let scan tol ~n ~get_a ~get_b =
+  let failures = ref 0 in
+  let worst_index = ref (-1) in
+  let max_ulp = ref Int64.min_int in
+  let max_abs_err = ref 0.0 in
+  let hist = Array.make n_buckets 0 in
+  for i = 0 to n - 1 do
+    let a = get_a i and b = get_b i in
+    let d = Ulp.dist_exn a b in
+    hist.(bucket_of d) <- hist.(bucket_of d) + 1;
+    if Int64.compare d !max_ulp > 0 then begin
+      max_ulp := d;
+      worst_index := i
+    end;
+    let err = Float.abs (a -. b) in
+    if Float.is_nan err then max_abs_err := Float.nan
+    else if not (Float.is_nan !max_abs_err) then
+      max_abs_err := Float.max !max_abs_err err;
+    if not (Tol.close tol a b) then incr failures
+  done;
+  let wi = !worst_index in
+  let r =
+    {
+      n;
+      failures = !failures;
+      worst_index = wi;
+      worst_expected = (if wi >= 0 then get_a wi else 0.0);
+      worst_got = (if wi >= 0 then get_b wi else 0.0);
+      max_ulp = (if wi >= 0 then !max_ulp else 0L);
+      max_abs_err = !max_abs_err;
+      hist;
+    }
+  in
+  if r.failures = 0 then Ok r else Error r
+
+let compare_arrays tol (a : float array) (b : float array) =
+  if Array.length a <> Array.length b then
+    invalid_arg "Swverify.Buf.compare_arrays: length mismatch";
+  scan tol ~n:(Array.length a)
+    ~get_a:(Array.unsafe_get a)
+    ~get_b:(Array.unsafe_get b)
+
+let compare_fbuf tol (a : Mdcore.Fbuf.t) (b : Mdcore.Fbuf.t) =
+  if Mdcore.Fbuf.length a <> Mdcore.Fbuf.length b then
+    invalid_arg "Swverify.Buf.compare_fbuf: length mismatch";
+  scan tol ~n:(Mdcore.Fbuf.length a)
+    ~get_a:(Mdcore.Fbuf.get a)
+    ~get_b:(Mdcore.Fbuf.get b)
+
+let hist_to_string hist =
+  let b = Buffer.create 64 in
+  Array.iteri
+    (fun k count ->
+      if count > 0 then begin
+        if Buffer.length b > 0 then Buffer.add_string b " ";
+        let label =
+          if k = 0 then "=0"
+          else if k = n_buckets - 1 then ">=2^63|nan"
+          else if k = 1 then "1"
+          else Printf.sprintf "2^%d..%d" (k - 1) k
+        in
+        Buffer.add_string b (Printf.sprintf "[%s]:%d" label count)
+      end)
+    hist;
+  Buffer.contents b
+
+let max_ulp_to_string d =
+  if Int64.compare d Int64.max_int = 0 then ">= 2^63 (or NaN)"
+  else Int64.to_string d
+
+let report_to_string r =
+  Printf.sprintf
+    "%d/%d elements out of tolerance; worst at [%d]: expected %h got %h \
+     (%s ulp); max |err| %.3g; ulp histogram %s"
+    r.failures r.n r.worst_index r.worst_expected r.worst_got
+    (max_ulp_to_string r.max_ulp)
+    r.max_abs_err (hist_to_string r.hist)
+
+let fail_with ?what r =
+  let prefix = match what with Some w -> w ^ ": " | None -> "" in
+  failwith (prefix ^ report_to_string r)
+
+let check_arrays ?what tol a b =
+  match compare_arrays tol a b with
+  | Ok _ -> ()
+  | Error r -> fail_with ?what r
+
+let check_fbuf ?what tol a b =
+  match compare_fbuf tol a b with
+  | Ok _ -> ()
+  | Error r -> fail_with ?what r

@@ -1,0 +1,46 @@
+(** Whole-buffer comparison with forensic failure reports.
+
+    Comparing a force array element by element with a scalar check
+    loses exactly the information needed to debug a miscompare: how
+    many elements disagreed, how badly, and where the worst one is.
+    These comparators scan the whole buffer first and report the
+    offender population — worst index, worst pair, maximum ULP
+    distance, and a power-of-two ULP histogram — so a failure message
+    distinguishes "one element is garbage" (an indexing bug) from
+    "everything is 3 ulps off" (a reassociation). *)
+
+type report = {
+  n : int;  (** elements compared *)
+  failures : int;  (** elements outside the tolerance *)
+  worst_index : int;  (** index of the largest ULP distance (-1 if n=0) *)
+  worst_expected : float;
+  worst_got : float;
+  max_ulp : int64;  (** largest pairwise ULP distance ([max_int] = NaN) *)
+  max_abs_err : float;
+  hist : int array;
+      (** [hist.(0)] counts exact (0-ulp) pairs; [hist.(k)] for k >= 1
+          counts pairs at distance [2^(k-1) .. 2^k - 1]; the last
+          bucket also absorbs NaN mismatches *)
+}
+
+(** [compare_arrays tol expected got] scans both arrays (lengths must
+    match) and returns [Ok report] when every element passes [tol],
+    [Error report] otherwise. *)
+val compare_arrays :
+  Tol.t -> float array -> float array -> (report, report) result
+
+(** [compare_fbuf tol expected got] is {!compare_arrays} on flat
+    {!Mdcore.Fbuf.t} buffers, without copying them out. *)
+val compare_fbuf :
+  Tol.t -> Mdcore.Fbuf.t -> Mdcore.Fbuf.t -> (report, report) result
+
+(** [report_to_string r] renders the offender population, worst pair
+    (in hex floats) and the non-empty histogram buckets. *)
+val report_to_string : report -> string
+
+(** [check_arrays ?what tol expected got] raises [Failure] with the
+    rendered report on miscompare. *)
+val check_arrays : ?what:string -> Tol.t -> float array -> float array -> unit
+
+(** [check_fbuf ?what tol expected got] — {!check_arrays} for Fbufs. *)
+val check_fbuf : ?what:string -> Tol.t -> Mdcore.Fbuf.t -> Mdcore.Fbuf.t -> unit

@@ -1,0 +1,152 @@
+(** Seedable workload generators for the property fuzzer.
+
+    Each spec describes a family of MD systems; [build spec ~seed] is a
+    pure function of its arguments, so a failing (spec, seed) pair in a
+    repro line regenerates the offending system exactly.  Beyond the
+    standard water box, the degenerate families push states toward the
+    numeric edges the comparison taxonomy cares about: near-overlapping
+    atoms (huge forces), atoms sitting exactly on box faces
+    (minimum-image sign boundaries), and denormal velocities (the
+    bottom of the float scale). *)
+
+module Md = Mdcore
+
+type spec =
+  | Water of { molecules : int }  (** the paper's benchmark box *)
+  | Sweep of { molecules : int; charge_scale : float; lj_scale : float }
+      (** charge / Lennard-Jones parameter sweep *)
+  | Overlap of { molecules : int; dist : float }
+      (** one molecule translated to put two oxygens [dist] nm apart *)
+  | Boundary of { molecules : int }
+      (** molecules snapped onto box faces, edges and the corner *)
+  | Denormal_vel of { molecules : int }
+      (** velocities seeded with IEEE denormals *)
+
+let molecules = function
+  | Water { molecules }
+  | Sweep { molecules; _ }
+  | Overlap { molecules; _ }
+  | Boundary { molecules }
+  | Denormal_vel { molecules } ->
+      molecules
+
+(* the spec grammar of repro lines: kind:arg[:arg..], no spaces *)
+let to_string = function
+  | Water { molecules } -> Printf.sprintf "water:%d" molecules
+  | Sweep { molecules; charge_scale; lj_scale } ->
+      Printf.sprintf "sweep:%d:%h:%h" molecules charge_scale lj_scale
+  | Overlap { molecules; dist } -> Printf.sprintf "overlap:%d:%h" molecules dist
+  | Boundary { molecules } -> Printf.sprintf "boundary:%d" molecules
+  | Denormal_vel { molecules } -> Printf.sprintf "denormal:%d" molecules
+
+let of_string s =
+  let int v = int_of_string_opt v in
+  let flt v =
+    match float_of_string_opt v with
+    | Some x when Float.is_finite x -> Some x
+    | _ -> None
+  in
+  match String.split_on_char ':' s with
+  | [ "water"; m ] -> (
+      match int m with
+      | Some molecules when molecules > 0 -> Ok (Water { molecules })
+      | _ -> Error (Printf.sprintf "bad water spec %S" s))
+  | [ "sweep"; m; cs; ls ] -> (
+      match (int m, flt cs, flt ls) with
+      | Some molecules, Some charge_scale, Some lj_scale when molecules > 0 ->
+          Ok (Sweep { molecules; charge_scale; lj_scale })
+      | _ -> Error (Printf.sprintf "bad sweep spec %S" s))
+  | [ "overlap"; m; d ] -> (
+      match (int m, flt d) with
+      | Some molecules, Some dist when molecules > 1 && dist > 0.0 ->
+          Ok (Overlap { molecules; dist })
+      | _ -> Error (Printf.sprintf "bad overlap spec %S" s))
+  | [ "boundary"; m ] -> (
+      match int m with
+      | Some molecules when molecules > 0 -> Ok (Boundary { molecules })
+      | _ -> Error (Printf.sprintf "bad boundary spec %S" s))
+  | [ "denormal"; m ] -> (
+      match int m with
+      | Some molecules when molecules > 0 -> Ok (Denormal_vel { molecules })
+      | _ -> Error (Printf.sprintf "bad denormal spec %S" s))
+  | _ -> Error (Printf.sprintf "unknown generator spec %S" s)
+
+(* rigidly translate molecule [m] (3 atoms) by (dx, dy, dz): SHAKE
+   geometry is preserved exactly because each coordinate moves by the
+   same literal amount *)
+let translate_molecule (st : Md.Md_state.t) m dx dy dz =
+  let pos = st.Md.Md_state.pos in
+  for a = 3 * m to (3 * m) + 2 do
+    Md.Fbuf.set pos (3 * a) (Md.Fbuf.get pos (3 * a) +. dx);
+    Md.Fbuf.set pos ((3 * a) + 1) (Md.Fbuf.get pos ((3 * a) + 1) +. dy);
+    Md.Fbuf.set pos ((3 * a) + 2) (Md.Fbuf.get pos ((3 * a) + 2) +. dz)
+  done
+
+let build spec ~seed =
+  match spec with
+  | Water { molecules } -> Md.Water.build ~molecules ~seed ()
+  | Sweep { molecules; charge_scale; lj_scale } ->
+      let st = Md.Water.build ~molecules ~seed () in
+      (* fresh topology/forcefield records: the pristine SPC/E tables
+         are shared globals and must not be scaled in place.  A uniform
+         charge scale preserves neutrality exactly. *)
+      let topo =
+        {
+          st.Md.Md_state.topo with
+          Md.Topology.charge =
+            Array.map (fun q -> q *. charge_scale) st.Md.Md_state.topo.Md.Topology.charge;
+        }
+      in
+      let ff =
+        {
+          st.Md.Md_state.ff with
+          Md.Forcefield.c6 =
+            Array.map (fun c -> c *. lj_scale) st.Md.Md_state.ff.Md.Forcefield.c6;
+          c12 = Array.map (fun c -> c *. lj_scale) st.Md.Md_state.ff.Md.Forcefield.c12;
+        }
+      in
+      { st with Md.Md_state.topo; ff }
+  | Overlap { molecules; dist } ->
+      let st = Md.Water.build ~molecules ~seed () in
+      let pos = st.Md.Md_state.pos in
+      (* move molecule 1 so its oxygen lands [dist] along x from
+         molecule 0's oxygen *)
+      let dx = Md.Fbuf.get pos 0 +. dist -. Md.Fbuf.get pos (3 * 3) in
+      let dy = Md.Fbuf.get pos 1 -. Md.Fbuf.get pos ((3 * 3) + 1) in
+      let dz = Md.Fbuf.get pos 2 -. Md.Fbuf.get pos ((3 * 3) + 2) in
+      translate_molecule st 1 dx dy dz;
+      st
+  | Boundary { molecules } ->
+      let st = Md.Water.build ~molecules ~seed () in
+      let l = st.Md.Md_state.box.Md.Box.lx in
+      let pos = st.Md.Md_state.pos in
+      (* snap up to 4 molecules' oxygens onto minimum-image sign
+         boundaries: the origin face, the far face, and +-L/2 where
+         the image fold changes sign *)
+      let targets = [ 0.0; l; l /. 2.0; -.(l /. 2.0) ] in
+      List.iteri
+        (fun i target ->
+          if i < molecules then begin
+            let o = 3 * (3 * i) in
+            translate_molecule st i
+              (target -. Md.Fbuf.get pos o)
+              (target -. Md.Fbuf.get pos (o + 1))
+              (target -. Md.Fbuf.get pos (o + 2))
+          end)
+        targets;
+      st
+  | Denormal_vel { molecules } ->
+      let st = Md.Water.build ~molecules ~seed () in
+      let vel = st.Md.Md_state.vel in
+      let n3 = Md.Fbuf.length vel in
+      (* a spread of the denormal range: largest, mid, smallest, and
+         negated — anything that mishandles flush-to-zero or the sign
+         of tiny values trips over at least one *)
+      let denormals =
+        [| Ulp.next_down Float.min_float; 0x1p-1060; Int64.float_of_bits 1L;
+           -0x1p-1060; -.Int64.float_of_bits 1L; 0.0 |]
+      in
+      for k = 0 to min (n3 - 1) 17 do
+        Md.Fbuf.set vel k denormals.(k mod Array.length denormals)
+      done;
+      st

@@ -1,0 +1,170 @@
+(** The property-fuzzing runner.
+
+    A {!case} is the complete coordinate of one property execution:
+    property name, generator spec, seed, and execution config.  Every
+    failure renders as one greppable line
+
+    {v
+    SWVERIFY-REPRO prop=<name> gen=<spec> seed=<n> platform=<p> schedule=<s> domains=<d>
+    v}
+
+    which {!parse_repro}/{!replay} turn back into the identical run —
+    the contract that makes a nightly fuzz failure debuggable from a
+    CI artifact alone.
+
+    The {!quick} matrix is sized for [dune runtest]: every property,
+    every generator family, one seed, with the config matrix collapsed
+    along the axes each property ignores ({!Config.project}) so the
+    2 platforms x 2 schedules x 2 domain-count sweep costs only what
+    the schedule-sensitive properties actually spend.  {!deep} widens
+    the seeds for the nightly job. *)
+
+type case = { prop : string; gen : Gen.spec; seed : int; cfg : Config.t }
+
+type failure = { case : case; message : string }
+
+let repro_line c =
+  Printf.sprintf "SWVERIFY-REPRO prop=%s gen=%s seed=%d %s" c.prop
+    (Gen.to_string c.gen) c.seed
+    (Config.to_string c.cfg)
+
+let ( let* ) = Result.bind
+
+(** [parse_repro line] accepts a full repro line (leading text before
+    the [SWVERIFY-REPRO] marker is ignored, so a raw log line pastes
+    straight in). *)
+let parse_repro line =
+  let* tokens =
+    match String.split_on_char ' ' (String.trim line) with
+    | l -> (
+        match
+          List.filteri
+            (fun i _ ->
+              i
+              > (match
+                   List.find_index (( = ) "SWVERIFY-REPRO")
+                     (List.map String.trim l)
+                 with
+                | Some j -> j
+                | None -> max_int))
+            (List.map String.trim l)
+        with
+        | [] -> Error "no SWVERIFY-REPRO marker in line"
+        | toks -> Ok (List.filter (( <> ) "") toks))
+  in
+  let field key =
+    let prefix = key ^ "=" in
+    match List.find_opt (fun t -> String.starts_with ~prefix t) tokens with
+    | Some t ->
+        Ok (String.sub t (String.length prefix)
+              (String.length t - String.length prefix))
+    | None -> Error (Printf.sprintf "repro line missing %s=" key)
+  in
+  let* prop = field "prop" in
+  let* gen_s = field "gen" in
+  let* gen = Gen.of_string gen_s in
+  let* seed_s = field "seed" in
+  let* seed =
+    match int_of_string_opt seed_s with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "bad seed %S" seed_s)
+  in
+  let* platform = field "platform" in
+  let* sched_s = field "schedule" in
+  let* sched = Config.sched_of_string sched_s in
+  let* domains_s = field "domains" in
+  let* domains =
+    match int_of_string_opt domains_s with
+    | Some d when d >= 1 -> Ok d
+    | _ -> Error (Printf.sprintf "bad domains %S" domains_s)
+  in
+  Ok { prop; gen; seed; cfg = { Config.platform; sched; domains } }
+
+(** [run_case c] executes the property under the case's domain count
+    (set around the run and restored after) and maps any failure to
+    its message.  Unknown property names and unregistered platforms
+    are failures too — a repro line must never silently pass. *)
+let run_case c =
+  match Props.find c.prop with
+  | None -> Error (Printf.sprintf "unknown property %S" c.prop)
+  | Some p -> (
+      match Swarch.Platform.find c.cfg.Config.platform with
+      | None ->
+          Error
+            (Printf.sprintf "unknown platform %S" c.cfg.Config.platform)
+      | Some _ ->
+          let prev = Swpar.Domains.get () in
+          Swpar.Domains.set c.cfg.Config.domains;
+          Fun.protect
+            ~finally:(fun () -> Swpar.Domains.set prev)
+            (fun () ->
+              try p.Props.run c.cfg ~gen:c.gen ~seed:c.seed with
+              | Failure msg -> Error msg
+              | Invalid_argument msg -> Error ("invalid argument: " ^ msg)))
+
+(* --- matrix construction ------------------------------------------------ *)
+
+let platforms = [ "sw26010"; "sw26010_pro" ]
+let scheds = [ Config.Serial; Config.Pipelined ]
+let domain_counts = [ 1; 2 ]
+
+let full_matrix =
+  List.concat_map
+    (fun platform ->
+      List.concat_map
+        (fun sched ->
+          List.map
+            (fun domains -> { Config.platform; sched; domains })
+            domain_counts)
+        scheds)
+    platforms
+
+(* collapse the matrix along the axes [p] ignores, keeping one
+   representative per distinguishable config *)
+let configs_for (p : Props.t) =
+  List.sort_uniq compare (List.map (Config.project p.Props.axes) full_matrix)
+
+let cases_for ~seeds (p : Props.t) =
+  List.concat_map
+    (fun gen ->
+      List.concat_map
+        (fun cfg ->
+          List.map (fun seed -> { prop = p.Props.name; gen; seed; cfg }) seeds)
+        (configs_for p))
+    p.Props.gens
+
+(** The [dune runtest] matrix: one fixed seed, all properties, all
+    generator families, the projected config sweep. *)
+let quick_cases () = List.concat_map (cases_for ~seeds:[ 7 ]) Props.all
+
+(** The nightly matrix: [rounds] seeds per case (seeds are fixed by
+    round index, so two nightly runs of the same tree are identical). *)
+let deep_cases ~rounds () =
+  let seeds = List.init rounds (fun i -> 7 + (1009 * i)) in
+  List.concat_map (cases_for ~seeds) Props.all
+
+(** [run ?progress cases] executes all cases and returns the failures;
+    [progress] (e.g. [print_endline]) hears one line per case. *)
+let run ?progress cases =
+  List.filter_map
+    (fun c ->
+      let r = run_case c in
+      (match progress with
+      | Some f ->
+          f
+            (Printf.sprintf "%-6s %s"
+               (match r with Ok () -> "ok" | Error _ -> "FAIL")
+               (repro_line c))
+      | None -> ());
+      match r with
+      | Ok () -> None
+      | Error message -> Some { case = c; message })
+    cases
+
+let failure_to_string f =
+  Printf.sprintf "%s\n  %s" (repro_line f.case) f.message
+
+(** [replay line] parses a repro line and re-runs exactly that case. *)
+let replay line =
+  let* c = parse_repro line in
+  run_case c

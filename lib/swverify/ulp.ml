@@ -1,0 +1,47 @@
+(* ULP distance via the standard sign-magnitude -> two's-complement
+   trick: reinterpret the IEEE bits, and flip negative values across
+   the origin so the integer order matches the numeric order.  Every
+   predicate downstream (Tol, Buf, the fuzz properties) reduces to
+   arithmetic on these ordinals. *)
+
+let ordinal x =
+  if Float.is_nan x then invalid_arg "Swverify.Ulp.ordinal: NaN has no ordinal";
+  let b = Int64.bits_of_float x in
+  (* positive floats are already ordered by their bits; negative floats
+     order backwards, so reflect them below zero.  -0.0 (bits =
+     min_int) lands on 0, same as +0.0. *)
+  if Int64.compare b 0L >= 0 then b else Int64.sub Int64.min_int b
+
+let dist a b =
+  if Float.is_nan a || Float.is_nan b then None
+  else
+    let oa = ordinal a and ob = ordinal b in
+    if Int64.compare oa 0L >= 0 = (Int64.compare ob 0L >= 0) then
+      (* same side of zero: the difference cannot overflow *)
+      Some (Int64.abs (Int64.sub oa ob))
+    else
+      (* opposite sides: |oa| + |ob| can reach ~2^64 - 2^53 between
+         the infinities, which wraps int64 — saturate instead *)
+      let d = Int64.add (Int64.abs oa) (Int64.abs ob) in
+      Some (if Int64.compare d 0L < 0 then Int64.max_int else d)
+
+let dist_exn a b = match dist a b with Some d -> d | None -> Int64.max_int
+
+let within n a b =
+  if n < 0 then invalid_arg "Swverify.Ulp.within: negative budget";
+  match dist a b with
+  | None -> false
+  | Some d -> Int64.compare d (Int64.of_int n) <= 0
+
+let is_denormal x =
+  x <> 0.0 && Float.abs x < Float.min_float && not (Float.is_nan x)
+
+let next_up x =
+  if Float.is_nan x then x
+  else if x = Float.infinity then x
+  else if x = 0.0 then Int64.float_of_bits 1L (* smallest denormal *)
+  else
+    let b = Int64.bits_of_float x in
+    Int64.float_of_bits (if x > 0.0 then Int64.add b 1L else Int64.sub b 1L)
+
+let next_down x = -.next_up (-.x)

@@ -1,0 +1,50 @@
+(** Units-in-the-last-place distance on IEEE-754 doubles.
+
+    The foundation of every comparison in swverify: floats are mapped
+    onto a monotone integer scale (the "ordinal") where adjacent
+    representable values differ by exactly 1, so "how far apart are
+    these two numbers" has one answer that is meaningful across twelve
+    orders of magnitude — unlike a fixed absolute epsilon — and across
+    the full denormal range — unlike a fixed relative epsilon.
+
+    Edge-case semantics (the taxonomy the tests pin down):
+
+    - [+0.0] and [-0.0] share ordinal 0: their distance is 0.
+    - Denormals sit between 0 and the smallest normal at their true
+      spacing; crossing from the largest denormal to the smallest
+      normal costs exactly 1 ulp.
+    - [infinity] is one ulp past [max_float] (and equal only to
+      itself at distance 0); the two infinities are ~2^63 apart.
+    - NaN has no place on the scale: any distance involving a NaN is
+      [None].  Callers that want "the same NaN" must compare bit
+      patterns ({!Tol.Exact_bits}). *)
+
+(** [ordinal x] maps [x] onto the signed integer scale: monotone in
+    the numeric order, adjacent representable values differ by 1, and
+    [ordinal (-.x) = Int64.neg (ordinal x)].  Raises
+    [Invalid_argument] on NaN. *)
+val ordinal : float -> int64
+
+(** [dist a b] is the number of representable doubles between [a] and
+    [b] (0 when they are equal, including [+0. = -0.]); [None] if
+    either is NaN. *)
+val dist : float -> float -> int64 option
+
+(** [dist_exn a b] is {!dist}, with NaN mapped to [Int64.max_int]
+    (farther than any two non-NaN values can be). *)
+val dist_exn : float -> float -> int64
+
+(** [within n a b] is true when [a] and [b] are at most [n] ulps
+    apart.  NaN is within no budget of anything, including itself. *)
+val within : int -> float -> float -> bool
+
+(** [is_denormal x] is true for nonzero values below the smallest
+    positive normal double. *)
+val is_denormal : float -> bool
+
+(** [next_up x] is the smallest representable double greater than
+    [x]; [next_down x] the mirror.  Useful for constructing
+    adversarial fixtures one ulp off a boundary. *)
+val next_up : float -> float
+
+val next_down : float -> float

@@ -3,11 +3,13 @@
 
 open Mdcore
 
-let feq ?(eps = 1e-9) a b =
-  Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+(* tolerance class: physical-drift (Swverify.Tol.drift) — accumulated
+   rounding in physics sums, |a-b| <= eps + eps*max(|a|,|b|). *)
+let feq ?(eps = 1e-9) a b = Swverify.Tol.close (Swverify.Tol.drift eps) a b
 
-let check_float ?eps msg a b =
-  if not (feq ?eps a b) then Alcotest.failf "%s: expected %g, got %g" msg a b
+let check_float ?(eps = 1e-9) msg a b =
+  try Swverify.Tol.check ~what:msg (Swverify.Tol.drift eps) a b
+  with Failure m -> Alcotest.fail m
 
 (* ------------------------------------------------------------------ *)
 (* Pressure / virial *)

@@ -9,8 +9,15 @@ module Md = Mdcore
 module K = Swgmx.Kernel_common
 
 let r32 = Simd.round32
-let feq a b = Float.abs (a -. b) <= 1e-12 *. Float.max 1.0 (Float.abs a)
-let check_float msg a b = Alcotest.(check bool) msg true (feq a b)
+
+(* tolerance class: ulp-budget in spirit — lane-count comparisons of
+   single-rounded values should agree to ~1 double ulp; expressed as a
+   1e-12 drift via the audited swverify comparator *)
+let feq a b = Swverify.Tol.close (Swverify.Tol.drift 1e-12) a b
+
+let check_float msg a b =
+  try Swverify.Tol.check ~what:msg (Swverify.Tol.drift 1e-12) a b
+  with Failure m -> Alcotest.fail m
 
 (* ------------------------------------------------------------------ *)
 (* Simd.vec at 4 lanes against the historical floatv4 semantics: every
@@ -250,12 +257,13 @@ let test_pro_variant_matches_reference variant () =
   let scale =
     Array.fold_left (fun m x -> Float.max m (Float.abs x)) 1.0 ref_f
   in
-  Array.iteri
-    (fun i r ->
-      if Float.abs (r -. f.(i)) > 2e-4 *. scale then
-        Alcotest.failf "%s/pro: force %d differs: ref %.8g vs %.8g"
-          (Swgmx.Variant.name variant) i r f.(i))
-    ref_f
+  (* tolerance class: ulp-budget at mixed-precision force scale *)
+  try
+    Swverify.Buf.check_arrays
+      ~what:(Swgmx.Variant.name variant ^ "/pro forces")
+      (Swverify.Tol.rel_abs ~rel:0.0 ~abs:(2e-4 *. scale))
+      ref_f f
+  with Failure m -> Alcotest.fail m
 
 let test_pro_geometry_follows_ldm () =
   let base = Platform.sw26010 and pro = Platform.sw26010_pro in

@@ -2,8 +2,13 @@
 
 open Swarch
 
-let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.abs a)
-let check_float ?eps msg a b = Alcotest.(check bool) msg true (feq ?eps a b)
+(* tolerance class: physical-drift (Swverify.Tol.drift) — cost-model
+   arithmetic accumulates rounding; nothing here needs bit-identity *)
+let feq ?(eps = 1e-9) a b = Swverify.Tol.close (Swverify.Tol.drift eps) a b
+
+let check_float ?(eps = 1e-9) msg a b =
+  try Swverify.Tol.check ~what:msg (Swverify.Tol.drift eps) a b
+  with Failure m -> Alcotest.fail m
 
 (* ------------------------------------------------------------------ *)
 (* Config *)

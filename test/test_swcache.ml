@@ -6,8 +6,10 @@ module Cost = Swarch.Cost
 module Ldm = Swarch.Ldm
 
 let cfg = Config.default
+(* tolerance class: physical-drift — cache cost arithmetic, 1e-9 *)
 let check_float msg a b =
-  Alcotest.(check bool) msg true (Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs a))
+  try Swverify.Tol.check ~what:msg (Swverify.Tol.drift 1e-9) a b
+  with Failure m -> Alcotest.fail m
 
 (* ------------------------------------------------------------------ *)
 (* Stats *)

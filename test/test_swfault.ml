@@ -14,10 +14,14 @@ module K = Swgmx.Kernel_common
 
 let cfg = Swarch.Config.default
 
+(* tolerance class: physical-drift — replayed-time sums; rel 1e-9 with
+   an absolute floor of 1e-15 for exactly-zero expectations *)
 let check_close name expected got =
-  let tol = 1e-15 +. (1e-9 *. Float.abs expected) in
-  if Float.abs (expected -. got) > tol then
-    Alcotest.failf "%s: expected %.12g, got %.12g" name expected got
+  try
+    Swverify.Tol.check ~what:name
+      (Swverify.Tol.rel_abs ~rel:1e-9 ~abs:1e-15)
+      expected got
+  with Failure m -> Alcotest.fail m
 
 (* ------------------------------------------------------------------ *)
 (* Rng *)

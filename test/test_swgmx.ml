@@ -37,17 +37,21 @@ let kernel_forces st sys outcome =
 
 let max_abs arr = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 arr
 
+(* tolerance class: ulp-budget at mixed-precision scale — the kernels
+   round through single precision, so [tol] of the force scale is the
+   reassociation envelope, not drift.  The swverify buffer comparator
+   reports the offender population and ULP histogram on failure. *)
 let check_forces_close ~tol name ref_f got_f =
   let scale = Float.max 1.0 (max_abs ref_f) in
-  Array.iteri
-    (fun i r ->
-      if Float.abs (r -. got_f.(i)) > tol *. scale then
-        Alcotest.failf "%s: force %d differs: ref %.8g vs %.8g" name i r got_f.(i))
-    ref_f
+  try
+    Swverify.Buf.check_arrays ~what:name
+      (Swverify.Tol.rel_abs ~rel:0.0 ~abs:(tol *. scale))
+      ref_f got_f
+  with Failure m -> Alcotest.fail m
 
 let check_energy_close ~tol name a b =
-  if Float.abs (a -. b) > tol *. Float.max 1.0 (Float.abs a) then
-    Alcotest.failf "%s: energy differs: %.10g vs %.10g" name a b
+  try Swverify.Tol.check ~what:name (Swverify.Tol.drift tol) a b
+  with Failure m -> Alcotest.fail m
 
 (* mixed precision: single rounding per operation, sums over thousands
    of pairs -> allow 1e-4 of the force scale *)
@@ -251,11 +255,11 @@ let prop_all_variants_agree =
         (fun v ->
           let outcome = run_variant sys pairs v in
           let f = kernel_forces st sys outcome in
-          let ok = ref true in
-          Array.iteri
-            (fun i r -> if Float.abs (r -. f.(i)) > 5e-4 *. scale then ok := false)
-            ref_f;
-          !ok)
+          (* tolerance class: ulp-budget at mixed-precision scale *)
+          Result.is_ok
+            (Swverify.Buf.compare_arrays
+               (Swverify.Tol.rel_abs ~rel:0.0 ~abs:(5e-4 *. scale))
+               ref_f f))
         Variant.all)
 
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_all_variants_agree ]

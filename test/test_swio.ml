@@ -196,6 +196,60 @@ let test_checkpoint_hostile_values () =
   rejects "trailing junk" (fun () -> Checkpoint.of_string (good ^ "junk\n"));
   rejects "trailing float" (fun () -> Checkpoint.of_string (good ^ "0x1p0\n"))
 
+(* denormals are legal floats no simulated trajectory produces: a
+   checkpoint carrying one is damaged input, sanitized on parse by
+   flushing to signed zero — so a hostile restart can never feed the
+   engine the flushed range (NaN/inf are rejected outright above) *)
+let test_checkpoint_denormal_sanitized () =
+  let ck = sample_checkpoint () in
+  let good = Checkpoint.to_string ck in
+  let lines = String.split_on_char '\n' good in
+  let patch i v =
+    String.concat "\n" (List.mapi (fun j l -> if j = i then v else l) lines)
+  in
+  (* line 3 is pos.(0) in the v2 format (magic, platform, header) *)
+  let first_pos s = (Checkpoint.of_string s).Checkpoint.pos.(0) in
+  let check_bits msg expected got =
+    Alcotest.(check int64) msg (Int64.bits_of_float expected)
+      (Int64.bits_of_float got)
+  in
+  List.iter
+    (fun d -> check_bits (d ^ " flushed to +0") 0.0 (first_pos (patch 3 d)))
+    [ "0x1p-1060"; "0x0.fffffffffffffp-1022"; "0x0.0000000000001p-1022" ];
+  List.iter
+    (fun d -> check_bits (d ^ " flushed to -0") (-0.0) (first_pos (patch 3 d)))
+    [ "-0x1p-1060"; "-0x0.0000000000001p-1022" ];
+  (* the smallest *normal* float is genuine data and survives exactly *)
+  check_bits "min_float passes through" 0x1p-1022 (first_pos (patch 3 "0x1p-1022"));
+  check_bits "-min_float passes through" (-0x1p-1022)
+    (first_pos (patch 3 "-0x1p-1022"));
+  (* every untouched value still round-trips bit for bit *)
+  let parsed = Checkpoint.of_string (patch 3 "0x1p-1060") in
+  Array.iteri
+    (fun i v ->
+      if i > 0 then check_bits (Printf.sprintf "pos %d untouched" i)
+          ck.Checkpoint.pos.(i) v)
+    parsed.Checkpoint.pos;
+  Array.iteri
+    (fun i v -> check_bits (Printf.sprintf "vel %d untouched" i)
+        ck.Checkpoint.vel.(i) v)
+    parsed.Checkpoint.vel;
+  (* a sanitized checkpoint restores into live buffers with no
+     denormal (and nothing non-finite) left to propagate *)
+  let n = ck.Checkpoint.n_atoms in
+  let pos = Fvec.create (3 * n) and vel = Fvec.create (3 * n) in
+  ignore (Checkpoint.restore parsed ~pos ~vel);
+  for i = 0 to (3 * n) - 1 do
+    let check_clean what (x : float) =
+      if not (Float.is_finite x) then
+        Alcotest.failf "%s %d non-finite after restore" what i;
+      if x <> 0.0 && Float.abs x < Float.min_float then
+        Alcotest.failf "%s %d still denormal after restore" what i
+    in
+    check_clean "pos" pos.{i};
+    check_clean "vel" vel.{i}
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Xtc: hostile input *)
 
@@ -276,6 +330,8 @@ let suites =
           test_checkpoint_hostile_headers;
         Alcotest.test_case "checkpoint: hostile values" `Quick
           test_checkpoint_hostile_values;
+        Alcotest.test_case "checkpoint: denormals sanitized" `Quick
+          test_checkpoint_denormal_sanitized;
         Alcotest.test_case "xtc: truncation fuzz" `Quick
           test_xtc_truncation_fuzz;
         Alcotest.test_case "xtc: hostile headers" `Quick

@@ -111,9 +111,10 @@ let test_single_cg_plans_agree () =
    pre-swstep step times (captured from the monolithic Engine.measure
    before the phase-graph rewrite) on the Table-1 workloads. *)
 
+(* tolerance class: physical-drift — golden step times, rel 1e-9 with
+   a 1e-15 floor for exactly-zero phase rows *)
 let close expected got =
-  if expected = 0.0 then Float.abs got <= 1e-15
-  else Float.abs (got -. expected) <= 1e-9 *. Float.abs expected
+  Swverify.Tol.close (Swverify.Tol.rel_abs ~rel:1e-9 ~abs:1e-15) expected got
 
 let check_golden name m expected_rows expected_total =
   List.iter

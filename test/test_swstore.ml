@@ -219,6 +219,63 @@ let test_store_dir_backend () =
       Store.corrupt_chunk s key ~at:3;
       corrupt "disk corruption detected" (fun () -> Store.get_chunk_exn s key))
 
+(* transient read faults: one EIO from a loaded filesystem must be
+   retried (with backoff, mirroring the DMA engine's recovery), while a
+   persistent failure must surface as the structured exhaustion error —
+   never a silent partial read, never an unbounded spin *)
+let with_fault_hook hook f =
+  Store.read_fault_hook := hook;
+  Fun.protect
+    ~finally:(fun () -> Store.read_fault_hook := (fun _ -> ()))
+    f
+
+let test_store_read_retries_transient () =
+  with_temp_dir (fun root ->
+      let s = Store.open_dir root in
+      let key = Store.put_chunk s "flaky payload" in
+      Store.put_manifest s (Manifest.v ~kind:"kv" ~name:"obj" [ (key, 13) ]);
+      let failures = ref 2 in
+      with_fault_hook
+        (fun _ ->
+          if !failures > 0 then begin
+            decr failures;
+            raise (Sys_error "injected transient EIO")
+          end)
+        (fun () ->
+          Alcotest.(check string) "chunk read recovers" "flaky payload"
+            (Store.get_chunk_exn s key);
+          Alcotest.(check int) "both injected faults consumed" 0 !failures);
+      let failures = ref 2 in
+      with_fault_hook
+        (fun _ ->
+          if !failures > 0 then begin
+            decr failures;
+            raise (Sys_error "injected transient EIO")
+          end)
+        (fun () ->
+          let m = Store.get_manifest_exn s "obj" in
+          Alcotest.(check string) "manifest read recovers" "kv" m.Manifest.kind))
+
+let test_store_read_exhaustion () =
+  with_temp_dir (fun root ->
+      let s = Store.open_dir root in
+      let key = Store.put_chunk s "unreachable payload" in
+      with_fault_hook
+        (fun _ -> raise (Sys_error "injected persistent EIO"))
+        (fun () ->
+          match Store.get_chunk s key with
+          | Error (Error.Io_exhausted { attempts; last; _ }) ->
+              Alcotest.(check int) "first try + every retry counted"
+                (1 + !Store.read_retries) attempts;
+              Alcotest.(check string) "last OS error preserved"
+                "injected persistent EIO" last
+          | Error e ->
+              Alcotest.failf "expected Io_exhausted, got %s" (Error.to_string e)
+          | Ok _ -> Alcotest.fail "read of faulted path succeeded");
+      (* the store recovers as soon as the fault clears *)
+      Alcotest.(check string) "healthy again" "unreachable payload"
+        (Store.get_chunk_exn s key))
+
 (* ------------------------------------------------------------------ *)
 (* the cache *)
 
@@ -600,6 +657,10 @@ let suites =
         Alcotest.test_case "rejects bad names" `Quick
           test_store_rejects_bad_names;
         Alcotest.test_case "directory backend" `Quick test_store_dir_backend;
+        Alcotest.test_case "transient read faults retried" `Quick
+          test_store_read_retries_transient;
+        Alcotest.test_case "read retry exhaustion" `Quick
+          test_store_read_exhaustion;
       ] );
     ( "swstore.cache",
       [
