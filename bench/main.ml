@@ -187,6 +187,37 @@ let store_figures () =
       float_of_int (Swstore.Store.chunk_count (Swstore.Cache.store cache)) );
   ]
 
+(* The offload layer proven on an irregular workload: one short
+   Barnes-Hut run on the active platform, plus the LDM tiling plans
+   the layer derives for the tree traversal and for the MD i-package
+   walk.  All simulated figures — bit-identical across domain counts,
+   so CI's cross-domain equality check covers them. *)
+let nbody_figures () =
+  let cfg = Swbench.Common.cfg () in
+  let r = Swnbody.Sim.simulate ~cfg ~n:512 ~steps:8 () in
+  let md_plan =
+    Swgmx.Kernel_cpe.offload_plan cfg ~slots:Swoffload.Plan.default_slots
+      ~n_clusters:1024
+  in
+  [
+    ("nbody_bodies", float_of_int r.Swnbody.Sim.n);
+    ("nbody_steps", float_of_int r.Swnbody.Sim.steps);
+    ("nbody_energy_drift", r.Swnbody.Sim.max_drift);
+    ("nbody_elapsed_s", r.Swnbody.Sim.elapsed_s);
+    ("nbody_dma_bytes", r.Swnbody.Sim.dma_bytes);
+    ("nbody_tree_nodes", float_of_int r.Swnbody.Sim.tree_nodes);
+    ("nbody_node_visits", float_of_int r.Swnbody.Sim.node_visits);
+    ("nbody_leaf_interactions", float_of_int r.Swnbody.Sim.leaf_interactions);
+    ("offload_nbody_tile_items", float_of_int r.Swnbody.Sim.tile_items);
+    ("offload_nbody_tiles", float_of_int r.Swnbody.Sim.n_tiles);
+    ("offload_nbody_remainder", float_of_int r.Swnbody.Sim.remainder);
+    ("offload_nbody_reserve_bytes", float_of_int r.Swnbody.Sim.ldm_reserve);
+    ( "offload_md_tile_bytes",
+      float_of_int md_plan.Swoffload.Plan.tile_bytes );
+    ( "offload_md_reserve_bytes",
+      float_of_int (Swoffload.Plan.reserve md_plan ~recorded:true) );
+  ]
+
 (* the key simulated-time figures: the Table-1 Mark workload priced
    serially, through the swsched replay, and at the ideal-overlap
    bound (all from one recorded run) *)
@@ -248,6 +279,7 @@ let simulated_figures () =
     ("fault_ckpt_opt_interval_steps", float_of_int opt_interval);
   ]
   @ store_figures ()
+  @ nbody_figures ()
 
 (* Real wall-clock alongside the simulated figures: best-of-three fresh
    runs of the Table-1 24k decomposed step and the 3k Mark kernel.  The

@@ -261,9 +261,82 @@ let () =
           | Some _ -> ())
       | _ -> fail "%s: store get event lacks a numeric id or ts" path)
     store_gets;
+  (* offload-span nesting: every tile span (cat "offload-tile") must
+     sit inside a kernel span (cat "offload") on the same tid — a tile
+     outside its kernel means the driver's clock reconstruction broke *)
+  let x_spans cat =
+    List.filter_map
+      (fun ev ->
+        if str_field ev "ph" = Some "X" && str_field ev "cat" = Some cat then
+          match (num_field ev "tid", num_field ev "ts", num_field ev "dur") with
+          | Some tid, Some ts, Some dur ->
+              Some (tid, ts, dur, Option.value ~default:"?" (str_field ev "name"))
+          | _ -> None
+        else None)
+      events
+  in
+  let offload_kernels = x_spans "offload" in
+  let offload_tiles = x_spans "offload-tile" in
+  List.iter
+    (fun (tid, ts, dur, name) ->
+      let inside =
+        List.exists
+          (fun (ktid, kts, kdur, _) ->
+            ktid = tid && kts <= ts +. eps && ts +. dur <= kts +. kdur +. eps)
+          offload_kernels
+      in
+      if not inside then
+        fail
+          "%s: offload tile span %S [%g..%g us] on tid %g is not contained in \
+           any offload kernel span"
+          path name ts (ts +. dur) tid)
+    offload_tiles;
+  (* offload DMA pairing: per (tid, tile), a "dma-issue" marker must be
+     matched by a "dma-retire" no earlier than it — an unpaired issue
+     means a tile's writeback never happened *)
+  let offload_dma =
+    List.filter (fun ev -> str_field ev "cat" = Some "offload-dma") events
+  in
+  let dma_named n =
+    List.filter_map
+      (fun ev ->
+        if str_field ev "name" = Some n then
+          match
+            ( num_field ev "tid",
+              (match Swtrace.Json.member "args" ev with
+              | Some args -> num_field args "tile"
+              | None -> None),
+              num_field ev "ts" )
+          with
+          | Some tid, Some tile, Some ts -> Some ((tid, tile), ts)
+          | _ -> fail "%s: offload-dma event %S lacks tid, tile arg or ts" path n
+        else None)
+      offload_dma
+  in
+  let issues = dma_named "dma-issue" in
+  let retires = Hashtbl.create 64 in
+  List.iter
+    (fun (key, ts) ->
+      let prev = Option.value ~default:neg_infinity (Hashtbl.find_opt retires key) in
+      Hashtbl.replace retires key (Float.max prev ts))
+    (dma_named "dma-retire");
+  List.iter
+    (fun ((tid, tile), ts) ->
+      match Hashtbl.find_opt retires (tid, tile) with
+      | None ->
+          fail "%s: offload dma-issue for tile %g on tid %g has no dma-retire"
+            path tile tid
+      | Some rts when rts < ts -. eps ->
+          fail
+            "%s: offload dma-issue for tile %g on tid %g at %g us retires \
+             earlier, at %g us"
+            path tile tid ts rts
+      | Some _ -> ())
+    issues;
   Fmt.pr
     "swtrace_lint: %s OK (%d events, %d tracks, %d step spans, %d phase \
-     spans, %d sched spans, %d/%d faults recovered, %d store gets resolved)@."
+     spans, %d sched spans, %d/%d faults recovered, %d store gets resolved, \
+     %d offload tiles nested, %d offload DMA pairs)@."
     path (List.length events) (List.length thread_names) steps phases
     (List.length sched_spans) (List.length recovers) (List.length injects)
-    (List.length store_gets)
+    (List.length store_gets) (List.length offload_tiles) (List.length issues)

@@ -85,3 +85,12 @@ let effective_bandwidth (cost : Cost.t) =
 (** [table cfg sizes] tabulates the modelled bandwidth (bytes/s) at each
     size in [sizes]; used to regenerate Table 2. *)
 let table cfg sizes = List.map (fun s -> (s, bandwidth cfg s)) sizes
+
+(** [saturating_bytes cfg] is the smallest transfer size at which the
+    modelled curve reaches its plateau — the last measured point
+    (2 KB on the SW26010).  Staging buffers that flush at this granule
+    get peak bandwidth without hand-rolling a size literal. *)
+let saturating_bytes (cfg : Config.t) =
+  let pts = cfg.dma_points in
+  if Array.length pts = 0 then invalid_arg "Dma.saturating_bytes: empty curve";
+  fst pts.(Array.length pts - 1)

@@ -49,3 +49,9 @@ val effective_bandwidth : Cost.t -> float
 (** [table cfg sizes] tabulates the modelled bandwidth at each size;
     used to regenerate Table 2. *)
 val table : Config.t -> int list -> (int * float) list
+
+(** [saturating_bytes cfg] is the smallest transfer size at which the
+    modelled curve reaches its plateau — the last measured point (2 KB
+    on the SW26010).  Staging buffers that flush at this granule get
+    peak bandwidth without hand-rolling a size literal. *)
+val saturating_bytes : Config.t -> int

@@ -374,6 +374,37 @@ let vector_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
 
 (* --- driver ------------------------------------------------------------ *)
 
+(** The slab walk's declared working set: one i-package streams per
+    tile through the plan's rotating slots, the FA block stays
+    resident for the slice.  The j-side demand buffer or cache arena
+    is per-slice scratch, claimed through the offload layer at setup
+    time.  The double-buffer depth and the LDM budget check both live
+    in the derived plan — this module holds no LDM arithmetic. *)
+let offload_plan cfg ~slots ~n_clusters =
+  Swoffload.Plan.derive_exn
+    {
+      Swoffload.Plan.kernel = "nonbonded";
+      buffers =
+        [
+          {
+            Swoffload.Plan.name = "i-package";
+            intent = Swoffload.Plan.Read;
+            item_bytes = Package.bytes;
+          };
+        ];
+      resident_bytes = K.force_bytes;
+      tile = Swoffload.Plan.Items 1;
+      slots;
+    }
+    ~cfg ~n_items:n_clusters
+
+(* per-slice pipeline state handed back to the offload driver *)
+type slice = {
+  fetch_i : int -> unit;
+  compute_i : int -> unit;
+  wind_down : unit -> unit;
+}
+
 (** [run ?sched ?buffers sys pairs cg spec] executes the short-range
     kernel on the core group and returns the physics result plus cache
     statistics.  For [Owner_only] (RCA), [pairs] must be the full pair
@@ -381,13 +412,21 @@ let vector_pairs sys (cpe : Swarch.Cpe.t) (res : K.result) ~ci ~cj ~ibuf ~jbuf
 
     With [sched], the run is additionally recorded for the swsched
     replay: the i-package read path goes through the double-buffer
-    {!Swsched.Pipeline} with [buffers] LDM slots (default 2), j-cache
-    fills stay blocking demand reads, and write-backs become
-    asynchronous puts.  The physics executes in the exact serial
-    order either way, so forces and energies are bit-identical with
-    and without a recorder. *)
-let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
-    (cg : Swarch.Core_group.t) spec =
+    {!Swsched.Pipeline} with [buffers] LDM slots (the plan's default
+    depth when omitted), j-cache fills stay blocking demand reads, and
+    write-backs become asynchronous puts.  The physics executes in the
+    exact serial order either way, so forces and energies are
+    bit-identical with and without a recorder.
+
+    With [reference], the slice callbacks run through the bare serial
+    reference executor instead of the offload driver (no domain pool,
+    recorder, trace or fault guard) — the pre-refactor choreography
+    the swverify [offload-identity] property pins the driver to. *)
+let run ?sched ?buffers ?(dead = []) ?(reference = false) sys
+    (pairs : Pair_list.t) (cg : Swarch.Core_group.t) spec =
+  let buffers =
+    match buffers with Some b -> b | None -> Swoffload.Plan.default_slots
+  in
   if spec.write = Owner_only && spec.vector then
     invalid_arg "Kernel_cpe.run: the RCA baseline is scalar";
   if buffers < 1 then invalid_arg "Kernel_cpe.run: buffers < 1";
@@ -439,32 +478,24 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
   let l_write = Array.make n_cpes (None : Swcache.Stats.t option) in
   let l_marked = Array.make n_cpes 0 in
   let l_total = Array.make n_cpes 0 in
-  (* recorder adapters: identity on the unrecorded path.  [sd] is the
-     calling shard's branch recorder; branches are merged back in shard
-     order by {!Swsched.Recorder.graft} below. *)
-  let in_task sd (cpe : Swarch.Cpe.t) f =
-    match sd with
-    | Some r ->
-        Swsched.Recorder.task r ~id:cpe.Swarch.Cpe.id ~cost:cpe.Swarch.Cpe.cost f
-    | None -> f ()
-  in
-  let sync_record sd f =
-    match sd with Some r -> Swsched.Recorder.synchronous r f | None -> f ()
-  in
-  let ibuf_slots = match sched with Some _ -> buffers | None -> 1 in
   (* permanently failed CPEs get the empty slab; their i-clusters are
      re-striped over the survivors.  [dead = []] takes the original
      partition so the healthy path stays bit-identical. *)
   let alive = K.alive_ids n_cpes dead in
-  let run_cpe sd (cpe : Swarch.Cpe.t) =
-      let cost = cpe.Swarch.Cpe.cost in
-      let lres = l_res.(cpe.Swarch.Cpe.id) in
-      let lo, hi =
-        if dead = [] then K.partition sys.K.n_clusters n_cpes cpe.Swarch.Cpe.id
-        else K.partition_alive sys.K.n_clusters ~alive cpe.Swarch.Cpe.id
-      in
-      if lo < hi then in_task sd cpe @@ fun () ->
-        Swfault.Error.guard ~phase:"force" ~cpe:cpe.Swarch.Cpe.id @@ fun () ->
+  let partition id =
+    if dead = [] then K.partition sys.K.n_clusters n_cpes id
+    else K.partition_alive sys.K.n_clusters ~alive id
+  in
+  (* [setup] builds one CPE slice's state: caches, the write copy, the
+     scratch registers and the fetch/compute stages over i-clusters.
+     The offload driver supplies everything around it — the recorder
+     task, the fault guard, the plan's LDM reservation, the
+     double-buffer pipeline, trace spans and the sharded mesh walk. *)
+  let setup (env : Swoffload.Offload.env) =
+        let cpe = env.Swoffload.Offload.cpe in
+        let lo = env.Swoffload.Offload.lo in
+        let cost = cpe.Swarch.Cpe.cost in
+        let lres = l_res.(cpe.Swarch.Cpe.id) in
         (* each CPE keeps a full-length force copy, as the RMA scheme
            prescribes ("an interaction array for every particle") --
            its initialization and reduction cost is precisely what the
@@ -475,11 +506,9 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
           / K.write_line_elts * K.write_line_elts
         in
         let ldm = cpe.Swarch.Cpe.ldm in
-        (* LDM: i-package slots ([buffers] of them when pipelined, so
-           the depth is provable against the 64 KB budget) + FA block +
-           j buffer when uncached.  The slices run serially, so one
-           backing array stands in for the rotating slots. *)
-        Swarch.Ldm.alloc ldm ((ibuf_slots * Package.bytes) + K.force_bytes);
+        (* the i-package slots and the FA block are the plan's LDM
+           reservation, already allocated by the driver; only the
+           demand-read j buffer below is extra per-slice scratch *)
         let ibuf = Array.make Package.floats 0.0 in
         let jbuf = Array.make Package.floats 0.0 in
         let read_cache =
@@ -489,7 +518,7 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
                  ~elt_floats:Package.floats ~line_elts:K.read_line_elts
                  ~n_lines:(K.read_lines cfg) ())
           else begin
-            Swarch.Ldm.alloc ldm Package.bytes;
+            Swoffload.Offload.scratch env Package.bytes;
             None
           end
         in
@@ -514,7 +543,7 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
            recorded blocking — the zeroes must land before the loop *)
         (match spec.write with
         | Rmw_direct | Deferred { marks = false } ->
-            sync_record sd (fun () ->
+            Swoffload.Offload.sync env (fun () ->
                 let bytes = wlen * K.force_bytes in
                 let blocks = (bytes + 2047) / 2048 in
                 for _ = 1 to blocks do
@@ -682,13 +711,11 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
             apply_a ci fa
           end
         in
-        Swsched.Pipeline.run ?sched:sd
-          ~stages:{ Swsched.Pipeline.fetch = fetch_i; compute = compute_i }
-          ~buffers ~n:(hi - lo) ();
         (* wind down: flush caches, park stats in this CPE's slot
            (aggregated at merge time), register the copy *)
-        let id = cpe.Swarch.Cpe.id in
-        (match write_cache with
+        let wind_down () =
+          let id = cpe.Swarch.Cpe.id in
+          (match write_cache with
         | Some wc ->
             Swcache.Write_cache.flush wc;
             l_write.(id) <- Some (Swcache.Write_cache.stats wc);
@@ -713,35 +740,33 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
                     ~line_elts:K.write_line_elts;
                 copies.(id) <- Some { Reduction.wlo; data = arr; marks = None }
             | _ -> ()));
-        (match read_cache with
-        | Some rc ->
-            l_read.(id) <- Some (Swcache.Read_cache.stats rc);
-            Swcache.Read_cache.release rc
-        | None -> ());
-        Swarch.Ldm.reset ldm
+          (match read_cache with
+          | Some rc ->
+              l_read.(id) <- Some (Swcache.Read_cache.stats rc);
+              Swcache.Read_cache.release rc
+          | None -> ())
+        in
+        { fetch_i; compute_i; wind_down }
   in
-  (* the mesh walk: statically striped over the configured domains.
-     Each stripe owns a contiguous CPE-id range, hence disjoint
-     accumulator slots, disjoint trace tracks and its own branch
-     recorder — nothing below needs a lock. *)
-  let branches =
-    Swpar.Pool.map_stripes ~n:n_cpes (fun ~shard:_ ~lo:slo ~hi:shi ->
-        let sd = Option.map Swsched.Recorder.branch sched in
-        for id = slo to shi - 1 do
-          let cpe = cg.Swarch.Core_group.cpes.(id) in
-          if Swtrace.Trace.enabled () then
-            Swtrace.Trace.with_track
-              (Swtrace.Track.Cpe (id mod Swtrace.Track.cpe_tracks ()))
-              (fun () -> run_cpe sd cpe)
-          else run_cpe sd cpe
-        done;
-        sd)
+  let plan = offload_plan cfg ~slots:buffers ~n_clusters:sys.K.n_clusters in
+  let kernel =
+    {
+      Swoffload.Offload.plan;
+      phase = "force";
+      partition;
+      setup;
+      fetch = (fun s i -> s.fetch_i i);
+      compute = (fun s i -> s.compute_i i);
+      teardown = (fun s -> s.wind_down ());
+    }
   in
-  (match sched with
-  | Some r ->
-      Swsched.Recorder.graft r
-        (List.filter_map Fun.id (Array.to_list branches))
-  | None -> ());
+  (* the mesh walk: the offload driver stripes contiguous CPE-id ranges
+     over the configured domains (disjoint accumulator slots, disjoint
+     trace tracks, per-shard branch recorders merged back in shard
+     order — nothing below needs a lock), reserves the plan's LDM block
+     per slice and drives the double-buffer i-package pipeline. *)
+  if reference then Swoffload.Offload.run_reference ~cg kernel
+  else Swoffload.Offload.run ?sched ~cg kernel;
   (* the deterministic merge: fold every per-CPE accumulator into the
      shared result in CPE-id order — the same float additions in the
      same order no matter how the walk above was sharded *)
@@ -785,6 +810,6 @@ let run ?sched ?(buffers = 2) ?(dead = []) sys (pairs : Pair_list.t)
       (match sched with
       | Some r -> Swsched.Recorder.phase r "reduce"
       | None -> ());
-      Reduction.run ?sched ~dead sys cg ~copies res
+      Reduction.run ?sched ~dead ~reference sys cg ~copies res
   | Owner_only | Mpe_collect -> ());
   (res, stats)

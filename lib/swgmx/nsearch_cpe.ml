@@ -26,8 +26,9 @@ module Dma = Swarch.Dma
 type cache_kind = Direct_mapped | Two_way
 
 (** LDM output buffer: j-indices are staged here and flushed to the
-    CPE's temporary region in 2 KB DMA blocks. *)
-let out_buffer_bytes = 2048
+    CPE's temporary region at the platform's bandwidth-saturating DMA
+    granule (2 KB on the SW26010, per Table 2). *)
+let out_buffer_bytes cfg = Dma.saturating_bytes cfg
 
 type nsearch_stats = {
   miss_ratio : float;  (** candidate-stream cache miss ratio *)
@@ -93,15 +94,15 @@ let run sys (cg : Swarch.Core_group.t) ~kind ~rlist =
   let l_candidates = Array.make n_cpes 0 in
   let l_accepted = Array.make n_cpes 0 in
   let rl2 = rlist *. rlist in
-  let run_cpe (cpe : Swarch.Cpe.t) =
+  let run_cpe (env : Swoffload.Offload.env) =
+      let cpe = env.Swoffload.Offload.cpe in
       let cost = cpe.Swarch.Cpe.cost in
       let candidates = ref 0 and accepted = ref 0 in
-      let lo, hi = K.partition nc n_cpes cpe.Swarch.Cpe.id in
-      (if lo < hi then
-        Swfault.Error.guard ~phase:"nsearch" ~cpe:cpe.Swarch.Cpe.id @@ fun () ->
-        begin
+      let lo = env.Swoffload.Offload.lo and hi = env.Swoffload.Offload.hi in
+      begin
         let ldm = cpe.Swarch.Cpe.ldm in
-        Swarch.Ldm.alloc ldm out_buffer_bytes;
+        let out_bytes = out_buffer_bytes cfg in
+        Swoffload.Offload.scratch env out_bytes;
         (* one shared cache over the combined address space, split
            into the two associativity flavours *)
         (* both flavours span the same LDM capacity: depth follows the
@@ -123,7 +124,7 @@ let run sys (cg : Swarch.Core_group.t) ~kind ~rlist =
                 Swcache.Assoc_cache.create cfg cost ~backing:space
                   ~elt_floats:Package.floats ~line_elts:2 ~n_sets:(cap / 4) ()
               in
-              Swarch.Ldm.alloc ldm
+              Swoffload.Offload.scratch env
                 (Swcache.Assoc_cache.footprint_bytes ~elt_floats:Package.floats
                    ~line_elts:2 ~n_sets:(cap / 4));
               ( (fun i -> ignore (Swcache.Assoc_cache.touch ac i)),
@@ -134,8 +135,8 @@ let run sys (cg : Swarch.Core_group.t) ~kind ~rlist =
         let emit () =
           (* stage a j index; flush the LDM buffer when full *)
           out_fill := !out_fill + 4;
-          if !out_fill >= out_buffer_bytes then begin
-            Dma.put cfg cost ~bytes:out_buffer_bytes;
+          if !out_fill >= out_bytes then begin
+            Dma.put cfg cost ~bytes:out_bytes;
             out_fill := 0
           end
         in
@@ -188,23 +189,18 @@ let run sys (cg : Swarch.Core_group.t) ~kind ~rlist =
         done;
         if !out_fill > 0 then Dma.put cfg cost ~bytes:!out_fill;
         l_stats.(cpe.Swarch.Cpe.id) <- Some stats;
-        release ();
-        Swarch.Ldm.reset ldm
-      end);
+        release ()
+      end;
       l_candidates.(cpe.Swarch.Cpe.id) <- !candidates;
       l_accepted.(cpe.Swarch.Cpe.id) <- !accepted
   in
-  (* the mesh walk, statically striped over the configured domains:
-     each CPE fills only its own [lists] block and counter slots *)
-  Swpar.Pool.iter_stripes ~n:n_cpes (fun ~shard:_ ~lo ~hi ->
-      for id = lo to hi - 1 do
-        let cpe = cg.Swarch.Core_group.cpes.(id) in
-        if Swtrace.Trace.enabled () then
-          Swtrace.Trace.with_track
-            (Swtrace.Track.Cpe (id mod Swtrace.Track.cpe_tracks ()))
-            (fun () -> run_cpe cpe)
-        else run_cpe cpe
-      done);
+  (* the mesh walk through the offload driver's block shape: stripes
+     over the configured domains, per-CPE trace track, fault guard and
+     LDM reset all supplied by the driver; each CPE fills only its own
+     [lists] block and counter slots *)
+  Swoffload.Offload.block ~cg ~phase:"nsearch"
+    ~partition:(K.partition nc n_cpes)
+    run_cpe;
   let candidates = ref 0 and accepted = ref 0 in
   for id = 0 to n_cpes - 1 do
     (match l_stats.(id) with

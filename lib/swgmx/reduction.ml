@@ -23,22 +23,17 @@ type copy = { wlo : int; data : float array; marks : Swcache.Bitmap.t option }
     work is recorded on its owner CPE (line fetches are blocking demand
     reads; the final line store is an asynchronous put).  Lines owned
     by a [dead] CPE are re-striped over the survivors (line index mod
-    the survivor count). *)
-let run ?sched ?(dead = []) sys (cg : Swarch.Core_group.t)
-    ~(copies : copy option array) (res : K.result) =
+    the survivor count).  With [reference], the per-line work runs
+    through the bare serial strided reference executor (no domain
+    pool, recorder or trace) — the pre-refactor choreography the
+    swverify [offload-identity] property pins the driver to. *)
+let run ?sched ?(dead = []) ?(reference = false) sys
+    (cg : Swarch.Core_group.t) ~(copies : copy option array) (res : K.result) =
   let cfg = sys.K.cfg in
   let line_elts = K.write_line_elts in
   let n_lines = (sys.K.n_clusters + line_elts - 1) / line_elts in
   let n_cpes = Array.length cg.Swarch.Core_group.cpes in
   let alive = K.alive_ids n_cpes dead in
-  let n_alive = Array.length alive in
-  let in_task sd (owner : Swarch.Cpe.t) f =
-    match sd with
-    | Some r ->
-        Swsched.Recorder.task r ~id:owner.Swarch.Cpe.id
-          ~cost:owner.Swarch.Cpe.cost f
-    | None -> f ()
-  in
   (* [reduce_line] folds one line into [res.force]; lines never share
      force slots, so owners can run concurrently without locks *)
   (* a plain indexed loop (not [Array.iter] with a closure) so the
@@ -87,41 +82,23 @@ let run ?sched ?(dead = []) sys (cg : Swarch.Core_group.t)
      (line mod owner count) in ascending order, so per-owner costs,
      force lines and recorded programs are identical for any domain
      count; owners live on disjoint tracks and disjoint force lines.
-     Per-shard fetch counters merge in shard order below. *)
-  let n_owners = if dead = [] then n_cpes else n_alive in
-  let shard_fetched =
-    Swpar.Pool.map_stripes ~n:n_owners (fun ~shard:_ ~lo ~hi ->
-        let sd = Option.map Swsched.Recorder.branch sched in
-        let fetched = ref 0 in
-        for slot = lo to hi - 1 do
-          let owner =
-            if dead = [] then cg.Swarch.Core_group.cpes.(slot)
-            else cg.Swarch.Core_group.cpes.(alive.(slot))
-          in
-          let cost = owner.Swarch.Cpe.cost in
-          let reduce_all () =
-            let line = ref slot in
-            while !line < n_lines do
-              in_task sd owner (fun () ->
-                  fetched := !fetched + reduce_line cost !line);
-              line := !line + n_owners
-            done
-          in
-          if Swtrace.Trace.enabled () then
-            Swtrace.Trace.with_track
-              (Swtrace.Track.Cpe
-                 (owner.Swarch.Cpe.id mod Swtrace.Track.cpe_tracks ()))
-              reduce_all
-          else reduce_all ()
-        done;
-        (sd, !fetched))
+     The strided offload driver owns the mod-striding, the recorder
+     tasks, the trace spans and the shard-ordered merge of the
+     per-shard fetch counters. *)
+  let owners = alive in
+  let item fetched (owner : Swarch.Cpe.t) line =
+    fetched := !fetched + reduce_line owner.Swarch.Cpe.cost line
   in
-  (match sched with
-  | Some r ->
-      Swsched.Recorder.graft r
-        (List.filter_map (fun (sd, _) -> sd) (Array.to_list shard_fetched))
-  | None -> ());
-  let fetched = Array.fold_left (fun acc (_, f) -> acc + f) 0 shard_fetched in
+  let init () = ref 0 in
+  let shard_fetched =
+    if reference then
+      Swoffload.Offload.strided_reference ~cg ~owners ~n_items:n_lines ~init
+        ~item ()
+    else
+      Swoffload.Offload.strided ?sched ~cg ~name:"reduce" ~owners
+        ~n_items:n_lines ~init ~item ()
+  in
+  let fetched = Array.fold_left (fun acc f -> acc + !f) 0 shard_fetched in
   if Swtrace.Trace.enabled () then
     Swtrace.Trace.instant ~cat:"phase-detail" Swtrace.Track.Mpe "reduction"
       ~args:

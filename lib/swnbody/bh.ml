@@ -1,0 +1,276 @@
+(** Barnes-Hut force evaluation as a swoffload kernel.
+
+    The traversal is the stress test the offload API was built for:
+    unlike the MD slab walk, the access pattern is data-dependent —
+    each body walks the octree, gathering node records and leaf body
+    blocks from main memory as the opening criterion dictates.  The
+    working set declared to the plan is regular (a tile of bodies in,
+    a tile of accelerations out, a resident traversal stack); the
+    irregular node and leaf gathers aggregate into one DMA descriptor
+    per traversal — the paper's small-transfer aggregation applied to
+    tree walking.
+
+    Bit-identity contract: each body's traversal is independent and
+    runs in a fixed node order (octant order, depth-first), so forces
+    and potentials are bit-identical for any tile size, slot depth,
+    SIMD lane count or domain count — only the cost charges differ
+    between platforms.  Per-CPE potential/statistics accumulate in
+    slots merged in CPE-id order, like the MD kernels. *)
+
+module Fbuf = Mdcore.Fbuf
+module Cost = Swarch.Cost
+module Dma = Swarch.Dma
+
+(** Gravitational constant in simulation units. *)
+let grav = 1.0
+
+(** [pair_coef ~eps2 ~dx ~dy ~dz] is [G / (r^2 + eps^2)^(3/2)] — the
+    shared scalar of the softened pair interaction.  The force of j on
+    i is [m_i * m_j * pair_coef * d] with [d = x_j - x_i]; computing
+    the coefficient once makes action-reaction antisymmetry exact in
+    floating point (the swverify property pins this). *)
+let pair_coef ~eps2 ~dx ~dy ~dz =
+  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. eps2 in
+  let inv = 1.0 /. sqrt r2 in
+  grav *. inv *. inv *. inv
+
+(** [pair_pot ~eps2 ~dx ~dy ~dz] is the softened potential kernel
+    [-G / sqrt (r^2 + eps^2)] (per unit mass product). *)
+let pair_pot ~eps2 ~dx ~dy ~dz =
+  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. eps2 in
+  -.grav /. sqrt r2
+
+(** Depth of the resident traversal stack, in node indices.  A
+    perfectly unbalanced octree of 24 levels pushes at most 8 nodes
+    per level minus the one popped: 8 * 24 is generous. *)
+let stack_depth = 8 * 24
+
+(** The traversal kernel's declared working set: a tile of bodies
+    (position + mass) streams in, the matching accelerations +
+    potential stream back out, and the traversal stack stays
+    resident.  [Auto] tiling lets the plan size tiles to the
+    platform's LDM — larger tiles on sw26010_pro's 256 KB scratchpad
+    mean fewer, bigger DMA transfers for the same physics. *)
+let plan cfg ~n =
+  Swoffload.Plan.derive_exn
+    {
+      Swoffload.Plan.kernel = "bh-traverse";
+      buffers =
+        [
+          {
+            Swoffload.Plan.name = "bodies";
+            intent = Swoffload.Plan.Read;
+            item_bytes = Octree.body_bytes;
+          };
+          {
+            Swoffload.Plan.name = "acc-pot";
+            intent = Swoffload.Plan.Accumulate;
+            item_bytes = Octree.body_bytes;
+          };
+        ];
+      resident_bytes = stack_depth * 4;
+      tile = Swoffload.Plan.Auto;
+      slots = Swoffload.Plan.default_slots;
+    }
+    ~cfg ~n_items:n
+
+type stats = {
+  pot : float;  (** total potential energy, 1/2 sum_i m_i phi_i *)
+  node_visits : int;  (** octree nodes gathered across all traversals *)
+  leaf_interactions : int;  (** body-body pair evaluations *)
+}
+
+(* per-slice traversal state *)
+type slice = {
+  stack : int array;
+  reg : float array;  (* ax, ay, az, phi for the body in flight *)
+  cpe : Swarch.Cpe.t;
+  lo : int;  (* first tile of the slice; stage indices are relative *)
+}
+
+(** [forces ?sched ?reference ~cg ~plan ~tree ~theta ~eps ~pos ~mass
+    ~acc ()] runs the traversal over the core group, writing
+    accelerations into [acc] (cleared first) and returning the
+    potential energy plus traversal statistics.  [theta] is the
+    opening angle (must sit in (0, 1]: a cell containing the target
+    body is then always opened, so a body never interacts with a COM
+    that includes itself). *)
+let forces ?sched ?(reference = false) ~(cg : Swarch.Core_group.t)
+    ~(plan : Swoffload.Plan.t) ~(tree : Octree.t) ~theta ~eps ~(pos : Fbuf.t)
+    ~(mass : Fbuf.t) ~(acc : Fbuf.t) () =
+  if not (theta > 0.0 && theta <= 1.0) then
+    invalid_arg "Bh.forces: theta must be in (0, 1]";
+  let cfg = cg.Swarch.Core_group.cfg in
+  let n = plan.Swoffload.Plan.n_items in
+  Fbuf.fill acc 0 (3 * n) 0.0;
+  let n_cpes = Array.length cg.Swarch.Core_group.cpes in
+  (* per-CPE accumulator slots, merged in id order after the walk *)
+  let l_pot = Array.make n_cpes 0.0 in
+  let l_visits = Array.make n_cpes 0 in
+  let l_pairs = Array.make n_cpes 0 in
+  let eps2 = eps *. eps in
+  let theta2 = theta *. theta in
+  let lanes = cfg.Swarch.Config.simd_lanes in
+  let setup (env : Swoffload.Offload.env) =
+    {
+      stack = Array.make stack_depth 0;
+      reg = Array.make 4 0.0;
+      cpe = env.Swoffload.Offload.cpe;
+      lo = env.Swoffload.Offload.lo;
+    }
+  in
+  let fetch st i =
+    (* a tile of bodies in: one descriptor, remainder-aware *)
+    let tile = Swoffload.Plan.tile plan (st.lo + i) in
+    Dma.get cfg st.cpe.Swarch.Cpe.cost
+      ~bytes:(tile.Swoffload.Plan.items * Octree.body_bytes)
+  in
+  let compute st i =
+    let cost = st.cpe.Swarch.Cpe.cost in
+    let id = st.cpe.Swarch.Cpe.id in
+    let tile = Swoffload.Plan.tile plan (st.lo + i) in
+    let stack = st.stack and reg = st.reg in
+    for b = tile.Swoffload.Plan.start
+        to tile.Swoffload.Plan.start + tile.Swoffload.Plan.items - 1 do
+      let xb = Fbuf.unsafe_get pos (3 * b) in
+      let yb = Fbuf.unsafe_get pos ((3 * b) + 1) in
+      let zb = Fbuf.unsafe_get pos ((3 * b) + 2) in
+      reg.(0) <- 0.0;
+      reg.(1) <- 0.0;
+      reg.(2) <- 0.0;
+      reg.(3) <- 0.0;
+      let sp = ref 1 in
+      stack.(0) <- 0;
+      (* the traversal's gathers aggregate into one descriptor: issuing
+         a DMA per visited node would drown the bus model (and the
+         trace ring) in 72-byte transfers — the exact pathology the
+         paper's aggregation optimization removes *)
+      let gather = ref 0 in
+      while !sp > 0 do
+        decr sp;
+        let node = stack.(!sp) in
+        gather := !gather + Octree.node_bytes;
+        Cost.int_ops cost 2.0;
+        l_visits.(id) <- l_visits.(id) + 1;
+        if Octree.is_leaf tree node then begin
+          let first = tree.Octree.first.(node) in
+          let cnt = tree.Octree.count.(node) in
+          if cnt > 0 then begin
+            gather := !gather + (cnt * Octree.body_bytes);
+            (* the inner loop is lane-parametric: pairs evaluate in
+               ceil(cnt / lanes) vector issues on the simulator's
+               cost model (the arithmetic itself is scalar and
+               lane-count independent, so physics is platform
+               invariant) *)
+            Cost.simd cost (float_of_int (8 * ((cnt + lanes - 1) / lanes)));
+            for s = first to first + cnt - 1 do
+              let j = tree.Octree.order.(s) in
+              if j <> b then begin
+                let dx = Fbuf.unsafe_get pos (3 * j) -. xb in
+                let dy = Fbuf.unsafe_get pos ((3 * j) + 1) -. yb in
+                let dz = Fbuf.unsafe_get pos ((3 * j) + 2) -. zb in
+                let mj = Fbuf.unsafe_get mass j in
+                let w = mj *. pair_coef ~eps2 ~dx ~dy ~dz in
+                reg.(0) <- reg.(0) +. (w *. dx);
+                reg.(1) <- reg.(1) +. (w *. dy);
+                reg.(2) <- reg.(2) +. (w *. dz);
+                reg.(3) <- reg.(3) +. (mj *. pair_pot ~eps2 ~dx ~dy ~dz);
+                l_pairs.(id) <- l_pairs.(id) + 1
+              end
+            done
+          end
+        end
+        else begin
+          let dx = tree.Octree.cx.(node) -. xb in
+          let dy = tree.Octree.cy.(node) -. yb in
+          let dz = tree.Octree.cz.(node) -. zb in
+          let d2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+          let s = 2.0 *. tree.Octree.half.(node) in
+          if s *. s < theta2 *. d2 then begin
+            (* accepted: the whole cell acts through its COM *)
+            let mn = tree.Octree.mass.(node) in
+            let w = mn *. pair_coef ~eps2 ~dx ~dy ~dz in
+            reg.(0) <- reg.(0) +. (w *. dx);
+            reg.(1) <- reg.(1) +. (w *. dy);
+            reg.(2) <- reg.(2) +. (w *. dz);
+            reg.(3) <- reg.(3) +. (mn *. pair_pot ~eps2 ~dx ~dy ~dz);
+            Cost.flops cost 16.0
+          end
+          else begin
+            (* opened: push children in fixed octant order *)
+            Cost.flops cost 8.0;
+            for o = 7 downto 0 do
+              let c = tree.Octree.child.((8 * node) + o) in
+              if c >= 0 then begin
+                stack.(!sp) <- c;
+                incr sp;
+                Cost.int_ops cost 1.0
+              end
+            done
+          end
+        end
+      done;
+      Dma.get cfg cost ~bytes:!gather;
+      (* owner block store: this tile owns body [b] exclusively *)
+      Fbuf.unsafe_set acc (3 * b) reg.(0);
+      Fbuf.unsafe_set acc ((3 * b) + 1) reg.(1);
+      Fbuf.unsafe_set acc ((3 * b) + 2) reg.(2);
+      l_pot.(id) <-
+        l_pot.(id) +. (0.5 *. Fbuf.unsafe_get mass b *. reg.(3))
+    done;
+    (* the tile's accelerations + potentials stream back in one put *)
+    Dma.put cfg cost ~bytes:(tile.Swoffload.Plan.items * Octree.body_bytes)
+  in
+  let kernel =
+    {
+      Swoffload.Offload.plan;
+      phase = "nbody-force";
+      partition = (fun id -> Swoffload.Plan.partition plan n_cpes id);
+      setup;
+      fetch;
+      compute;
+      teardown = ignore;
+    }
+  in
+  if reference then Swoffload.Offload.run_reference ~cg kernel
+  else Swoffload.Offload.run ?sched ~cg kernel;
+  (* deterministic merge in CPE-id order *)
+  let pot = ref 0.0 and visits = ref 0 and pairs = ref 0 in
+  for id = 0 to n_cpes - 1 do
+    pot := !pot +. l_pot.(id);
+    visits := !visits + l_visits.(id);
+    pairs := !pairs + l_pairs.(id)
+  done;
+  { pot = !pot; node_visits = !visits; leaf_interactions = !pairs }
+
+(** [direct ~eps ~pos ~mass ~acc n] is the O(n^2) direct summation —
+    the ground truth the Barnes-Hut approximation is verified
+    against.  Pure arithmetic, no cost charges. *)
+let direct ~eps ~(pos : Fbuf.t) ~(mass : Fbuf.t) ~(acc : Fbuf.t) n =
+  let eps2 = eps *. eps in
+  Fbuf.fill acc 0 (3 * n) 0.0;
+  let pot = ref 0.0 in
+  for i = 0 to n - 1 do
+    let xi = Fbuf.unsafe_get pos (3 * i) in
+    let yi = Fbuf.unsafe_get pos ((3 * i) + 1) in
+    let zi = Fbuf.unsafe_get pos ((3 * i) + 2) in
+    let ax = ref 0.0 and ay = ref 0.0 and az = ref 0.0 and phi = ref 0.0 in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let dx = Fbuf.unsafe_get pos (3 * j) -. xi in
+        let dy = Fbuf.unsafe_get pos ((3 * j) + 1) -. yi in
+        let dz = Fbuf.unsafe_get pos ((3 * j) + 2) -. zi in
+        let mj = Fbuf.unsafe_get mass j in
+        let w = mj *. pair_coef ~eps2 ~dx ~dy ~dz in
+        ax := !ax +. (w *. dx);
+        ay := !ay +. (w *. dy);
+        az := !az +. (w *. dz);
+        phi := !phi +. (mj *. pair_pot ~eps2 ~dx ~dy ~dz)
+      end
+    done;
+    Fbuf.unsafe_set acc (3 * i) !ax;
+    Fbuf.unsafe_set acc ((3 * i) + 1) !ay;
+    Fbuf.unsafe_set acc ((3 * i) + 2) !az;
+    pot := !pot +. (0.5 *. Fbuf.unsafe_get mass i *. !phi)
+  done;
+  !pot

@@ -1,0 +1,189 @@
+(** The N-body simulation loop: leapfrog (kick-drift-kick) over
+    Barnes-Hut forces.
+
+    The split mirrors the MD engine: tree build, integration and
+    energy bookkeeping run on the MPE (charged as MPE flops/memory),
+    force evaluation runs on the CPE mesh through the offload kernel,
+    and the flat tree's distribution to the mesh is priced on the
+    network track.  Every quantity reported is simulated and
+    deterministic — bit-identical at any domain count — so the
+    [nbody_*] bench keys survive the CI cross-domain equality gate. *)
+
+module Fbuf = Mdcore.Fbuf
+
+type t = {
+  n : int;
+  pos : Fbuf.t;  (** flat xyz, 3n *)
+  vel : Fbuf.t;
+  acc : Fbuf.t;
+  mass : Fbuf.t;  (** n *)
+  theta : float;
+  eps : float;
+  dt : float;
+}
+
+(** [make ~n ~seed ()] seeds a cold-collapse cloud: bodies uniform in
+    the unit cube, masses in [0.5, 1.5] / n (total mass ~1), small
+    Gaussian velocities.  Deterministic in [seed]. *)
+let make ?(theta = 0.5) ?(eps = 0.05) ?(dt = 1e-3) ~n ~seed () =
+  if n < 1 then invalid_arg "Sim.make: n < 1";
+  let rng = Mdcore.Rng.create seed in
+  let pos = Fbuf.create (3 * n) in
+  let vel = Fbuf.create (3 * n) in
+  let acc = Fbuf.create (3 * n) in
+  let mass = Fbuf.create n in
+  for i = 0 to n - 1 do
+    for k = 0 to 2 do
+      Fbuf.set pos ((3 * i) + k) (Mdcore.Rng.uniform rng (-1.0) 1.0);
+      Fbuf.set vel ((3 * i) + k) (0.1 *. Mdcore.Rng.gaussian rng)
+    done;
+    Fbuf.set mass i (Mdcore.Rng.uniform rng 0.5 1.5 /. float_of_int n)
+  done;
+  { n; pos; vel; acc; mass; theta; eps; dt }
+
+(** [kinetic t mpe] is the kinetic energy, charged to the MPE. *)
+let kinetic t (mpe : Swarch.Mpe.t) =
+  let ke = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    let vx = Fbuf.unsafe_get t.vel (3 * i) in
+    let vy = Fbuf.unsafe_get t.vel ((3 * i) + 1) in
+    let vz = Fbuf.unsafe_get t.vel ((3 * i) + 2) in
+    ke :=
+      !ke
+      +. (0.5 *. Fbuf.unsafe_get t.mass i
+          *. ((vx *. vx) +. (vy *. vy) +. (vz *. vz)))
+  done;
+  Swarch.Mpe.charge_flops mpe (float_of_int (8 * t.n));
+  Swarch.Mpe.charge_mem mpe (float_of_int (4 * t.n * 8));
+  !ke
+
+(* half-kick and drift, charged to the MPE like the MD integrator *)
+let kick t (mpe : Swarch.Mpe.t) h =
+  for i = 0 to (3 * t.n) - 1 do
+    Fbuf.unsafe_set t.vel i
+      (Fbuf.unsafe_get t.vel i +. (h *. Fbuf.unsafe_get t.acc i))
+  done;
+  Swarch.Mpe.charge_flops mpe (float_of_int (6 * t.n));
+  Swarch.Mpe.charge_mem mpe (float_of_int (6 * t.n * 8))
+
+let drift t (mpe : Swarch.Mpe.t) =
+  for i = 0 to (3 * t.n) - 1 do
+    Fbuf.unsafe_set t.pos i
+      (Fbuf.unsafe_get t.pos i +. (t.dt *. Fbuf.unsafe_get t.vel i))
+  done;
+  Swarch.Mpe.charge_flops mpe (float_of_int (6 * t.n));
+  Swarch.Mpe.charge_mem mpe (float_of_int (6 * t.n * 8))
+
+(** One simulated run's report.  All fields are simulated figures
+    (bit-identical across domain counts); wall time is deliberately
+    absent. *)
+type report = {
+  n : int;
+  steps : int;
+  theta : float;
+  e0 : float;  (** total energy after the initial force evaluation *)
+  e_final : float;
+  max_drift : float;  (** max |E - e0| / |e0| over the run *)
+  elapsed_s : float;  (** simulated core-group time *)
+  dma_bytes : float;
+  node_visits : int;  (** octree nodes gathered in the last force pass *)
+  leaf_interactions : int;
+  tree_nodes : int;  (** octree size of the last build *)
+  tile_items : int;  (** bodies per LDM tile, from the derived plan *)
+  n_tiles : int;
+  remainder : int;
+  ldm_reserve : int;  (** bytes the plan reserves per CPE (recorded) *)
+}
+
+let tracing () = Swtrace.Trace.enabled ()
+
+(* phase spans on the MPE track, in simulated MPE/CPE time deltas *)
+let phase_span cg name f =
+  if tracing () then begin
+    let cfg = (cg : Swarch.Core_group.t).Swarch.Core_group.cfg in
+    let before = Swarch.Core_group.elapsed cg in
+    let r = f () in
+    let after = Swarch.Core_group.elapsed cg in
+    ignore cfg;
+    Swtrace.Trace.span_here ~cat:"phase" Swtrace.Track.Mpe name
+      ~dur:(Float.max 0.0 (after -. before));
+    r
+  end
+  else f ()
+
+(** [simulate ~cfg ?sched ?steps ... ()] builds a fresh system and
+    core group, runs [steps] of KDK leapfrog and reports simulated
+    figures.  With tracing enabled, each step emits a [step] span and
+    [phase] spans on the MPE track, the offload kernel emits its tile
+    spans on the CPE tracks, and the per-step tree broadcast is
+    priced on the network track. *)
+let simulate ~(cfg : Swarch.Config.t) ?(steps = 8) ?(n = 256) ?(seed = 2019)
+    ?(theta = 0.5) ?(eps = 0.05) ?(dt = 1e-3) () =
+  let t = make ~theta ~eps ~dt ~n ~seed () in
+  let cg = Swarch.Core_group.create cfg in
+  let mpe = cg.Swarch.Core_group.mpe in
+  let net = Swcomm.Network.of_platform cfg in
+  let plan = Bh.plan cfg ~n in
+  let bcast tree =
+    if tracing () then
+      Swtrace.Trace.span_here ~cat:"comm" Swtrace.Track.Net "nbody:tree-bcast"
+        ~dur:
+          (Swcomm.Network.message net Swcomm.Network.Mpi
+             ~bytes:(Octree.bytes tree) ~cross_supernode:false)
+        ~args:[ ("nodes", float_of_int tree.Octree.n_nodes) ]
+  in
+  let eval () =
+    let tree =
+      phase_span cg "nbody:tree" (fun () ->
+          Octree.build ~n ~pos:t.pos ~mass:t.mass ~mpe ())
+    in
+    bcast tree;
+    let stats =
+      phase_span cg "nbody:force" (fun () ->
+          Bh.forces ~cg ~plan ~tree ~theta ~eps ~pos:t.pos ~mass:t.mass
+            ~acc:t.acc ())
+    in
+    (tree, stats)
+  in
+  let _, stats0 = eval () in
+  let e0 = kinetic t mpe +. stats0.Bh.pot in
+  let last_tree = ref 0 in
+  let last_stats = ref stats0 in
+  let max_drift = ref 0.0 in
+  let e_final = ref e0 in
+  for _step = 1 to steps do
+    if tracing () then Swtrace.Trace.push ~cat:"step" Swtrace.Track.Mpe "step:nbody";
+    phase_span cg "nbody:integrate" (fun () ->
+        kick t mpe (0.5 *. t.dt);
+        drift t mpe);
+    let tree, stats = eval () in
+    phase_span cg "nbody:integrate" (fun () -> kick t mpe (0.5 *. t.dt));
+    let e = kinetic t mpe +. stats.Bh.pot in
+    e_final := e;
+    last_tree := tree.Octree.n_nodes;
+    last_stats := stats;
+    let denom = Float.max 1e-12 (Float.abs e0) in
+    max_drift := Float.max !max_drift (Float.abs (e -. e0) /. denom);
+    if tracing () then
+      Swtrace.Trace.pop
+        ~args:[ ("energy", e); ("drift", Float.abs (e -. e0) /. denom) ]
+        Swtrace.Track.Mpe
+  done;
+  let total = Swarch.Core_group.total_cost cg in
+  {
+    n;
+    steps;
+    theta;
+    e0;
+    e_final = !e_final;
+    max_drift = !max_drift;
+    elapsed_s = Swarch.Core_group.elapsed cg;
+    dma_bytes = total.Swarch.Cost.dma_bytes;
+    node_visits = !last_stats.Bh.node_visits;
+    leaf_interactions = !last_stats.Bh.leaf_interactions;
+    tree_nodes = !last_tree;
+    tile_items = plan.Swoffload.Plan.tile_items;
+    n_tiles = plan.Swoffload.Plan.n_tiles;
+    remainder = plan.Swoffload.Plan.remainder;
+    ldm_reserve = Swoffload.Plan.reserve plan ~recorded:true;
+  }

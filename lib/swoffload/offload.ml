@@ -1,0 +1,286 @@
+(** The offload driver: one audited implementation of the
+    LDM-tile / DMA-double-buffer / mesh-shard choreography that the
+    hand-written CPE kernels used to each re-implement.
+
+    A kernel hands the driver a derived {!Plan.t} plus four callbacks
+    — [setup] builds the per-slice state (caches, scratch registers),
+    [fetch]/[compute] are the double-buffer pipeline stages over the
+    slice's tiles, [teardown] flushes and parks statistics — and the
+    driver supplies everything around them:
+
+    - the mesh walk, statically striped over the swpar domain pool
+      with per-shard branch recorders merged back in shard order;
+    - the per-CPE trace track, recorder task and fault guard;
+    - the plan-audited LDM reservation (and its reset);
+    - the {!Swsched.Pipeline} drive at the plan's slot depth;
+    - offload trace spans: a kernel span per CPE slice, a tile span
+      per pipeline item nested inside it, and a paired
+      [dma-issue]/[dma-retire] marker per tile (the pairing and the
+      nesting are checked by [swtrace_lint]).
+
+    The driver charges no cost of its own: every flop, DMA byte and
+    LDM block is charged by the callbacks or by the reservation the
+    plan derived, so porting a kernel onto the driver is
+    cost-neutral — the swverify [offload-identity] property holds the
+    ported kernels exact-bits equal to {!run_reference}. *)
+
+type env = {
+  cpe : Swarch.Cpe.t;
+  cfg : Swarch.Config.t;
+  sched : Swsched.Recorder.t option;
+      (** this shard's branch recorder, when the run is recorded *)
+  lo : int;  (** first tile of this CPE's slice *)
+  hi : int;  (** one past the last tile *)
+}
+
+(** [sync env f] runs [f] as a recorded blocking section (its DMA must
+    land before the pipeline starts); identity when unrecorded. *)
+let sync env f =
+  match env.sched with
+  | Some r -> Swsched.Recorder.synchronous r f
+  | None -> f ()
+
+(** [scratch env bytes] claims an extra LDM block outside the plan's
+    streamed slots (demand-read buffers, cache arenas).  This is the
+    only door to the scratchpad besides the plan reservation — raw
+    [Ldm.alloc] calls in kernel layers fail the constants lint. *)
+let scratch env bytes = Swarch.Ldm.alloc env.cpe.Swarch.Cpe.ldm bytes
+
+type 'k kernel = {
+  plan : Plan.t;
+  phase : string;  (** fault phase reported by the guard *)
+  partition : int -> int * int;  (** CPE id -> owned tile range *)
+  setup : env -> 'k;
+  fetch : 'k -> int -> unit;  (** tile index within the slice *)
+  compute : 'k -> int -> unit;
+  teardown : 'k -> unit;
+}
+
+let in_task sd (cpe : Swarch.Cpe.t) f =
+  match sd with
+  | Some r ->
+      Swsched.Recorder.task r ~id:cpe.Swarch.Cpe.id ~cost:cpe.Swarch.Cpe.cost f
+  | None -> f ()
+
+(* simulated-clock reading for span placement: monotone in the CPE's
+   accumulated cost, read only when tracing is on *)
+let clock (cfg : Swarch.Config.t) (cpe : Swarch.Cpe.t) =
+  Swarch.Cpe.compute_time cfg cpe
+  +. (cpe.Swarch.Cpe.cost.Swarch.Cost.dma_time_s
+     /. cfg.Swarch.Config.dma_channels)
+
+let cpe_track (cpe : Swarch.Cpe.t) =
+  Swtrace.Track.Cpe (cpe.Swarch.Cpe.id mod Swtrace.Track.cpe_tracks ())
+
+(* one CPE slice: task, guard, LDM reservation, pipeline, teardown *)
+let run_slice ~cfg ~reserve (k : 'k kernel) sd (cpe : Swarch.Cpe.t) =
+  let lo, hi = k.partition cpe.Swarch.Cpe.id in
+  if lo < hi then
+    in_task sd cpe @@ fun () ->
+    Swfault.Error.guard ~phase:k.phase ~cpe:cpe.Swarch.Cpe.id @@ fun () ->
+    let tracing = Swtrace.Trace.enabled () in
+    let tr = cpe_track cpe in
+    let base = if tracing then Swtrace.Trace.now tr else 0.0 in
+    let t0 = if tracing then clock cfg cpe else 0.0 in
+    Swarch.Ldm.alloc cpe.Swarch.Cpe.ldm reserve;
+    let st = k.setup { cpe; cfg; sched = sd; lo; hi } in
+    let stages =
+      if tracing then begin
+        let name = k.plan.Plan.spec.Plan.kernel in
+        let tile_t = ref t0 in
+        let fetch i =
+          let t = clock cfg cpe in
+          tile_t := t;
+          Swtrace.Trace.span ~cat:"offload-dma"
+            ~args:[ ("tile", float_of_int (lo + i)) ]
+            tr "dma-issue" ~t:(base +. (t -. t0)) ~dur:0.0;
+          k.fetch st i
+        in
+        let compute i =
+          k.compute st i;
+          let t = clock cfg cpe in
+          Swtrace.Trace.span ~cat:"offload-tile"
+            ~args:[ ("tile", float_of_int (lo + i)) ]
+            tr ("tile:" ^ name)
+            ~t:(base +. (!tile_t -. t0))
+            ~dur:(t -. !tile_t);
+          Swtrace.Trace.span ~cat:"offload-dma"
+            ~args:[ ("tile", float_of_int (lo + i)) ]
+            tr "dma-retire" ~t:(base +. (t -. t0)) ~dur:0.0
+        in
+        { Swsched.Pipeline.fetch; compute }
+      end
+      else
+        {
+          Swsched.Pipeline.fetch = (fun i -> k.fetch st i);
+          compute = (fun i -> k.compute st i);
+        }
+    in
+    Swsched.Pipeline.run ?sched:sd ~stages ~buffers:k.plan.Plan.spec.Plan.slots
+      ~n:(hi - lo) ();
+    k.teardown st;
+    if tracing then begin
+      let t1 = clock cfg cpe in
+      Swtrace.Trace.span ~cat:"offload"
+        ~args:
+          [
+            ("tiles", float_of_int (hi - lo));
+            ("cpe", float_of_int cpe.Swarch.Cpe.id);
+          ]
+        tr
+        ("offload:" ^ k.plan.Plan.spec.Plan.kernel)
+        ~t:base ~dur:(t1 -. t0)
+    end;
+    Swarch.Ldm.reset cpe.Swarch.Cpe.ldm
+
+(** [run ?sched ~cg k] executes the kernel over the core group: the
+    mesh walk is striped over the swpar domain pool (each stripe owns
+    a contiguous CPE-id range, hence disjoint accumulators, disjoint
+    trace tracks and its own branch recorder), and branches merge back
+    in shard order — the physics executes in the exact serial order at
+    every domain count. *)
+let run ?sched ~(cg : Swarch.Core_group.t) (k : 'k kernel) =
+  let cfg = cg.Swarch.Core_group.cfg in
+  let n_cpes = Array.length cg.Swarch.Core_group.cpes in
+  let reserve = Plan.reserve k.plan ~recorded:(sched <> None) in
+  let branches =
+    Swpar.Pool.map_stripes ~n:n_cpes (fun ~shard:_ ~lo:slo ~hi:shi ->
+        let sd = Option.map Swsched.Recorder.branch sched in
+        for id = slo to shi - 1 do
+          let cpe = cg.Swarch.Core_group.cpes.(id) in
+          if Swtrace.Trace.enabled () then
+            Swtrace.Trace.with_track (cpe_track cpe) (fun () ->
+                run_slice ~cfg ~reserve k sd cpe)
+          else run_slice ~cfg ~reserve k sd cpe
+        done;
+        sd)
+  in
+  match sched with
+  | Some r ->
+      Swsched.Recorder.graft r (List.filter_map Fun.id (Array.to_list branches))
+  | None -> ()
+
+(** [run_reference ~cg k] executes the same callbacks as a bare serial
+    loop in CPE-id order — no domain pool, no recorder, no trace, no
+    fault guard.  This is the pre-refactor reference choreography: the
+    driver must be exact-bits equal to it in physics and cost charges
+    (the swverify [offload-identity] property). *)
+let run_reference ~(cg : Swarch.Core_group.t) (k : 'k kernel) =
+  let cfg = cg.Swarch.Core_group.cfg in
+  let reserve = Plan.reserve k.plan ~recorded:false in
+  Array.iter
+    (fun (cpe : Swarch.Cpe.t) ->
+      let lo, hi = k.partition cpe.Swarch.Cpe.id in
+      if lo < hi then begin
+        Swarch.Ldm.alloc cpe.Swarch.Cpe.ldm reserve;
+        let st = k.setup { cpe; cfg; sched = None; lo; hi } in
+        for i = 0 to hi - lo - 1 do
+          k.fetch st i;
+          k.compute st i
+        done;
+        k.teardown st;
+        Swarch.Ldm.reset cpe.Swarch.Cpe.ldm
+      end)
+    cg.Swarch.Core_group.cpes
+
+(* --- block walks -------------------------------------------------------- *)
+
+(** [block ~cg ~phase ~partition f] is the third offload shape: one
+    un-tiled slice per CPE, for walks whose LDM working set is a
+    software-cache arena claimed with {!scratch} rather than a stream
+    of plan slots (the pair-list search).  The driver supplies the
+    mesh stripes, the per-CPE trace track, the fault guard and the LDM
+    reset; [f] receives the slice {!env} and owns everything in
+    between. *)
+let block ~(cg : Swarch.Core_group.t) ~phase ~(partition : int -> int * int)
+    (f : env -> unit) =
+  let cfg = cg.Swarch.Core_group.cfg in
+  let n_cpes = Array.length cg.Swarch.Core_group.cpes in
+  Swpar.Pool.iter_stripes ~n:n_cpes (fun ~shard:_ ~lo:slo ~hi:shi ->
+      for id = slo to shi - 1 do
+        let cpe = cg.Swarch.Core_group.cpes.(id) in
+        let slice () =
+          let lo, hi = partition cpe.Swarch.Cpe.id in
+          if lo < hi then
+            Swfault.Error.guard ~phase ~cpe:cpe.Swarch.Cpe.id (fun () ->
+                f { cpe; cfg; sched = None; lo; hi };
+                Swarch.Ldm.reset cpe.Swarch.Cpe.ldm)
+        in
+        if Swtrace.Trace.enabled () then
+          Swtrace.Trace.with_track (cpe_track cpe) slice
+        else slice ()
+      done)
+
+(* --- strided walks ------------------------------------------------------ *)
+
+(** [strided ?sched ~cg ~name ~owners ~n_items ~init ~item ()] is the
+    second offload shape: instead of contiguous tiles, each owner CPE
+    walks items [slot, slot + n, slot + 2n, ...] (mod-striding by
+    ownership, the reduction pattern).  Each item runs as a recorded
+    task on its owner; each shard gets its own accumulator from
+    [init], returned in shard order for a deterministic merge.  When
+    tracing, every owner's walk is wrapped in an [offload:] kernel
+    span on its CPE track. *)
+let strided ?sched ~(cg : Swarch.Core_group.t) ~name ~(owners : int array)
+    ~n_items ~(init : unit -> 'acc) ~(item : 'acc -> Swarch.Cpe.t -> int -> unit)
+    () : 'acc array =
+  let cfg = cg.Swarch.Core_group.cfg in
+  let n_owners = Array.length owners in
+  let accs =
+    Swpar.Pool.map_stripes ~n:n_owners (fun ~shard:_ ~lo ~hi ->
+        let sd = Option.map Swsched.Recorder.branch sched in
+        let acc = init () in
+        for slot = lo to hi - 1 do
+          let owner = cg.Swarch.Core_group.cpes.(owners.(slot)) in
+          let walk () =
+            let tracing = Swtrace.Trace.enabled () in
+            let tr = cpe_track owner in
+            let base = if tracing then Swtrace.Trace.now tr else 0.0 in
+            let t0 = if tracing then clock cfg owner else 0.0 in
+            let line = ref slot in
+            while !line < n_items do
+              let i = !line in
+              in_task sd owner (fun () -> item acc owner i);
+              line := i + n_owners
+            done;
+            if tracing then begin
+              let t1 = clock cfg owner in
+              Swtrace.Trace.span ~cat:"offload"
+                ~args:
+                  [
+                    ("cpe", float_of_int owner.Swarch.Cpe.id);
+                    ("stride", float_of_int n_owners);
+                  ]
+                tr ("offload:" ^ name) ~t:base ~dur:(t1 -. t0)
+            end
+          in
+          if Swtrace.Trace.enabled () then
+            Swtrace.Trace.with_track (cpe_track owner) walk
+          else walk ()
+        done;
+        (sd, acc))
+  in
+  (match sched with
+  | Some r ->
+      Swsched.Recorder.graft r
+        (List.filter_map (fun (sd, _) -> sd) (Array.to_list accs))
+  | None -> ());
+  Array.map snd accs
+
+(** [strided_reference ~cg ...] is {!strided}'s bare serial reference:
+    one accumulator, owner slots in order, no pool/recorder/trace. *)
+let strided_reference ~(cg : Swarch.Core_group.t) ~(owners : int array)
+    ~n_items ~(init : unit -> 'acc) ~(item : 'acc -> Swarch.Cpe.t -> int -> unit)
+    () : 'acc array =
+  let n_owners = Array.length owners in
+  let acc = init () in
+  for slot = 0 to n_owners - 1 do
+    let owner = cg.Swarch.Core_group.cpes.(owners.(slot)) in
+    let line = ref slot in
+    while !line < n_items do
+      let i = !line in
+      item acc owner i;
+      line := i + n_owners
+    done
+  done;
+  [| acc |]

@@ -509,6 +509,178 @@ let checkpoint_roundtrip (c : Config.t) ~gen ~seed =
       sample_list_check "resumed vs uninterrupted tail" tail resumed;
       state_check "resumed vs uninterrupted" st_full st_res)
 
+(* --- 12. offload identity (exact-bits) ---------------------------------- *)
+
+(* The swoffload driver owns the tiling / DMA / pipeline choreography
+   the kernels used to hand-roll.  Choreography decides *when*
+   simulated work happens, never *what*: the driven kernel must agree
+   bit for bit — energies, forces, pair counts and every cost
+   accumulator — with the bare reference walk ([~reference:true]),
+   which executes the same stages serially with no pool, recorder or
+   pipeline. *)
+let offload_identity (c : Config.t) ~gen ~seed =
+  checking (fun () ->
+      let cfg = Config.cfg c in
+      let st = Gen.build gen ~seed in
+      let n = Md.Md_state.n_atoms st in
+      let box = st.Md.Md_state.box in
+      let rcut = Float.min 0.9 (0.45 *. Md.Box.min_edge box) in
+      let params = { Md.Nonbonded.rcut; elec = Md.Nonbonded.Reaction_field } in
+      let cl = Md.Cluster.build box st.Md.Md_state.pos n in
+      let pairs =
+        Md.Pair_list.build box cl ~pos:st.Md.Md_state.pos ~rlist:rcut ()
+      in
+      let sys =
+        K.make cfg ~box ~params ~cl ~topo:st.Md.Md_state.topo
+          ~ff:st.Md.Md_state.ff ~pos:st.Md.Md_state.pos
+      in
+      let cg = Swarch.Core_group.create cfg in
+      let outcome =
+        Swgmx.Kernel.run ~pipelined:(Config.pipelined c) sys pairs cg
+          Swgmx.Variant.Mark
+      in
+      let r = outcome.Swgmx.Kernel.result in
+      let cg_ref = Swarch.Core_group.create cfg in
+      let r_ref, _ =
+        Swgmx.Kernel_cpe.run ~reference:true sys pairs cg_ref
+          (Swgmx.Kernel_cpe.spec_of_variant Swgmx.Variant.Mark)
+      in
+      if r.K.pairs_in_cutoff <> r_ref.K.pairs_in_cutoff then
+        failwith
+          (Printf.sprintf "offload vs reference: pair counts differ: %d vs %d"
+             r.K.pairs_in_cutoff r_ref.K.pairs_in_cutoff);
+      Tol.check ~what:"offload vs reference: LJ energy" Tol.exact (K.e_lj r)
+        (K.e_lj r_ref);
+      Tol.check ~what:"offload vs reference: Coulomb energy" Tol.exact
+        (K.e_coul r) (K.e_coul r_ref);
+      Buf.check_arrays ~what:"offload vs reference: forces" Tol.exact r.K.force
+        r_ref.K.force;
+      let tc = Swarch.Core_group.total_cost cg
+      and tr = Swarch.Core_group.total_cost cg_ref in
+      List.iter
+        (fun (what, a, b) ->
+          Tol.check ~what:("offload vs reference: " ^ what) Tol.exact a b)
+        [
+          ("scalar flops", tc.Swarch.Cost.scalar_flops, tr.Swarch.Cost.scalar_flops);
+          ("simd ops", tc.Swarch.Cost.simd_ops, tr.Swarch.Cost.simd_ops);
+          ("int ops", tc.Swarch.Cost.int_ops, tr.Swarch.Cost.int_ops);
+          ("dma time", tc.Swarch.Cost.dma_time_s, tr.Swarch.Cost.dma_time_s);
+          ("dma bytes", tc.Swarch.Cost.dma_bytes, tr.Swarch.Cost.dma_bytes);
+          ( "dma transactions",
+            tc.Swarch.Cost.dma_transactions,
+            tr.Swarch.Cost.dma_transactions );
+          ("gld count", tc.Swarch.Cost.gld_count, tr.Swarch.Cost.gld_count);
+          ("gst count", tc.Swarch.Cost.gst_count, tr.Swarch.Cost.gst_count);
+        ])
+
+(* --- 13. N-body energy conservation (physical-drift + exact-bits) ------- *)
+
+(* The Barnes-Hut workload is the offload API's proof on an irregular
+   working set.  Leapfrog over the softened self-gravity must hold
+   total energy to a drift budget, and — like every simulated figure —
+   the whole report must be bit-identical across domain counts. *)
+let nbody_energy (c : Config.t) ~gen ~seed =
+  checking (fun () ->
+      let cfg = Config.cfg c in
+      let n = max 32 (3 * Gen.molecules gen) in
+      let run d =
+        with_domains d (fun () ->
+            Swnbody.Sim.simulate ~cfg ~n ~steps:10 ~seed ())
+      in
+      let r = run 1 in
+      if not (Float.is_finite r.Swnbody.Sim.e_final) then
+        failwith
+          (Printf.sprintf "nbody energy non-finite: %h" r.Swnbody.Sim.e_final);
+      if r.Swnbody.Sim.max_drift > 5e-3 then
+        failwith
+          (Printf.sprintf
+             "nbody energy drift %.3e exceeds the 5e-3 budget over %d steps"
+             r.Swnbody.Sim.max_drift r.Swnbody.Sim.steps);
+      let other = if c.Config.domains = 1 then 2 else c.Config.domains in
+      let rn = run other in
+      let what = Printf.sprintf "nbody domains 1 vs %d" other in
+      Tol.check ~what:(what ^ ": e0") Tol.exact r.Swnbody.Sim.e0
+        rn.Swnbody.Sim.e0;
+      Tol.check ~what:(what ^ ": final energy") Tol.exact
+        r.Swnbody.Sim.e_final rn.Swnbody.Sim.e_final;
+      Tol.check ~what:(what ^ ": elapsed") Tol.exact r.Swnbody.Sim.elapsed_s
+        rn.Swnbody.Sim.elapsed_s;
+      Tol.check ~what:(what ^ ": dma bytes") Tol.exact r.Swnbody.Sim.dma_bytes
+        rn.Swnbody.Sim.dma_bytes;
+      if r.Swnbody.Sim.node_visits <> rn.Swnbody.Sim.node_visits then
+        failwith (what ^ ": node visit counts differ"))
+
+(* --- 14. N-body force antisymmetry (exact-bits + physical-drift) --------- *)
+
+(* The traversal shares one interaction coefficient between both
+   members of a pair, and the coefficient is an even function of the
+   displacement — so direct-sum partner forces are bitwise negations,
+   the direct net force vanishes to rounding, and the tree
+   approximation must sit within the opening-angle error envelope of
+   the direct sum. *)
+let nbody_antisymmetry (c : Config.t) ~gen ~seed =
+  checking (fun () ->
+      let cfg = Config.cfg c in
+      let rng = Md.Rng.create seed in
+      let eps2 = 0.05 *. 0.05 in
+      for _ = 1 to 64 do
+        let dx = Md.Rng.uniform rng (-1.0) 1.0 in
+        let dy = Md.Rng.uniform rng (-1.0) 1.0 in
+        let dz = Md.Rng.uniform rng (-1.0) 1.0 in
+        let cf = Swnbody.Bh.pair_coef ~eps2 ~dx ~dy ~dz in
+        let cr =
+          Swnbody.Bh.pair_coef ~eps2 ~dx:(-.dx) ~dy:(-.dy) ~dz:(-.dz)
+        in
+        Tol.check ~what:"pair coefficient even in the displacement" Tol.exact
+          cf cr;
+        Tol.check ~what:"partner force is the bitwise negation" Tol.exact
+          (-.(cf *. dx))
+          (cr *. -.dx)
+      done;
+      let n = max 32 (3 * Gen.molecules gen) in
+      let t = Swnbody.Sim.make ~n ~seed () in
+      let theta = 0.3 in
+      let direct = Mdcore.Fbuf.create (3 * n) in
+      ignore
+        (Swnbody.Bh.direct ~eps:t.Swnbody.Sim.eps ~pos:t.Swnbody.Sim.pos
+           ~mass:t.Swnbody.Sim.mass ~acc:direct n);
+      let d = Md.Fbuf.to_array direct in
+      (* direct net force: exact pair cancellation up to accumulation *)
+      let fscale = ref 0.0 in
+      for i = 0 to n - 1 do
+        let m = Md.Fbuf.get t.Swnbody.Sim.mass i in
+        for k = 0 to 2 do
+          fscale := !fscale +. Float.abs (m *. d.((3 * i) + k))
+        done
+      done;
+      for k = 0 to 2 do
+        let net = ref 0.0 in
+        for i = 0 to n - 1 do
+          net :=
+            !net +. (Md.Fbuf.get t.Swnbody.Sim.mass i *. d.((3 * i) + k))
+        done;
+        Tol.check
+          ~what:(Printf.sprintf "nbody direct net force component %d" k)
+          (Tol.rel_abs ~rel:0.0 ~abs:((1e-13 *. !fscale) +. 1e-12))
+          0.0 !net
+      done;
+      (* Barnes-Hut within the opening-angle envelope of the direct sum *)
+      let cg = Swarch.Core_group.create cfg in
+      let tree =
+        Swnbody.Octree.build ~n ~pos:t.Swnbody.Sim.pos ~mass:t.Swnbody.Sim.mass
+          ~mpe:cg.Swarch.Core_group.mpe ()
+      in
+      let plan = Swnbody.Bh.plan cfg ~n in
+      ignore
+        (Swnbody.Bh.forces ~cg ~plan ~tree ~theta ~eps:t.Swnbody.Sim.eps
+           ~pos:t.Swnbody.Sim.pos ~mass:t.Swnbody.Sim.mass ~acc:t.Swnbody.Sim.acc
+           ());
+      let bh = Md.Fbuf.to_array t.Swnbody.Sim.acc in
+      let ascale = Float.max 1.0 (max_abs d) in
+      Buf.check_arrays ~what:"Barnes-Hut vs direct accelerations"
+        (Tol.rel_abs ~rel:0.0 ~abs:(0.05 *. ascale))
+        d bh)
+
 (* --- the catalog -------------------------------------------------------- *)
 
 let water n = Gen.Water { molecules = n }
@@ -611,6 +783,32 @@ let all =
       doc = "capture -> serialize -> parse -> restart continues the \
              trajectory bit-identically [exact-bits]";
       run = checkpoint_roundtrip;
+    };
+    {
+      name = "offload-identity";
+      axes = [ Config.Platform_axis; Config.Sched_axis; Config.Domains_axis ];
+      gens = [ water 24 ];
+      doc = "swoffload-driven kernel matches the bare reference walk bit for \
+             bit: energies, forces, pair counts, every cost accumulator \
+             [exact-bits]";
+      run = offload_identity;
+    };
+    {
+      name = "nbody-energy";
+      axes = [ Config.Platform_axis; Config.Domains_axis ];
+      gens = [ water 24 ];
+      doc = "Barnes-Hut leapfrog holds total energy to the drift budget; the \
+             report is bit-identical across --domains [physical-drift]";
+      run = nbody_energy;
+    };
+    {
+      name = "nbody-antisymmetry";
+      axes = [ Config.Platform_axis ];
+      gens = [ water 24 ];
+      doc = "gravity pair coefficient even in the displacement (partner \
+             forces bitwise negations); direct net force vanishes; tree \
+             within the opening-angle envelope [exact-bits]";
+      run = nbody_antisymmetry;
     };
   ]
 

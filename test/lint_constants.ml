@@ -1,37 +1,73 @@
-(* Lint: no hardcoded machine constants outside lib/swarch.
+(* Lint: no hardcoded machine constants outside lib/swarch, and no
+   hand-rolled LDM management outside the offload layer.
 
    The platform record is the single source of truth for the machine
    description; every other layer must read CPE counts, LDM sizes,
    SIMD lane counts, clock rates and DMA curve points from the
-   [Swarch.Platform.t] it is handed.  This scanner walks the source
-   trees of every library except swarch (plus bin/ and bench/) and
-   fails on any literal that smells like a machine constant leaking
-   back in.  Cluster geometry (the 4-particle cluster, the 96-byte
-   package) is physics, not machine description, and is not flagged. *)
+   [Swarch.Platform.t] it is handed.  Likewise the swoffload driver is
+   the single owner of LDM tiling: kernels describe their working set
+   in a [Plan.spec] and receive tile sizes, scratch space and
+   double-buffer slot counts from the derived plan, so raw LDM
+   allocation calls and buffer-count literals outside the exempt
+   layers fail the lint.  This scanner walks the source trees (lib/,
+   bin/, bench/) and fails on any line matching a rule whose exempt
+   list does not cover the file.  Cluster geometry (the 4-particle
+   cluster, the 96-byte package) is physics, not machine description,
+   and is not flagged. *)
 
-let forbidden =
+type rule = {
+  what : string;  (** printed in the violation message *)
+  hint : string;  (** where the value should come from instead *)
+  patterns : string list;
+  exempt : string list;  (** lib/ subdirectories allowed to match *)
+}
+
+let rules =
   [
-    (* LDM capacity *)
-    "64 * 1024";
-    "65536";
-    "256 * 1024";
-    (* clock rates *)
-    "1.45e9";
-    "2.25e9";
-    (* the Table 2 DMA curve *)
-    "0.99e9";
-    "15.77e9";
-    "28.88e9";
-    "28.98e9";
-    "30.48e9";
-    (* mesh shape *)
-    "cpe_count = 64";
-    "simd_lanes = 4";
-    "simd_lanes = 8";
-    "groups_per_chip = 4";
-    (* LDM-derived cache geometry *)
-    "read_lines = 64";
-    "write_lines = 32";
+    {
+      what = "machine constant";
+      hint = "read it from Swarch.Platform.t";
+      patterns =
+        [
+          (* LDM capacity *)
+          "64 * 1024";
+          "65536";
+          "256 * 1024";
+          (* clock rates *)
+          "1.45e9";
+          "2.25e9";
+          (* the Table 2 DMA curve *)
+          "0.99e9";
+          "15.77e9";
+          "28.88e9";
+          "28.98e9";
+          "30.48e9";
+          (* mesh shape *)
+          "cpe_count = 64";
+          "simd_lanes = 4";
+          "simd_lanes = 8";
+          "groups_per_chip = 4";
+          (* LDM-derived cache geometry *)
+          "read_lines = 64";
+          "write_lines = 32";
+        ];
+      exempt = [ "swarch" ];
+    };
+    {
+      what = "raw LDM management";
+      hint = "describe the working set in a Swoffload.Plan.spec";
+      patterns = [ "Ldm.alloc"; "Ldm.reset" ];
+      (* swarch owns the allocator, swoffload is the driver that hands
+         out planned tiles, and the software caches carve their lines
+         directly by design *)
+      exempt = [ "swarch"; "swoffload"; "swcache" ];
+    };
+    {
+      what = "hand-rolled buffer count";
+      hint = "use Swoffload.Plan.default_slots / the derived plan";
+      patterns = [ "slots = 2"; "buffers = 2" ];
+      exempt = [ "swarch"; "swoffload" ];
+    };
   ]
 
 let contains s sub =
@@ -58,7 +94,7 @@ let () =
   (* optional argv: the repository root to scan (default ".") *)
   let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
   let violations = ref [] in
-  let scan_tree root =
+  let scan_tree rules root =
     if Sys.file_exists root && Sys.is_directory root then
       walk root (fun path ->
           let body = read_file path in
@@ -66,28 +102,34 @@ let () =
           List.iteri
             (fun i line ->
               List.iter
-                (fun pat ->
-                  if contains line pat then
-                    violations :=
-                      Printf.sprintf "%s:%d: machine constant %S" path (i + 1)
-                        pat
-                      :: !violations)
-                forbidden)
+                (fun r ->
+                  List.iter
+                    (fun pat ->
+                      if contains line pat then
+                        violations :=
+                          Printf.sprintf "%s:%d: %s %S — %s" path (i + 1)
+                            r.what pat r.hint
+                          :: !violations)
+                    r.patterns)
+                rules)
             lines)
   in
-  (* every layer except the platform's home, plus the executables *)
+  (* each lib layer is scanned with the rules that do not exempt it;
+     the executables get every rule *)
   let lib = Filename.concat root "lib" in
   Array.iter
-    (fun sub -> if sub <> "swarch" then scan_tree (Filename.concat lib sub))
+    (fun sub ->
+      let active = List.filter (fun r -> not (List.mem sub r.exempt)) rules in
+      if active <> [] then scan_tree active (Filename.concat lib sub))
     (Sys.readdir lib);
-  scan_tree (Filename.concat root "bin");
-  scan_tree (Filename.concat root "bench");
+  scan_tree rules (Filename.concat root "bin");
+  scan_tree rules (Filename.concat root "bench");
   match !violations with
-  | [] -> print_endline "lint: no machine constants outside lib/swarch"
+  | [] ->
+      print_endline
+        "lint: no machine constants or raw LDM management outside their \
+         home layers"
   | vs ->
       List.iter prerr_endline (List.sort compare vs);
-      Printf.eprintf
-        "lint: %d machine constant(s) leaked outside lib/swarch — read them \
-         from Swarch.Platform.t instead\n"
-        (List.length vs);
+      Printf.eprintf "lint: %d violation(s)\n" (List.length vs);
       exit 1

@@ -1,0 +1,303 @@
+(* swoffload: LDM tiling plans and the Barnes-Hut workload they carry.
+
+   The plan layer is the single audited source of tile sizes, so its
+   edge cases get direct coverage: a working set smaller than one tile
+   must produce a single tight tile, uneven work lists must carry a
+   remainder tile, and a working set that cannot fit one slot of one
+   tile in the LDM budget must fail with a structured error — never a
+   silent truncation.  The N-body half checks the physics the offload
+   driver carries: Barnes-Hut against direct summation, energy
+   conservation, octree invariants and domain-count invariance. *)
+
+module Plan = Swoffload.Plan
+module Octree = Swnbody.Octree
+module Bh = Swnbody.Bh
+module Sim = Swnbody.Sim
+module Fbuf = Mdcore.Fbuf
+
+let cfg = Swarch.Config.default
+let budget = cfg.Swarch.Config.ldm_bytes
+
+let buf ?(name = "bodies") item_bytes =
+  { Plan.name; intent = Plan.Read; item_bytes }
+
+let spec ?(kernel = "t") ?(resident = 0) ?(tile = Plan.Auto)
+    ?(slots = Plan.default_slots) buffers =
+  { Plan.kernel; buffers; resident_bytes = resident; tile; slots }
+
+let derive ?(n_items = 100) s = Plan.derive s ~cfg ~n_items
+
+(* every test leaves the process back on the serial path *)
+let with_domains d f =
+  Swpar.Domains.set d;
+  Fun.protect ~finally:(fun () -> Swpar.Domains.set 1) f
+
+let bits = Int64.bits_of_float
+
+(* --- plan derivation edge cases ---------------------------------------- *)
+
+let test_tight_tile () =
+  (* working set smaller than one tile: Auto caps the tile at the work
+     list, so the whole set rides in a single tight tile *)
+  match derive ~n_items:5 (spec [ buf 32 ]) with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Plan.error_to_string e)
+  | Ok p ->
+      Alcotest.(check int) "tile = work list" 5 p.Plan.tile_items;
+      Alcotest.(check int) "one tile" 1 p.Plan.n_tiles;
+      Alcotest.(check int) "no remainder" 0 p.Plan.remainder;
+      let t = Plan.tile p 0 in
+      Alcotest.(check int) "tile start" 0 t.Plan.start;
+      Alcotest.(check int) "tile items" 5 t.Plan.items
+
+let test_remainder_tile () =
+  match derive ~n_items:23 (spec ~tile:(Plan.Items 7) [ buf 8 ]) with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Plan.error_to_string e)
+  | Ok p ->
+      Alcotest.(check int) "tiles" 4 p.Plan.n_tiles;
+      Alcotest.(check int) "remainder" 2 p.Plan.remainder;
+      let last = Plan.tile p 3 in
+      Alcotest.(check int) "last start" 21 last.Plan.start;
+      Alcotest.(check int) "last items" 2 last.Plan.items;
+      (* the tiles cover [0, n) exactly, in order *)
+      let covered = ref 0 in
+      for i = 0 to p.Plan.n_tiles - 1 do
+        let t = Plan.tile p i in
+        Alcotest.(check int) "contiguous" !covered t.Plan.start;
+        covered := !covered + t.Plan.items
+      done;
+      Alcotest.(check int) "full cover" 23 !covered
+
+let test_items_overflow () =
+  (* a fixed tile that cannot fit [slots] copies in the budget is a
+     structured overflow carrying the audited numbers *)
+  let k = (budget / (2 * 32)) + 1 in
+  match derive (spec ~tile:(Plan.Items k) ~slots:2 [ buf 32 ]) with
+  | Ok _ -> Alcotest.fail "oversized fixed tile must not derive"
+  | Error (Plan.Ldm_overflow o) ->
+      Alcotest.(check string) "kernel" "t" o.kernel;
+      Alcotest.(check int) "needed" (2 * k * 32) o.needed;
+      Alcotest.(check int) "budget" budget o.budget;
+      Alcotest.(check int) "tile attempted" k o.tile_items
+  | Error e -> Alcotest.failf "wrong error: %s" (Plan.error_to_string e)
+
+let test_auto_overflow () =
+  (* Auto with a resident block that eats the whole budget cannot fit
+     even a one-item tile *)
+  match derive (spec ~resident:budget [ buf 8 ]) with
+  | Ok _ -> Alcotest.fail "no room for one item: must not derive"
+  | Error (Plan.Ldm_overflow o) ->
+      Alcotest.(check int) "smallest tile attempted" 1 o.tile_items;
+      Alcotest.(check int) "needed" ((2 * 8) + budget) o.needed
+  | Error e -> Alcotest.failf "wrong error: %s" (Plan.error_to_string e)
+
+let test_bad_specs () =
+  let is_bad name = function
+    | Error (Plan.Bad_spec _) -> ()
+    | Ok _ -> Alcotest.failf "%s: derived" name
+    | Error e -> Alcotest.failf "%s: wrong error %s" name (Plan.error_to_string e)
+  in
+  is_bad "slots" (derive (spec ~slots:0 [ buf 8 ]));
+  is_bad "negative items" (derive ~n_items:(-1) (spec [ buf 8 ]));
+  is_bad "no buffers" (derive (spec []));
+  is_bad "zero-byte buffer" (derive (spec [ buf 0 ]));
+  is_bad "zero tile" (derive (spec ~tile:(Plan.Items 0) [ buf 8 ]));
+  is_bad "negative resident" (derive (spec ~resident:(-4) [ buf 8 ]))
+
+let test_derive_exn () =
+  Alcotest.check_raises "derive_exn raises the structured error"
+    (Plan.Plan_error
+       (Plan.Bad_spec { kernel = "t"; reason = "no streamed buffers declared" }))
+    (fun () -> ignore (Plan.derive_exn (spec []) ~cfg ~n_items:4))
+
+let test_reserve () =
+  match derive ~n_items:10_000 (spec ~resident:256 [ buf 16; buf 8 ]) with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Plan.error_to_string e)
+  | Ok p ->
+      Alcotest.(check int) "item bytes summed" 24 p.Plan.item_bytes;
+      Alcotest.(check int) "recorded = slots x tile + resident"
+        ((2 * p.Plan.tile_bytes) + 256)
+        (Plan.reserve p ~recorded:true);
+      Alcotest.(check int) "serial = one tile + resident"
+        (p.Plan.tile_bytes + 256)
+        (Plan.reserve p ~recorded:false);
+      Alcotest.(check bool) "recorded reserve fits the budget" true
+        (Plan.reserve p ~recorded:true <= budget)
+
+let test_tile_bounds () =
+  match derive ~n_items:10 (spec [ buf 8 ]) with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Plan.error_to_string e)
+  | Ok p ->
+      let oob i = try ignore (Plan.tile p i); false with Invalid_argument _ -> true in
+      Alcotest.(check bool) "negative index" true (oob (-1));
+      Alcotest.(check bool) "past the end" true (oob p.Plan.n_tiles)
+
+let qtiles_cover =
+  QCheck.Test.make ~name:"plan: tiles cover the work list, within budget"
+    ~count:300
+    QCheck.(
+      quad (int_range 1 128) (int_range 1 4) (int_range 0 1000)
+        (int_range 0 4096))
+    (fun (item_bytes, slots, n_items, resident) ->
+      match
+        Plan.derive
+          (spec ~resident ~slots [ buf item_bytes ])
+          ~cfg ~n_items
+      with
+      | Error (Plan.Ldm_overflow _) -> true (* structured refusal is fine *)
+      | Error (Plan.Bad_spec _) -> false
+      | Ok p ->
+          let covered = ref 0 and ok = ref true in
+          for i = 0 to p.Plan.n_tiles - 1 do
+            let t = Plan.tile p i in
+            if t.Plan.start <> !covered || t.Plan.items < 1 then ok := false;
+            covered := !covered + t.Plan.items
+          done;
+          !ok
+          && (!covered = n_items || (n_items = 0 && p.Plan.n_tiles = 0))
+          && Plan.reserve p ~recorded:true <= budget)
+
+let qpartition_cover =
+  QCheck.Test.make ~name:"plan: CPE partition covers the tiles in order"
+    ~count:300
+    QCheck.(pair (int_range 1 64) (int_range 0 2000))
+    (fun (n_cpes, n_items) ->
+      match Plan.derive (spec [ buf 8 ]) ~cfg ~n_items with
+      | Error _ -> false
+      | Ok p ->
+          let covered = ref 0 and ok = ref true in
+          for id = 0 to n_cpes - 1 do
+            let lo, hi = Plan.partition p n_cpes id in
+            if lo <> min !covered p.Plan.n_tiles || hi < lo then ok := false;
+            covered := max !covered hi
+          done;
+          !ok && !covered = p.Plan.n_tiles)
+
+(* --- the Barnes-Hut workload ------------------------------------------- *)
+
+let test_bh_vs_direct () =
+  let n = 128 in
+  let t = Sim.make ~n ~seed:7 () in
+  let cg = Swarch.Core_group.create cfg in
+  let tree =
+    Octree.build ~n ~pos:t.Sim.pos ~mass:t.Sim.mass
+      ~mpe:cg.Swarch.Core_group.mpe ()
+  in
+  let plan = Bh.plan cfg ~n in
+  let stats =
+    Bh.forces ~cg ~plan ~tree ~theta:0.3 ~eps:t.Sim.eps ~pos:t.Sim.pos
+      ~mass:t.Sim.mass ~acc:t.Sim.acc ()
+  in
+  let dacc = Fbuf.create (3 * n) in
+  let dpot =
+    Bh.direct ~eps:t.Sim.eps ~pos:t.Sim.pos ~mass:t.Sim.mass ~acc:dacc n
+  in
+  let amax = ref 0.0 in
+  for i = 0 to (3 * n) - 1 do
+    amax := Float.max !amax (Float.abs (Fbuf.get dacc i))
+  done;
+  for i = 0 to (3 * n) - 1 do
+    let d = Float.abs (Fbuf.get t.Sim.acc i -. Fbuf.get dacc i) in
+    if d > 0.05 *. !amax then
+      Alcotest.failf "acc[%d]: bh %g vs direct %g (tol %g)" i
+        (Fbuf.get t.Sim.acc i) (Fbuf.get dacc i)
+        (0.05 *. !amax)
+  done;
+  let perr = Float.abs (stats.Bh.pot -. dpot) /. Float.abs dpot in
+  Alcotest.(check bool) "potential within 5%" true (perr < 0.05)
+
+let test_energy_drift () =
+  let r = Sim.simulate ~cfg ~steps:10 ~n:128 () in
+  Alcotest.(check bool) "bounded drift" true (r.Sim.max_drift < 5e-3);
+  Alcotest.(check bool) "tiles derived" true (r.Sim.n_tiles >= 1);
+  Alcotest.(check bool) "reserve fits" true (r.Sim.ldm_reserve <= budget)
+
+let test_octree_invariants () =
+  let n = 200 in
+  let t = Sim.make ~n ~seed:42 () in
+  let cg = Swarch.Core_group.create cfg in
+  let tree =
+    Octree.build ~n ~pos:t.Sim.pos ~mass:t.Sim.mass
+      ~mpe:cg.Swarch.Core_group.mpe ()
+  in
+  (* the root carries the total mass *)
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. Fbuf.get t.Sim.mass i
+  done;
+  Alcotest.(check bool) "root mass" true
+    (Float.abs (tree.Octree.mass.(0) -. !total) < 1e-12);
+  (* [order] is a permutation of the bodies *)
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      Alcotest.(check bool) "order in range" true (i >= 0 && i < n);
+      Alcotest.(check bool) "order unique" false seen.(i);
+      seen.(i) <- true)
+    tree.Octree.order;
+  (* the leaves partition the body slots exactly *)
+  let slot = Array.make n 0 in
+  let leaves = ref 0 in
+  for v = 0 to tree.Octree.n_nodes - 1 do
+    if Octree.is_leaf tree v then begin
+      incr leaves;
+      for s = tree.Octree.first.(v) to tree.Octree.first.(v) + tree.Octree.count.(v) - 1
+      do
+        slot.(s) <- slot.(s) + 1
+      done
+    end
+  done;
+  Array.iteri
+    (fun s c -> Alcotest.(check int) (Printf.sprintf "slot %d" s) 1 c)
+    slot;
+  Alcotest.(check bool) "has leaves" true (!leaves > 0)
+
+let test_domain_invariance () =
+  let run d = with_domains d (fun () -> Sim.simulate ~cfg ~steps:4 ~n:96 ()) in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check int64) "e0" (bits a.Sim.e0) (bits b.Sim.e0);
+  Alcotest.(check int64) "e_final" (bits a.Sim.e_final) (bits b.Sim.e_final);
+  Alcotest.(check int64) "elapsed" (bits a.Sim.elapsed_s) (bits b.Sim.elapsed_s);
+  Alcotest.(check int64) "dma bytes" (bits a.Sim.dma_bytes) (bits b.Sim.dma_bytes);
+  Alcotest.(check int) "node visits" a.Sim.node_visits b.Sim.node_visits
+
+let test_platform_invariance () =
+  (* the LDM budget moves the tiling, never the physics *)
+  let run cfg = Sim.simulate ~cfg ~steps:4 ~n:96 () in
+  let a = run Swarch.Platform.sw26010 and b = run Swarch.Platform.sw26010_pro in
+  Alcotest.(check int64) "e_final" (bits a.Sim.e_final) (bits b.Sim.e_final);
+  Alcotest.(check int) "node visits" a.Sim.node_visits b.Sim.node_visits;
+  Alcotest.(check bool) "tiling differs with the budget" true
+    (a.Sim.tile_items <> b.Sim.tile_items || a.Sim.n_tiles <> b.Sim.n_tiles
+   || a.Sim.tile_items = a.Sim.n)
+
+let qc t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "swoffload plan",
+      [
+        Alcotest.test_case "auto: single tight tile" `Quick test_tight_tile;
+        Alcotest.test_case "remainder tile" `Quick test_remainder_tile;
+        Alcotest.test_case "fixed tile overflow is structured" `Quick
+          test_items_overflow;
+        Alcotest.test_case "auto overflow is structured" `Quick
+          test_auto_overflow;
+        Alcotest.test_case "bad specs rejected" `Quick test_bad_specs;
+        Alcotest.test_case "derive_exn raises Plan_error" `Quick test_derive_exn;
+        Alcotest.test_case "reserve arithmetic" `Quick test_reserve;
+        Alcotest.test_case "tile index bounds" `Quick test_tile_bounds;
+        qc qtiles_cover;
+        qc qpartition_cover;
+      ] );
+    ( "swnbody",
+      [
+        Alcotest.test_case "barnes-hut matches direct summation" `Quick
+          test_bh_vs_direct;
+        Alcotest.test_case "leapfrog conserves energy" `Quick test_energy_drift;
+        Alcotest.test_case "octree invariants" `Quick test_octree_invariants;
+        Alcotest.test_case "domain-count invariance" `Quick
+          test_domain_invariance;
+        Alcotest.test_case "platform moves tiling, not physics" `Quick
+          test_platform_invariance;
+      ] );
+  ]
